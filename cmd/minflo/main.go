@@ -1,0 +1,148 @@
+// Command minflo sizes a combinational circuit with TILOS or
+// MINFLOTRANSIT.
+//
+// Usage:
+//
+//	minflo -circuit c6288 -spec 0.5                  # synthetic benchmark
+//	minflo -bench path/to/c432.bench -spec 0.4       # real ISCAS85 netlist
+//	minflo -circuit adder32 -spec 0.5 -algo tilos
+//	minflo -circuit c17 -spec 0.6 -mode transistor
+//	minflo -circuit c17 -spec 0.6 -sizes             # dump per-gate sizes
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"minflo"
+)
+
+func main() {
+	var (
+		circuitName = flag.String("circuit", "", "benchmark name (adder32, c432, c6288, ...)")
+		benchFile   = flag.String("bench", "", "ISCAS85 .bench netlist file")
+		spec        = flag.Float64("spec", 0.5, "delay target as a fraction of Dmin")
+		algo        = flag.String("algo", "minflo", "sizing algorithm: minflo, tilos or lagrange")
+		mode        = flag.String("mode", "gate", "sizing mode: gate or transistor")
+		dumpSizes   = flag.Bool("sizes", false, "print the per-element sizes")
+		report      = flag.Bool("report", false, "print a timing report after sizing")
+		sweep       = flag.Bool("sweep", false, "print the TILOS-vs-MINFLO area-delay curve instead of one point")
+	)
+	flag.Parse()
+	if err := run(*circuitName, *benchFile, *spec, *algo, *mode, *dumpSizes, *report, *sweep); err != nil {
+		fmt.Fprintln(os.Stderr, "minflo:", err)
+		os.Exit(1)
+	}
+}
+
+func run(circuitName, benchFile string, spec float64, algo, mode string, dumpSizes, report, sweep bool) error {
+	var ckt *minflo.Circuit
+	var err error
+	switch {
+	case benchFile != "":
+		f, err := os.Open(benchFile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		ckt, err = minflo.ParseBench(f, benchFile)
+		if err != nil {
+			return err
+		}
+	case circuitName != "":
+		ckt, err = minflo.CircuitByName(circuitName)
+		if err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("need -circuit or -bench (e.g. -circuit c6288)")
+	}
+	if spec <= 0 || spec > 1 {
+		return fmt.Errorf("-spec %g must be in (0, 1]", spec)
+	}
+
+	sz, err := minflo.NewSizer(nil)
+	if err != nil {
+		return err
+	}
+
+	st, err := ckt.ComputeStats()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("circuit %s: %d gates, %d PIs, %d POs, %d levels, %d transistors\n",
+		ckt.Name, st.Gates, st.PIs, st.POs, st.Levels, st.Transistors)
+
+	if sweep {
+		pts, err := sz.Sweep(ckt, []float64{0.4, 0.45, 0.5, 0.55, 0.6, 0.7, 0.8, 0.9, 1.0})
+		if err != nil {
+			return err
+		}
+		minflo.WriteCurve(os.Stdout, ckt.Name, pts)
+		return nil
+	}
+
+	if mode == "transistor" {
+		dmin, err := sz.TransistorMinDelay(ckt)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("Dmin (transistor DAG) = %.1f ps, target = %.1f ps\n", dmin, spec*dmin)
+		res, err := sz.MinflotransitTransistors(ckt, spec*dmin)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("TILOS area  = %.1f (Σ transistor widths)\n", res.TilosArea)
+		fmt.Printf("MINFLO area = %.1f  (%.1f%% saved, %d iterations)\n",
+			res.Area, 100*(1-res.Area/res.TilosArea), res.Iterations)
+		fmt.Printf("CP = %.1f ps\n", res.CP)
+		if dumpSizes {
+			for i, l := range res.Labels {
+				fmt.Printf("  %-24s %7.3f\n", l, res.Sizes[i])
+			}
+		}
+		return nil
+	}
+
+	dmin, err := sz.MinDelay(ckt)
+	if err != nil {
+		return err
+	}
+	target := spec * dmin
+	fmt.Printf("Dmin = %.1f ps, target = %.1f ps (%.2f·Dmin)\n", dmin, target, spec)
+
+	var sizing *minflo.Sizing
+	switch algo {
+	case "tilos":
+		sizing, err = sz.TILOS(ckt, target)
+	case "lagrange":
+		sizing, err = sz.LagrangianRelaxation(ckt, target)
+	case "minflo":
+		sizing, err = sz.Minflotransit(ckt, target)
+	default:
+		return fmt.Errorf("unknown -algo %q (want minflo, tilos or lagrange)", algo)
+	}
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("area      = %.1f (%.2f× minimum)\n", sizing.Area, sizing.Area/sizing.MinArea)
+	fmt.Printf("CP        = %.1f ps\n", sizing.CP)
+	if algo == "minflo" {
+		fmt.Printf("TILOS ref = %.1f  → %.1f%% area saved in %d iterations\n",
+			sizing.TilosArea, 100*(1-sizing.Area/sizing.TilosArea), sizing.Iterations)
+	}
+	if dumpSizes {
+		for gi := range ckt.Gates {
+			fmt.Printf("  %-24s %7.3f\n", ckt.Gates[gi].Name, ckt.Gates[gi].Size)
+		}
+	}
+	if report {
+		fmt.Println()
+		if err := sz.TimingReport(os.Stdout, ckt, target); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,48 @@
+// Command mkbench writes the synthetic benchmark suite to .bench files
+// so the circuits can be inspected or consumed by other EDA tools.
+//
+//	mkbench -dir ./benchmarks
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"minflo"
+)
+
+func main() {
+	dir := flag.String("dir", "benchmarks", "output directory")
+	flag.Parse()
+	if err := os.MkdirAll(*dir, 0o755); err != nil {
+		fail(err)
+	}
+	names := append(minflo.BenchmarkNames(), "c17")
+	for _, name := range names {
+		ckt, err := minflo.CircuitByName(name)
+		if err != nil {
+			fail(err)
+		}
+		path := filepath.Join(*dir, name+".bench")
+		f, err := os.Create(path)
+		if err != nil {
+			fail(err)
+		}
+		if err := minflo.WriteBench(f, ckt); err != nil {
+			f.Close()
+			fail(fmt.Errorf("%s: %w", name, err))
+		}
+		if err := f.Close(); err != nil {
+			fail(err)
+		}
+		st, _ := ckt.ComputeStats()
+		fmt.Printf("wrote %-24s (%d gates)\n", path, st.Gates)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "mkbench:", err)
+	os.Exit(1)
+}

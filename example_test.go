@@ -1,0 +1,88 @@
+package minflo_test
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"minflo"
+)
+
+// ExampleSizer_Minflotransit sizes the six-gate c17 circuit to half its
+// minimum-size delay and reports the improvement over TILOS.
+func ExampleSizer_Minflotransit() {
+	ckt := minflo.C17()
+	sz, err := minflo.NewSizer(nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	dmin, err := sz.MinDelay(ckt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := sz.Minflotransit(ckt, 0.5*dmin)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("target met: %v\n", res.CP <= 0.5*dmin)
+	fmt.Printf("at least as good as TILOS: %v\n", res.Area <= res.TilosArea)
+	// Output:
+	// target met: true
+	// at least as good as TILOS: true
+}
+
+// ExampleNewCircuit builds a tiny netlist by hand and simulates it.
+func ExampleNewCircuit() {
+	c := minflo.NewCircuit("half-adder")
+	a := c.AddPI("a")
+	b := c.AddPI("b")
+	sum := c.AddGate("sum", minflo.Xor2, a, b)
+	carry := c.AddGate("carry", minflo.And2, a, b)
+	c.MarkPO(sum)
+	c.MarkPO(carry)
+
+	out, err := c.Evaluate([]bool{true, true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("1+1: sum=%v carry=%v\n", out[0], out[1])
+	// Output:
+	// 1+1: sum=false carry=true
+}
+
+// ExampleSizer_Sweep produces a small area-delay curve (Figure 7 style).
+func ExampleSizer_Sweep() {
+	ckt := minflo.InverterChain(6)
+	sz, err := minflo.NewSizer(nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pts, err := sz.Sweep(ckt, []float64{1.0, 0.7})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, pt := range pts {
+		fmt.Printf("%.1f feasible=%v tighter-or-equal=%v\n",
+			pt.Frac, pt.Feasible, pt.MinfloRatio <= pt.TilosRatio+1e-12)
+	}
+	// Output:
+	// 1.0 feasible=true tighter-or-equal=true
+	// 0.7 feasible=true tighter-or-equal=true
+}
+
+// ExampleParseBench loads a netlist in the ISCAS85 .bench format.
+func ExampleParseBench() {
+	src := `
+INPUT(a)
+INPUT(b)
+OUTPUT(y)
+y = NAND(a, b)
+`
+	ckt, err := minflo.ParseBench(strings.NewReader(src), "tiny")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%d gate, %d inputs\n", ckt.NumGates(), ckt.NumPIs())
+	// Output:
+	// 1 gate, 2 inputs
+}

@@ -1,0 +1,52 @@
+// True transistor sizing (paper §2.1–2.2): every device is its own
+// sizing variable on the per-transistor DAG — pull-down chains get
+// independent tapering, pull-up networks are sized separately for rise
+// and fall transitions.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"minflo"
+)
+
+func main() {
+	ckt := minflo.C17()
+	sz, err := minflo.NewSizer(nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	dmin, err := sz.TransistorMinDelay(ckt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("c17 transistor DAG: 24 devices, Dmin = %.0f ps\n", dmin)
+
+	target := 0.55 * dmin
+	res, err := sz.MinflotransitTransistors(ckt, target)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("target %.0f ps: TILOS Σx = %.1f → MINFLOTRANSIT Σx = %.1f (%.1f%% saved)\n\n",
+		target, res.TilosArea, res.Area, 100*(1-res.Area/res.TilosArea))
+
+	// Show the devices sorted by size: the sized-up ones are on the
+	// critical discharge paths.
+	type dev struct {
+		label string
+		size  float64
+	}
+	devs := make([]dev, len(res.Sizes))
+	for i := range res.Sizes {
+		devs[i] = dev{res.Labels[i], res.Sizes[i]}
+	}
+	sort.Slice(devs, func(i, j int) bool { return devs[i].size > devs[j].size })
+	fmt.Println("largest devices (gate.n = NMOS, gate.p = PMOS):")
+	for _, d := range devs[:8] {
+		fmt.Printf("  %-12s %6.2f\n", d.label, d.size)
+	}
+	fmt.Println("\nNote the asymmetry between N and P devices of the same gate —")
+	fmt.Println("rise and fall paths are budgeted independently (paper §2.1).")
+}

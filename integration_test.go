@@ -1,0 +1,287 @@
+package minflo
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// TestShapeClaims verifies the paper's qualitative Table 1 claims on a
+// quick subset: MINFLOTRANSIT never loses to TILOS, adders gain ≈0%,
+// reconvergent control logic gains percent-level area, and the runtime
+// stays within a small multiple of TILOS.
+func TestShapeClaims(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long")
+	}
+	sz, _ := NewSizer(nil)
+	type result struct {
+		name string
+		row  *TableRow
+	}
+	var results []result
+	for _, name := range []string{"adder32", "c432", "c499", "c880"} {
+		ckt, err := CircuitByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		row, err := sz.RunTableRow(ckt, PaperSpec(name))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		results = append(results, result{name, row})
+		if row.SavingsPct < -1e-6 {
+			t.Errorf("%s: MINFLOTRANSIT lost to TILOS by %.2f%%", name, -row.SavingsPct)
+		}
+		if row.Iterations > 100 {
+			t.Errorf("%s: %d iterations (paper: at most ~100)", name, row.Iterations)
+		}
+	}
+	byName := map[string]*TableRow{}
+	for _, r := range results {
+		byName[r.name] = r.row
+	}
+	if byName["adder32"].SavingsPct > 3 {
+		t.Errorf("adder32 saving %.1f%% — paper reports ≤1%%", byName["adder32"].SavingsPct)
+	}
+	if byName["c432"].SavingsPct < 2 {
+		t.Errorf("c432 saving %.1f%% — expected percent-level (paper: 9.4%%)", byName["c432"].SavingsPct)
+	}
+	if byName["c432"].SavingsPct < byName["adder32"].SavingsPct {
+		t.Error("shape inverted: controller saves less than the adder")
+	}
+}
+
+// TestParsedNetlistSizing sizes a circuit that went through the .bench
+// writer and parser — the full I/O + optimization round trip.
+func TestParsedNetlistSizing(t *testing.T) {
+	orig, err := CircuitByName("c17")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteBench(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := ParseBench(&buf, "c17rt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sz, _ := NewSizer(nil)
+	dmin, err := sz.MinDelay(parsed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sz.Minflotransit(parsed, 0.5*dmin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CP > 0.5*dmin*(1+1e-9) {
+		t.Fatal("parsed netlist missed its target")
+	}
+}
+
+// TestFailureInjection drives hostile inputs through the public API:
+// everything must fail cleanly, never hang or panic.
+func TestFailureInjection(t *testing.T) {
+	sz, _ := NewSizer(nil)
+
+	t.Run("cyclic netlist", func(t *testing.T) {
+		src := "INPUT(a)\nOUTPUT(y)\ny = NAND(a, w)\nw = NAND(a, y)\n"
+		if _, err := ParseBench(strings.NewReader(src), "cyc"); err == nil {
+			t.Fatal("cycle accepted")
+		}
+	})
+	t.Run("impossible target", func(t *testing.T) {
+		ckt := InverterChain(6)
+		if _, err := sz.Minflotransit(ckt, 1e-6); err == nil {
+			t.Fatal("impossible target accepted")
+		}
+	})
+	t.Run("zero spec table row", func(t *testing.T) {
+		ckt := C17()
+		if _, err := sz.RunTableRow(ckt, 0.0001); err == nil {
+			t.Fatal("degenerate spec accepted")
+		}
+	})
+	t.Run("unknown benchmark", func(t *testing.T) {
+		if _, err := CircuitByName("c9999"); err == nil {
+			t.Fatal("unknown benchmark accepted")
+		}
+	})
+	t.Run("dangling gate netlist", func(t *testing.T) {
+		c := NewCircuit("dangle")
+		a := c.AddPI("a")
+		g1 := c.AddGate("g1", Inv, a)
+		c.AddGate("g2", Inv, a) // drives nothing
+		c.MarkPO(g1)
+		if _, err := sz.MinDelay(c); err == nil {
+			t.Fatal("dangling gate accepted")
+		}
+	})
+	t.Run("sweep with infeasible points", func(t *testing.T) {
+		ckt := InverterChain(8)
+		pts, err := sz.Sweep(ckt, []float64{0.05, 1.0})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pts[0].Feasible {
+			t.Fatal("0.05·Dmin reported feasible")
+		}
+		if !pts[1].Feasible {
+			t.Fatal("1.0·Dmin reported infeasible")
+		}
+	})
+}
+
+// TestSizingDeterminism: the optimizer must be deterministic — same
+// circuit, same target, same result.
+func TestSizingDeterminism(t *testing.T) {
+	sz, _ := NewSizer(nil)
+	ckt := C17()
+	dmin, _ := sz.MinDelay(ckt)
+	a, err := sz.Minflotransit(ckt.Clone(), 0.5*dmin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := sz.Minflotransit(ckt.Clone(), 0.5*dmin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Area != b.Area || a.CP != b.CP || a.Iterations != b.Iterations {
+		t.Fatalf("nondeterministic: (%g,%g,%d) vs (%g,%g,%d)",
+			a.Area, a.CP, a.Iterations, b.Area, b.CP, b.Iterations)
+	}
+	for i := range a.Sizes {
+		if a.Sizes[i] != b.Sizes[i] {
+			t.Fatalf("size %d differs", i)
+		}
+	}
+}
+
+// TestSizingPreservesLogic: optimization changes sizes, never function.
+func TestSizingPreservesLogic(t *testing.T) {
+	ckt := RippleAdder(6, FAXor)
+	ref := ckt.Clone()
+	sz, _ := NewSizer(nil)
+	dmin, _ := sz.MinDelay(ckt)
+	if _, err := sz.Minflotransit(ckt, 0.6*dmin); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 64; trial++ {
+		in := make([]bool, ckt.NumPIs())
+		for i := range in {
+			in[i] = rng.Intn(2) == 1
+		}
+		a, err := ckt.Evaluate(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := ref.Evaluate(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatal("sizing changed circuit function")
+			}
+		}
+	}
+}
+
+// TestPaperSpecTable sanity-checks the spec helper.
+func TestPaperSpecTable(t *testing.T) {
+	if PaperSpec("adder32") != 0.5 || PaperSpec("c499") != 0.57 || PaperSpec("c6288") != 0.4 {
+		t.Fatal("paper specs wrong")
+	}
+	if _, ok := PaperSavings("c6288"); !ok {
+		t.Fatal("missing paper savings entry")
+	}
+	if len(BenchmarkNames()) != 12 {
+		t.Fatal("suite should list 12 circuits")
+	}
+	for _, n := range BenchmarkNames() {
+		if _, err := CircuitByName(n); err != nil {
+			t.Fatalf("suite member %s unbuildable: %v", n, err)
+		}
+	}
+}
+
+// TestWriteTableAndCurve covers the report formatting helpers.
+func TestWriteTableAndCurve(t *testing.T) {
+	var buf bytes.Buffer
+	rows := []*TableRow{{
+		Circuit: "c432s", Gates: 147, DelaySpec: 0.4, DminPS: 2803,
+		TilosArea: 3167, MinfloArea: 2938, SavingsPct: 7.2,
+	}}
+	WriteTable(&buf, rows)
+	out := buf.String()
+	if !strings.Contains(out, "c432s") || !strings.Contains(out, "9.4") {
+		t.Fatalf("table output missing fields:\n%s", out)
+	}
+	buf.Reset()
+	WriteCurve(&buf, "x", []TradeoffPoint{
+		{Frac: 0.5, Feasible: true, TilosRatio: 1.5, MinfloRatio: 1.4},
+		{Frac: 0.3},
+	})
+	out = buf.String()
+	if !strings.Contains(out, "infeasible") || !strings.Contains(out, "1.400") {
+		t.Fatalf("curve output wrong:\n%s", out)
+	}
+}
+
+// TestThreeOptimizerOrdering: on the same instance, MINFLOTRANSIT must
+// beat or match both baselines, and every optimizer must meet timing.
+func TestThreeOptimizerOrdering(t *testing.T) {
+	sz, _ := NewSizer(nil)
+	ckt, err := CircuitByName("c432")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dmin, _ := sz.MinDelay(ckt)
+	T := 0.45 * dmin
+
+	tl, err := sz.TILOS(ckt.Clone(), T)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lr, err := sz.LagrangianRelaxation(ckt.Clone(), T)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mf, err := sz.Minflotransit(ckt.Clone(), T)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, s := range map[string]*Sizing{"tilos": tl, "lagrangian": lr, "minflo": mf} {
+		if s.CP > T*(1+1e-9) {
+			t.Errorf("%s missed timing: %g > %g", name, s.CP, T)
+		}
+	}
+	if mf.Area > tl.Area*(1+1e-9) {
+		t.Errorf("MINFLO %g worse than TILOS %g", mf.Area, tl.Area)
+	}
+	t.Logf("TILOS %.1f | LR %.1f | MINFLO %.1f", tl.Area, lr.Area, mf.Area)
+}
+
+// TestTimingReportOutput exercises the public report path.
+func TestTimingReportOutput(t *testing.T) {
+	sz, _ := NewSizer(nil)
+	ckt := C17()
+	dmin, _ := sz.MinDelay(ckt)
+	if _, err := sz.Minflotransit(ckt, 0.6*dmin); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := sz.TimingReport(&buf, ckt, 0.6*dmin); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"critical path:", "met", "slack histogram"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("report missing %q:\n%s", want, out)
+		}
+	}
+}

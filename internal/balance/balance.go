@@ -1,0 +1,127 @@
+// Package balance implements delay balancing with Fictitious Specific
+// Delay Units (FSDUs) and FSDU displacement (paper §2.3.1, ref [13]).
+//
+// A delay-balanced configuration assigns every edge e=(u,v) a
+// non-negative FSDU value such that, with FSDUs counted as edge delays,
+// every edge slack is zero and the critical path is unchanged.  Any
+// vertex potential p with p(source)=0 and p(v) − p(u) ≥ delay(u) on
+// every edge induces one:  FSDU(e) = p(v) − p(u) − delay(u).
+//
+// Theorem 1: all balanced configurations differ by an FSDU
+// displacement r: FSDU_r(e) = FSDU(e) + r(v) − r(u).  Theorem 2: path
+// delay changes by r(dst)−r(src).  Corollary 1: pinning r at the PIs
+// and the sink O preserves the critical path.  These are verified by
+// the package's property tests.
+package balance
+
+import (
+	"fmt"
+
+	"minflo/internal/graph"
+	"minflo/internal/sta"
+)
+
+// Config is a delay-balanced configuration: one FSDU per edge plus the
+// potential that generated it.
+type Config struct {
+	FSDU []float64 // per edge ID
+	Pot  []float64 // per vertex: the balancing potential p
+}
+
+// Mode selects which potential generates the balanced configuration.
+type Mode int
+
+const (
+	// ALAP uses required times (slack pushed as early as possible onto
+	// input-side edges) — the depth-first heuristic of ref [13] lands on
+	// this configuration.
+	ALAP Mode = iota
+	// ASAP uses arrival times (slack accumulates on output-side edges).
+	ASAP
+)
+
+// Balance computes a delay-balanced configuration of g under vertex
+// delays d and timing t.  Sources are held at potential zero.
+func Balance(g *graph.Digraph, d []float64, t *sta.Timing, mode Mode) (*Config, error) {
+	n := g.N()
+	p := make([]float64, n)
+	for v := 0; v < n; v++ {
+		switch {
+		case g.InDegree(v) == 0:
+			p[v] = 0 // primary inputs arrive at time zero
+		case mode == ALAP:
+			p[v] = t.RT[v]
+		default:
+			p[v] = t.AT[v]
+		}
+	}
+	cfg := &Config{FSDU: make([]float64, g.M()), Pot: p}
+	for _, e := range g.Edges() {
+		f := p[e.To] - p[e.From] - d[e.From]
+		if f < -1e-9 {
+			return nil, fmt.Errorf("balance: negative FSDU %g on edge %d->%d (unsafe circuit?)", f, e.From, e.To)
+		}
+		if f < 0 {
+			f = 0
+		}
+		cfg.FSDU[e.ID] = f
+	}
+	return cfg, nil
+}
+
+// Displace applies an FSDU displacement r (eq. 9), returning the new
+// configuration. The caller is responsible for r being feasible
+// (non-negative FSDUs afterwards); Verify checks it.
+func (c *Config) Displace(g *graph.Digraph, r []float64) *Config {
+	nf := make([]float64, len(c.FSDU))
+	np := make([]float64, len(c.Pot))
+	for i := range np {
+		np[i] = c.Pot[i] + r[i]
+	}
+	for _, e := range g.Edges() {
+		nf[e.ID] = c.FSDU[e.ID] + r[e.To] - r[e.From]
+	}
+	return &Config{FSDU: nf, Pot: np}
+}
+
+// Verify checks that the configuration is a legal balanced
+// configuration of (g, d): FSDUs non-negative and consistent with the
+// potential, and sources at potential zero.
+func (c *Config) Verify(g *graph.Digraph, d []float64, eps float64) error {
+	for _, e := range g.Edges() {
+		f := c.FSDU[e.ID]
+		if f < -eps {
+			return fmt.Errorf("balance: FSDU(%d->%d) = %g < 0", e.From, e.To, f)
+		}
+		want := c.Pot[e.To] - c.Pot[e.From] - d[e.From]
+		if diff := f - want; diff > eps || diff < -eps {
+			return fmt.Errorf("balance: FSDU(%d->%d) = %g inconsistent with potential (want %g)",
+				e.From, e.To, f, want)
+		}
+	}
+	return nil
+}
+
+// PathDelay sums vertex delays and FSDUs along a vertex path
+// (used by the Theorem 2 tests).
+func (c *Config) PathDelay(g *graph.Digraph, d []float64, path []int) (float64, error) {
+	var total float64
+	for i := 0; i+1 < len(path); i++ {
+		u, v := path[i], path[i+1]
+		found := -1
+		for _, e := range g.Out(u) {
+			if g.Edge(e).To == v {
+				found = e
+				break
+			}
+		}
+		if found == -1 {
+			return 0, fmt.Errorf("balance: no edge %d->%d in path", u, v)
+		}
+		total += d[u] + c.FSDU[found]
+	}
+	if len(path) > 0 {
+		total += d[path[len(path)-1]]
+	}
+	return total, nil
+}

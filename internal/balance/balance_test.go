@@ -1,0 +1,274 @@
+package balance
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"minflo/internal/graph"
+	"minflo/internal/sta"
+)
+
+func randomDAG(rng *rand.Rand, n int) (*graph.Digraph, []float64) {
+	g := graph.New(n)
+	for i := 0; i < 3*n; i++ {
+		u := rng.Intn(n - 1)
+		v := u + 1 + rng.Intn(n-u-1)
+		g.AddEdge(u, v)
+	}
+	d := make([]float64, n)
+	for i := range d {
+		d[i] = float64(1 + rng.Intn(9))
+	}
+	// Sources have no delay contribution issues; keep as-is.
+	return g, d
+}
+
+// TestPaperFigure34 exercises the delay-balancing construction the
+// paper illustrates in Figures 3 and 4: after balancing, every edge is
+// slack-free when FSDUs count as edge delays, and the critical path is
+// unchanged.  (The figure's exact vertex values are not recoverable
+// from the scanned text, so the test verifies the invariants the figure
+// demonstrates on a same-shaped example: 5 primary inputs, one output,
+// CP = 8.)
+func TestPaperFigure34(t *testing.T) {
+	g := graph.New(8)
+	// PIs: 0..4 feeding a small reconvergent cone; sink vertex 7.
+	d := []float64{0, 0, 0, 0, 0, 2, 0, 0}
+	// Build: 5,6 internal; 7 output collector.
+	g.AddEdge(0, 5)
+	g.AddEdge(1, 5)
+	g.AddEdge(2, 6)
+	g.AddEdge(3, 6)
+	g.AddEdge(4, 6)
+	g.AddEdge(5, 6)
+	g.AddEdge(5, 7)
+	g.AddEdge(6, 7)
+	d[5], d[6] = 2, 6 // CP = 2 + 6 = 8 through 5 -> 6 -> 7
+	tm, err := sta.Analyze(g, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tm.CP != 8 {
+		t.Fatalf("CP = %g, want 8", tm.CP)
+	}
+	for _, mode := range []Mode{ALAP, ASAP} {
+		cfg, err := Balance(g, d, tm, mode)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := cfg.Verify(g, d, 1e-12); err != nil {
+			t.Fatal(err)
+		}
+		// Balanced: with FSDUs as edge delays every source-to-sink path
+		// has total delay equal to its endpoint potential; the critical
+		// path is still 8.
+		path := []int{0, 5, 6, 7}
+		total, err := cfg.PathDelay(g, d, path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(total-8) > 1e-12 {
+			t.Fatalf("mode %v: balanced path delay %g, want 8", mode, total)
+		}
+		// The edge 5->7 short-cuts the cone; balancing must place
+		// FSDU = CP − d(5) − 0 ... = potential difference.
+		for _, e := range g.Edges() {
+			if cfg.FSDU[e.ID] < 0 {
+				t.Fatalf("negative FSDU")
+			}
+		}
+	}
+}
+
+func TestBalanceUnsafeGraphRejected(t *testing.T) {
+	g := graph.New(2)
+	g.AddEdge(0, 1)
+	d := []float64{1, 1}
+	tm, _ := sta.Analyze(g, d)
+	// Corrupt timing to force a negative FSDU.
+	tm.RT[1] = -5
+	if _, err := Balance(g, d, tm, ALAP); err == nil {
+		t.Fatal("expected negative-FSDU error")
+	}
+}
+
+// Theorem 1: any two delay-balanced configurations are FSDU-displaced
+// versions of each other (r = difference of potentials).
+func TestQuickTheorem1(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g, d := randomDAG(rng, 3+rng.Intn(20))
+		tm, err := sta.Analyze(g, d)
+		if err != nil {
+			return false
+		}
+		alap, err := Balance(g, d, tm, ALAP)
+		if err != nil {
+			return false
+		}
+		asap, err := Balance(g, d, tm, ASAP)
+		if err != nil {
+			return false
+		}
+		r := make([]float64, g.N())
+		for v := range r {
+			r[v] = alap.Pot[v] - asap.Pot[v]
+		}
+		disp := asap.Displace(g, r)
+		for e := range disp.FSDU {
+			if math.Abs(disp.FSDU[e]-alap.FSDU[e]) > 1e-9 {
+				return false
+			}
+		}
+		return disp.Verify(g, d, 1e-9) == nil
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Theorem 2: after displacement by r, the delay of any structural path
+// u ⇝ v changes by exactly r(v) − r(u).
+func TestQuickTheorem2(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g, d := randomDAG(rng, 3+rng.Intn(20))
+		tm, err := sta.Analyze(g, d)
+		if err != nil {
+			return false
+		}
+		cfg, err := Balance(g, d, tm, ALAP)
+		if err != nil {
+			return false
+		}
+		// Random displacement.
+		r := make([]float64, g.N())
+		for v := range r {
+			r[v] = float64(rng.Intn(7) - 3)
+		}
+		disp := cfg.Displace(g, r)
+		// Random walk path.
+		path := []int{rng.Intn(g.N())}
+		for {
+			v := path[len(path)-1]
+			if g.OutDegree(v) == 0 || len(path) > 10 {
+				break
+			}
+			e := g.Out(v)[rng.Intn(g.OutDegree(v))]
+			path = append(path, g.Edge(e).To)
+		}
+		if len(path) < 2 {
+			return true
+		}
+		before, err := cfg.PathDelay(g, d, path)
+		if err != nil {
+			return false
+		}
+		after, err := disp.PathDelay(g, d, path)
+		if err != nil {
+			return false
+		}
+		want := r[path[len(path)-1]] - r[path[0]]
+		return math.Abs((after-before)-want) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Corollary 1: displacement with r = 0 at sources and the sink leaves
+// every source-to-sink path delay (hence the critical path) unchanged.
+func TestQuickCorollary1(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g, d := randomDAG(rng, 3+rng.Intn(20))
+		tm, err := sta.Analyze(g, d)
+		if err != nil {
+			return false
+		}
+		cfg, err := Balance(g, d, tm, ALAP)
+		if err != nil {
+			return false
+		}
+		r := make([]float64, g.N())
+		for v := range r {
+			if g.InDegree(v) == 0 || g.OutDegree(v) == 0 {
+				r[v] = 0
+			} else {
+				r[v] = float64(rng.Intn(5) - 2)
+			}
+		}
+		disp := cfg.Displace(g, r)
+		// Any full source-to-sink path keeps its delay.
+		path := []int{}
+		for v := 0; v < g.N(); v++ {
+			if g.InDegree(v) == 0 {
+				path = append(path, v)
+				break
+			}
+		}
+		for {
+			v := path[len(path)-1]
+			if g.OutDegree(v) == 0 {
+				break
+			}
+			e := g.Out(v)[rng.Intn(g.OutDegree(v))]
+			path = append(path, g.Edge(e).To)
+		}
+		before, err := cfg.PathDelay(g, d, path)
+		if err != nil {
+			return false
+		}
+		after, err := disp.PathDelay(g, d, path)
+		if err != nil {
+			return false
+		}
+		return math.Abs(after-before) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: balanced configurations make every edge tight: the
+// potential difference across each edge equals delay + FSDU exactly.
+func TestQuickBalancedTight(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g, d := randomDAG(rng, 3+rng.Intn(25))
+		tm, err := sta.Analyze(g, d)
+		if err != nil {
+			return false
+		}
+		for _, mode := range []Mode{ALAP, ASAP} {
+			cfg, err := Balance(g, d, tm, mode)
+			if err != nil {
+				return false
+			}
+			for _, e := range g.Edges() {
+				lhs := cfg.Pot[e.To] - cfg.Pot[e.From]
+				rhs := d[e.From] + cfg.FSDU[e.ID]
+				if math.Abs(lhs-rhs) > 1e-9 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPathDelayBadPath(t *testing.T) {
+	g := graph.New(3)
+	g.AddEdge(0, 1)
+	d := []float64{1, 1, 1}
+	tm, _ := sta.Analyze(g, d)
+	cfg, _ := Balance(g, d, tm, ALAP)
+	if _, err := cfg.PathDelay(g, d, []int{0, 2}); err == nil {
+		t.Fatal("expected missing-edge error")
+	}
+}

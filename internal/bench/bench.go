@@ -1,0 +1,390 @@
+// Package bench reads and writes the ISCAS85 ".bench" netlist format:
+//
+//	# comment
+//	INPUT(G1)
+//	OUTPUT(G22)
+//	G10 = NAND(G1, G3)
+//
+// Supported operators: AND, NAND, OR, NOR, NOT, BUF/BUFF, XOR, XNOR.
+// Fan-ins above the library maximum of 4 (2 for XOR/XNOR) are
+// decomposed into logically equivalent trees.  Sequential elements
+// (DFF) are rejected — the sizer targets combinational circuits.
+//
+// The parser exists so the real ISCAS85 benchmark files can be dropped
+// into the experiment harness unchanged; the bundled experiments use
+// the structurally equivalent synthetic circuits from internal/gen
+// (see DESIGN.md §4).
+package bench
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"minflo/internal/cell"
+	"minflo/internal/circuit"
+)
+
+// ParseError describes a syntax or semantic error with its line number.
+type ParseError struct {
+	Line int
+	Msg  string
+}
+
+func (e *ParseError) Error() string { return fmt.Sprintf("bench: line %d: %s", e.Line, e.Msg) }
+
+type rawGate struct {
+	name string
+	op   string
+	ins  []string
+	line int
+}
+
+// Parse reads a .bench netlist into a Circuit named name.
+func Parse(r io.Reader, name string) (*circuit.Circuit, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+
+	var inputs, outputs []string
+	var gates []rawGate
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		switch {
+		case strings.HasPrefix(strings.ToUpper(line), "INPUT("):
+			sig, err := insideParens(line)
+			if err != nil {
+				return nil, &ParseError{lineNo, err.Error()}
+			}
+			for _, prev := range inputs {
+				if prev == sig {
+					return nil, &ParseError{lineNo, fmt.Sprintf("duplicate INPUT(%s)", sig)}
+				}
+			}
+			inputs = append(inputs, sig)
+		case strings.HasPrefix(strings.ToUpper(line), "OUTPUT("):
+			sig, err := insideParens(line)
+			if err != nil {
+				return nil, &ParseError{lineNo, err.Error()}
+			}
+			outputs = append(outputs, sig)
+		default:
+			eq := strings.Index(line, "=")
+			if eq < 0 {
+				return nil, &ParseError{lineNo, fmt.Sprintf("expected assignment, got %q", line)}
+			}
+			lhs := strings.TrimSpace(line[:eq])
+			rhs := strings.TrimSpace(line[eq+1:])
+			op, args, err := splitCall(rhs)
+			if err != nil {
+				return nil, &ParseError{lineNo, err.Error()}
+			}
+			gates = append(gates, rawGate{name: lhs, op: strings.ToUpper(op), ins: args, line: lineNo})
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+
+	c := circuit.New(name)
+	for _, in := range inputs {
+		c.AddPI(in)
+	}
+
+	// Topologically order raw gates (definitions may appear in any order).
+	isPI := make(map[string]bool, len(inputs))
+	for _, in := range inputs {
+		isPI[in] = true
+	}
+	defined := make(map[string]bool, len(gates))
+	for _, g := range gates {
+		if defined[g.name] {
+			return nil, &ParseError{g.line, fmt.Sprintf("signal %q defined twice", g.name)}
+		}
+		if isPI[g.name] {
+			return nil, &ParseError{g.line, fmt.Sprintf("gate %q collides with an INPUT", g.name)}
+		}
+		defined[g.name] = true
+	}
+	emitted := make(map[string]bool, len(gates))
+	pending := gates
+	for len(pending) > 0 {
+		progress := false
+		var next []rawGate
+		for _, g := range pending {
+			ready := true
+			for _, in := range g.ins {
+				if !isPI[in] && !emitted[in] {
+					if !defined[in] {
+						return nil, &ParseError{g.line, fmt.Sprintf("gate %q reads undefined signal %q", g.name, in)}
+					}
+					ready = false
+					break
+				}
+			}
+			if !ready {
+				next = append(next, g)
+				continue
+			}
+			if err := emitGate(c, g); err != nil {
+				return nil, err
+			}
+			emitted[g.name] = true
+			progress = true
+		}
+		if !progress {
+			return nil, &ParseError{pending[0].line, "combinational cycle involving " + pending[0].name}
+		}
+		pending = next
+	}
+
+	for _, out := range outputs {
+		r, ok := c.Lookup(out)
+		if !ok {
+			return nil, &ParseError{0, fmt.Sprintf("OUTPUT(%s) is not a defined signal", out)}
+		}
+		c.MarkPO(r)
+	}
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// emitGate adds g (decomposing wide fan-ins) to the circuit.
+func emitGate(c *circuit.Circuit, g rawGate) error {
+	refs := make([]circuit.Ref, len(g.ins))
+	for i, in := range g.ins {
+		r, ok := c.Lookup(in)
+		if !ok {
+			return &ParseError{g.line, fmt.Sprintf("gate %q reads unknown signal %q", g.name, in)}
+		}
+		refs[i] = r
+	}
+	switch g.op {
+	case "NOT", "INV":
+		if len(refs) != 1 {
+			return &ParseError{g.line, "NOT takes exactly one input"}
+		}
+		c.AddGate(g.name, cell.Inv, refs[0])
+	case "BUF", "BUFF":
+		if len(refs) != 1 {
+			return &ParseError{g.line, "BUF takes exactly one input"}
+		}
+		c.AddGate(g.name, cell.Buf, refs[0])
+	case "AND", "NAND", "OR", "NOR":
+		if len(refs) < 2 {
+			return &ParseError{g.line, g.op + " needs at least two inputs"}
+		}
+		emitWide(c, g.name, g.op, refs)
+	case "XOR", "XNOR":
+		if len(refs) < 2 {
+			return &ParseError{g.line, g.op + " needs at least two inputs"}
+		}
+		emitXorChain(c, g.name, g.op, refs)
+	case "DFF", "DFFSR", "LATCH":
+		return &ParseError{g.line, "sequential element " + g.op + " not supported (combinational sizing only)"}
+	default:
+		return &ParseError{g.line, "unknown operator " + g.op}
+	}
+	return nil
+}
+
+// emitWide builds an AND/OR/NAND/NOR of arbitrary fan-in from library
+// cells of fan-in ≤ 4.  Reduction: group the leading inputs with
+// AND/OR cells, apply the (possibly inverting) operator at the final
+// level.
+func emitWide(c *circuit.Circuit, name, op string, refs []circuit.Ref) {
+	inner := "AND"
+	if op == "OR" || op == "NOR" {
+		inner = "OR"
+	}
+	level := 0
+	for len(refs) > 4 {
+		var nextRefs []circuit.Ref
+		for i := 0; i < len(refs); i += 4 {
+			j := i + 4
+			if j > len(refs) {
+				j = i + (len(refs) - i)
+			}
+			chunk := refs[i:j]
+			if len(chunk) == 1 {
+				nextRefs = append(nextRefs, chunk[0])
+				continue
+			}
+			var k cell.Kind
+			var ok bool
+			if inner == "AND" {
+				k, ok = cell.AndFor(len(chunk))
+			} else {
+				k, ok = cell.OrFor(len(chunk))
+			}
+			if !ok {
+				panic("bench: internal chunking error")
+			}
+			sub := uniqueName(c, fmt.Sprintf("%s$%s%d_%d", name, strings.ToLower(inner), level, i/4))
+			nextRefs = append(nextRefs, c.AddGate(sub, k, chunk...))
+		}
+		refs = nextRefs
+		level++
+	}
+	var k cell.Kind
+	var ok bool
+	switch op {
+	case "AND":
+		k, ok = cell.AndFor(len(refs))
+	case "OR":
+		k, ok = cell.OrFor(len(refs))
+	case "NAND":
+		k, ok = cell.NandFor(len(refs))
+	case "NOR":
+		k, ok = cell.NorFor(len(refs))
+	}
+	if !ok {
+		// len(refs) could be 1 after reduction of, e.g., 5 inputs to
+		// chunks (4,1): apply a buffer/inverter as the final level.
+		if op == "NAND" || op == "NOR" {
+			c.AddGate(name, cell.Inv, refs[0])
+		} else {
+			c.AddGate(name, cell.Buf, refs[0])
+		}
+		return
+	}
+	c.AddGate(name, k, refs...)
+}
+
+// emitXorChain builds a wide XOR/XNOR as a balanced tree of XOR2 with an
+// XNOR2 (or XOR2) root to set output polarity.
+func emitXorChain(c *circuit.Circuit, name, op string, refs []circuit.Ref) {
+	level := 0
+	for len(refs) > 2 {
+		var next []circuit.Ref
+		for i := 0; i+1 < len(refs); i += 2 {
+			sub := uniqueName(c, fmt.Sprintf("%s$x%d_%d", name, level, i/2))
+			next = append(next, c.AddGate(sub, cell.Xor2, refs[i], refs[i+1]))
+		}
+		if len(refs)%2 == 1 {
+			next = append(next, refs[len(refs)-1])
+		}
+		refs = next
+		level++
+	}
+	if op == "XOR" {
+		c.AddGate(name, cell.Xor2, refs[0], refs[1])
+	} else {
+		c.AddGate(name, cell.Xnor2, refs[0], refs[1])
+	}
+}
+
+// uniqueName returns base, or base with a numeric suffix if the signal
+// already exists (decomposition sub-gates must never collide with user
+// names — fuzzing found inputs that do).
+func uniqueName(c *circuit.Circuit, base string) string {
+	name := base
+	for i := 2; ; i++ {
+		if _, taken := c.Lookup(name); !taken {
+			return name
+		}
+		name = fmt.Sprintf("%s_%d", base, i)
+	}
+}
+
+func insideParens(line string) (string, error) {
+	open := strings.Index(line, "(")
+	close := strings.LastIndex(line, ")")
+	if open < 0 || close < open {
+		return "", fmt.Errorf("malformed declaration %q", line)
+	}
+	sig := strings.TrimSpace(line[open+1 : close])
+	if sig == "" {
+		return "", fmt.Errorf("empty signal name in %q", line)
+	}
+	return sig, nil
+}
+
+func splitCall(rhs string) (op string, args []string, err error) {
+	open := strings.Index(rhs, "(")
+	close := strings.LastIndex(rhs, ")")
+	if open < 0 || close < open {
+		return "", nil, fmt.Errorf("malformed gate expression %q", rhs)
+	}
+	op = strings.TrimSpace(rhs[:open])
+	for _, a := range strings.Split(rhs[open+1:close], ",") {
+		a = strings.TrimSpace(a)
+		if a == "" {
+			return "", nil, fmt.Errorf("empty operand in %q", rhs)
+		}
+		args = append(args, a)
+	}
+	if op == "" {
+		return "", nil, fmt.Errorf("missing operator in %q", rhs)
+	}
+	return op, args, nil
+}
+
+// opFor maps library kinds back to .bench operators.
+func opFor(k cell.Kind) (string, bool) {
+	switch k {
+	case cell.Inv:
+		return "NOT", true
+	case cell.Buf:
+		return "BUFF", true
+	case cell.Nand2, cell.Nand3, cell.Nand4:
+		return "NAND", true
+	case cell.Nor2, cell.Nor3, cell.Nor4:
+		return "NOR", true
+	case cell.And2, cell.And3, cell.And4:
+		return "AND", true
+	case cell.Or2, cell.Or3, cell.Or4:
+		return "OR", true
+	case cell.Xor2:
+		return "XOR", true
+	case cell.Xnor2:
+		return "XNOR", true
+	}
+	return "", false
+}
+
+// Write emits the circuit in .bench format. Gates whose cells have no
+// .bench operator (AOI/OAI) produce an error.
+func Write(w io.Writer, c *circuit.Circuit) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# %s — generated by minflo\n", c.Name)
+	fmt.Fprintf(bw, "# %d inputs, %d outputs, %d gates\n\n", len(c.PIs), len(c.POs), len(c.Gates))
+	for _, pi := range c.PIs {
+		fmt.Fprintf(bw, "INPUT(%s)\n", pi)
+	}
+	bw.WriteString("\n")
+	poNames := make([]string, 0, len(c.POs))
+	for _, po := range c.POs {
+		poNames = append(poNames, c.SignalName(po))
+	}
+	sort.Strings(poNames)
+	for _, n := range poNames {
+		fmt.Fprintf(bw, "OUTPUT(%s)\n", n)
+	}
+	bw.WriteString("\n")
+	order, err := c.Levelize()
+	if err != nil {
+		return err
+	}
+	for _, gi := range order {
+		g := &c.Gates[gi]
+		op, ok := opFor(g.Kind)
+		if !ok {
+			return fmt.Errorf("bench: cell %s (gate %q) has no .bench operator", g.Kind, g.Name)
+		}
+		names := make([]string, len(g.Ins))
+		for i, in := range g.Ins {
+			names[i] = c.SignalName(in)
+		}
+		fmt.Fprintf(bw, "%s = %s(%s)\n", g.Name, op, strings.Join(names, ", "))
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,260 @@
+package bench
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"minflo/internal/gen"
+)
+
+const c17Bench = `
+# c17 benchmark
+INPUT(G1)
+INPUT(G2)
+INPUT(G3)
+INPUT(G6)
+INPUT(G7)
+
+OUTPUT(G22)
+OUTPUT(G23)
+
+G10 = NAND(G1, G3)
+G11 = NAND(G3, G6)
+G16 = NAND(G2, G11)
+G19 = NAND(G11, G7)
+G22 = NAND(G10, G16)
+G23 = NAND(G16, G19)
+`
+
+func TestParseC17(t *testing.T) {
+	c, err := Parse(strings.NewReader(c17Bench), "c17")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NumGates() != 6 || c.NumPIs() != 5 || len(c.POs) != 2 {
+		t.Fatalf("c17 shape: %d gates, %d PIs, %d POs", c.NumGates(), c.NumPIs(), len(c.POs))
+	}
+	// Must be functionally identical to the generated c17.
+	ref := gen.C17()
+	for v := 0; v < 32; v++ {
+		in := make([]bool, 5)
+		for b := 0; b < 5; b++ {
+			in[b] = v>>b&1 == 1
+		}
+		got, err := c.Evaluate(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := ref.Evaluate(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("input %05b: parsed %v vs generated %v", v, got, want)
+			}
+		}
+	}
+}
+
+func TestParseOutOfOrderDefinitions(t *testing.T) {
+	src := `
+INPUT(a)
+OUTPUT(y)
+y = NOT(m)
+m = NAND(a, a)
+`
+	c, err := Parse(strings.NewReader(src), "ooo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := c.Evaluate([]bool{true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0] != true { // NOT(NAND(1,1)) = NOT(0) = 1
+		t.Fatalf("got %v", out)
+	}
+}
+
+func TestParseAllOperators(t *testing.T) {
+	src := `
+INPUT(a)
+INPUT(b)
+INPUT(c)
+OUTPUT(o1)
+OUTPUT(o2)
+OUTPUT(o3)
+OUTPUT(o4)
+OUTPUT(o5)
+OUTPUT(o6)
+OUTPUT(o7)
+OUTPUT(o8)
+o1 = AND(a, b, c)
+o2 = OR(a, b)
+o3 = NAND(a, b)
+o4 = NOR(a, b, c)
+o5 = XOR(a, b)
+o6 = XNOR(a, b)
+o7 = NOT(a)
+o8 = BUFF(b)
+`
+	c, err := Parse(strings.NewReader(src), "ops")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := c.Evaluate([]bool{true, false, true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []bool{false, true, true, false, true, false, false, false}
+	for i := range want {
+		if out[i] != want[i] {
+			t.Fatalf("output %d: got %v want %v (all: %v)", i, out[i], want[i], out)
+		}
+	}
+}
+
+func TestParseWideFanin(t *testing.T) {
+	// 7-input NAND must decompose into library cells and stay correct.
+	var sb strings.Builder
+	sb.WriteString("OUTPUT(y)\n")
+	for i := 0; i < 7; i++ {
+		sb.WriteString("INPUT(i")
+		sb.WriteByte(byte('0' + i))
+		sb.WriteString(")\n")
+	}
+	sb.WriteString("y = NAND(i0, i1, i2, i3, i4, i5, i6)\n")
+	c, err := Parse(strings.NewReader(sb.String()), "wide")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 50; trial++ {
+		in := make([]bool, 7)
+		all := true
+		for i := range in {
+			in[i] = rng.Intn(2) == 1
+			all = all && in[i]
+		}
+		out, err := c.Evaluate(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out[0] != !all {
+			t.Fatalf("NAND7%v = %v", in, out[0])
+		}
+	}
+}
+
+func TestParseWideXor(t *testing.T) {
+	src := `
+INPUT(a)
+INPUT(b)
+INPUT(c)
+INPUT(d)
+INPUT(e)
+OUTPUT(y)
+y = XOR(a, b, c, d, e)
+`
+	c, err := Parse(strings.NewReader(src), "widexor")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < 32; v++ {
+		in := make([]bool, 5)
+		par := false
+		for b := 0; b < 5; b++ {
+			in[b] = v>>b&1 == 1
+			par = par != in[b]
+		}
+		out, _ := c.Evaluate(in)
+		if out[0] != par {
+			t.Fatalf("XOR5(%05b) = %v, want %v", v, out[0], par)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name, src string
+	}{
+		{"undefined signal", "INPUT(a)\nOUTPUT(y)\ny = NAND(a, zz)\n"},
+		{"cycle", "INPUT(a)\nOUTPUT(y)\ny = NAND(a, w)\nw = NAND(a, y)\n"},
+		{"double definition", "INPUT(a)\nOUTPUT(y)\ny = NOT(a)\ny = BUFF(a)\n"},
+		{"dff", "INPUT(a)\nOUTPUT(y)\ny = DFF(a)\n"},
+		{"unknown op", "INPUT(a)\nOUTPUT(y)\ny = FROB(a)\n"},
+		{"bad decl", "INPUT a\nOUTPUT(y)\ny = NOT(a)\n"},
+		{"missing parens", "INPUT(a)\nOUTPUT(y)\ny = NOT a\n"},
+		{"empty operand", "INPUT(a)\nOUTPUT(y)\ny = NAND(a, )\n"},
+		{"unknown output", "INPUT(a)\nOUTPUT(nope)\nq = NOT(a)\n"},
+		{"not arity", "INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = NOT(a, b)\n"},
+	}
+	for _, c := range cases {
+		if _, err := Parse(strings.NewReader(c.src), c.name); err == nil {
+			t.Errorf("%s: expected parse error", c.name)
+		}
+	}
+}
+
+func TestWriteParseRoundTrip(t *testing.T) {
+	circuits := []interface {
+		Evaluate([]bool) ([]bool, error)
+	}{}
+	_ = circuits
+	for _, mk := range []func() interface{}{} {
+		_ = mk
+	}
+	orig := gen.RippleAdder(4, gen.FAXor)
+	var buf bytes.Buffer
+	if err := Write(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Parse(bytes.NewReader(buf.Bytes()), "rt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumGates() != orig.NumGates() {
+		t.Fatalf("round trip changed gate count: %d -> %d", orig.NumGates(), back.NumGates())
+	}
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 64; trial++ {
+		in := make([]bool, orig.NumPIs())
+		for i := range in {
+			in[i] = rng.Intn(2) == 1
+		}
+		a, err := orig.Evaluate(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := back.Evaluate(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// PO order may differ (Write sorts outputs); compare as multisets
+		// keyed by name instead.
+		if len(a) != len(b) {
+			t.Fatal("PO count mismatch")
+		}
+		am := map[string]bool{}
+		for i, po := range orig.POs {
+			am[orig.SignalName(po)] = a[i]
+		}
+		for i, po := range back.POs {
+			if am[back.SignalName(po)] != b[i] {
+				t.Fatalf("trial %d: PO %s differs", trial, back.SignalName(po))
+			}
+		}
+	}
+}
+
+func TestWriteRejectsNonBenchCells(t *testing.T) {
+	// AOI21 has no .bench operator.
+	c := gen.C17()
+	var buf bytes.Buffer
+	if err := Write(&buf, c); err != nil {
+		t.Fatalf("c17 should be writable: %v", err)
+	}
+}

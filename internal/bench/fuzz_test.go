@@ -1,0 +1,36 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzParse hammers the .bench parser with arbitrary input: it must
+// never panic or hang, and anything it accepts must be a valid,
+// re-writable circuit.
+func FuzzParse(f *testing.F) {
+	f.Add(c17Bench)
+	f.Add("INPUT(a)\nOUTPUT(y)\ny = NOT(a)\n")
+	f.Add("INPUT(a)\nOUTPUT(y)\ny = NAND(a, a)\n# comment\n")
+	f.Add("INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = XOR(a, b, a)\n")
+	f.Add("y = FROB(\n")
+	f.Add("INPUT()\nOUTPUT(])\n= ()\n")
+	f.Fuzz(func(t *testing.T, src string) {
+		c, err := Parse(strings.NewReader(src), "fuzz")
+		if err != nil {
+			return
+		}
+		if err := c.Validate(); err != nil {
+			t.Fatalf("parser accepted an invalid circuit: %v", err)
+		}
+		// Accepted circuits must round-trip through the writer.
+		var buf bytes.Buffer
+		if err := Write(&buf, c); err != nil {
+			return // cells without .bench operators are fine to reject
+		}
+		if _, err := Parse(bytes.NewReader(buf.Bytes()), "fuzz2"); err != nil {
+			t.Fatalf("writer output unparseable: %v\n%s", err, buf.String())
+		}
+	})
+}

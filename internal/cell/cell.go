@@ -1,0 +1,361 @@
+// Package cell defines the static-CMOS standard-cell library: logic
+// function, equivalent-inverter sizing factors (for gate sizing, the
+// mode the paper evaluates), and series/parallel transistor topologies
+// (for true transistor sizing, paper §2.1).
+//
+// The equivalent-inverter factors follow the logical-effort convention:
+// a gate of size x presents input capacitance g·Cg·x per pin, drives
+// through worst-case resistance ρ·R/x, and carries parasitic output
+// capacitance p·Cd·x.
+package cell
+
+import "fmt"
+
+// Kind enumerates the library cells.
+type Kind int
+
+// Library cells. AND/OR/XNOR forms are included so ISCAS85 .bench
+// netlists map 1:1 onto library cells.
+const (
+	Inv Kind = iota
+	Buf
+	Nand2
+	Nand3
+	Nand4
+	Nor2
+	Nor3
+	Nor4
+	And2
+	And3
+	And4
+	Or2
+	Or3
+	Or4
+	Xor2
+	Xnor2
+	Aoi21 // !(a·b + c)
+	Oai21 // !((a+b)·c)
+	numKinds
+)
+
+// NumKinds is the number of defined cell kinds.
+const NumKinds = int(numKinds)
+
+// NetOp is a node type in a series/parallel transistor network.
+type NetOp int
+
+const (
+	// Leaf is a single transistor gated by an input pin.
+	Leaf NetOp = iota
+	// Series composes children output-side first: child 0 is nearest the
+	// gate output, the last child is nearest the supply rail.
+	Series
+	// Parallel composes children side by side.
+	Parallel
+)
+
+// Network is a series/parallel transistor network (pull-up or
+// pull-down half of a static CMOS gate).
+type Network struct {
+	Op   NetOp
+	Pin  int // valid when Op == Leaf: which input gates this transistor
+	Kids []*Network
+}
+
+// leaf, series, parallel are concise constructors for library topology.
+func leaf(pin int) *Network           { return &Network{Op: Leaf, Pin: pin} }
+func series(k ...*Network) *Network   { return &Network{Op: Series, Kids: k} }
+func parallel(k ...*Network) *Network { return &Network{Op: Parallel, Kids: k} }
+
+// CountTransistors returns the number of transistors in the network.
+func (n *Network) CountTransistors() int {
+	if n == nil {
+		return 0
+	}
+	if n.Op == Leaf {
+		return 1
+	}
+	total := 0
+	for _, k := range n.Kids {
+		total += k.CountTransistors()
+	}
+	return total
+}
+
+// MaxDepth returns the longest series chain (stack height) in the
+// network — the factor that degrades drive strength.
+func (n *Network) MaxDepth() int {
+	if n == nil {
+		return 0
+	}
+	switch n.Op {
+	case Leaf:
+		return 1
+	case Series:
+		d := 0
+		for _, k := range n.Kids {
+			d += k.MaxDepth()
+		}
+		return d
+	default: // Parallel
+		d := 0
+		for _, k := range n.Kids {
+			if kd := k.MaxDepth(); kd > d {
+				d = kd
+			}
+		}
+		return d
+	}
+}
+
+// Cell describes one library element.
+type Cell struct {
+	Kind      Kind
+	Name      string
+	NumInputs int
+
+	// Equivalent-inverter factors (logical-effort style).
+	Drive     float64 // ρ: worst-case output resistance multiplier
+	InputCap  float64 // g: input capacitance multiplier per pin
+	Parasitic float64 // p: self-load (diffusion) multiplier
+
+	// UnitArea is the summed unit transistor width at size 1 — the area
+	// contribution of the gate is UnitArea·x (the paper's Σ x_i over the
+	// gate's transistors, all scaling together in gate sizing).
+	UnitArea float64
+
+	// Pulldown/Pullup are the NMOS and PMOS networks for transistor-level
+	// sizing.  Composite cells (AND/OR/XOR/XNOR/BUF) are physically two
+	// stages; their topology is the final inverting stage, which carries
+	// the output load — adequate for the DAG construction, while the
+	// equivalent-inverter factors absorb the first stage.
+	Pulldown, Pullup *Network
+
+	// Eval computes the logic function (used by functional equivalence
+	// tests of generators and the .bench round trip).
+	Eval func(in []bool) bool
+}
+
+var lib [numKinds]Cell
+
+// invertingStack builds the NAND-style topologies: k series NMOS,
+// k parallel PMOS (or the dual for NOR).
+func nandNets(k int) (pd, pu *Network) {
+	sn := make([]*Network, k)
+	pp := make([]*Network, k)
+	for i := 0; i < k; i++ {
+		// Pin k-1 is conventionally nearest the output in the stack.
+		sn[i] = leaf(k - 1 - i)
+		pp[i] = leaf(i)
+	}
+	return series(sn...), parallel(pp...)
+}
+
+func norNets(k int) (pd, pu *Network) {
+	pp := make([]*Network, k)
+	sn := make([]*Network, k)
+	for i := 0; i < k; i++ {
+		pp[i] = leaf(i)
+		sn[i] = leaf(k - 1 - i)
+	}
+	return parallel(pp...), series(sn...)
+}
+
+func all(in []bool) bool {
+	for _, b := range in {
+		if !b {
+			return false
+		}
+	}
+	return true
+}
+
+func any(in []bool) bool {
+	for _, b := range in {
+		if b {
+			return true
+		}
+	}
+	return false
+}
+
+func init() {
+	invPD, invPU := nandNets(1)
+
+	lib[Inv] = Cell{Name: "INV", NumInputs: 1, Drive: 1, InputCap: 1, Parasitic: 1, UnitArea: 3,
+		Pulldown: invPD, Pullup: invPU,
+		Eval: func(in []bool) bool { return !in[0] }}
+	bufPD, bufPU := nandNets(1)
+	lib[Buf] = Cell{Name: "BUF", NumInputs: 1, Drive: 1, InputCap: 1, Parasitic: 2, UnitArea: 6,
+		Pulldown: bufPD, Pullup: bufPU,
+		Eval: func(in []bool) bool { return in[0] }}
+
+	nandSpec := []struct {
+		kind Kind
+		k    int
+	}{{Nand2, 2}, {Nand3, 3}, {Nand4, 4}}
+	for _, s := range nandSpec {
+		pd, pu := nandNets(s.k)
+		k := float64(s.k)
+		lib[s.kind] = Cell{
+			Name: fmt.Sprintf("NAND%d", s.k), NumInputs: s.k,
+			Drive: k, InputCap: (k + 2) / 3, Parasitic: k,
+			UnitArea: 3 * k,
+			Pulldown: pd, Pullup: pu,
+			Eval: func(in []bool) bool { return !all(in) },
+		}
+	}
+	norSpec := []struct {
+		kind Kind
+		k    int
+	}{{Nor2, 2}, {Nor3, 3}, {Nor4, 4}}
+	for _, s := range norSpec {
+		pd, pu := norNets(s.k)
+		k := float64(s.k)
+		lib[s.kind] = Cell{
+			Name: fmt.Sprintf("NOR%d", s.k), NumInputs: s.k,
+			Drive: 2 * k, InputCap: (2*k + 1) / 3, Parasitic: k,
+			UnitArea: 3 * k,
+			Pulldown: pd, Pullup: pu,
+			Eval: func(in []bool) bool { return !any(in) },
+		}
+	}
+
+	// Composite (two-stage) cells: NAND/NOR first stage + inverter.
+	andSpec := []struct {
+		kind Kind
+		k    int
+	}{{And2, 2}, {And3, 3}, {And4, 4}}
+	for _, s := range andSpec {
+		pd, pu := nandNets(1) // output stage is the inverter
+		k := float64(s.k)
+		lib[s.kind] = Cell{
+			Name: fmt.Sprintf("AND%d", s.k), NumInputs: s.k,
+			Drive: 1.25, InputCap: (k + 2) / 3, Parasitic: k + 1,
+			UnitArea: 3*k + 3,
+			Pulldown: pd, Pullup: pu,
+			Eval: all,
+		}
+	}
+	orSpec := []struct {
+		kind Kind
+		k    int
+	}{{Or2, 2}, {Or3, 3}, {Or4, 4}}
+	for _, s := range orSpec {
+		pd, pu := nandNets(1)
+		k := float64(s.k)
+		lib[s.kind] = Cell{
+			Name: fmt.Sprintf("OR%d", s.k), NumInputs: s.k,
+			Drive: 1.25, InputCap: (2*k + 1) / 3, Parasitic: k + 1,
+			UnitArea: 3*k + 3,
+			Pulldown: pd, Pullup: pu,
+			Eval: any,
+		}
+	}
+
+	// XOR2/XNOR2: transmission-style complexity approximated with the
+	// standard logical-effort numbers (g = 4, p = 4).
+	xorPD := parallel(series(leaf(0), leaf(1)), series(leaf(0), leaf(1)))
+	xorPU := parallel(series(leaf(0), leaf(1)), series(leaf(0), leaf(1)))
+	lib[Xor2] = Cell{Name: "XOR2", NumInputs: 2, Drive: 2, InputCap: 4, Parasitic: 4,
+		UnitArea: 12, Pulldown: xorPD, Pullup: xorPU,
+		Eval: func(in []bool) bool { return in[0] != in[1] }}
+	lib[Xnor2] = Cell{Name: "XNOR2", NumInputs: 2, Drive: 2, InputCap: 4, Parasitic: 4,
+		UnitArea: 12, Pulldown: xorPD, Pullup: xorPU,
+		Eval: func(in []bool) bool { return in[0] == in[1] }}
+
+	// AOI21: pulldown = (a·b) ∥ c, pullup = (a ∥ b) · c.
+	lib[Aoi21] = Cell{Name: "AOI21", NumInputs: 3,
+		Drive: 2, InputCap: 5.0 / 3.0, Parasitic: 2.5, UnitArea: 9,
+		Pulldown: parallel(series(leaf(0), leaf(1)), leaf(2)),
+		Pullup:   series(parallel(leaf(0), leaf(1)), leaf(2)),
+		Eval:     func(in []bool) bool { return !((in[0] && in[1]) || in[2]) }}
+	// OAI21: pulldown = (a ∥ b) · c, pullup = (a·b) ∥ c.
+	lib[Oai21] = Cell{Name: "OAI21", NumInputs: 3,
+		Drive: 2, InputCap: 5.0 / 3.0, Parasitic: 2.5, UnitArea: 9,
+		Pulldown: series(parallel(leaf(0), leaf(1)), leaf(2)),
+		Pullup:   parallel(series(leaf(0), leaf(1)), leaf(2)),
+		Eval:     func(in []bool) bool { return !((in[0] || in[1]) && in[2]) }}
+
+	for k := Kind(0); k < numKinds; k++ {
+		lib[k].Kind = k
+	}
+}
+
+// Get returns the library cell of the given kind.
+func Get(k Kind) *Cell {
+	if k < 0 || k >= numKinds {
+		panic(fmt.Sprintf("cell: unknown kind %d", k))
+	}
+	return &lib[k]
+}
+
+// String returns the cell's library name.
+func (k Kind) String() string {
+	if k < 0 || k >= numKinds {
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+	return lib[k].Name
+}
+
+// ByName resolves a library name ("NAND2", "INV", ...) to its Kind.
+func ByName(name string) (Kind, bool) {
+	for k := Kind(0); k < numKinds; k++ {
+		if lib[k].Name == name {
+			return k, true
+		}
+	}
+	return 0, false
+}
+
+// NandFor returns the NAND cell with the given fan-in (2..4).
+func NandFor(fanin int) (Kind, bool) {
+	switch fanin {
+	case 2:
+		return Nand2, true
+	case 3:
+		return Nand3, true
+	case 4:
+		return Nand4, true
+	}
+	return 0, false
+}
+
+// NorFor returns the NOR cell with the given fan-in (2..4).
+func NorFor(fanin int) (Kind, bool) {
+	switch fanin {
+	case 2:
+		return Nor2, true
+	case 3:
+		return Nor3, true
+	case 4:
+		return Nor4, true
+	}
+	return 0, false
+}
+
+// AndFor and OrFor mirror NandFor/NorFor for the composite cells.
+func AndFor(fanin int) (Kind, bool) {
+	switch fanin {
+	case 2:
+		return And2, true
+	case 3:
+		return And3, true
+	case 4:
+		return And4, true
+	}
+	return 0, false
+}
+
+// OrFor returns the OR cell with the given fan-in (2..4).
+func OrFor(fanin int) (Kind, bool) {
+	switch fanin {
+	case 2:
+		return Or2, true
+	case 3:
+		return Or3, true
+	case 4:
+		return Or4, true
+	}
+	return 0, false
+}

@@ -1,0 +1,166 @@
+package cell
+
+import "testing"
+
+func TestLibraryComplete(t *testing.T) {
+	for k := Kind(0); k < Kind(NumKinds); k++ {
+		c := Get(k)
+		if c.Name == "" {
+			t.Fatalf("kind %d has no name", k)
+		}
+		if c.NumInputs < 1 || c.NumInputs > 4 {
+			t.Fatalf("%s: implausible input count %d", c.Name, c.NumInputs)
+		}
+		if c.Drive <= 0 || c.InputCap <= 0 || c.Parasitic <= 0 || c.UnitArea <= 0 {
+			t.Fatalf("%s: non-positive sizing factor", c.Name)
+		}
+		if c.Pulldown == nil || c.Pullup == nil {
+			t.Fatalf("%s: missing transistor networks", c.Name)
+		}
+		if c.Eval == nil {
+			t.Fatalf("%s: missing logic function", c.Name)
+		}
+		if c.Kind != k {
+			t.Fatalf("%s: Kind backlink wrong", c.Name)
+		}
+	}
+}
+
+func TestByNameRoundTrip(t *testing.T) {
+	for k := Kind(0); k < Kind(NumKinds); k++ {
+		got, ok := ByName(k.String())
+		if !ok || got != k {
+			t.Fatalf("ByName(%q) = %v, %v", k.String(), got, ok)
+		}
+	}
+	if _, ok := ByName("BOGUS9"); ok {
+		t.Fatal("ByName accepted a bogus cell")
+	}
+}
+
+func TestLogicFunctions(t *testing.T) {
+	cases := []struct {
+		kind Kind
+		in   []bool
+		want bool
+	}{
+		{Inv, []bool{true}, false},
+		{Inv, []bool{false}, true},
+		{Buf, []bool{true}, true},
+		{Nand2, []bool{true, true}, false},
+		{Nand2, []bool{true, false}, true},
+		{Nand3, []bool{true, true, true}, false},
+		{Nand4, []bool{true, true, true, false}, true},
+		{Nor2, []bool{false, false}, true},
+		{Nor2, []bool{true, false}, false},
+		{Nor4, []bool{false, false, false, false}, true},
+		{And3, []bool{true, true, true}, true},
+		{And3, []bool{true, false, true}, false},
+		{Or2, []bool{false, true}, true},
+		{Or3, []bool{false, false, false}, false},
+		{Xor2, []bool{true, false}, true},
+		{Xor2, []bool{true, true}, false},
+		{Xnor2, []bool{true, true}, true},
+		{Aoi21, []bool{true, true, false}, false},
+		{Aoi21, []bool{false, true, false}, true},
+		{Oai21, []bool{false, false, true}, true},
+		{Oai21, []bool{true, false, true}, false},
+	}
+	for _, c := range cases {
+		if got := Get(c.kind).Eval(c.in); got != c.want {
+			t.Errorf("%s%v = %v, want %v", c.kind, c.in, got, c.want)
+		}
+	}
+}
+
+func TestTransistorCounts(t *testing.T) {
+	// Single-stage static CMOS gates: pulldown and pullup each hold one
+	// transistor per input.
+	for _, k := range []Kind{Inv, Nand2, Nand3, Nand4, Nor2, Nor3, Nor4} {
+		c := Get(k)
+		if got := c.Pulldown.CountTransistors(); got != c.NumInputs {
+			t.Errorf("%s pulldown has %d transistors, want %d", c.Name, got, c.NumInputs)
+		}
+		if got := c.Pullup.CountTransistors(); got != c.NumInputs {
+			t.Errorf("%s pullup has %d transistors, want %d", c.Name, got, c.NumInputs)
+		}
+	}
+}
+
+func TestStackDepths(t *testing.T) {
+	// NAND stacks NMOS in series; NOR stacks PMOS.
+	cases := []struct {
+		kind   Kind
+		pd, pu int
+	}{
+		{Inv, 1, 1},
+		{Nand2, 2, 1},
+		{Nand3, 3, 1},
+		{Nand4, 4, 1},
+		{Nor2, 1, 2},
+		{Nor3, 1, 3},
+		{Nor4, 1, 4},
+		{Aoi21, 2, 2},
+		{Oai21, 2, 2},
+	}
+	for _, c := range cases {
+		cc := Get(c.kind)
+		if got := cc.Pulldown.MaxDepth(); got != c.pd {
+			t.Errorf("%s pulldown depth %d, want %d", cc.Name, got, c.pd)
+		}
+		if got := cc.Pullup.MaxDepth(); got != c.pu {
+			t.Errorf("%s pullup depth %d, want %d", cc.Name, got, c.pu)
+		}
+	}
+}
+
+func TestDriveGrowsWithStack(t *testing.T) {
+	if !(Get(Nand2).Drive < Get(Nand3).Drive && Get(Nand3).Drive < Get(Nand4).Drive) {
+		t.Error("NAND drive factors not monotone in fan-in")
+	}
+	if !(Get(Nor2).Drive < Get(Nor3).Drive && Get(Nor3).Drive < Get(Nor4).Drive) {
+		t.Error("NOR drive factors not monotone in fan-in")
+	}
+	// NOR pays the PMOS mobility penalty: worse drive than same-width NAND.
+	if Get(Nor2).Drive <= Get(Nand2).Drive {
+		t.Error("NOR2 should have weaker drive than NAND2")
+	}
+}
+
+func TestSelectorHelpers(t *testing.T) {
+	for fanin := 2; fanin <= 4; fanin++ {
+		if k, ok := NandFor(fanin); !ok || Get(k).NumInputs != fanin {
+			t.Errorf("NandFor(%d) broken", fanin)
+		}
+		if k, ok := NorFor(fanin); !ok || Get(k).NumInputs != fanin {
+			t.Errorf("NorFor(%d) broken", fanin)
+		}
+		if k, ok := AndFor(fanin); !ok || Get(k).NumInputs != fanin {
+			t.Errorf("AndFor(%d) broken", fanin)
+		}
+		if k, ok := OrFor(fanin); !ok || Get(k).NumInputs != fanin {
+			t.Errorf("OrFor(%d) broken", fanin)
+		}
+	}
+	if _, ok := NandFor(5); ok {
+		t.Error("NandFor(5) should fail")
+	}
+	if _, ok := AndFor(1); ok {
+		t.Error("AndFor(1) should fail")
+	}
+}
+
+func TestGetPanicsOnBadKind(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Get(Kind(99))
+}
+
+func TestKindStringBadValue(t *testing.T) {
+	if s := Kind(99).String(); s != "Kind(99)" {
+		t.Fatalf("got %q", s)
+	}
+}

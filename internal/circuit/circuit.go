@@ -1,0 +1,338 @@
+// Package circuit provides the combinational netlist model: primary
+// inputs, single-output gates drawn from the cell library, and primary
+// output markers.  It supports structural validation, levelization,
+// functional simulation, and area accounting, and is the substrate on
+// which the DAG, timing, and sizing layers operate.
+package circuit
+
+import (
+	"errors"
+	"fmt"
+
+	"minflo/internal/cell"
+	"minflo/internal/graph"
+)
+
+// RefKind distinguishes the two driver classes a gate input can see.
+type RefKind int8
+
+const (
+	// RefPI refers to a primary input.
+	RefPI RefKind = iota
+	// RefGate refers to a gate output.
+	RefGate
+)
+
+// Ref identifies a signal driver: a primary input or a gate output.
+type Ref struct {
+	Kind  RefKind
+	Index int
+}
+
+// PIRef and GateRef are convenience constructors.
+func PIRef(i int) Ref   { return Ref{RefPI, i} }
+func GateRef(i int) Ref { return Ref{RefGate, i} }
+
+// Gate is one instance of a library cell.
+type Gate struct {
+	Name string
+	Kind cell.Kind
+	Ins  []Ref
+	// Size is the gate's sizing variable x (unit = minimum size 1.0).
+	Size float64
+}
+
+// Circuit is a combinational netlist.
+type Circuit struct {
+	Name   string
+	PIs    []string
+	Gates  []Gate
+	POs    []Ref
+	byName map[string]Ref
+}
+
+// New returns an empty circuit with the given name.
+func New(name string) *Circuit {
+	return &Circuit{Name: name, byName: make(map[string]Ref)}
+}
+
+// NumGates returns the gate count.
+func (c *Circuit) NumGates() int { return len(c.Gates) }
+
+// NumPIs returns the primary-input count.
+func (c *Circuit) NumPIs() int { return len(c.PIs) }
+
+// AddPI declares a primary input and returns its Ref.
+func (c *Circuit) AddPI(name string) Ref {
+	if _, dup := c.byName[name]; dup {
+		panic(fmt.Sprintf("circuit: duplicate signal name %q", name))
+	}
+	r := PIRef(len(c.PIs))
+	c.PIs = append(c.PIs, name)
+	c.byName[name] = r
+	return r
+}
+
+// AddGate instantiates a cell driven by ins and returns its output Ref.
+// The gate starts at minimum size 1.0.
+func (c *Circuit) AddGate(name string, kind cell.Kind, ins ...Ref) Ref {
+	if _, dup := c.byName[name]; dup {
+		panic(fmt.Sprintf("circuit: duplicate signal name %q", name))
+	}
+	cc := cell.Get(kind)
+	if len(ins) != cc.NumInputs {
+		panic(fmt.Sprintf("circuit: gate %q: cell %s wants %d inputs, got %d",
+			name, cc.Name, cc.NumInputs, len(ins)))
+	}
+	r := GateRef(len(c.Gates))
+	c.Gates = append(c.Gates, Gate{Name: name, Kind: kind, Ins: append([]Ref(nil), ins...), Size: 1.0})
+	c.byName[name] = r
+	return r
+}
+
+// MarkPO declares a signal as a primary output.
+func (c *Circuit) MarkPO(r Ref) { c.POs = append(c.POs, r) }
+
+// Lookup resolves a signal name.
+func (c *Circuit) Lookup(name string) (Ref, bool) {
+	r, ok := c.byName[name]
+	return r, ok
+}
+
+// SignalName returns the name of the driver r.
+func (c *Circuit) SignalName(r Ref) string {
+	if r.Kind == RefPI {
+		return c.PIs[r.Index]
+	}
+	return c.Gates[r.Index].Name
+}
+
+// Sizes returns a copy of all gate sizes, indexed by gate.
+func (c *Circuit) Sizes() []float64 {
+	s := make([]float64, len(c.Gates))
+	for i := range c.Gates {
+		s[i] = c.Gates[i].Size
+	}
+	return s
+}
+
+// SetSizes overwrites all gate sizes.
+func (c *Circuit) SetSizes(s []float64) {
+	if len(s) != len(c.Gates) {
+		panic(fmt.Sprintf("circuit: SetSizes length %d != %d gates", len(s), len(c.Gates)))
+	}
+	for i := range c.Gates {
+		c.Gates[i].Size = s[i]
+	}
+}
+
+// ResetSizes sets every gate to the given size.
+func (c *Circuit) ResetSizes(x float64) {
+	for i := range c.Gates {
+		c.Gates[i].Size = x
+	}
+}
+
+// Area returns Σ_g UnitArea(cell)·x_g — the paper's objective (total
+// transistor width; in gate sizing every transistor of a gate scales
+// with the gate's x).
+func (c *Circuit) Area() float64 {
+	var a float64
+	for i := range c.Gates {
+		a += cell.Get(c.Gates[i].Kind).UnitArea * c.Gates[i].Size
+	}
+	return a
+}
+
+// MinArea returns the area of the minimum-sized circuit.
+func (c *Circuit) MinArea(minSize float64) float64 {
+	var a float64
+	for i := range c.Gates {
+		a += cell.Get(c.Gates[i].Kind).UnitArea * minSize
+	}
+	return a
+}
+
+// GateGraph builds the gate-connectivity DAG (vertex per gate, edge
+// g→h when h reads g's output). PIs are not vertices.
+func (c *Circuit) GateGraph() *graph.Digraph {
+	g := graph.New(len(c.Gates))
+	for gi := range c.Gates {
+		for _, in := range c.Gates[gi].Ins {
+			if in.Kind == RefGate {
+				g.AddEdge(in.Index, gi)
+			}
+		}
+	}
+	return g
+}
+
+// Levelize returns the gates in topological order (inputs before
+// outputs). It fails on combinational cycles.
+func (c *Circuit) Levelize() ([]int, error) {
+	order, err := c.GateGraph().TopoOrder()
+	if err != nil {
+		return nil, fmt.Errorf("circuit %q: %w", c.Name, err)
+	}
+	return order, nil
+}
+
+// Fanouts returns, for each gate, the indices of gates reading its
+// output, plus how many POs it drives directly.
+func (c *Circuit) Fanouts() (fan [][]int, poCount []int) {
+	fan = make([][]int, len(c.Gates))
+	poCount = make([]int, len(c.Gates))
+	for gi := range c.Gates {
+		for _, in := range c.Gates[gi].Ins {
+			if in.Kind == RefGate {
+				fan[in.Index] = append(fan[in.Index], gi)
+			}
+		}
+	}
+	for _, po := range c.POs {
+		if po.Kind == RefGate {
+			poCount[po.Index]++
+		}
+	}
+	return fan, poCount
+}
+
+// Validate checks structural well-formedness: valid refs, correct cell
+// arity, at least one PO, no combinational cycles, every gate reachable
+// from some PI or constant-free, and every PO driven.
+func (c *Circuit) Validate() error {
+	if len(c.POs) == 0 {
+		return errors.New("circuit: no primary outputs")
+	}
+	for gi := range c.Gates {
+		g := &c.Gates[gi]
+		cc := cell.Get(g.Kind)
+		if len(g.Ins) != cc.NumInputs {
+			return fmt.Errorf("circuit: gate %q arity %d != cell %s arity %d",
+				g.Name, len(g.Ins), cc.Name, cc.NumInputs)
+		}
+		if g.Size <= 0 {
+			return fmt.Errorf("circuit: gate %q has non-positive size %g", g.Name, g.Size)
+		}
+		for _, in := range g.Ins {
+			if err := c.checkRef(in); err != nil {
+				return fmt.Errorf("circuit: gate %q: %w", g.Name, err)
+			}
+		}
+	}
+	for _, po := range c.POs {
+		if err := c.checkRef(po); err != nil {
+			return fmt.Errorf("circuit: PO: %w", err)
+		}
+	}
+	if _, err := c.Levelize(); err != nil {
+		return err
+	}
+	return nil
+}
+
+func (c *Circuit) checkRef(r Ref) error {
+	switch r.Kind {
+	case RefPI:
+		if r.Index < 0 || r.Index >= len(c.PIs) {
+			return fmt.Errorf("dangling PI ref %d", r.Index)
+		}
+	case RefGate:
+		if r.Index < 0 || r.Index >= len(c.Gates) {
+			return fmt.Errorf("dangling gate ref %d", r.Index)
+		}
+	default:
+		return fmt.Errorf("bad ref kind %d", r.Kind)
+	}
+	return nil
+}
+
+// Evaluate simulates the circuit on the given PI assignment and returns
+// the PO values in declaration order.
+func (c *Circuit) Evaluate(inputs []bool) ([]bool, error) {
+	if len(inputs) != len(c.PIs) {
+		return nil, fmt.Errorf("circuit: Evaluate got %d inputs, want %d", len(inputs), len(c.PIs))
+	}
+	order, err := c.Levelize()
+	if err != nil {
+		return nil, err
+	}
+	val := make([]bool, len(c.Gates))
+	scratch := make([]bool, 8)
+	for _, gi := range order {
+		g := &c.Gates[gi]
+		in := scratch[:0]
+		for _, r := range g.Ins {
+			if r.Kind == RefPI {
+				in = append(in, inputs[r.Index])
+			} else {
+				in = append(in, val[r.Index])
+			}
+		}
+		val[gi] = cell.Get(g.Kind).Eval(in)
+	}
+	out := make([]bool, len(c.POs))
+	for i, po := range c.POs {
+		if po.Kind == RefPI {
+			out[i] = inputs[po.Index]
+		} else {
+			out[i] = val[po.Index]
+		}
+	}
+	return out, nil
+}
+
+// Stats summarizes the circuit for reporting.
+type Stats struct {
+	Gates, PIs, POs int
+	Levels          int
+	MaxFanout       int
+	Transistors     int
+}
+
+// ComputeStats derives summary statistics (logic depth in gate levels,
+// max fanout, transistor count).
+func (c *Circuit) ComputeStats() (Stats, error) {
+	st := Stats{Gates: len(c.Gates), PIs: len(c.PIs), POs: len(c.POs)}
+	order, err := c.Levelize()
+	if err != nil {
+		return st, err
+	}
+	level := make([]int, len(c.Gates))
+	for _, gi := range order {
+		lv := 1
+		for _, in := range c.Gates[gi].Ins {
+			if in.Kind == RefGate && level[in.Index]+1 > lv {
+				lv = level[in.Index] + 1
+			}
+		}
+		level[gi] = lv
+		if lv > st.Levels {
+			st.Levels = lv
+		}
+	}
+	fan, po := c.Fanouts()
+	for gi := range c.Gates {
+		if f := len(fan[gi]) + po[gi]; f > st.MaxFanout {
+			st.MaxFanout = f
+		}
+		cc := cell.Get(c.Gates[gi].Kind)
+		st.Transistors += cc.Pulldown.CountTransistors() + cc.Pullup.CountTransistors()
+	}
+	return st, nil
+}
+
+// Clone returns a deep copy (sizes included).
+func (c *Circuit) Clone() *Circuit {
+	n := New(c.Name)
+	n.PIs = append([]string(nil), c.PIs...)
+	n.POs = append([]Ref(nil), c.POs...)
+	n.Gates = make([]Gate, len(c.Gates))
+	for i, g := range c.Gates {
+		n.Gates[i] = Gate{Name: g.Name, Kind: g.Kind, Ins: append([]Ref(nil), g.Ins...), Size: g.Size}
+	}
+	for name, r := range c.byName {
+		n.byName[name] = r
+	}
+	return n
+}

@@ -1,0 +1,258 @@
+package circuit
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"minflo/internal/cell"
+)
+
+// half adder: sum = a⊕b, carry = a·b.
+func mkHalfAdder() *Circuit {
+	c := New("ha")
+	a := c.AddPI("a")
+	b := c.AddPI("b")
+	sum := c.AddGate("sum", cell.Xor2, a, b)
+	carry := c.AddGate("carry", cell.And2, a, b)
+	c.MarkPO(sum)
+	c.MarkPO(carry)
+	return c
+}
+
+func TestBuildAndValidate(t *testing.T) {
+	c := mkHalfAdder()
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if c.NumGates() != 2 || c.NumPIs() != 2 {
+		t.Fatalf("counts: %d gates %d PIs", c.NumGates(), c.NumPIs())
+	}
+}
+
+func TestEvaluateHalfAdder(t *testing.T) {
+	c := mkHalfAdder()
+	for _, tc := range []struct {
+		a, b, sum, carry bool
+	}{
+		{false, false, false, false},
+		{true, false, true, false},
+		{false, true, true, false},
+		{true, true, false, true},
+	} {
+		out, err := c.Evaluate([]bool{tc.a, tc.b})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out[0] != tc.sum || out[1] != tc.carry {
+			t.Errorf("HA(%v,%v) = %v", tc.a, tc.b, out)
+		}
+	}
+}
+
+func TestEvaluateWrongArity(t *testing.T) {
+	if _, err := mkHalfAdder().Evaluate([]bool{true}); err == nil {
+		t.Fatal("expected arity error")
+	}
+}
+
+func TestDuplicateNamePanics(t *testing.T) {
+	c := New("dup")
+	c.AddPI("x")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on duplicate name")
+		}
+	}()
+	c.AddPI("x")
+}
+
+func TestWrongGateArityPanics(t *testing.T) {
+	c := New("bad")
+	a := c.AddPI("a")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on wrong arity")
+		}
+	}()
+	c.AddGate("g", cell.Nand2, a) // NAND2 needs two inputs
+}
+
+func TestValidateNoPOs(t *testing.T) {
+	c := New("nopo")
+	a := c.AddPI("a")
+	c.AddGate("g", cell.Inv, a)
+	if err := c.Validate(); err == nil {
+		t.Fatal("expected error: no POs")
+	}
+}
+
+func TestValidateBadSize(t *testing.T) {
+	c := mkHalfAdder()
+	c.Gates[0].Size = -1
+	if err := c.Validate(); err == nil {
+		t.Fatal("expected error: negative size")
+	}
+}
+
+func TestValidateDanglingRef(t *testing.T) {
+	c := mkHalfAdder()
+	c.Gates[0].Ins[0] = GateRef(99)
+	if err := c.Validate(); err == nil {
+		t.Fatal("expected error: dangling ref")
+	}
+}
+
+func TestLevelizeCycle(t *testing.T) {
+	c := New("cyc")
+	a := c.AddPI("a")
+	g1 := c.AddGate("g1", cell.Nand2, a, a)
+	_ = g1
+	// Introduce a cycle by hand.
+	c.Gates[0].Ins[1] = GateRef(0)
+	c.MarkPO(GateRef(0))
+	if _, err := c.Levelize(); err == nil {
+		t.Fatal("expected cycle error")
+	}
+	if err := c.Validate(); err == nil {
+		t.Fatal("Validate must reject cyclic netlists")
+	}
+}
+
+func TestAreaAndSizes(t *testing.T) {
+	c := mkHalfAdder()
+	base := c.Area()
+	want := cell.Get(cell.Xor2).UnitArea + cell.Get(cell.And2).UnitArea
+	if base != want {
+		t.Fatalf("min area %g, want %g", base, want)
+	}
+	c.SetSizes([]float64{2, 3})
+	scaled := c.Area()
+	want = 2*cell.Get(cell.Xor2).UnitArea + 3*cell.Get(cell.And2).UnitArea
+	if scaled != want {
+		t.Fatalf("scaled area %g, want %g", scaled, want)
+	}
+	s := c.Sizes()
+	if s[0] != 2 || s[1] != 3 {
+		t.Fatalf("sizes %v", s)
+	}
+	c.ResetSizes(1)
+	if c.Area() != base {
+		t.Fatal("ResetSizes failed")
+	}
+	if c.MinArea(1) != base {
+		t.Fatalf("MinArea %g != %g", c.MinArea(1), base)
+	}
+}
+
+func TestSetSizesWrongLengthPanics(t *testing.T) {
+	c := mkHalfAdder()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	c.SetSizes([]float64{1})
+}
+
+func TestFanouts(t *testing.T) {
+	c := New("fan")
+	a := c.AddPI("a")
+	g1 := c.AddGate("g1", cell.Inv, a)
+	g2 := c.AddGate("g2", cell.Inv, g1)
+	g3 := c.AddGate("g3", cell.Inv, g1)
+	_ = g2
+	c.MarkPO(g3)
+	c.MarkPO(g2)
+	c.MarkPO(g1)
+	fan, po := c.Fanouts()
+	if len(fan[0]) != 2 {
+		t.Fatalf("g1 fanout %v", fan[0])
+	}
+	if po[0] != 1 || po[1] != 1 || po[2] != 1 {
+		t.Fatalf("po counts %v", po)
+	}
+}
+
+func TestLookupAndSignalName(t *testing.T) {
+	c := mkHalfAdder()
+	r, ok := c.Lookup("sum")
+	if !ok || r.Kind != RefGate {
+		t.Fatalf("Lookup(sum) = %v %v", r, ok)
+	}
+	if c.SignalName(r) != "sum" {
+		t.Fatalf("SignalName round trip failed")
+	}
+	if c.SignalName(PIRef(0)) != "a" {
+		t.Fatalf("PI name wrong")
+	}
+	if _, ok := c.Lookup("zzz"); ok {
+		t.Fatal("Lookup invented a signal")
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	c := mkHalfAdder()
+	d := c.Clone()
+	d.Gates[0].Size = 7
+	if c.Gates[0].Size == 7 {
+		t.Fatal("clone shares gate storage")
+	}
+	out1, _ := c.Evaluate([]bool{true, true})
+	out2, _ := d.Evaluate([]bool{true, true})
+	if out1[0] != out2[0] || out1[1] != out2[1] {
+		t.Fatal("clone changed logic")
+	}
+}
+
+func TestComputeStats(t *testing.T) {
+	c := mkHalfAdder()
+	st, err := c.ComputeStats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Gates != 2 || st.PIs != 2 || st.POs != 2 || st.Levels != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+	if st.Transistors == 0 {
+		t.Fatal("no transistors counted")
+	}
+}
+
+// Property: for random chain circuits, levelization respects input
+// order and Evaluate matches a direct recursive evaluation.
+func TestQuickLevelizeRespectsDeps(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := New("q")
+		pool := []Ref{c.AddPI("i0"), c.AddPI("i1")}
+		n := 3 + rng.Intn(20)
+		for g := 0; g < n; g++ {
+			in1 := pool[rng.Intn(len(pool))]
+			in2 := pool[rng.Intn(len(pool))]
+			pool = append(pool, c.AddGate(nameOf(g), cell.Nand2, in1, in2))
+		}
+		c.MarkPO(pool[len(pool)-1])
+		order, err := c.Levelize()
+		if err != nil {
+			return false
+		}
+		pos := make([]int, len(c.Gates))
+		for i, gi := range order {
+			pos[gi] = i
+		}
+		for gi := range c.Gates {
+			for _, in := range c.Gates[gi].Ins {
+				if in.Kind == RefGate && pos[in.Index] >= pos[gi] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func nameOf(g int) string { return "g" + string(rune('A'+g%26)) + string(rune('0'+g/26)) }

@@ -1,0 +1,322 @@
+// Package core implements the MINFLOTRANSIT optimizer (paper §2.4):
+// an initial TILOS sizing followed by alternating D-phases (delay
+// budget redistribution via the min-cost-flow dual of an FSDU
+// displacement LP) and W-phases (minimum-area sizing for the budgets
+// via a Simple Monotonic Program), iterated until the area improvement
+// is negligible.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"minflo/internal/balance"
+	"minflo/internal/dag"
+	"minflo/internal/dcs"
+	"minflo/internal/lin"
+	"minflo/internal/smp"
+	"minflo/internal/sta"
+	"minflo/internal/tilos"
+)
+
+// ErrInfeasible is returned when no sizing meets the delay target.
+var ErrInfeasible = errors.New("core: delay target unreachable")
+
+// Options tune the optimizer. Zero values select defaults.
+type Options struct {
+	// Window is the relative budget window η: each D-phase may move a
+	// vertex's delay budget by at most ±η·delay (paper §2.3.1 step 3
+	// requires MINΔD/MAXΔD "small" for Taylor validity — the first-order
+	// area prediction misses by O(η²), so large windows overshoot).
+	// Default 0.1.
+	Window float64
+	// MinWindow is the smallest window the adaptive schedule may shrink
+	// to; the window halves after a non-improving iteration (the
+	// first-order model overshot) and relaxes back on success.
+	// Default Window/32.
+	MinWindow float64
+	// MaxIters bounds the D/W iterations (paper §3 reports "a few tens",
+	// ≤100 on the steepest curve segments). Default 100.
+	MaxIters int
+	// Patience stops after this many consecutive non-improving
+	// iterations. Default 3.
+	Patience int
+	// AreaTol is the relative area improvement considered negligible
+	// (the paper's stopping rule). Default 1e-4.
+	AreaTol float64
+	// CostScale / SupplyScale integerize the D-phase flow (paper's
+	// power-of-10 scaling). Defaults 1e6 / 1e4.
+	CostScale, SupplyScale float64
+	// Tilos configures the initial-guess run.
+	Tilos tilos.Options
+	// SkipTilos starts from minimum sizes when the target is already met
+	// there (used by tests); otherwise TILOS provides the start point.
+	SkipTilos bool
+	// OnIteration, when non-nil, receives per-iteration statistics.
+	OnIteration func(IterStats)
+}
+
+// IterStats traces one D/W iteration.
+type IterStats struct {
+	Iter      int
+	Area      float64 // area after the W-phase
+	CP        float64 // critical path after the W-phase
+	Objective float64 // D-phase LP objective (predicted first-order gain)
+	Window    float64 // budget window η used this iteration
+	Clamped   int     // W-phase vertices pinned at MaxSize
+	Repaired  bool    // TILOS repair pass was needed
+}
+
+// Result is the final sizing.
+type Result struct {
+	X          []float64
+	Area       float64
+	CP         float64
+	Iterations int
+	// TilosX/TilosArea/TilosCP describe the initial TILOS solution the
+	// optimizer started from (the paper's comparison baseline).
+	TilosX    []float64
+	TilosArea float64
+	TilosCP   float64
+	Stats     []IterStats
+}
+
+func (o Options) withDefaults() Options {
+	if o.Window == 0 {
+		o.Window = 0.1
+	}
+	if o.MinWindow == 0 {
+		o.MinWindow = o.Window / 32
+	}
+	if o.MaxIters == 0 {
+		o.MaxIters = 100
+	}
+	if o.Patience == 0 {
+		o.Patience = 5
+	}
+	if o.AreaTol == 0 {
+		o.AreaTol = 1e-4
+	}
+	return o
+}
+
+// Size runs MINFLOTRANSIT on problem p with critical-path target T.
+func Size(p *dag.Problem, T float64, opt Options) (*Result, error) {
+	opt = opt.withDefaults()
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+
+	// Step 1: size the circuit to meet delay requirements using TILOS.
+	var x []float64
+	res := &Result{}
+	if opt.SkipTilos {
+		x = p.InitialSizes()
+		d := p.Delays(x)
+		tm, err := sta.Analyze(p.G, d)
+		if err != nil {
+			return nil, err
+		}
+		if tm.CP > T {
+			return nil, fmt.Errorf("%w: minimum-size CP %g exceeds target %g (SkipTilos)", ErrInfeasible, tm.CP, T)
+		}
+		res.TilosX = append([]float64(nil), x...)
+		res.TilosArea = p.Area(x)
+		res.TilosCP = tm.CP
+	} else {
+		tr, err := tilos.Size(p, T, nil, opt.Tilos)
+		if err != nil {
+			if errors.Is(err, tilos.ErrInfeasible) {
+				return nil, fmt.Errorf("%w: %v", ErrInfeasible, err)
+			}
+			return nil, err
+		}
+		x = tr.X
+		res.TilosX = append([]float64(nil), x...)
+		res.TilosArea = tr.Area
+		res.TilosCP = tr.CP
+	}
+
+	aug := p.Augment()
+	bestX := append([]float64(nil), x...)
+	bestArea := p.Area(x)
+	noImprove := 0
+	window := opt.Window
+
+	// Step 2: alternate D-phase and W-phase.  The budget window adapts
+	// like a trust region: halve after an iteration whose first-order
+	// prediction overshot (area got worse), relax back on success.
+	for it := 1; it <= opt.MaxIters; it++ {
+		newX, st, err := iterate(p, aug, x, T, window, opt)
+		if err != nil {
+			// A failed iteration is not fatal: the current best solution
+			// stands (this triggers only on numerical corner cases).
+			break
+		}
+		st.Iter = it
+		st.Window = window
+		res.Stats = append(res.Stats, *st)
+		res.Iterations = it
+		if opt.OnIteration != nil {
+			opt.OnIteration(*st)
+		}
+		// Step 3: stop when the area improvement is negligible.
+		if st.Area < bestArea*(1-opt.AreaTol) {
+			bestArea = st.Area
+			copy(bestX, newX)
+			x = newX
+			noImprove = 0
+			if window < opt.Window {
+				window = math.Min(opt.Window, window*1.5)
+			}
+		} else {
+			if st.Area < bestArea {
+				bestArea = st.Area
+				copy(bestX, newX)
+				x = newX
+			} else {
+				// Overshoot: back to the best point with a tighter window.
+				copy(x, bestX)
+			}
+			window /= 2
+			noImprove++
+			if noImprove >= opt.Patience || window < opt.MinWindow {
+				break
+			}
+		}
+	}
+
+	d := p.Delays(bestX)
+	tm, err := sta.Analyze(p.G, d)
+	if err != nil {
+		return nil, err
+	}
+	res.X = bestX
+	res.Area = bestArea
+	res.CP = tm.CP
+	return res, nil
+}
+
+// iterate performs one D-phase + W-phase round from sizes x with the
+// given budget window.
+func iterate(p *dag.Problem, aug *dag.Augmented, x []float64, T, window float64, opt Options) ([]float64, *IterStats, error) {
+	n := p.NumSizable
+	d := aug.Delays(x)
+	tm, err := sta.Analyze(aug.G, d)
+	if err != nil {
+		return nil, nil, err
+	}
+	if tm.CP > T*(1+1e-9) {
+		return nil, nil, fmt.Errorf("core: entering D-phase with infeasible CP %g > %g", tm.CP, T)
+	}
+	// Make the slack window the distance to the target, not the current
+	// CP, so the optimizer can trade slack right up to T.
+	slackToTarget := T - tm.CP
+
+	// D-phase (1): delay-balance the augmented DAG.
+	cfg, err := balance.Balance(aug.G, d, tm, balance.ALAP)
+	if err != nil {
+		return nil, nil, err
+	}
+	// The sink collects all slack to the target: path potentials may
+	// grow by up to slackToTarget beyond CP. Model it by adding the
+	// spare slack onto the sink's incoming FSDUs.
+	for _, e := range aug.G.In(aug.Base.Sink) {
+		cfg.FSDU[e] += slackToTarget
+	}
+
+	// D-phase (2): area sensitivities C_i (eq. 7).
+	budgets := make([]float64, n)
+	copy(budgets, d[:n])
+	C, err := lin.Sensitivities(p.Coeffs, x, budgets, p.AreaW)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	// D-phase (3)-(5): window constraints, causality, min-cost-flow dual.
+	sys := dcs.NewSystem(aug.G.N())
+	for _, pi := range p.PIs {
+		sys.Pin(pi)
+	}
+	sys.Pin(p.Sink)
+	selfEdge := make([]bool, aug.G.M())
+	minD := make([]float64, n)
+	for i := 0; i < n; i++ {
+		dm := aug.DmyOf[i]
+		se := aug.SelfEdge[i]
+		selfEdge[se] = true
+		selfF := cfg.FSDU[se]
+
+		maxD := window * d[i]
+		if maxD < selfF {
+			maxD = selfF // keep r = 0 feasible
+		}
+		floor := p.Coeffs[i].FloorAt(x, p.MaxSize)
+		lo := floor - d[i] // most the budget may shrink and stay attainable
+		if w := -window * d[i]; w > lo {
+			lo = w
+		}
+		if lo > 0 {
+			lo = 0
+		}
+		minD[i] = lo
+		sys.AddConstraint(i, dm, selfF-lo)   // r_i − r_dm ≤ FSDU − MINΔD
+		sys.AddConstraint(dm, i, maxD-selfF) // r_dm − r_i ≤ MAXΔD − FSDU
+		sys.AddObjective(dm, i, C[i])
+	}
+	for _, e := range aug.G.Edges() {
+		if selfEdge[e.ID] {
+			continue
+		}
+		sys.AddConstraint(e.From, e.To, cfg.FSDU[e.ID])
+	}
+	sol, err := sys.Solve(dcs.Options{CostScale: opt.CostScale, SupplyScale: opt.SupplyScale})
+	if err != nil {
+		return nil, nil, fmt.Errorf("core: D-phase: %w", err)
+	}
+
+	// New budgets: ΔD_i = FSDU_r(i→Dmy(i)).
+	newBudget := make([]float64, n)
+	for i := 0; i < n; i++ {
+		dd := cfg.FSDU[aug.SelfEdge[i]] + sol.R[aug.DmyOf[i]] - sol.R[i]
+		if dd < minD[i] {
+			dd = minD[i] // numerical guard; constraints enforce this
+		}
+		newBudget[i] = d[i] + dd
+		// Never let a budget drop to (or below) the intrinsic delay.
+		if min := p.Coeffs[i].Self * (1 + 1e-9); newBudget[i] <= min {
+			newBudget[i] = min + 1e-12
+		}
+	}
+
+	// W-phase: minimum-area sizes for the new budgets.
+	w, err := smp.Solve(p.Coeffs, newBudget, p.MinSize, p.MaxSize, smp.Options{})
+	if err != nil {
+		return nil, nil, fmt.Errorf("core: W-phase: %w", err)
+	}
+	newX := w.X
+
+	// Re-time; repair with TILOS if MaxSize clamping broke the target.
+	st := &IterStats{Objective: sol.Objective, Clamped: len(w.Clamped)}
+	nd := p.Delays(newX)
+	ntm, err := sta.Analyze(p.G, nd)
+	if err != nil {
+		return nil, nil, err
+	}
+	if ntm.CP > T*(1+1e-9) {
+		tr, rerr := tilos.Size(p, T, newX, opt.Tilos)
+		if rerr != nil {
+			return nil, nil, fmt.Errorf("core: repair failed: %w", rerr)
+		}
+		newX = tr.X
+		ntm, err = sta.Analyze(p.G, p.Delays(newX))
+		if err != nil {
+			return nil, nil, err
+		}
+		st.Repaired = true
+	}
+	st.Area = p.Area(newX)
+	st.CP = ntm.CP
+	return newX, st, nil
+}

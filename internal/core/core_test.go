@@ -1,0 +1,428 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"minflo/internal/dag"
+	"minflo/internal/delay"
+	"minflo/internal/gen"
+	"minflo/internal/sta"
+	"minflo/internal/tech"
+)
+
+func TestSizeC17(t *testing.T) {
+	m := delay.NewModel(tech.Default013())
+	p, err := dag.GateLevel(gen.C17(), m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tm, err := sta.Analyze(p.G, p.Delays(p.InitialSizes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	T := 0.5 * tm.CP
+	res, err := Size(p, T, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CP > T*(1+1e-9) {
+		t.Fatalf("target violated: CP %g > %g", res.CP, T)
+	}
+	if res.Area > res.TilosArea*(1+1e-9) {
+		t.Fatalf("MINFLOTRANSIT worse than TILOS: %g > %g", res.Area, res.TilosArea)
+	}
+	if res.Iterations == 0 || res.Iterations > 100 {
+		t.Fatalf("implausible iteration count %d", res.Iterations)
+	}
+}
+
+func TestSizeMeetsTargetAcrossSpecs(t *testing.T) {
+	m := delay.NewModel(tech.Default013())
+	p, err := dag.GateLevel(gen.RippleAdder(8, gen.FAXor), m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tm, _ := sta.Analyze(p.G, p.Delays(p.InitialSizes()))
+	for _, frac := range []float64{0.9, 0.7, 0.5} {
+		T := frac * tm.CP
+		res, err := Size(p, T, Options{})
+		if err != nil {
+			t.Fatalf("frac %.2f: %v", frac, err)
+		}
+		if res.CP > T*(1+1e-9) {
+			t.Fatalf("frac %.2f: CP %g > target %g", frac, res.CP, T)
+		}
+		if res.Area > res.TilosArea*(1+1e-9) {
+			t.Fatalf("frac %.2f: area regression vs TILOS", frac)
+		}
+		// Sizes must respect the bounds.
+		for i, x := range res.X {
+			if x < p.MinSize-1e-9 || x > p.MaxSize+1e-9 {
+				t.Fatalf("frac %.2f: size[%d]=%g out of bounds", frac, i, x)
+			}
+		}
+	}
+}
+
+func TestSizeInfeasibleTarget(t *testing.T) {
+	m := delay.NewModel(tech.Default013())
+	p, err := dag.GateLevel(gen.InverterChain(16), m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tm, _ := sta.Analyze(p.G, p.Delays(p.InitialSizes()))
+	if _, err := Size(p, 0.01*tm.CP, Options{}); err == nil {
+		t.Fatal("expected infeasibility error for 0.01*Dmin")
+	}
+}
+
+func TestSizeTrivialTarget(t *testing.T) {
+	// Target equal to Dmin: minimum sizes are already optimal; the area
+	// must stay at (or extremely near) the minimum.
+	m := delay.NewModel(tech.Default013())
+	p, err := dag.GateLevel(gen.InverterChain(8), m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tm, _ := sta.Analyze(p.G, p.Delays(p.InitialSizes()))
+	res, err := Size(p, tm.CP*1.0000001, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Area > p.MinAreaValue()*(1+1e-6) {
+		t.Fatalf("area %g above minimum %g at trivial target", res.Area, p.MinAreaValue())
+	}
+}
+
+func TestSizeExample1ForkBeatsOrMatchesTilos(t *testing.T) {
+	// The paper's Example 1: global budgeting should never lose to the
+	// greedy on the fork circuit, across a range of specs.
+	m := delay.NewModel(tech.Default013())
+	p, err := dag.GateLevel(gen.Fork(), m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tm, _ := sta.Analyze(p.G, p.Delays(p.InitialSizes()))
+	for _, frac := range []float64{0.85, 0.7, 0.6} {
+		res, err := Size(p, frac*tm.CP, Options{})
+		if err != nil {
+			t.Fatalf("frac %.2f: %v", frac, err)
+		}
+		if res.Area > res.TilosArea*(1+1e-9) {
+			t.Fatalf("frac %.2f: MINFLO %g > TILOS %g", frac, res.Area, res.TilosArea)
+		}
+	}
+}
+
+func TestSizeRandomCircuits(t *testing.T) {
+	// Property-style: on random DAG circuits the optimizer always meets
+	// the target, never loses to TILOS, and never violates bounds.
+	for seed := int64(0); seed < 8; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		ckt := gen.RandomLogic(4+rng.Intn(6), 30+rng.Intn(40), seed)
+		m := delay.NewModel(tech.Default013())
+		p, err := dag.GateLevel(ckt, m)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		tm, _ := sta.Analyze(p.G, p.Delays(p.InitialSizes()))
+		T := 0.6 * tm.CP
+		res, err := Size(p, T, Options{})
+		if err != nil {
+			// Some random circuits cannot reach 0.6·Dmin; that is a
+			// legitimate infeasibility, not a failure.
+			continue
+		}
+		if res.CP > T*(1+1e-9) {
+			t.Fatalf("seed %d: CP %g > T %g", seed, res.CP, T)
+		}
+		if res.Area > res.TilosArea*(1+1e-9) {
+			t.Fatalf("seed %d: area %g > TILOS %g", seed, res.Area, res.TilosArea)
+		}
+	}
+}
+
+func TestIterationStatsMonotoneBest(t *testing.T) {
+	m := delay.NewModel(tech.Default013())
+	p, err := dag.GateLevel(gen.C432(), m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tm, _ := sta.Analyze(p.G, p.Delays(p.InitialSizes()))
+	var areas []float64
+	res, err := Size(p, 0.4*tm.CP, Options{
+		OnIteration: func(st IterStats) { areas = append(areas, st.Area) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(areas) != res.Iterations {
+		t.Fatalf("callback count %d != iterations %d", len(areas), res.Iterations)
+	}
+	// The running best must equal the final area.
+	best := areas[0]
+	for _, a := range areas {
+		if a < best {
+			best = a
+		}
+	}
+	if best < res.TilosArea && res.Area != best {
+		t.Fatalf("final area %g != best observed %g", res.Area, best)
+	}
+	// And the final result must never exceed the TILOS baseline.
+	if res.Area > res.TilosArea {
+		t.Fatalf("final %g worse than TILOS %g", res.Area, res.TilosArea)
+	}
+}
+
+func TestSavingsShapeByCircuitClass(t *testing.T) {
+	// Paper §3: ripple-carry adders gain ≈nothing (single dominant
+	// path); reconvergent circuits gain several percent.
+	if testing.Short() {
+		t.Skip("long")
+	}
+	m := delay.NewModel(tech.Default013())
+
+	adder, err := dag.GateLevel(gen.RippleAdder(16, gen.FABuffered), m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	atm, _ := sta.Analyze(adder.G, adder.Delays(adder.InitialSizes()))
+	ares, err := Size(adder, 0.5*atm.CP, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	adderSaving := 1 - ares.Area/ares.TilosArea
+
+	ctrl, err := dag.GateLevel(gen.C432(), m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctm, _ := sta.Analyze(ctrl.G, ctrl.Delays(ctrl.InitialSizes()))
+	cres, err := Size(ctrl, 0.4*ctm.CP, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctrlSaving := 1 - cres.Area/cres.TilosArea
+
+	if adderSaving > 0.05 {
+		t.Errorf("adder saving %.1f%% unexpectedly large", 100*adderSaving)
+	}
+	if ctrlSaving < 0.01 {
+		t.Errorf("controller saving %.2f%% unexpectedly small (paper: ~9%%)", 100*ctrlSaving)
+	}
+	if ctrlSaving < adderSaving {
+		t.Errorf("shape inverted: controller %.2f%% < adder %.2f%%", 100*ctrlSaving, 100*adderSaving)
+	}
+}
+
+func TestSizeTransistorLevel(t *testing.T) {
+	// True transistor sizing (paper §2.1): every device its own variable.
+	m := delay.NewModel(tech.Default013())
+	p, err := dag.TransistorLevel(gen.C17(), m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tm, err := sta.Analyze(p.G, p.Delays(p.InitialSizes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	T := 0.55 * tm.CP
+	res, err := Size(p, T, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CP > T*(1+1e-9) {
+		t.Fatalf("target violated: %g > %g", res.CP, T)
+	}
+	if res.Area > res.TilosArea*(1+1e-9) {
+		t.Fatalf("transistor-level MINFLO worse than TILOS: %g > %g", res.Area, res.TilosArea)
+	}
+}
+
+func TestTransistorVsGateSizing(t *testing.T) {
+	// Per-transistor freedom can only help: at the same target the
+	// transistor-level area (in Σx_i terms over devices) should not
+	// exceed the gate-level solution expanded to devices... the two
+	// objectives differ in weights, so compare achieved delay targets
+	// instead: both modes must meet the same spec on the same netlist.
+	m := delay.NewModel(tech.Default013())
+	for _, build := range []func() (*dag.Problem, error){
+		func() (*dag.Problem, error) { return dag.GateLevel(gen.C17(), m) },
+		func() (*dag.Problem, error) { return dag.TransistorLevel(gen.C17(), m) },
+	} {
+		p, err := build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		tm, _ := sta.Analyze(p.G, p.Delays(p.InitialSizes()))
+		res, err := Size(p, 0.6*tm.CP, Options{})
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name, err)
+		}
+		if res.CP > 0.6*tm.CP*(1+1e-9) {
+			t.Fatalf("%s: spec missed", p.Name)
+		}
+	}
+}
+
+// TestGlobalOptimalityTinyCircuits grid-searches the full size space of
+// tiny circuits and confirms MINFLOTRANSIT lands near the true optimum
+// (Theorem 3 claims optimal sizing; the convex program's optimum is
+// unique, so a fine grid brackets it).
+func TestGlobalOptimalityTinyCircuits(t *testing.T) {
+	m := delay.NewModel(tech.Default013())
+	for _, tc := range []struct {
+		name string
+		mk   func() *dag.Problem
+	}{
+		{"chain3", func() *dag.Problem {
+			p, err := dag.GateLevel(gen.InverterChain(3), m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return p
+		}},
+		{"fork", func() *dag.Problem {
+			p, err := dag.GateLevel(gen.Fork(), m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return p
+		}},
+	} {
+		p := tc.mk()
+		tm, _ := sta.Analyze(p.G, p.Delays(p.InitialSizes()))
+		T := 0.65 * tm.CP
+		res, err := Size(p, T, Options{})
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		// Brute force over a geometric grid per gate.
+		grid := []float64{}
+		for x := 1.0; x <= 16.0001; x *= 1.04 {
+			grid = append(grid, x)
+		}
+		n := p.NumSizable
+		x := make([]float64, n)
+		best := math.Inf(1)
+		var rec func(i int)
+		rec = func(i int) {
+			if i == n {
+				d := p.Delays(x)
+				tmm, err := sta.Analyze(p.G, d)
+				if err != nil || tmm.CP > T {
+					return
+				}
+				if a := p.Area(x); a < best {
+					best = a
+				}
+				return
+			}
+			for _, v := range grid {
+				x[i] = v
+				// Prune: partial area already above best.
+				partial := 0.0
+				for k := 0; k <= i; k++ {
+					partial += p.AreaW[k] * x[k]
+				}
+				for k := i + 1; k < n; k++ {
+					partial += p.AreaW[k] * p.MinSize
+				}
+				if partial >= best {
+					continue
+				}
+				rec(i + 1)
+			}
+		}
+		rec(0)
+		if math.IsInf(best, 1) {
+			t.Fatalf("%s: brute force found no feasible point", tc.name)
+		}
+		// The grid optimum is within ~4% quantization of the continuous
+		// optimum; MINFLO must not be worse than grid-best by more than
+		// a few percent.
+		if res.Area > best*1.05 {
+			t.Errorf("%s: MINFLO area %.2f vs grid optimum %.2f (+%.1f%%)",
+				tc.name, res.Area, best, 100*(res.Area/best-1))
+		}
+		t.Logf("%s: MINFLO %.2f vs grid optimum %.2f", tc.name, res.Area, best)
+	}
+}
+
+// TestEveryIterationFeasible: the D/W loop must never leave the
+// feasible region — each iteration's post-W critical path stays at or
+// below the target (budget safety, Corollary 1 plus the repair path).
+func TestEveryIterationFeasible(t *testing.T) {
+	m := delay.NewModel(tech.Default013())
+	for seed := int64(0); seed < 5; seed++ {
+		ckt := gen.RandomLogic(5, 40+int(seed)*17, seed+100)
+		p, err := dag.GateLevel(ckt, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tm, _ := sta.Analyze(p.G, p.Delays(p.InitialSizes()))
+		T := 0.55 * tm.CP
+		ok := true
+		res, err := Size(p, T, Options{OnIteration: func(st IterStats) {
+			if st.CP > T*(1+1e-9) {
+				ok = false
+			}
+		}})
+		if err != nil {
+			continue // infeasible target for this random circuit
+		}
+		if !ok {
+			t.Fatalf("seed %d: an intermediate iteration violated the target", seed)
+		}
+		if res.CP > T*(1+1e-9) {
+			t.Fatalf("seed %d: final CP violates target", seed)
+		}
+	}
+}
+
+// TestTransistorLevelAdder runs true transistor sizing on a multi-gate
+// datapath — exercises the SCC block solves in lin at a larger scale.
+func TestTransistorLevelAdder(t *testing.T) {
+	m := delay.NewModel(tech.Default013())
+	p, err := dag.TransistorLevel(gen.RippleAdder(4, gen.FAXor), m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.NumSizable < 80 {
+		t.Fatalf("expected ≥80 devices, got %d", p.NumSizable)
+	}
+	tm, _ := sta.Analyze(p.G, p.Delays(p.InitialSizes()))
+	T := 0.6 * tm.CP
+	res, err := Size(p, T, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CP > T*(1+1e-9) {
+		t.Fatalf("CP %g > %g", res.CP, T)
+	}
+	if res.Area > res.TilosArea*(1+1e-9) {
+		t.Fatal("worse than TILOS at transistor level")
+	}
+	// N and P devices of the same gate should not be forced equal —
+	// check that at least one gate has visibly asymmetric sizing.
+	asym := false
+	for i := 0; i+1 < p.NumSizable; i++ {
+		if p.Labels[i][:len(p.Labels[i])-5] == p.Labels[i+1][:len(p.Labels[i+1])-5] {
+			continue
+		}
+		_ = i
+	}
+	for i := range res.X {
+		for j := range res.X {
+			if i < j && res.X[i] > 1.2*res.X[j]+0.5 {
+				asym = true
+			}
+		}
+	}
+	if !asym {
+		t.Log("warning: no asymmetric device sizing observed (not fatal)")
+	}
+}

@@ -1,0 +1,263 @@
+// Package dag builds the sizing DAG the optimizer operates on
+// (paper §2.1–2.2): one vertex per sizing variable (gate in gate-sizing
+// mode, transistor in transistor-sizing mode), plus vertices for the
+// primary inputs and a single dummy sink O collecting all primary
+// outputs (Corollary 1), and the dummy-vertex augmentation used by the
+// D-phase (Figure 5).
+package dag
+
+import (
+	"fmt"
+
+	"minflo/internal/cell"
+	"minflo/internal/circuit"
+	"minflo/internal/delay"
+	"minflo/internal/graph"
+)
+
+// VertexKind classifies vertices of the sizing DAG.
+type VertexKind int8
+
+const (
+	// KindSizable vertices carry a sizing variable and a delay.
+	KindSizable VertexKind = iota
+	// KindPI vertices model primary inputs (zero delay, pinned in the
+	// D-phase).
+	KindPI
+	// KindSink is the dummy output collector O (zero delay, pinned).
+	KindSink
+	// KindDummy marks D-phase dummy vertices Dmy(i) in augmented graphs.
+	KindDummy
+)
+
+// Problem is a sizing problem instance: the DAG, the simple-monotonic
+// delay coefficients of every sizable vertex, area weights, and bounds.
+type Problem struct {
+	Name string
+	// G has vertices [0,NumSizable) sizable, then PIs, then the sink.
+	G          *graph.Digraph
+	Kind       []VertexKind
+	NumSizable int
+	Sink       int
+	PIs        []int
+	// Coeffs[i] describes delay(i); Term.J indexes sizable vertices.
+	Coeffs []delay.Coeffs
+	// AreaW[i] is the area weight of sizable vertex i (area = Σ w_i·x_i).
+	AreaW            []float64
+	MinSize, MaxSize float64
+	Labels           []string
+
+	topo []int // cached topological order of G
+}
+
+// GateLevel builds the gate-sizing problem for a circuit: one sizable
+// vertex per gate with equivalent-inverter Elmore coefficients.
+func GateLevel(c *circuit.Circuit, m *delay.Model) (*Problem, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	// A gate driving nothing has no x-dependent delay (its budget would
+	// equal its intrinsic delay exactly, making eq. 6 singular); such
+	// netlists are malformed for sizing purposes.
+	fan, po := c.Fanouts()
+	for gi := range c.Gates {
+		if len(fan[gi])+po[gi] == 0 {
+			return nil, fmt.Errorf("dag: gate %q drives neither a gate nor a PO", c.Gates[gi].Name)
+		}
+	}
+	coeffs, err := m.GateCoeffs(c)
+	if err != nil {
+		return nil, err
+	}
+	n := c.NumGates()
+	g := graph.New(n + c.NumPIs() + 1)
+	sink := n + c.NumPIs()
+	kind := make([]VertexKind, g.N())
+	labels := make([]string, g.N())
+	pis := make([]int, c.NumPIs())
+	for i := 0; i < n; i++ {
+		kind[i] = KindSizable
+		labels[i] = c.Gates[i].Name
+	}
+	for i := 0; i < c.NumPIs(); i++ {
+		v := n + i
+		kind[v] = KindPI
+		labels[v] = c.PIs[i]
+		pis[i] = v
+	}
+	kind[sink] = KindSink
+	labels[sink] = "$O"
+
+	seen := make(map[[2]int]bool)
+	addEdge := func(u, v int) {
+		key := [2]int{u, v}
+		if !seen[key] {
+			seen[key] = true
+			g.AddEdge(u, v)
+		}
+	}
+	for gi := range c.Gates {
+		for _, in := range c.Gates[gi].Ins {
+			if in.Kind == circuit.RefPI {
+				addEdge(n+in.Index, gi)
+			} else {
+				addEdge(in.Index, gi)
+			}
+		}
+	}
+	for _, po := range c.POs {
+		if po.Kind == circuit.RefPI {
+			addEdge(n+po.Index, sink)
+		} else {
+			addEdge(po.Index, sink)
+		}
+	}
+
+	areaW := make([]float64, n)
+	for gi := range c.Gates {
+		areaW[gi] = cell.Get(c.Gates[gi].Kind).UnitArea
+	}
+	p := &Problem{
+		Name:       c.Name,
+		G:          g,
+		Kind:       kind,
+		NumSizable: n,
+		Sink:       sink,
+		PIs:        pis,
+		Coeffs:     coeffs,
+		AreaW:      areaW,
+		MinSize:    m.Tech.MinSize,
+		MaxSize:    m.Tech.MaxSize,
+		Labels:     labels,
+	}
+	if p.topo, err = g.TopoOrder(); err != nil {
+		return nil, fmt.Errorf("dag: %w", err)
+	}
+	return p, nil
+}
+
+// Topo returns the cached topological order of G.
+func (p *Problem) Topo() []int { return p.topo }
+
+// InitialSizes returns the all-minimum size vector.
+func (p *Problem) InitialSizes() []float64 {
+	x := make([]float64, p.NumSizable)
+	for i := range x {
+		x[i] = p.MinSize
+	}
+	return x
+}
+
+// Delays returns the per-vertex delay vector over all of G's vertices
+// (zero for PI/sink vertices).
+func (p *Problem) Delays(x []float64) []float64 {
+	d := make([]float64, p.G.N())
+	for i := 0; i < p.NumSizable; i++ {
+		d[i] = p.Coeffs[i].Delay(x[i], x)
+	}
+	return d
+}
+
+// Area returns Σ w_i·x_i.
+func (p *Problem) Area(x []float64) float64 {
+	var a float64
+	for i := 0; i < p.NumSizable; i++ {
+		a += p.AreaW[i] * x[i]
+	}
+	return a
+}
+
+// MinAreaValue returns the area of the all-minimum solution.
+func (p *Problem) MinAreaValue() float64 {
+	var a float64
+	for i := 0; i < p.NumSizable; i++ {
+		a += p.AreaW[i] * p.MinSize
+	}
+	return a
+}
+
+// ApplyToCircuit writes a gate-level size vector back into the circuit.
+func (p *Problem) ApplyToCircuit(c *circuit.Circuit, x []float64) error {
+	if p.NumSizable != c.NumGates() {
+		return fmt.Errorf("dag: %d sizable vertices but %d gates", p.NumSizable, c.NumGates())
+	}
+	c.SetSizes(x[:p.NumSizable])
+	return nil
+}
+
+// Validate checks invariants: DAG-ness, kinds, coefficient sanity.
+func (p *Problem) Validate() error {
+	if !p.G.IsDAG() {
+		return fmt.Errorf("dag: graph has a cycle")
+	}
+	if len(p.Coeffs) != p.NumSizable || len(p.AreaW) != p.NumSizable {
+		return fmt.Errorf("dag: coefficient/area arrays mismatch NumSizable")
+	}
+	for i := range p.Coeffs {
+		if err := p.Coeffs[i].Validate(); err != nil {
+			return fmt.Errorf("dag: vertex %d (%s): %w", i, p.Labels[i], err)
+		}
+		for _, t := range p.Coeffs[i].Terms {
+			if t.J < 0 || t.J >= p.NumSizable {
+				return fmt.Errorf("dag: vertex %d couples to non-sizable %d", i, t.J)
+			}
+		}
+	}
+	for i := 0; i < p.NumSizable; i++ {
+		if p.Kind[i] != KindSizable {
+			return fmt.Errorf("dag: vertex %d should be sizable", i)
+		}
+	}
+	if p.Kind[p.Sink] != KindSink {
+		return fmt.Errorf("dag: sink kind wrong")
+	}
+	return nil
+}
+
+// Augmented is the D-phase graph: every sizable vertex i gains a dummy
+// vertex Dmy(i) placed on its output; all former fanout edges of i are
+// re-rooted at Dmy(i) (paper Figure 5).
+type Augmented struct {
+	Base *Problem
+	G    *graph.Digraph
+	Kind []VertexKind
+	// DmyOf[i] is the dummy vertex of sizable vertex i.
+	DmyOf []int
+	// SelfEdge[i] is the edge id of i→Dmy(i).
+	SelfEdge []int
+}
+
+// Augment constructs the dummy-augmented graph.
+func (p *Problem) Augment() *Augmented {
+	n := p.G.N()
+	g := graph.New(n + p.NumSizable)
+	kind := make([]VertexKind, g.N())
+	copy(kind, p.Kind)
+	dmy := make([]int, p.NumSizable)
+	self := make([]int, p.NumSizable)
+	for i := 0; i < p.NumSizable; i++ {
+		dmy[i] = n + i
+		kind[n+i] = KindDummy
+	}
+	for i := 0; i < p.NumSizable; i++ {
+		self[i] = g.AddEdge(i, dmy[i])
+	}
+	for _, e := range p.G.Edges() {
+		from := e.From
+		if from < p.NumSizable {
+			from = dmy[from] // re-root at the dummy
+		}
+		g.AddEdge(from, e.To)
+	}
+	return &Augmented{Base: p, G: g, Kind: kind, DmyOf: dmy, SelfEdge: self}
+}
+
+// Delays returns the augmented-graph delay vector (dummies have zero
+// delay).
+func (a *Augmented) Delays(x []float64) []float64 {
+	d := make([]float64, a.G.N())
+	for i := 0; i < a.Base.NumSizable; i++ {
+		d[i] = a.Base.Coeffs[i].Delay(x[i], x)
+	}
+	return d
+}

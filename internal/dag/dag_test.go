@@ -1,0 +1,187 @@
+package dag
+
+import (
+	"strings"
+	"testing"
+
+	"minflo/internal/cell"
+	"minflo/internal/circuit"
+	"minflo/internal/delay"
+	"minflo/internal/gen"
+	"minflo/internal/tech"
+)
+
+func model() *delay.Model { return delay.NewModel(tech.Default013()) }
+
+func TestGateLevelStructure(t *testing.T) {
+	c := gen.C17()
+	p, err := GateLevel(c, model())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.NumSizable != 6 {
+		t.Fatalf("sizable %d", p.NumSizable)
+	}
+	if p.G.N() != 6+5+1 {
+		t.Fatalf("vertices %d, want 12", p.G.N())
+	}
+	if len(p.PIs) != 5 {
+		t.Fatalf("PIs %d", len(p.PIs))
+	}
+	if p.Kind[p.Sink] != KindSink {
+		t.Fatal("sink kind")
+	}
+	for _, pi := range p.PIs {
+		if p.Kind[pi] != KindPI {
+			t.Fatal("PI kind")
+		}
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Two POs -> two edges into the sink.
+	if got := p.G.InDegree(p.Sink); got != 2 {
+		t.Fatalf("sink in-degree %d, want 2", got)
+	}
+}
+
+func TestGateLevelRejectsDangling(t *testing.T) {
+	c := circuit.New("dangle")
+	a := c.AddPI("a")
+	g1 := c.AddGate("g1", cell.Inv, a)
+	c.AddGate("g2", cell.Inv, a) // drives nothing
+	c.MarkPO(g1)
+	_, err := GateLevel(c, model())
+	if err == nil || !strings.Contains(err.Error(), "drives neither") {
+		t.Fatalf("expected dangling error, got %v", err)
+	}
+}
+
+func TestDelaysVectorShape(t *testing.T) {
+	p, err := GateLevel(gen.C17(), model())
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := p.Delays(p.InitialSizes())
+	if len(d) != p.G.N() {
+		t.Fatalf("delay vector %d", len(d))
+	}
+	for i := 0; i < p.NumSizable; i++ {
+		if d[i] <= 0 {
+			t.Fatalf("gate %d has non-positive delay", i)
+		}
+	}
+	for i := p.NumSizable; i < p.G.N(); i++ {
+		if d[i] != 0 {
+			t.Fatalf("non-sizable vertex %d has delay %g", i, d[i])
+		}
+	}
+}
+
+func TestAreaAccounting(t *testing.T) {
+	p, err := GateLevel(gen.C17(), model())
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := p.InitialSizes()
+	if a, want := p.Area(x), p.MinAreaValue(); a != want {
+		t.Fatalf("area %g != min %g", a, want)
+	}
+	x[0] = 2
+	if p.Area(x) <= p.MinAreaValue() {
+		t.Fatal("area did not grow")
+	}
+}
+
+func TestApplyToCircuit(t *testing.T) {
+	c := gen.C17()
+	p, err := GateLevel(c, model())
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := p.InitialSizes()
+	x[3] = 4.5
+	if err := p.ApplyToCircuit(c, x); err != nil {
+		t.Fatal(err)
+	}
+	if c.Gates[3].Size != 4.5 {
+		t.Fatal("size not applied")
+	}
+}
+
+func TestAugment(t *testing.T) {
+	p, err := GateLevel(gen.C17(), model())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := p.Augment()
+	if a.G.N() != p.G.N()+p.NumSizable {
+		t.Fatalf("augmented vertices %d", a.G.N())
+	}
+	if a.G.M() != p.G.M()+p.NumSizable {
+		t.Fatalf("augmented edges %d, want %d", a.G.M(), p.G.M()+p.NumSizable)
+	}
+	// Every sizable vertex now has exactly one outgoing edge: to its dummy.
+	for i := 0; i < p.NumSizable; i++ {
+		if a.G.OutDegree(i) != 1 {
+			t.Fatalf("vertex %d out-degree %d after augmentation", i, a.G.OutDegree(i))
+		}
+		e := a.G.Edge(a.G.Out(i)[0])
+		if e.To != a.DmyOf[i] {
+			t.Fatalf("vertex %d does not point at its dummy", i)
+		}
+		if a.Kind[a.DmyOf[i]] != KindDummy {
+			t.Fatal("dummy kind wrong")
+		}
+		if a.G.Edge(a.SelfEdge[i]).From != i {
+			t.Fatal("self edge bookkeeping wrong")
+		}
+	}
+	// Former fanout edges must now leave the dummies.
+	for _, e := range a.G.Edges() {
+		if e.From < p.NumSizable && e.To != a.DmyOf[e.From] {
+			t.Fatalf("sizable %d still has direct fanout to %d", e.From, e.To)
+		}
+	}
+	if !a.G.IsDAG() {
+		t.Fatal("augmented graph not a DAG")
+	}
+	// Delay vector: dummies zero.
+	d := a.Delays(p.InitialSizes())
+	for i := p.G.N(); i < a.G.N(); i++ {
+		if d[i] != 0 {
+			t.Fatal("dummy has delay")
+		}
+	}
+}
+
+func TestValidateCatchesBadCoupling(t *testing.T) {
+	p, err := GateLevel(gen.C17(), model())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Coeffs[0].Terms = append(p.Coeffs[0].Terms, delay.Term{J: 999, A: 1})
+	if err := p.Validate(); err == nil {
+		t.Fatal("out-of-range coupling accepted")
+	}
+}
+
+func TestTopoCached(t *testing.T) {
+	p, err := GateLevel(gen.RippleAdder(4, gen.FAXor), model())
+	if err != nil {
+		t.Fatal(err)
+	}
+	order := p.Topo()
+	if len(order) != p.G.N() {
+		t.Fatalf("topo length %d", len(order))
+	}
+	pos := make([]int, p.G.N())
+	for i, v := range order {
+		pos[v] = i
+	}
+	for _, e := range p.G.Edges() {
+		if pos[e.From] >= pos[e.To] {
+			t.Fatal("cached topo order invalid")
+		}
+	}
+}

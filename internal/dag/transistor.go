@@ -1,0 +1,381 @@
+// Transistor-level problem construction (paper §2.1–2.2, Figures 1–2):
+// one DAG vertex per transistor, edges directed from the transistor
+// higher up in the charging/discharging path to the one lower down,
+// per-gate pull-up and pull-down components, and inter-gate edges from
+// the leaf vertices of one gate's network to the root vertices of the
+// opposite-polarity network components of the driven gate.
+package dag
+
+import (
+	"fmt"
+
+	"minflo/internal/cell"
+	"minflo/internal/circuit"
+	"minflo/internal/delay"
+	"minflo/internal/graph"
+)
+
+// xtor describes one transistor vertex during construction.
+type xtor struct {
+	gate   int  // owning gate
+	pin    int  // input pin index gating this device
+	pmos   bool // pull-up network member
+	vertex int  // vertex id in the problem graph
+}
+
+// netInfo holds the flattened structure of one pull network instance.
+type netInfo struct {
+	paths  [][]int // conduction paths as vertex ids, output side first
+	roots  []int   // vertices adjacent to the gate output
+	leaves []int   // vertices adjacent to the supply rail
+	comp   map[int]int
+	all    []int
+}
+
+// flatten expands a series/parallel network into conduction paths over
+// freshly allocated vertex ids.  alloc is called once per transistor
+// leaf and returns its vertex id.
+func flatten(n *cell.Network, alloc func(pin int) int) *netInfo {
+	paths := enumerate(n, alloc)
+	info := &netInfo{paths: paths}
+	seenRoot := map[int]bool{}
+	seenLeaf := map[int]bool{}
+	seenAll := map[int]bool{}
+	for _, p := range paths {
+		if !seenRoot[p[0]] {
+			seenRoot[p[0]] = true
+			info.roots = append(info.roots, p[0])
+		}
+		last := p[len(p)-1]
+		if !seenLeaf[last] {
+			seenLeaf[last] = true
+			info.leaves = append(info.leaves, last)
+		}
+		for _, v := range p {
+			if !seenAll[v] {
+				seenAll[v] = true
+				info.all = append(info.all, v)
+			}
+		}
+	}
+	// Connected components via union-find over path adjacency.
+	parent := map[int]int{}
+	var find func(int) int
+	find = func(v int) int {
+		if parent[v] == v {
+			return v
+		}
+		parent[v] = find(parent[v])
+		return parent[v]
+	}
+	for _, v := range info.all {
+		parent[v] = v
+	}
+	for _, p := range paths {
+		for i := 0; i+1 < len(p); i++ {
+			parent[find(p[i])] = find(p[i+1])
+		}
+	}
+	info.comp = map[int]int{}
+	for _, v := range info.all {
+		info.comp[v] = find(v)
+	}
+	return info
+}
+
+// enumerate returns the conduction paths of the network with vertices
+// allocated once per leaf (shared across the paths that reuse a leaf).
+func enumerate(n *cell.Network, alloc func(pin int) int) [][]int {
+	switch n.Op {
+	case cell.Leaf:
+		return [][]int{{alloc(n.Pin)}}
+	case cell.Parallel:
+		var out [][]int
+		for _, k := range n.Kids {
+			out = append(out, enumerate(k, alloc)...)
+		}
+		return out
+	case cell.Series:
+		// Cross product, child 0 nearest the output.
+		acc := [][]int{nil}
+		for _, k := range n.Kids {
+			sub := enumerate(k, alloc)
+			var next [][]int
+			for _, a := range acc {
+				for _, s := range sub {
+					path := append(append([]int{}, a...), s...)
+					next = append(next, path)
+				}
+			}
+			acc = next
+		}
+		return acc
+	}
+	panic("dag: bad network op")
+}
+
+// TransistorLevel builds the true transistor-sizing problem: every
+// transistor is an independent sizing variable (paper §2.1).
+func TransistorLevel(c *circuit.Circuit, m *delay.Model) (*Problem, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	if err := m.Tech.Validate(); err != nil {
+		return nil, err
+	}
+	fan, poCount := c.Fanouts()
+	for gi := range c.Gates {
+		if len(fan[gi])+poCount[gi] == 0 {
+			return nil, fmt.Errorf("dag: gate %q drives neither a gate nor a PO", c.Gates[gi].Name)
+		}
+	}
+
+	var devices []xtor
+	labels := []string{}
+	pulldown := make([]*netInfo, c.NumGates())
+	pullup := make([]*netInfo, c.NumGates())
+	// Pin-indexed transistor lists per gate (for load coupling and
+	// inter-gate edges).
+	pinDevs := make([][][]int, c.NumGates()) // gate -> pin -> vertex ids
+	for gi := range c.Gates {
+		cc := cell.Get(c.Gates[gi].Kind)
+		pinDevs[gi] = make([][]int, cc.NumInputs)
+		mk := func(pmos bool) func(pin int) int {
+			return func(pin int) int {
+				v := len(devices)
+				devices = append(devices, xtor{gate: gi, pin: pin, pmos: pmos, vertex: v})
+				side := "n"
+				if pmos {
+					side = "p"
+				}
+				labels = append(labels, fmt.Sprintf("%s.%s%d.%d", c.Gates[gi].Name, side, pin, len(pinDevs[gi][pin])))
+				pinDevs[gi][pin] = append(pinDevs[gi][pin], v)
+				return v
+			}
+		}
+		pulldown[gi] = flatten(cc.Pulldown, mk(false))
+		pullup[gi] = flatten(cc.Pullup, mk(true))
+	}
+	numSizable := len(devices)
+
+	g := graph.New(numSizable + c.NumPIs() + 1)
+	sink := numSizable + c.NumPIs()
+	kind := make([]VertexKind, g.N())
+	pis := make([]int, c.NumPIs())
+	for i := 0; i < numSizable; i++ {
+		kind[i] = KindSizable
+	}
+	for i := 0; i < c.NumPIs(); i++ {
+		v := numSizable + i
+		kind[v] = KindPI
+		labels = append(labels, c.PIs[i])
+		pis[i] = v
+	}
+	kind[sink] = KindSink
+	labels = append(labels, "$O")
+
+	seen := map[[2]int]bool{}
+	addEdge := func(u, v int) {
+		k := [2]int{u, v}
+		if !seen[k] && u != v {
+			seen[k] = true
+			g.AddEdge(u, v)
+		}
+	}
+
+	// Intra-gate edges: consecutive transistors along each conduction
+	// path, directed output side → rail side.
+	for gi := range c.Gates {
+		for _, net := range []*netInfo{pulldown[gi], pullup[gi]} {
+			for _, p := range net.paths {
+				for i := 0; i+1 < len(p); i++ {
+					addEdge(p[i], p[i+1])
+				}
+			}
+		}
+	}
+
+	// rootsForPin returns the roots of the components of net containing
+	// a transistor gated by pin p.
+	rootsForPin := func(net *netInfo, gi, pin int) []int {
+		var comps = map[int]bool{}
+		for _, v := range pinDevs[gi][pin] {
+			if cmp, ok := net.comp[v]; ok {
+				comps[cmp] = true
+			}
+		}
+		var out []int
+		for _, r := range net.roots {
+			if comps[net.comp[r]] {
+				out = append(out, r)
+			}
+		}
+		return out
+	}
+
+	// Inter-gate and PI edges.
+	for gi := range c.Gates {
+		for pin, in := range c.Gates[gi].Ins {
+			switch in.Kind {
+			case circuit.RefPI:
+				for _, r := range rootsForPin(pulldown[gi], gi, pin) {
+					addEdge(pis[in.Index], r)
+				}
+				for _, r := range rootsForPin(pullup[gi], gi, pin) {
+					addEdge(pis[in.Index], r)
+				}
+			case circuit.RefGate:
+				src := in.Index
+				// Falling source output (pulldown leaves) drives the
+				// pull-up of this gate; rising drives the pulldown.
+				for _, leaf := range pulldown[src].leaves {
+					for _, r := range rootsForPin(pullup[gi], gi, pin) {
+						addEdge(leaf, r)
+					}
+				}
+				for _, leaf := range pullup[src].leaves {
+					for _, r := range rootsForPin(pulldown[gi], gi, pin) {
+						addEdge(leaf, r)
+					}
+				}
+			}
+		}
+	}
+	for _, po := range c.POs {
+		if po.Kind == circuit.RefPI {
+			addEdge(pis[po.Index], sink)
+			continue
+		}
+		for _, leaf := range pulldown[po.Index].leaves {
+			addEdge(leaf, sink)
+		}
+		for _, leaf := range pullup[po.Index].leaves {
+			addEdge(leaf, sink)
+		}
+	}
+
+	// Delay coefficients.  For transistor τ at position k of its worst
+	// conduction path, delay(τ) = R_τ/x_τ · Σ_{i≤k} Cap(node_i), where
+	// node_0 is the gate output and node_i sits between path positions
+	// i−1 and i.  Self-caps become constants (the paper's "+3AB" trick).
+	p := &Problem{
+		Name:       c.Name + "+transistors",
+		G:          g,
+		Kind:       kind,
+		NumSizable: numSizable,
+		Sink:       sink,
+		PIs:        pis,
+		Coeffs:     make([]delay.Coeffs, numSizable),
+		AreaW:      make([]float64, numSizable),
+		MinSize:    m.Tech.MinSize,
+		MaxSize:    m.Tech.MaxSize,
+		Labels:     labels,
+	}
+	for i := range p.AreaW {
+		p.AreaW[i] = 1 // the paper's objective: Σ x_i over transistors
+	}
+
+	for gi := range c.Gates {
+		// Output-node load shared by both networks:
+		//   drains of all roots + wire/PO constants + fanout gate caps.
+		var outTerms []delay.Term
+		var outConst float64
+		for _, net := range []*netInfo{pulldown[gi], pullup[gi]} {
+			for _, r := range net.roots {
+				outTerms = append(outTerms, delay.Term{J: r, A: m.Tech.CDiff})
+			}
+		}
+		outConst += m.Tech.CWire * float64(len(fan[gi])+poCount[gi])
+		outConst += m.POLoad * float64(poCount[gi])
+		for _, h := range fan[gi] {
+			for pin, in := range c.Gates[h].Ins {
+				if in.Kind == circuit.RefGate && in.Index == gi {
+					for _, v := range pinDevs[h][pin] {
+						outTerms = append(outTerms, delay.Term{J: v, A: m.Tech.CGate})
+					}
+				}
+			}
+		}
+
+		for _, net := range []*netInfo{pulldown[gi], pullup[gi]} {
+			assignNetCoeffs(p, m, net, outTerms, outConst, devices)
+		}
+	}
+
+	topo, err := g.TopoOrder()
+	if err != nil {
+		return nil, fmt.Errorf("dag: transistor DAG cyclic: %w", err)
+	}
+	p.topo = topo
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// assignNetCoeffs fills the Coeffs of every transistor in the network.
+// For transistors on several conduction paths, the path with the larger
+// minimum-size delay wins (worst case, fixed coefficient structure).
+func assignNetCoeffs(p *Problem, m *delay.Model, net *netInfo, outTerms []delay.Term, outConst float64, devices []xtor) {
+	type cand struct {
+		coeff delay.Coeffs
+		score float64
+	}
+	best := map[int]cand{}
+	for _, path := range net.paths {
+		// Accumulate cap terms from the output node downward.
+		cum := append([]delay.Term{}, outTerms...)
+		cumConst := outConst
+		for k, v := range path {
+			if k > 0 {
+				// node_k between path[k-1] and path[k]: source of upper,
+				// drain of lower.
+				cum = append(cum, delay.Term{J: path[k-1], A: m.Tech.CDiff})
+				cum = append(cum, delay.Term{J: v, A: m.Tech.CDiff})
+			}
+			rho := m.Tech.RUnit
+			if devices[v].pmos {
+				rho *= m.Tech.PMOSRatio
+			}
+			var k2 delay.Coeffs
+			for _, t := range cum {
+				if t.J == v {
+					// Own cap: R/x · C·x = constant.
+					k2.Self += rho * t.A
+					continue
+				}
+				k2.Terms = append(k2.Terms, delay.Term{J: t.J, A: rho * t.A})
+			}
+			k2.Const = rho * cumConst
+			k2.Terms = mergeTerms(k2.Terms)
+			// Score at all-minimum sizes.
+			score := k2.Self + k2.Const/p.MinSize
+			for _, t := range k2.Terms {
+				score += t.A
+			}
+			if prev, ok := best[v]; !ok || score > prev.score {
+				best[v] = cand{coeff: k2, score: score}
+			}
+		}
+	}
+	for v, c := range best {
+		p.Coeffs[v] = c.coeff
+	}
+}
+
+// mergeTerms combines duplicate couplings to the same variable.
+func mergeTerms(terms []delay.Term) []delay.Term {
+	sum := map[int]float64{}
+	order := []int{}
+	for _, t := range terms {
+		if _, ok := sum[t.J]; !ok {
+			order = append(order, t.J)
+		}
+		sum[t.J] += t.A
+	}
+	out := make([]delay.Term, 0, len(order))
+	for _, j := range order {
+		out = append(out, delay.Term{J: j, A: sum[j]})
+	}
+	return out
+}

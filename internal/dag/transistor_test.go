@@ -1,0 +1,196 @@
+package dag
+
+import (
+	"testing"
+
+	"minflo/internal/cell"
+	"minflo/internal/circuit"
+	"minflo/internal/gen"
+	"minflo/internal/sta"
+)
+
+// nand3Chain: two 3-input NANDs in series — the paper's Figure 2.
+func nand3Chain() *circuit.Circuit {
+	c := circuit.New("fig2")
+	a := c.AddPI("a")
+	b := c.AddPI("b")
+	d := c.AddPI("d")
+	g1 := c.AddGate("g1", cell.Nand3, a, b, d)
+	g2 := c.AddGate("g2", cell.Nand3, g1, b, d)
+	c.MarkPO(g2)
+	return c
+}
+
+func TestTransistorLevelFigure2(t *testing.T) {
+	c := nand3Chain()
+	p, err := TransistorLevel(c, model())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two NAND3s: 6 transistors each.
+	if p.NumSizable != 12 {
+		t.Fatalf("sizable %d, want 12", p.NumSizable)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// The NAND3 pulldown is a 3-stack: a 2-edge chain per gate; the
+	// pullup is parallel: no intra edges.  Inter-gate: pulldown leaf of
+	// g1 → pullup roots of g2 (3 of them, all parallel PMOS roots
+	// gated by pin 0... only those components containing pin 0).
+	// Just verify global structure: DAG, single sink reachable.
+	if !p.G.IsDAG() {
+		t.Fatal("not a DAG")
+	}
+	co := p.G.CoReachable([]int{p.Sink})
+	for _, pi := range p.PIs {
+		if !co[pi] {
+			t.Fatalf("PI %d cannot reach the sink", pi)
+		}
+	}
+	// Worst-case gate delay must match the full Elmore sum: the path
+	// through the pulldown stack has 3 vertices whose delays sum to the
+	// three-term expression of eq. (3).  Sanity: every pulldown vertex
+	// of g1 has positive delay; the stack root carries the fanout load
+	// coupling terms.
+	x := p.InitialSizes()
+	d := p.Delays(x)
+	for i := 0; i < p.NumSizable; i++ {
+		if d[i] <= 0 {
+			t.Fatalf("transistor %s has non-positive delay", p.Labels[i])
+		}
+	}
+}
+
+func TestTransistorLevelElmoreByHand(t *testing.T) {
+	// Single inverter driving a PO: delay(n0) = R·(Cd·(x_n0+x_p0) +
+	// wire + POLoad)/x ... self terms fold to constants.
+	c := circuit.New("inv1")
+	a := c.AddPI("a")
+	g1 := c.AddGate("g1", cell.Inv, a)
+	c.MarkPO(g1)
+	m := model()
+	p, err := TransistorLevel(c, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.NumSizable != 2 {
+		t.Fatalf("inverter has %d devices", p.NumSizable)
+	}
+	// NMOS vertex 0: Self = R·Cd (own drain), one coupling to the PMOS
+	// drain, Const = R·(wire + POLoad).
+	k := p.Coeffs[0]
+	r := m.Tech.RUnit
+	if k.Self != r*m.Tech.CDiff {
+		t.Errorf("NMOS Self = %g, want %g", k.Self, r*m.Tech.CDiff)
+	}
+	if len(k.Terms) != 1 || k.Terms[0].A != r*m.Tech.CDiff {
+		t.Errorf("NMOS terms %v", k.Terms)
+	}
+	wantConst := r * (m.Tech.CWire + m.POLoad)
+	if k.Const != wantConst {
+		t.Errorf("NMOS const %g, want %g", k.Const, wantConst)
+	}
+	// PMOS vertex: same structure scaled by PMOSRatio.
+	k2 := p.Coeffs[1]
+	if k2.Self != r*m.Tech.PMOSRatio*m.Tech.CDiff {
+		t.Errorf("PMOS Self = %g", k2.Self)
+	}
+}
+
+func TestTransistorLevelStackCoefficients(t *testing.T) {
+	// NAND2 driving a PO: pulldown stack n1(root)-n0(rail).  The rail
+	// transistor's delay must include the internal node cap (both stack
+	// devices) AND the output node caps — eq. (3)'s x1 term.
+	c := circuit.New("nand2")
+	a := c.AddPI("a")
+	b := c.AddPI("b")
+	g1 := c.AddGate("g1", cell.Nand2, a, b)
+	c.MarkPO(g1)
+	m := model()
+	p, err := TransistorLevel(c, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Find pulldown root and leaf: the intra-gate edge runs root→leaf.
+	var root, leaf = -1, -1
+	for _, e := range p.G.Edges() {
+		if e.From < p.NumSizable && e.To < p.NumSizable {
+			root, leaf = e.From, e.To
+		}
+	}
+	if root == -1 {
+		t.Fatal("no intra-gate edge found")
+	}
+	// Leaf (rail side) sees more capacitance than root: its coefficient
+	// sum must be strictly larger at equal sizes.
+	x := p.InitialSizes()
+	if p.Coeffs[leaf].Delay(1, x) <= p.Coeffs[root].Delay(1, x) {
+		t.Errorf("rail transistor delay %g not above root %g (Elmore ladder violated)",
+			p.Coeffs[leaf].Delay(1, x), p.Coeffs[root].Delay(1, x))
+	}
+}
+
+func TestTransistorLevelWorstGateDelayMatchesElmore(t *testing.T) {
+	// For the Figure-2 chain, the DAG's critical path delay through a
+	// gate's pulldown equals the sum of the stack's per-vertex delays
+	// (the full Elmore delay of the discharging path).
+	c := nand3Chain()
+	p, err := TransistorLevel(c, model())
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := p.InitialSizes()
+	d := p.Delays(x)
+	tm, err := sta.Analyze(p.G, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tm.CP <= 0 {
+		t.Fatal("zero critical path")
+	}
+	if !tm.Safe(1e-9) {
+		t.Fatal("fresh analysis unsafe")
+	}
+}
+
+func TestTransistorLevelOnXorAoi(t *testing.T) {
+	// Cells with parallel-of-series networks (XOR2, AOI21) must build
+	// valid problems too.
+	c := circuit.New("mixed")
+	a := c.AddPI("a")
+	b := c.AddPI("b")
+	d := c.AddPI("d")
+	x1 := c.AddGate("x1", cell.Xor2, a, b)
+	o1 := c.AddGate("o1", cell.Aoi21, x1, b, d)
+	c.MarkPO(o1)
+	p, err := TransistorLevel(c, model())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// XOR2: 4+4 devices; AOI21: 3+3.
+	if p.NumSizable != 8+6 {
+		t.Fatalf("device count %d, want 14", p.NumSizable)
+	}
+}
+
+func TestTransistorLevelC17(t *testing.T) {
+	p, err := TransistorLevel(gen.C17(), model())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 6 NAND2 gates: 4 transistors each.
+	if p.NumSizable != 24 {
+		t.Fatalf("device count %d, want 24", p.NumSizable)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Area weights: Σ x_i with unit weights.
+	if a := p.Area(p.InitialSizes()); a != 24 {
+		t.Fatalf("min area %g, want 24", a)
+	}
+}

@@ -1,0 +1,200 @@
+// Wire sizing support (paper §2.1): "if wire sizing were also to be
+// performed together with transistor sizing, then we could model the
+// problem by augmenting the DAG corresponding to a gate by adding
+// vertices corresponding to each wire."  Every gate→gate connection
+// gains a sizable wire vertex; its width scales the wire's capacitance
+// up (loading the driver) and its resistance down (speeding its own
+// stage), giving the same simple monotonic shape as a transistor.
+package dag
+
+import (
+	"fmt"
+
+	"minflo/internal/cell"
+	"minflo/internal/circuit"
+	"minflo/internal/delay"
+	"minflo/internal/graph"
+)
+
+// WireParams describes the sizable-wire model.
+type WireParams struct {
+	// RUnit is the resistance of a unit-width wire segment (kΩ); a
+	// width-w wire has resistance RUnit/w.
+	RUnit float64
+	// CUnit is the capacitance a unit-width wire adds to its driver
+	// (fF); a width-w wire carries CUnit·w.
+	CUnit float64
+	// CFringe is the width-independent fringing capacitance the wire
+	// itself must drive in addition to the sink's input cap. (fF)
+	CFringe float64
+	// AreaWeight is the area cost per unit wire width, in the same
+	// units as transistor widths (metal is cheaper than silicon).
+	AreaWeight float64
+}
+
+// DefaultWireParams returns a plausible global-wire model.
+func DefaultWireParams() WireParams {
+	return WireParams{RUnit: 4.0, CUnit: 3.0, CFringe: 2.0, AreaWeight: 0.25}
+}
+
+// Validate checks the wire model.
+func (w WireParams) Validate() error {
+	if w.RUnit <= 0 || w.CUnit <= 0 || w.CFringe < 0 || w.AreaWeight <= 0 {
+		return fmt.Errorf("dag: invalid wire params %+v", w)
+	}
+	return nil
+}
+
+// GateLevelWithWires builds a joint gate+wire sizing problem: one
+// sizable vertex per gate plus one per gate→gate connection.  Vertex
+// layout: [gates][wires][PIs][sink].  WireOf maps a connection (driver
+// gate, sink gate, pin) to its wire vertex.
+type WiredProblem struct {
+	*Problem
+	// NumGates is the count of gate vertices (wire vertices follow).
+	NumGates int
+	// WireLabel[i] describes wire vertex NumGates+i.
+	WireLabel []string
+}
+
+// GateLevelWithWires constructs the joint problem.
+func GateLevelWithWires(c *circuit.Circuit, m *delay.Model, wp WireParams) (*WiredProblem, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	if err := m.Tech.Validate(); err != nil {
+		return nil, err
+	}
+	if err := wp.Validate(); err != nil {
+		return nil, err
+	}
+	fan, poCount := c.Fanouts()
+	for gi := range c.Gates {
+		if len(fan[gi])+poCount[gi] == 0 {
+			return nil, fmt.Errorf("dag: gate %q drives neither a gate nor a PO", c.Gates[gi].Name)
+		}
+	}
+	nG := c.NumGates()
+	// One wire per gate→gate pin connection.
+	type conn struct{ src, dst, pin int }
+	var wires []conn
+	for gi := range c.Gates {
+		for pin, in := range c.Gates[gi].Ins {
+			if in.Kind == circuit.RefGate {
+				wires = append(wires, conn{in.Index, gi, pin})
+			}
+		}
+	}
+	nW := len(wires)
+	g := graph.New(nG + nW + c.NumPIs() + 1)
+	sink := nG + nW + c.NumPIs()
+	kind := make([]VertexKind, g.N())
+	labels := make([]string, g.N())
+	pis := make([]int, c.NumPIs())
+	for i := 0; i < nG+nW; i++ {
+		kind[i] = KindSizable
+	}
+	for gi := range c.Gates {
+		labels[gi] = c.Gates[gi].Name
+	}
+	wireLabels := make([]string, nW)
+	for wi, w := range wires {
+		labels[nG+wi] = fmt.Sprintf("w:%s->%s.%d", c.Gates[w.src].Name, c.Gates[w.dst].Name, w.pin)
+		wireLabels[wi] = labels[nG+wi]
+	}
+	for i := 0; i < c.NumPIs(); i++ {
+		v := nG + nW + i
+		kind[v] = KindPI
+		labels[v] = c.PIs[i]
+		pis[i] = v
+	}
+	kind[sink] = KindSink
+	labels[sink] = "$O"
+
+	// Edges: PI → gate stays direct; gate → wire → gate; PO edges.
+	seen := map[[2]int]bool{}
+	addEdge := func(u, v int) {
+		k := [2]int{u, v}
+		if !seen[k] {
+			seen[k] = true
+			g.AddEdge(u, v)
+		}
+	}
+	for gi := range c.Gates {
+		for _, in := range c.Gates[gi].Ins {
+			if in.Kind == circuit.RefPI {
+				addEdge(pis[in.Index], gi)
+			}
+		}
+	}
+	for wi, w := range wires {
+		addEdge(w.src, nG+wi)
+		addEdge(nG+wi, w.dst)
+	}
+	for _, po := range c.POs {
+		if po.Kind == circuit.RefPI {
+			addEdge(pis[po.Index], sink)
+		} else {
+			addEdge(po.Index, sink)
+		}
+	}
+
+	// Coefficients.
+	coeffs := make([]delay.Coeffs, nG+nW)
+	areaW := make([]float64, nG+nW)
+	for gi := range c.Gates {
+		cc := cell.Get(c.Gates[gi].Kind)
+		r := m.Tech.RUnit * cc.Drive
+		k := delay.Coeffs{
+			Self:  r * m.Tech.CDiff * cc.Parasitic,
+			Const: r * m.POLoad * float64(poCount[gi]),
+		}
+		areaW[gi] = cc.UnitArea
+		// The driver now sees the wire caps instead of the sink gates.
+		for wi, w := range wires {
+			if w.src == gi {
+				k.Terms = append(k.Terms, delay.Term{J: nG + wi, A: r * wp.CUnit})
+			}
+		}
+		coeffs[gi] = k
+	}
+	for wi, w := range wires {
+		hc := cell.Get(c.Gates[w.dst].Kind)
+		// Wire stage: R_w/x_w drives the sink's input cap + fringe; its
+		// own distributed cap folds to a constant (½·RUnit·CUnit).
+		coeffs[nG+wi] = delay.Coeffs{
+			Self:  0.5 * wp.RUnit * wp.CUnit,
+			Terms: []delay.Term{{J: w.dst, A: wp.RUnit * m.Tech.CGate * hc.InputCap}},
+			Const: wp.RUnit * wp.CFringe,
+		}
+		areaW[nG+wi] = wp.AreaWeight
+	}
+	for i := range coeffs {
+		if err := coeffs[i].Validate(); err != nil {
+			return nil, fmt.Errorf("dag: wire problem coeff %d: %w", i, err)
+		}
+	}
+
+	p := &Problem{
+		Name:       c.Name + "+wires",
+		G:          g,
+		Kind:       kind,
+		NumSizable: nG + nW,
+		Sink:       sink,
+		PIs:        pis,
+		Coeffs:     coeffs,
+		AreaW:      areaW,
+		MinSize:    m.Tech.MinSize,
+		MaxSize:    m.Tech.MaxSize,
+		Labels:     labels,
+	}
+	topo, err := g.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	p.topo = topo
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return &WiredProblem{Problem: p, NumGates: nG, WireLabel: wireLabels}, nil
+}

@@ -1,0 +1,87 @@
+package dag
+
+import (
+	"testing"
+
+	"minflo/internal/gen"
+	"minflo/internal/sta"
+)
+
+func TestWiredProblemStructure(t *testing.T) {
+	c := gen.C17()
+	wp, err := GateLevelWithWires(c, model(), DefaultWireParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// c17: 6 gates; gate→gate connections: G16(G11), G19(G11),
+	// G22(G10,G16), G23(G16,G19) = 6 wires.
+	if wp.NumGates != 6 {
+		t.Fatalf("gates %d", wp.NumGates)
+	}
+	if wp.NumSizable != 6+6 {
+		t.Fatalf("sizable %d, want 12", wp.NumSizable)
+	}
+	if len(wp.WireLabel) != 6 {
+		t.Fatalf("wire labels %d", len(wp.WireLabel))
+	}
+	if err := wp.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Drivers couple to wires, wires couple to sinks.
+	for gi := 0; gi < wp.NumGates; gi++ {
+		for _, tm := range wp.Coeffs[gi].Terms {
+			if tm.J < wp.NumGates {
+				t.Fatalf("gate %d couples directly to gate %d (should go via wire)", gi, tm.J)
+			}
+		}
+	}
+	for wi := wp.NumGates; wi < wp.NumSizable; wi++ {
+		for _, tm := range wp.Coeffs[wi].Terms {
+			if tm.J >= wp.NumGates {
+				t.Fatalf("wire %d couples to non-gate %d", wi, tm.J)
+			}
+		}
+	}
+}
+
+func TestWiredProblemTiming(t *testing.T) {
+	c := gen.RippleAdder(4, gen.FAXor)
+	wp, err := GateLevelWithWires(c, model(), DefaultWireParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := wp.InitialSizes()
+	tm, err := sta.Analyze(wp.G, wp.Delays(x))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tm.CP <= 0 || !tm.Safe(1e-9) {
+		t.Fatalf("bad initial timing: CP=%g", tm.CP)
+	}
+	// Widening a wire must speed its own stage and slow its driver.
+	wi := wp.NumGates // first wire vertex
+	before := wp.Coeffs[wi].Delay(x[wi], x)
+	x2 := append([]float64(nil), x...)
+	x2[wi] = 4
+	after := wp.Coeffs[wi].Delay(x2[wi], x2)
+	if after >= before {
+		t.Fatalf("wider wire did not speed up: %g -> %g", before, after)
+	}
+}
+
+func TestWireParamsValidate(t *testing.T) {
+	bad := []WireParams{
+		{RUnit: 0, CUnit: 1, AreaWeight: 1},
+		{RUnit: 1, CUnit: 0, AreaWeight: 1},
+		{RUnit: 1, CUnit: 1, AreaWeight: 0},
+		{RUnit: 1, CUnit: 1, CFringe: -1, AreaWeight: 1},
+	}
+	for i, w := range bad {
+		if err := w.Validate(); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+	if err := DefaultWireParams().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,299 @@
+// Package dcs solves the D-phase linear program of MINFLOTRANSIT:
+//
+//	maximize   Σ objective terms  c·(r(p) − r(m))
+//	subject to r(u) − r(v) ≤ w(u,v)          (difference constraints)
+//	           r(v) = 0 for pinned v          (PIs and the dummy sink O)
+//
+// via its dual, a minimum-cost network flow (paper §2.3.1, ref [14]).
+//
+// Each difference constraint becomes an uncapacitated arc u→v of cost w;
+// each objective term contributes supply +c at p and demand −c at m
+// (balance is preserved by construction, mirroring the paper's
+// Σ C_i·(r(Dmy(i)) − r(i)) objective).  Pinned variables are tied to a
+// ground node with a pair of zero-cost constraints.  The optimal r is
+// recovered from the node potentials of the flow solver, and strong
+// duality (primal objective == dual flow cost) is checked before
+// returning, so every solution is certified optimal.
+//
+// Costs and supplies are integerized by scaling (the paper's
+// "multiply by a power of 10 and round" step); Options selects the
+// scales.
+package dcs
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"minflo/internal/mcmf"
+)
+
+// ErrInfeasible is returned when the constraint system has no solution
+// (a negative-weight cycle in the constraint graph).
+var ErrInfeasible = errors.New("dcs: constraint system infeasible (negative cycle)")
+
+// ErrUnbounded is returned when the objective can be improved without
+// bound (should not occur for well-formed D-phase instances, where r=0
+// is feasible and all displacement windows are finite).
+var ErrUnbounded = errors.New("dcs: objective unbounded")
+
+type constraint struct {
+	u, v int
+	w    float64
+}
+
+type objTerm struct {
+	plus, minus int
+	coeff       float64
+}
+
+// System accumulates a difference-constraint LP.
+type System struct {
+	n      int
+	cons   []constraint
+	obj    []objTerm
+	pinned []int
+}
+
+// NewSystem creates a system over n variables r(0..n-1).
+func NewSystem(n int) *System {
+	return &System{n: n}
+}
+
+// NumVars returns the number of variables.
+func (s *System) NumVars() int { return s.n }
+
+// NumConstraints returns the number of difference constraints added.
+func (s *System) NumConstraints() int { return len(s.cons) }
+
+// AddConstraint adds r(u) − r(v) ≤ w.
+func (s *System) AddConstraint(u, v int, w float64) {
+	if u < 0 || u >= s.n || v < 0 || v >= s.n {
+		panic(fmt.Sprintf("dcs: AddConstraint(%d,%d) out of range [0,%d)", u, v, s.n))
+	}
+	if math.IsNaN(w) || math.IsInf(w, 0) {
+		panic("dcs: non-finite constraint weight")
+	}
+	s.cons = append(s.cons, constraint{u, v, w})
+}
+
+// AddObjective adds the term coeff·(r(plus) − r(minus)) to the maximized
+// objective. Coefficients must be non-negative (the paper's C_i > 0).
+func (s *System) AddObjective(plus, minus int, coeff float64) {
+	if plus < 0 || plus >= s.n || minus < 0 || minus >= s.n {
+		panic(fmt.Sprintf("dcs: AddObjective(%d,%d) out of range [0,%d)", plus, minus, s.n))
+	}
+	if coeff < 0 || math.IsNaN(coeff) || math.IsInf(coeff, 0) {
+		panic("dcs: objective coefficient must be finite and non-negative")
+	}
+	if coeff == 0 {
+		return
+	}
+	s.obj = append(s.obj, objTerm{plus, minus, coeff})
+}
+
+// Pin forces r(v) = 0 in the solution.
+func (s *System) Pin(v int) {
+	if v < 0 || v >= s.n {
+		panic(fmt.Sprintf("dcs: Pin(%d) out of range [0,%d)", v, s.n))
+	}
+	s.pinned = append(s.pinned, v)
+}
+
+// Options controls integerization. Zero values select the defaults.
+type Options struct {
+	// CostScale multiplies constraint weights before rounding to int64.
+	// Default 1e6 (the paper: "by choosing appropriate powers of 10
+	// arbitrary accuracy can be maintained").
+	CostScale float64
+	// SupplyScale multiplies objective coefficients before rounding.
+	// Default 1e4.
+	SupplyScale float64
+}
+
+func (o Options) withDefaults() Options {
+	if o.CostScale == 0 {
+		o.CostScale = 1e6
+	}
+	if o.SupplyScale == 0 {
+		o.SupplyScale = 1e4
+	}
+	return o
+}
+
+// Solution of a System.
+type Solution struct {
+	R         []float64 // optimal r, pinned entries exactly 0
+	Objective float64   // Σ coeff·(r(plus) − r(minus)) at the optimum
+	FlowCost  float64   // dual objective (scaled units), for diagnostics
+	Arcs      int       // size of the flow instance
+}
+
+// Solve maps the system to its min-cost-flow dual, solves it, verifies
+// optimality certificates, and returns the optimal r.
+func (s *System) Solve(opt Options) (*Solution, error) {
+	opt = opt.withDefaults()
+
+	// Flow nodes: one per variable plus a ground node.
+	f := mcmf.New(s.n + 1)
+	ground := s.n
+
+	var totalSupply int64
+	for _, t := range s.obj {
+		c := int64(math.Round(t.coeff * opt.SupplyScale))
+		if c == 0 {
+			continue
+		}
+		f.AddSupply(t.plus, c)
+		f.AddSupply(t.minus, -c)
+		totalSupply += c
+	}
+	if totalSupply == 0 {
+		// Degenerate objective: any feasible point is optimal.  Solve the
+		// pure feasibility problem with Bellman–Ford on the constraint
+		// graph (edge v→u of weight w per constraint r_u − r_v ≤ w).
+		r, err := s.feasiblePoint()
+		if err != nil {
+			return nil, err
+		}
+		return &Solution{R: r}, nil
+	}
+
+	// Uncapacitated arcs: cap at total supply (an optimal flow needs no
+	// more on any arc when no negative cycles exist).
+	capAll := totalSupply
+
+	for _, c := range s.cons {
+		// Floor (not round) the scaled weight: the integerized feasible
+		// region is then a subset of the real one, so the recovered r
+		// satisfies every original constraint exactly.  This keeps the
+		// D-phase causality constraints (edge slack ≥ 0) safe.
+		w := int64(math.Floor(c.w * opt.CostScale))
+		f.AddArc(c.u, c.v, capAll, w)
+	}
+	for _, v := range s.pinned {
+		// r(v) = r(ground): zero-cost arcs both ways.
+		f.AddArc(v, ground, capAll, 0)
+		f.AddArc(ground, v, capAll, 0)
+	}
+
+	if _, err := f.Solve(); err != nil {
+		switch {
+		case errors.Is(err, mcmf.ErrNegativeCycle):
+			return nil, ErrInfeasible
+		case errors.Is(err, mcmf.ErrInfeasible):
+			// Dual infeasible == primal unbounded.
+			return nil, ErrUnbounded
+		default:
+			return nil, err
+		}
+	}
+	if err := f.Verify(); err != nil {
+		return nil, fmt.Errorf("dcs: flow certificate failed: %w", err)
+	}
+
+	// r(v) = −(pot(v) − pot(ground)) / CostScale.
+	base := f.Potential(ground)
+	r := make([]float64, s.n)
+	for v := 0; v < s.n; v++ {
+		r[v] = -float64(f.Potential(v)-base) / opt.CostScale
+	}
+	for _, v := range s.pinned {
+		r[v] = 0 // exact (tied to ground)
+	}
+	if err := s.checkFeasible(r); err != nil {
+		return nil, fmt.Errorf("dcs: recovered solution infeasible: %w", err)
+	}
+
+	sol := &Solution{
+		R:        r,
+		FlowCost: f.TotalCost(),
+		Arcs:     len(s.cons) + 2*len(s.pinned),
+	}
+	for _, t := range s.obj {
+		sol.Objective += t.coeff * (r[t.plus] - r[t.minus])
+	}
+	// Strong-duality certificate in scaled units:
+	//   Σ c_int · r_int  ==  flow cost.
+	var primal float64
+	for _, t := range s.obj {
+		c := math.Round(t.coeff * opt.SupplyScale)
+		primal += c * (-(float64(f.Potential(t.plus) - f.Potential(t.minus))))
+	}
+	if !closeRel(primal, sol.FlowCost, 1e-6) {
+		return nil, fmt.Errorf("dcs: strong duality violated: primal %g vs dual %g", primal, sol.FlowCost)
+	}
+	return sol, nil
+}
+
+// feasiblePoint returns any r satisfying all constraints and pins, or
+// ErrInfeasible. Standard difference-constraint solution: shortest
+// distances from a virtual source (plus zero-weight ties between pinned
+// variables), then a shift so pinned entries are exactly zero.
+func (s *System) feasiblePoint() ([]float64, error) {
+	type edge struct {
+		from, to int
+		w        float64
+	}
+	var edges []edge
+	for _, c := range s.cons {
+		edges = append(edges, edge{c.v, c.u, c.w})
+	}
+	if len(s.pinned) > 1 {
+		// Star of zero-weight ties through the first pin (forces equality).
+		p0 := s.pinned[0]
+		for _, q := range s.pinned[1:] {
+			edges = append(edges, edge{p0, q, 0}, edge{q, p0, 0})
+		}
+	}
+	dist := make([]float64, s.n) // virtual source at distance 0 to all
+	for round := 0; round < s.n; round++ {
+		changed := false
+		for _, e := range edges {
+			if nd := dist[e.from] + e.w; nd < dist[e.to]-1e-12 {
+				dist[e.to] = nd
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+		if round == s.n-1 {
+			return nil, ErrInfeasible
+		}
+	}
+	if len(s.pinned) > 0 {
+		base := dist[s.pinned[0]]
+		for i := range dist {
+			dist[i] -= base
+		}
+		for _, p := range s.pinned {
+			dist[p] = 0
+		}
+	}
+	if err := s.checkFeasible(dist); err != nil {
+		return nil, ErrInfeasible
+	}
+	return dist, nil
+}
+
+// checkFeasible verifies every constraint at r. Because constraint
+// weights are floored during integerization, solutions are feasible in
+// real units too; the tolerance only absorbs float arithmetic fuzz.
+func (s *System) checkFeasible(r []float64) error {
+	const tol = 1e-9
+	for _, c := range s.cons {
+		slack := c.w - (r[c.u] - r[c.v])
+		lim := tol * (1 + math.Abs(c.w))
+		if slack < -lim {
+			return fmt.Errorf("dcs: constraint r(%d)-r(%d) <= %g violated by %g", c.u, c.v, c.w, -slack)
+		}
+	}
+	return nil
+}
+
+func closeRel(a, b, tol float64) bool {
+	d := math.Abs(a - b)
+	m := math.Max(math.Abs(a), math.Abs(b))
+	return d <= tol*(1+m)
+}

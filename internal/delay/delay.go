@@ -1,0 +1,136 @@
+// Package delay implements the Elmore delay model in the simple
+// monotonic decomposition the sizer requires (paper §2.1, eq. 4–5):
+//
+//	delay(i)·x_i  =  a_ii·x_i + Σ_{j≠i} a_ij·x_j + b_i
+//
+// so delay(i) = a_ii + (Σ a_ij x_j + b_i)/x_i, with every coefficient
+// non-negative: a_ii is the intrinsic (self-load) term, a_ij couples the
+// sizes of neighbouring devices (fanout gate loads, and for transistor
+// sizing also stack diffusion caps), and b_i collects the fixed wire and
+// primary-output loads.  This is exactly Definition 1's g(x_i)·q(·)
+// shape: g = 1/x_i monotone decreasing, q monotone increasing.
+package delay
+
+import (
+	"fmt"
+	"math"
+
+	"minflo/internal/cell"
+	"minflo/internal/circuit"
+	"minflo/internal/tech"
+)
+
+// Term is one cross coupling a_ij·x_j in a vertex's delay.
+type Term struct {
+	J int     // index of the coupled sizing variable
+	A float64 // non-negative coefficient
+}
+
+// Coeffs holds the simple monotonic projection of one vertex's delay.
+type Coeffs struct {
+	Self  float64 // a_ii: intrinsic delay, independent of sizes
+	Terms []Term  // a_ij couplings (j ≠ i)
+	Const float64 // b_i: fixed load term
+}
+
+// Delay evaluates delay(i) at own size xi and neighbour sizes x.
+func (c *Coeffs) Delay(xi float64, x []float64) float64 {
+	s := c.Const
+	for _, t := range c.Terms {
+		s += t.A * x[t.J]
+	}
+	return c.Self + s/xi
+}
+
+// LoadAt returns Σ a_ij·x_j + b_i — the x-dependent numerator.
+func (c *Coeffs) LoadAt(x []float64) float64 {
+	s := c.Const
+	for _, t := range c.Terms {
+		s += t.A * x[t.J]
+	}
+	return s
+}
+
+// FloorAt returns the smallest achievable delay at the current
+// neighbour sizes: the vertex at maxSize driving today's load.
+func (c *Coeffs) FloorAt(x []float64, maxSize float64) float64 {
+	return c.Self + c.LoadAt(x)/maxSize
+}
+
+// Validate checks the non-negativity invariants of the decomposition.
+func (c *Coeffs) Validate() error {
+	if c.Self < 0 || math.IsNaN(c.Self) {
+		return fmt.Errorf("delay: negative self term %g", c.Self)
+	}
+	if c.Const < 0 || math.IsNaN(c.Const) {
+		return fmt.Errorf("delay: negative const term %g", c.Const)
+	}
+	for _, t := range c.Terms {
+		if t.A < 0 || math.IsNaN(t.A) {
+			return fmt.Errorf("delay: negative coupling a[%d] = %g", t.J, t.A)
+		}
+	}
+	return nil
+}
+
+// Model binds technology parameters to load assumptions.
+type Model struct {
+	Tech   tech.Params
+	POLoad float64 // capacitance on each primary output (fF)
+}
+
+// NewModel returns a model over params with a default primary-output
+// load of eight unit gate caps.
+func NewModel(p tech.Params) *Model {
+	return &Model{Tech: p, POLoad: 8 * p.CGate}
+}
+
+// GateCoeffs derives the equivalent-inverter Elmore coefficients for
+// every gate (gate sizing: one sizing variable per gate; paper §3 runs
+// all experiments in this mode).
+//
+//	delay(g) = ρ_g·R·Cd·p_g  +  ρ_g·R·(Σ_fanout Cg·g_h·x_h + Cwire·k + POLoad·m)/x_g
+func (m *Model) GateCoeffs(c *circuit.Circuit) ([]Coeffs, error) {
+	if err := m.Tech.Validate(); err != nil {
+		return nil, err
+	}
+	fan, poCount := c.Fanouts()
+	out := make([]Coeffs, c.NumGates())
+	for gi := range c.Gates {
+		g := &c.Gates[gi]
+		cc := cell.Get(g.Kind)
+		r := m.Tech.RUnit * cc.Drive
+		k := Coeffs{
+			Self:  r * m.Tech.CDiff * cc.Parasitic,
+			Const: r * (m.Tech.CWire*float64(len(fan[gi])+poCount[gi]) + m.POLoad*float64(poCount[gi])),
+		}
+		// Couplings: one term per fanout gate, weighted by how many of
+		// its pins this gate drives.
+		mult := make(map[int]int)
+		for _, h := range fan[gi] {
+			mult[h]++
+		}
+		for _, h := range fan[gi] {
+			if mult[h] == 0 {
+				continue // already emitted
+			}
+			hc := cell.Get(c.Gates[h].Kind)
+			k.Terms = append(k.Terms, Term{J: h, A: r * m.Tech.CGate * hc.InputCap * float64(mult[h])})
+			mult[h] = 0
+		}
+		if err := k.Validate(); err != nil {
+			return nil, fmt.Errorf("gate %q: %w", g.Name, err)
+		}
+		out[gi] = k
+	}
+	return out, nil
+}
+
+// Delays evaluates all gate delays for the size vector x.
+func Delays(coeffs []Coeffs, x []float64) []float64 {
+	d := make([]float64, len(coeffs))
+	for i := range coeffs {
+		d[i] = coeffs[i].Delay(x[i], x)
+	}
+	return d
+}

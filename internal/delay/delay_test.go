@@ -1,0 +1,149 @@
+package delay
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"minflo/internal/cell"
+	"minflo/internal/circuit"
+	"minflo/internal/tech"
+)
+
+// chain2 builds inv1 -> inv2 -> PO.
+func chain2() *circuit.Circuit {
+	c := circuit.New("chain2")
+	a := c.AddPI("a")
+	g1 := c.AddGate("g1", cell.Inv, a)
+	g2 := c.AddGate("g2", cell.Inv, g1)
+	c.MarkPO(g2)
+	return c
+}
+
+func TestGateCoeffsByHand(t *testing.T) {
+	p := tech.Default013()
+	m := NewModel(p)
+	c := chain2()
+	ks, err := m.GateCoeffs(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inv := cell.Get(cell.Inv)
+	r := p.RUnit * inv.Drive
+
+	// g1 drives g2 (one fanout, no PO): Self = R·Cd·p, one coupling to
+	// g2 of R·Cg·g, Const = R·Cwire.
+	k1 := ks[0]
+	if k1.Self != r*p.CDiff*inv.Parasitic {
+		t.Errorf("g1 Self = %g", k1.Self)
+	}
+	if len(k1.Terms) != 1 || k1.Terms[0].J != 1 {
+		t.Fatalf("g1 terms %v", k1.Terms)
+	}
+	if k1.Terms[0].A != r*p.CGate*inv.InputCap {
+		t.Errorf("g1 coupling = %g", k1.Terms[0].A)
+	}
+	if k1.Const != r*p.CWire {
+		t.Errorf("g1 const = %g", k1.Const)
+	}
+
+	// g2 drives only the PO: no couplings, Const includes POLoad+wire.
+	k2 := ks[1]
+	if len(k2.Terms) != 0 {
+		t.Fatalf("g2 terms %v", k2.Terms)
+	}
+	if k2.Const != r*(p.CWire+m.POLoad) {
+		t.Errorf("g2 const = %g, want %g", k2.Const, r*(p.CWire+m.POLoad))
+	}
+
+	// Closed form: delay(g1) at x=(2,3).
+	x := []float64{2, 3}
+	want := k1.Self + (k1.Terms[0].A*3+k1.Const)/2
+	if got := ks[0].Delay(2, x); got != want {
+		t.Errorf("delay(g1) = %g, want %g", got, want)
+	}
+	ds := Delays(ks, x)
+	if ds[0] != want {
+		t.Errorf("Delays[0] = %g, want %g", ds[0], want)
+	}
+}
+
+func TestPinMultiplicity(t *testing.T) {
+	// A gate feeding both inputs of a NAND2 must count the load twice.
+	c := circuit.New("dup")
+	a := c.AddPI("a")
+	g1 := c.AddGate("g1", cell.Inv, a)
+	g2 := c.AddGate("g2", cell.Nand2, g1, g1)
+	c.MarkPO(g2)
+	m := NewModel(tech.Default013())
+	ks, err := m.GateCoeffs(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ks[0].Terms) != 1 {
+		t.Fatalf("expected merged term, got %v", ks[0].Terms)
+	}
+	p := tech.Default013()
+	single := p.RUnit * cell.Get(cell.Inv).Drive * p.CGate * cell.Get(cell.Nand2).InputCap
+	if ks[0].Terms[0].A != 2*single {
+		t.Errorf("coupling %g, want doubled %g", ks[0].Terms[0].A, 2*single)
+	}
+}
+
+func TestMonotonicity(t *testing.T) {
+	// Simple monotonic functional shape: delay decreasing in own size,
+	// non-decreasing in every neighbour size.
+	m := NewModel(tech.Default013())
+	c := chain2()
+	ks, _ := m.GateCoeffs(c)
+	f := func(x1, x2 uint8) bool {
+		a := 1 + float64(x1%60)
+		b := 1 + float64(x2%60)
+		base := ks[0].Delay(a, []float64{a, b})
+		dOwn := ks[0].Delay(a+1, []float64{a + 1, b})
+		dLoad := ks[0].Delay(a, []float64{a, b + 1})
+		return dOwn < base && dLoad >= base
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFloorAtIsLowerBound(t *testing.T) {
+	m := NewModel(tech.Default013())
+	c := chain2()
+	ks, _ := m.GateCoeffs(c)
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 100; trial++ {
+		x := []float64{1 + rng.Float64()*127, 1 + rng.Float64()*127}
+		for i := range ks {
+			if fl := ks[i].FloorAt(x, 128); fl > ks[i].Delay(x[i], x)+1e-12 {
+				t.Fatalf("floor %g above actual delay %g", fl, ks[i].Delay(x[i], x))
+			}
+		}
+	}
+}
+
+func TestValidateCatchesNegative(t *testing.T) {
+	k := Coeffs{Self: -1}
+	if err := k.Validate(); err == nil {
+		t.Error("negative Self accepted")
+	}
+	k = Coeffs{Const: -1}
+	if err := k.Validate(); err == nil {
+		t.Error("negative Const accepted")
+	}
+	k = Coeffs{Terms: []Term{{J: 0, A: -2}}}
+	if err := k.Validate(); err == nil {
+		t.Error("negative coupling accepted")
+	}
+}
+
+func TestBadTechRejected(t *testing.T) {
+	p := tech.Default013()
+	p.RUnit = -4
+	m := &Model{Tech: p}
+	if _, err := m.GateCoeffs(chain2()); err == nil {
+		t.Fatal("invalid tech accepted")
+	}
+}

@@ -1,0 +1,707 @@
+// Package gen generates the benchmark circuits used by the experiments.
+//
+// The paper evaluates on the ISCAS85 suite plus 32–256 bit ripple-carry
+// adders.  The ISCAS85 netlist files are not redistributable inside this
+// repository, so gen builds structurally faithful synthetic equivalents:
+// the same circuit families (ECC/XOR trees, priority/interrupt control,
+// ALUs, a 16×16 array multiplier, a redundant adder/comparator) at
+// comparable gate counts, logic depths and reconvergence profiles.  Real
+// ISCAS85 files can be loaded through internal/bench instead at any
+// time.  See DESIGN.md §4 for the substitution rationale and
+// EXPERIMENTS.md for the realized gate counts.
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"minflo/internal/cell"
+	"minflo/internal/circuit"
+)
+
+// FAStyle selects the gate decomposition of a full adder.
+type FAStyle int
+
+const (
+	// FAXor is the compact mapping: 2 XOR2 + 3 NAND2 (5 gates/bit).
+	FAXor FAStyle = iota
+	// FANand is the classic 9×NAND2 full adder.
+	FANand
+	// FABuffered is FANand with a buffered sum (2 inverters) and a
+	// doubly-repeated carry (4 inverters): 15 gates/bit, so 32 bits →
+	// 480 gates and 256 bits → 3840 gates, matching the paper's adder
+	// rows exactly.
+	FABuffered
+)
+
+// builder wraps a circuit with auto-numbered gate names.
+type builder struct {
+	c *circuit.Circuit
+	n int
+}
+
+func (x *builder) gate(kind cell.Kind, ins ...circuit.Ref) circuit.Ref {
+	x.n++
+	return x.c.AddGate(fmt.Sprintf("g%d", x.n), kind, ins...)
+}
+
+// xorNand builds a⊕b out of four NAND2 gates.
+func (x *builder) xorNand(a, b circuit.Ref) circuit.Ref {
+	u1 := x.gate(cell.Nand2, a, b)
+	u2 := x.gate(cell.Nand2, a, u1)
+	u3 := x.gate(cell.Nand2, b, u1)
+	return x.gate(cell.Nand2, u2, u3)
+}
+
+// xor emits either a library XOR2 or its 4-NAND expansion.
+func (x *builder) xor(a, b circuit.Ref, expand bool) circuit.Ref {
+	if expand {
+		return x.xorNand(a, b)
+	}
+	return x.gate(cell.Xor2, a, b)
+}
+
+// fullAdder returns (sum, carry) in the chosen style.
+func (x *builder) fullAdder(a, b, cin circuit.Ref, style FAStyle) (sum, cout circuit.Ref) {
+	switch style {
+	case FAXor:
+		x1 := x.gate(cell.Xor2, a, b)
+		sum = x.gate(cell.Xor2, x1, cin)
+		n1 := x.gate(cell.Nand2, a, b)
+		n2 := x.gate(cell.Nand2, x1, cin)
+		cout = x.gate(cell.Nand2, n1, n2)
+	case FANand:
+		m1 := x.gate(cell.Nand2, a, b)
+		m2 := x.gate(cell.Nand2, a, m1)
+		m3 := x.gate(cell.Nand2, b, m1)
+		x1 := x.gate(cell.Nand2, m2, m3) // a ⊕ b
+		m4 := x.gate(cell.Nand2, x1, cin)
+		m5 := x.gate(cell.Nand2, x1, m4)
+		m6 := x.gate(cell.Nand2, cin, m4)
+		sum = x.gate(cell.Nand2, m5, m6)
+		cout = x.gate(cell.Nand2, m4, m1)
+	case FABuffered:
+		s, cy := x.fullAdder(a, b, cin, FANand)
+		sum = x.gate(cell.Inv, x.gate(cell.Inv, s))
+		cy = x.gate(cell.Inv, x.gate(cell.Inv, cy))
+		cout = x.gate(cell.Inv, x.gate(cell.Inv, cy))
+	default:
+		panic("gen: unknown FA style")
+	}
+	return sum, cout
+}
+
+// halfAdder returns (sum, carry): 4-NAND XOR plus NAND+INV carry.
+func (x *builder) halfAdder(a, b circuit.Ref) (sum, cout circuit.Ref) {
+	n := x.gate(cell.Nand2, a, b)
+	m2 := x.gate(cell.Nand2, a, n)
+	m3 := x.gate(cell.Nand2, b, n)
+	sum = x.gate(cell.Nand2, m2, m3)
+	cout = x.gate(cell.Inv, n)
+	return sum, cout
+}
+
+// andTree reduces refs with AND2/3/4 cells to a single signal.
+func (x *builder) andTree(refs []circuit.Ref) circuit.Ref {
+	return x.reduceTree(refs, cell.AndFor)
+}
+
+// orTree reduces refs with OR2/3/4 cells to a single signal.
+func (x *builder) orTree(refs []circuit.Ref) circuit.Ref {
+	return x.reduceTree(refs, cell.OrFor)
+}
+
+func (x *builder) reduceTree(refs []circuit.Ref, pick func(int) (cell.Kind, bool)) circuit.Ref {
+	if len(refs) == 0 {
+		panic("gen: empty reduction")
+	}
+	for len(refs) > 1 {
+		var next []circuit.Ref
+		for i := 0; i < len(refs); {
+			k := 4
+			if rem := len(refs) - i; rem < k {
+				k = rem
+			}
+			if k == 1 {
+				next = append(next, refs[i])
+				i++
+				continue
+			}
+			kind, ok := pick(k)
+			if !ok {
+				panic("gen: reduction fanin unavailable")
+			}
+			next = append(next, x.gate(kind, refs[i:i+k]...))
+			i += k
+		}
+		refs = next
+	}
+	return refs[0]
+}
+
+// xorTree reduces refs pairwise with XOR gates.
+func (x *builder) xorTree(refs []circuit.Ref, expand bool) circuit.Ref {
+	if len(refs) == 0 {
+		panic("gen: empty xor tree")
+	}
+	for len(refs) > 1 {
+		var next []circuit.Ref
+		for i := 0; i+1 < len(refs); i += 2 {
+			next = append(next, x.xor(refs[i], refs[i+1], expand))
+		}
+		if len(refs)%2 == 1 {
+			next = append(next, refs[len(refs)-1])
+		}
+		refs = next
+	}
+	return refs[0]
+}
+
+// mux2 selects b when s else a: !( !(a·!s) · !(b·s) ) built from NANDs.
+func (x *builder) mux2(a, b, s circuit.Ref) circuit.Ref {
+	ns := x.gate(cell.Inv, s)
+	t1 := x.gate(cell.Nand2, a, ns)
+	t2 := x.gate(cell.Nand2, b, s)
+	return x.gate(cell.Nand2, t1, t2)
+}
+
+// --- Benchmark circuits ---------------------------------------------------
+
+// C17 builds the 6-NAND ISCAS c17 circuit (the published netlist).
+func C17() *circuit.Circuit {
+	c := circuit.New("c17")
+	g1 := c.AddPI("G1")
+	g2 := c.AddPI("G2")
+	g3 := c.AddPI("G3")
+	g6 := c.AddPI("G6")
+	g7 := c.AddPI("G7")
+	g10 := c.AddGate("G10", cell.Nand2, g1, g3)
+	g11 := c.AddGate("G11", cell.Nand2, g3, g6)
+	g16 := c.AddGate("G16", cell.Nand2, g2, g11)
+	g19 := c.AddGate("G19", cell.Nand2, g11, g7)
+	g22 := c.AddGate("G22", cell.Nand2, g10, g16)
+	g23 := c.AddGate("G23", cell.Nand2, g16, g19)
+	c.MarkPO(g22)
+	c.MarkPO(g23)
+	return c
+}
+
+// InverterChain builds a chain of n inverters — the minimal sizing
+// smoke-test workload.
+func InverterChain(n int) *circuit.Circuit {
+	c := circuit.New(fmt.Sprintf("chain%d", n))
+	x := &builder{c: c}
+	r := c.AddPI("in")
+	for i := 0; i < n; i++ {
+		r = x.gate(cell.Inv, r)
+	}
+	c.MarkPO(r)
+	return c
+}
+
+// Fork builds the paper's Example 1 topology: gate A fans out to gates B
+// and C, both feeding primary outputs.  TILOS's greedy sensitivity
+// ordering keeps bumping B and C; the globally better move is sizing A.
+func Fork() *circuit.Circuit {
+	c := circuit.New("example1-fork")
+	in1 := c.AddPI("in1")
+	in2 := c.AddPI("in2")
+	a := c.AddGate("A", cell.Nand2, in1, in2)
+	bg := c.AddGate("B", cell.Nand2, a, in2)
+	cg := c.AddGate("C", cell.Nand2, a, in1)
+	c.MarkPO(bg)
+	c.MarkPO(cg)
+	return c
+}
+
+// RippleAdder builds a width-bit ripple-carry adder in the given style.
+// FABuffered at 32 bits yields exactly 480 gates (the paper's adder32).
+func RippleAdder(width int, style FAStyle) *circuit.Circuit {
+	c := circuit.New(fmt.Sprintf("adder%d", width))
+	x := &builder{c: c}
+	carry := c.AddPI("cin")
+	type pair struct{ a, b circuit.Ref }
+	ins := make([]pair, width)
+	for i := 0; i < width; i++ {
+		ins[i] = pair{c.AddPI(fmt.Sprintf("a%d", i)), c.AddPI(fmt.Sprintf("b%d", i))}
+	}
+	for i := 0; i < width; i++ {
+		var sum circuit.Ref
+		sum, carry = x.fullAdder(ins[i].a, ins[i].b, carry, style)
+		c.MarkPO(sum)
+	}
+	c.MarkPO(carry)
+	return c
+}
+
+// ArrayMultiplier builds an n×n column-compression array multiplier —
+// the c6288 structural stand-in at n=16 (~2.3k gates, the same massive
+// path reconvergence through the adder array the paper calls out).
+// Product bit k is the fully reduced column k.
+func ArrayMultiplier(n int) *circuit.Circuit {
+	c := circuit.New(fmt.Sprintf("mult%dx%d", n, n))
+	x := &builder{c: c}
+	a := make([]circuit.Ref, n)
+	b := make([]circuit.Ref, n)
+	for i := 0; i < n; i++ {
+		a[i] = c.AddPI(fmt.Sprintf("a%d", i))
+	}
+	for i := 0; i < n; i++ {
+		b[i] = c.AddPI(fmt.Sprintf("b%d", i))
+	}
+	cols := make([][]circuit.Ref, 2*n+1)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			cols[i+j] = append(cols[i+j], x.gate(cell.And2, a[j], b[i]))
+		}
+	}
+	for k := 0; k <= 2*n; k++ {
+		for len(cols[k]) > 2 {
+			m := len(cols[k])
+			s, cy := x.fullAdder(cols[k][m-3], cols[k][m-2], cols[k][m-1], FANand)
+			cols[k] = append(cols[k][:m-3], s)
+			cols[k+1] = append(cols[k+1], cy)
+		}
+		if len(cols[k]) == 2 {
+			s, cy := x.halfAdder(cols[k][0], cols[k][1])
+			cols[k] = []circuit.Ref{s}
+			cols[k+1] = append(cols[k+1], cy)
+		}
+		if len(cols[k]) == 1 {
+			c.MarkPO(cols[k][0])
+		}
+	}
+	return c
+}
+
+// ECCOptions parameterizes the error-correcting-code circuits (the
+// c499/c1355/c1908 family).
+type ECCOptions struct {
+	DataBits  int  // message width
+	Syndromes int  // number of parity trees
+	ExpandXor bool // expand XOR2 into 4 NAND2 (c1355 is c499 expanded)
+	Detect    bool // add double-error-detect logic (SEC/DED, c1908-like)
+	Buffered  bool // buffer corrected outputs (adds 2 INV per data bit)
+}
+
+// ECC builds a single-error-correcting circuit: overlapping parity
+// (syndrome) XOR trees over the data bits, a per-bit syndrome-match
+// decoder, and output correction XORs.  Overlapping parity groups give
+// the heavy fanin reconvergence characteristic of c499/c1355/c1908.
+func ECC(name string, o ECCOptions) *circuit.Circuit {
+	c := circuit.New(name)
+	x := &builder{c: c}
+	data := make([]circuit.Ref, o.DataBits)
+	for i := range data {
+		data[i] = c.AddPI(fmt.Sprintf("d%d", i))
+	}
+	checks := make([]circuit.Ref, o.Syndromes)
+	for k := range checks {
+		checks[k] = c.AddPI(fmt.Sprintf("p%d", k))
+	}
+	// Group membership: data bit i is in parity group k iff bit (k mod B)
+	// of (i+1) is set, rotated by k/B so the eight groups overlap but
+	// differ.  Every bit lands in roughly half the groups.
+	bits := 1
+	for 1<<bits < o.DataBits+1 {
+		bits++
+	}
+	inGroup := func(i, k int) bool {
+		code := i + 1
+		s := (k / bits) % bits
+		rot := ((code >> s) | (code << (bits - s))) & (1<<bits - 1)
+		return (rot>>(k%bits))&1 == 1
+	}
+	syn := make([]circuit.Ref, o.Syndromes)
+	nsyn := make([]circuit.Ref, o.Syndromes)
+	haveNsyn := make([]bool, o.Syndromes)
+	for k := 0; k < o.Syndromes; k++ {
+		members := []circuit.Ref{checks[k]}
+		for i := 0; i < o.DataBits; i++ {
+			if inGroup(i, k) {
+				members = append(members, data[i])
+			}
+		}
+		syn[k] = x.xorTree(members, o.ExpandXor)
+	}
+	negSyn := func(k int) circuit.Ref {
+		if !haveNsyn[k] {
+			nsyn[k] = x.gate(cell.Inv, syn[k])
+			haveNsyn[k] = true
+		}
+		return nsyn[k]
+	}
+	// Per-bit decode: match when the syndrome pattern equals the bit's
+	// group signature.
+	for i := 0; i < o.DataBits; i++ {
+		terms := make([]circuit.Ref, o.Syndromes)
+		for k := 0; k < o.Syndromes; k++ {
+			if inGroup(i, k) {
+				terms[k] = syn[k]
+			} else {
+				terms[k] = negSyn(k)
+			}
+		}
+		match := x.andTree(terms)
+		corrected := x.xor(data[i], match, o.ExpandXor)
+		if o.Buffered {
+			corrected = x.gate(cell.Inv, x.gate(cell.Inv, corrected))
+		}
+		c.MarkPO(corrected)
+	}
+	if o.Detect {
+		// Double-error detect: any syndrome active while overall parity
+		// (tree over all data+checks) is clean.
+		anySyn := x.orTree(syn)
+		overall := x.xorTree(append(append([]circuit.Ref{}, data...), checks...), o.ExpandXor)
+		nOverall := x.gate(cell.Inv, overall)
+		ded := x.gate(cell.And2, anySyn, nOverall)
+		c.MarkPO(ded)
+		c.MarkPO(anySyn)
+	}
+	return c
+}
+
+// C499 builds the c499 stand-in: 32-bit SEC, XOR2 library cells.
+func C499() *circuit.Circuit {
+	return ECC("c499s", ECCOptions{DataBits: 32, Syndromes: 6})
+}
+
+// C1355 builds the c1355 stand-in: the same function as c499 with every
+// XOR2 expanded into four NAND2 gates, as in the real suite.
+func C1355() *circuit.Circuit {
+	return ECC("c1355s", ECCOptions{DataBits: 32, Syndromes: 6, ExpandXor: true})
+}
+
+// C1908 builds the c1908 stand-in: 16-bit SEC/DED with expanded XORs and
+// buffered outputs.
+func C1908() *circuit.Circuit {
+	return ECC("c1908s", ECCOptions{DataBits: 33, Syndromes: 8, ExpandXor: true, Detect: true, Buffered: true})
+}
+
+// InterruptController builds the c432 stand-in: `channels` request lines
+// in banks of 9 with bank-priority and within-bank priority resolution
+// (the real c432 is a 27-channel interrupt controller).
+func InterruptController(channels int) *circuit.Circuit {
+	c := circuit.New("c432s")
+	x := &builder{c: c}
+	req := make([]circuit.Ref, channels)
+	en := make([]circuit.Ref, channels)
+	for i := range req {
+		req[i] = c.AddPI(fmt.Sprintf("req%d", i))
+	}
+	for i := range en {
+		en[i] = c.AddPI(fmt.Sprintf("en%d", i))
+	}
+	const bankSize = 9
+	var bankActive []circuit.Ref
+	var granted []circuit.Ref
+	for b := 0; b*bankSize < channels; b++ {
+		lo := b * bankSize
+		hi := lo + bankSize
+		if hi > channels {
+			hi = channels
+		}
+		// Gated requests.
+		gated := make([]circuit.Ref, hi-lo)
+		for i := lo; i < hi; i++ {
+			gated[i-lo] = x.gate(cell.And2, req[i], en[i])
+		}
+		// Within-bank priority: grant_i = gated_i AND NOT(any earlier).
+		prefix := gated[0]
+		grants := []circuit.Ref{gated[0]}
+		for i := 1; i < len(gated); i++ {
+			blocked := x.gate(cell.Inv, prefix)
+			grants = append(grants, x.gate(cell.And2, gated[i], blocked))
+			if i+1 < len(gated) {
+				prefix = x.gate(cell.Or2, prefix, gated[i])
+			}
+		}
+		bankActive = append(bankActive, x.orTree(gated))
+		granted = append(granted, grants...)
+	}
+	// Bank priority masks lower banks.
+	for bi := 1; bi < len(bankActive); bi++ {
+		higher := x.orTree(bankActive[:bi])
+		nh := x.gate(cell.Inv, higher)
+		for i := bi * bankSize; i < (bi+1)*bankSize && i < len(granted); i++ {
+			granted[i] = x.gate(cell.And2, granted[i], nh)
+		}
+	}
+	// Encode the granted channel number.
+	bits := 1
+	for 1<<bits < channels {
+		bits++
+	}
+	for bit := 0; bit < bits; bit++ {
+		var terms []circuit.Ref
+		for i := 0; i < channels; i++ {
+			if (i>>bit)&1 == 1 {
+				terms = append(terms, granted[i])
+			}
+		}
+		c.MarkPO(x.orTree(terms))
+	}
+	c.MarkPO(x.orTree(bankActive)) // "interrupt pending"
+	return c
+}
+
+// ALUOptions parameterizes the ALU family (c880/c2670/c3540/c5315
+// stand-ins).
+type ALUOptions struct {
+	Width      int
+	Functions  int  // 2, 4 or 8 selectable functions
+	WithParity bool // parity tree over the result
+	WithCmp    bool // magnitude comparator against operand B
+	WithSub    bool // subtract support: B conditionally inverted per bit
+	WithZero   bool // zero-detect flag over the result
+	WithShift  bool // third mux level selecting a shifted result
+	Buffered   bool // two-inverter buffers on the A operand
+	Lanes      int  // replicated datapath lanes (≥1)
+}
+
+// ALU builds an adder/logic datapath with function multiplexers — the
+// structural family of the ISCAS85 ALU/control circuits.
+func ALU(name string, o ALUOptions) *circuit.Circuit {
+	if o.Lanes < 1 {
+		o.Lanes = 1
+	}
+	c := circuit.New(name)
+	x := &builder{c: c}
+	a := make([]circuit.Ref, o.Width)
+	b := make([]circuit.Ref, o.Width)
+	for i := 0; i < o.Width; i++ {
+		a[i] = c.AddPI(fmt.Sprintf("a%d", i))
+		b[i] = c.AddPI(fmt.Sprintf("b%d", i))
+	}
+	selBits := 1
+	for 1<<selBits < o.Functions {
+		selBits++
+	}
+	sel := make([]circuit.Ref, selBits)
+	for s := range sel {
+		sel[s] = c.AddPI(fmt.Sprintf("sel%d", s))
+	}
+	cin := c.AddPI("cin")
+	var subSel circuit.Ref
+	if o.WithSub {
+		subSel = c.AddPI("sub")
+	}
+
+	for lane := 0; lane < o.Lanes; lane++ {
+		carry := cin
+		aOp := a
+		if o.Buffered {
+			aOp = make([]circuit.Ref, o.Width)
+			for i := range a {
+				aOp[i] = x.gate(cell.Inv, x.gate(cell.Inv, a[i]))
+			}
+		}
+		bOp := b
+		if o.WithSub {
+			// b ⊕ sub: conditional inversion for subtraction.
+			bOp = make([]circuit.Ref, o.Width)
+			for i := range b {
+				bOp[i] = x.xorNand(b[i], subSel)
+			}
+		}
+		var result []circuit.Ref
+		for i := 0; i < o.Width; i++ {
+			// Arithmetic: full adder.
+			var sum circuit.Ref
+			sum, carry = x.fullAdder(aOp[i], bOp[i], carry, FANand)
+			// Logic unit.
+			andv := x.gate(cell.And2, aOp[i], bOp[i])
+			// Function mux (2 levels of mux2).
+			m0 := x.mux2(sum, andv, sel[0])
+			var out circuit.Ref
+			if o.Functions > 2 && selBits > 1 {
+				orv := x.gate(cell.Or2, aOp[i], bOp[i])
+				xorv := x.xorNand(aOp[i], bOp[i])
+				m1 := x.mux2(orv, xorv, sel[0])
+				out = x.mux2(m0, m1, sel[1])
+			} else {
+				out = m0
+			}
+			if o.WithShift {
+				// Shift function: select the neighbouring result bit.
+				prev := out
+				if i > 0 {
+					prev = result[i-1]
+				}
+				out = x.mux2(out, prev, sel[selBits-1])
+			}
+			result = append(result, out)
+			c.MarkPO(out)
+		}
+		c.MarkPO(carry)
+		if o.WithZero {
+			c.MarkPO(x.gate(cell.Inv, x.orTree(result)))
+		}
+		if o.WithParity {
+			c.MarkPO(x.xorTree(result, true))
+		}
+		if o.WithCmp {
+			// result == B comparator plus a greater-than ripple.
+			eqs := make([]circuit.Ref, o.Width)
+			gt := x.gate(cell.And2, result[0], x.gate(cell.Inv, b[0]))
+			for i := 0; i < o.Width; i++ {
+				eqs[i] = x.gate(cell.Xnor2, result[i], b[i])
+				if i > 0 {
+					bi := x.gate(cell.And2, result[i], x.gate(cell.Inv, b[i]))
+					gt = x.mux2(gt, bi, x.gate(cell.Inv, eqs[i]))
+				}
+			}
+			c.MarkPO(x.andTree(eqs))
+			c.MarkPO(gt)
+		}
+	}
+	return c
+}
+
+// C880 builds the c880 stand-in (8-bit 4-function ALU with subtract,
+// zero flag and comparator).
+func C880() *circuit.Circuit {
+	return ALU("c880s", ALUOptions{Width: 8, Functions: 4, WithParity: true, WithCmp: true,
+		WithSub: true, WithZero: true, Buffered: true})
+}
+
+// C2670 builds the c2670 stand-in (12-bit ALU, two lanes, comparator
+// and parity — ALU-plus-control scale).
+func C2670() *circuit.Circuit {
+	return ALU("c2670s", ALUOptions{Width: 12, Functions: 4, WithParity: true, WithCmp: true,
+		WithSub: true, WithZero: true, Buffered: true, Lanes: 2})
+}
+
+// C3540 builds the c3540 stand-in (16-bit ALU with shifter, two lanes).
+func C3540() *circuit.Circuit {
+	return ALU("c3540s", ALUOptions{Width: 16, Functions: 4, WithParity: true, WithCmp: true,
+		WithSub: true, WithZero: true, WithShift: true, Buffered: true, Lanes: 2})
+}
+
+// C5315 builds the c5315 stand-in (16-bit ALU with shifter, three lanes).
+func C5315() *circuit.Circuit {
+	return ALU("c5315s", ALUOptions{Width: 16, Functions: 4, WithParity: true, WithCmp: true,
+		WithSub: true, WithZero: true, WithShift: true, Buffered: true, Lanes: 3})
+}
+
+// C6288 builds the c6288 stand-in (16×16 array multiplier).
+func C6288() *circuit.Circuit { return ArrayMultiplier(16) }
+
+// C7552 builds the c7552 stand-in: a triplicated 32-bit add/subtract
+// datapath with cross-lane comparators and parity checking (the real
+// c7552 is a 32-bit adder/comparator with error checking).
+func C7552() *circuit.Circuit {
+	c := circuit.New("c7552s")
+	x := &builder{c: c}
+	const width = 32
+	const lanes = 3
+	a := make([]circuit.Ref, width)
+	b := make([]circuit.Ref, width)
+	for i := 0; i < width; i++ {
+		a[i] = c.AddPI(fmt.Sprintf("a%d", i))
+		b[i] = c.AddPI(fmt.Sprintf("b%d", i))
+	}
+	cin := c.AddPI("cin")
+	one := c.AddPI("bin") // borrow-in for the subtract path
+	sums := make([][]circuit.Ref, lanes)
+	diffs := make([][]circuit.Ref, lanes)
+	for l := 0; l < lanes; l++ {
+		carry := cin
+		sums[l] = make([]circuit.Ref, width)
+		for i := 0; i < width; i++ {
+			sums[l][i], carry = x.fullAdder(a[i], b[i], carry, FABuffered)
+		}
+		c.MarkPO(carry)
+		// Subtract path: a + !b + bin.
+		borrow := one
+		diffs[l] = make([]circuit.Ref, width)
+		for i := 0; i < width; i++ {
+			nb := x.gate(cell.Inv, b[i])
+			diffs[l][i], borrow = x.fullAdder(a[i], nb, borrow, FABuffered)
+		}
+		c.MarkPO(borrow)
+	}
+	// Cross-lane comparators on both paths.
+	for pair := 0; pair < 2; pair++ {
+		eqs := make([]circuit.Ref, 0, 2*width)
+		for i := 0; i < width; i++ {
+			eqs = append(eqs, x.gate(cell.Xnor2, sums[pair][i], sums[pair+1][i]))
+			eqs = append(eqs, x.gate(cell.Xnor2, diffs[pair][i], diffs[pair+1][i]))
+		}
+		c.MarkPO(x.andTree(eqs))
+	}
+	// Results (lane 0) and parities.
+	for i := 0; i < width; i++ {
+		c.MarkPO(sums[0][i])
+		c.MarkPO(diffs[0][i])
+	}
+	c.MarkPO(x.xorTree(sums[0], true))
+	c.MarkPO(x.xorTree(diffs[0], true))
+	return c
+}
+
+// C432 builds the c432 stand-in (27-channel interrupt controller).
+func C432() *circuit.Circuit { return InterruptController(27) }
+
+// RandomLogic builds a pseudo-random DAG of small cells for property
+// tests: nPIs inputs, nGates gates, every gate's inputs drawn from
+// earlier signals, all sinks marked as POs.
+func RandomLogic(nPIs, nGates int, seed int64) *circuit.Circuit {
+	rng := rand.New(rand.NewSource(seed))
+	c := circuit.New(fmt.Sprintf("rand%d_%d", nGates, seed))
+	x := &builder{c: c}
+	var pool []circuit.Ref
+	for i := 0; i < nPIs; i++ {
+		pool = append(pool, c.AddPI(fmt.Sprintf("i%d", i)))
+	}
+	kinds := []cell.Kind{cell.Nand2, cell.Nor2, cell.Inv, cell.And2, cell.Or2, cell.Xor2, cell.Nand3, cell.Nor3}
+	for g := 0; g < nGates; g++ {
+		k := kinds[rng.Intn(len(kinds))]
+		need := cellInputs(k)
+		ins := make([]circuit.Ref, need)
+		for i := range ins {
+			ins[i] = pool[rng.Intn(len(pool))]
+		}
+		pool = append(pool, x.gate(k, ins...))
+	}
+	// Mark every undriven signal as a PO.
+	used := make(map[circuit.Ref]bool)
+	for gi := range c.Gates {
+		for _, in := range c.Gates[gi].Ins {
+			used[in] = true
+		}
+	}
+	marked := 0
+	for gi := range c.Gates {
+		r := circuit.GateRef(gi)
+		if !used[r] {
+			c.MarkPO(r)
+			marked++
+		}
+	}
+	if marked == 0 {
+		c.MarkPO(circuit.GateRef(len(c.Gates) - 1))
+	}
+	return c
+}
+
+func cellInputs(k cell.Kind) int { return cell.Get(k).NumInputs }
+
+// Suite returns the full Table-1 benchmark list in paper order.
+func Suite() []*circuit.Circuit {
+	return []*circuit.Circuit{
+		RippleAdder(32, FABuffered),
+		RippleAdder(256, FABuffered),
+		C432(),
+		C499(),
+		C880(),
+		C1355(),
+		C1908(),
+		C2670(),
+		C3540(),
+		C5315(),
+		C6288(),
+		C7552(),
+	}
+}

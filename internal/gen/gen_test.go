@@ -1,0 +1,385 @@
+package gen
+
+import (
+	"math/rand"
+	"testing"
+
+	"minflo/internal/circuit"
+)
+
+// evalAdder drives the adder with integers and checks the sum.
+func evalAdder(t *testing.T, c *circuit.Circuit, width int, a, b uint64, cin bool) {
+	t.Helper()
+	in := make([]bool, c.NumPIs())
+	// PI order: cin, then a0,b0,a1,b1,...
+	in[0] = cin
+	for i := 0; i < width; i++ {
+		in[1+2*i] = a>>i&1 == 1
+		in[2+2*i] = b>>i&1 == 1
+	}
+	out, err := c.Evaluate(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// PO order: sum0..sum_{w-1}, carry.
+	want := a + b
+	if cin {
+		want++
+	}
+	for i := 0; i < width; i++ {
+		if out[i] != (want>>i&1 == 1) {
+			t.Fatalf("adder%d(%d,%d,%v): sum bit %d wrong", width, a, b, cin, i)
+		}
+	}
+	if out[width] != (want>>width&1 == 1) {
+		t.Fatalf("adder%d(%d,%d,%v): carry wrong", width, a, b, cin)
+	}
+}
+
+func TestRippleAdderFunctional(t *testing.T) {
+	for _, style := range []FAStyle{FAXor, FANand, FABuffered} {
+		c := RippleAdder(8, style)
+		if err := c.Validate(); err != nil {
+			t.Fatalf("style %d: %v", style, err)
+		}
+		rng := rand.New(rand.NewSource(int64(style)))
+		for trial := 0; trial < 64; trial++ {
+			a := uint64(rng.Intn(256))
+			b := uint64(rng.Intn(256))
+			evalAdder(t, c, 8, a, b, rng.Intn(2) == 1)
+		}
+	}
+}
+
+func TestRippleAdderPaperGateCounts(t *testing.T) {
+	// Table 1 reports 480 gates for adder32 and 3840 for adder256; the
+	// FABuffered decomposition reproduces both exactly.
+	if got := RippleAdder(32, FABuffered).NumGates(); got != 480 {
+		t.Errorf("adder32: %d gates, want 480", got)
+	}
+	if got := RippleAdder(256, FABuffered).NumGates(); got != 3840 {
+		t.Errorf("adder256: %d gates, want 3840", got)
+	}
+}
+
+func TestArrayMultiplierFunctional(t *testing.T) {
+	const n = 4
+	c := ArrayMultiplier(n)
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for a := uint64(0); a < 16; a++ {
+		for b := uint64(0); b < 16; b++ {
+			in := make([]bool, 2*n)
+			for i := 0; i < n; i++ {
+				in[i] = a>>i&1 == 1   // a0..a3 first
+				in[n+i] = b>>i&1 == 1 // then b0..b3
+			}
+			out, err := c.Evaluate(in)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := a * b
+			if len(out) < 2*n-1 {
+				t.Fatalf("only %d product bits", len(out))
+			}
+			var got uint64
+			for i, bit := range out {
+				if bit {
+					got |= 1 << i
+				}
+			}
+			if got != want {
+				t.Fatalf("%d*%d = %d, circuit says %d", a, b, want, got)
+			}
+		}
+	}
+}
+
+func TestArrayMultiplierInputOrder(t *testing.T) {
+	c := ArrayMultiplier(4)
+	// PI names must be a0..a3 then b0..b3 for the functional test's
+	// indexing to stay meaningful.
+	wantNames := []string{"a0", "a1", "a2", "a3", "b0", "b1", "b2", "b3"}
+	for i, w := range wantNames {
+		if c.PIs[i] != w {
+			t.Fatalf("PI %d is %q, want %q", i, c.PIs[i], w)
+		}
+	}
+}
+
+func TestC17Functional(t *testing.T) {
+	c := C17()
+	// Published c17 truth: G22 = NAND(G10,G16), ... spot-check a few.
+	cases := []struct {
+		in  [5]bool // G1 G2 G3 G6 G7
+		g22 bool
+		g23 bool
+	}{
+		// Worked by hand from the published netlist.
+		{[5]bool{false, false, false, false, false}, false, false},
+		{[5]bool{true, true, true, true, true}, true, false},
+		{[5]bool{true, false, true, false, false}, true, false},
+		{[5]bool{false, true, false, true, false}, true, true},
+		{[5]bool{false, false, true, true, true}, false, false},
+	}
+	for _, tc := range cases {
+		out, err := c.Evaluate(tc.in[:])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out[0] != tc.g22 || out[1] != tc.g23 {
+			t.Errorf("c17%v = %v, want [%v %v]", tc.in, out, tc.g22, tc.g23)
+		}
+	}
+}
+
+func TestSuiteShape(t *testing.T) {
+	// Gate counts must stay within 10% of the paper's Table 1 column.
+	targets := map[string]int{
+		"adder32":   480,
+		"adder256":  3840,
+		"c432s":     160,
+		"c499s":     202,
+		"c880s":     383,
+		"c1355s":    546,
+		"c1908s":    880,
+		"c2670s":    1193,
+		"c3540s":    1669,
+		"c5315s":    2307,
+		"mult16x16": 2416,
+		"c7552s":    3512,
+	}
+	suite := Suite()
+	if len(suite) != 12 {
+		t.Fatalf("suite has %d circuits, want 12", len(suite))
+	}
+	for _, c := range suite {
+		if err := c.Validate(); err != nil {
+			t.Errorf("%s: %v", c.Name, err)
+			continue
+		}
+		target, ok := targets[c.Name]
+		if !ok {
+			t.Errorf("unexpected suite member %q", c.Name)
+			continue
+		}
+		got := c.NumGates()
+		dev := float64(got-target) / float64(target)
+		if dev < -0.10 || dev > 0.10 {
+			t.Errorf("%s: %d gates vs target %d (%.0f%% off)", c.Name, got, target, 100*dev)
+		}
+		// No dangling gates: every gate drives something.
+		fan, po := c.Fanouts()
+		for gi := range c.Gates {
+			if len(fan[gi])+po[gi] == 0 {
+				t.Errorf("%s: gate %q dangles", c.Name, c.Gates[gi].Name)
+			}
+		}
+	}
+}
+
+func TestEccCorrectsSingleBitErrors(t *testing.T) {
+	// The SEC stand-in must actually correct any single data-bit flip
+	// when the check bits are consistent (encode = compute syndromes of
+	// clean data with check inputs at the tree parity).
+	o := ECCOptions{DataBits: 8, Syndromes: 5}
+	c := ECC("ecc8", o)
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 20; trial++ {
+		data := make([]bool, o.DataBits)
+		for i := range data {
+			data[i] = rng.Intn(2) == 1
+		}
+		// Compute consistent check bits: parity of each group.
+		checks := make([]bool, o.Syndromes)
+		for k := range checks {
+			// Mirror the generator's group function via brute force: a
+			// check bit that zeroes the syndrome tree.
+			checks[k] = groupParity(c, data, k, o)
+		}
+		// No-error case: outputs must equal data.
+		in := append(append([]bool{}, data...), checks...)
+		out, err := c.Evaluate(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < o.DataBits; i++ {
+			if out[i] != data[i] {
+				t.Fatalf("clean word corrupted at bit %d", i)
+			}
+		}
+		// Single-bit error must be corrected.
+		flip := rng.Intn(o.DataBits)
+		bad := append([]bool{}, data...)
+		bad[flip] = !bad[flip]
+		in = append(append([]bool{}, bad...), checks...)
+		out, err = c.Evaluate(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < o.DataBits; i++ {
+			if out[i] != data[i] {
+				t.Fatalf("flip at %d not corrected (bit %d wrong)", flip, i)
+			}
+		}
+	}
+}
+
+// groupParity extracts the generator's group membership by flipping
+// data bits one at a time against an all-false baseline.
+func groupParity(c *circuit.Circuit, data []bool, k int, o ECCOptions) bool {
+	par := false
+	for i := 0; i < o.DataBits; i++ {
+		if data[i] && bitInGroup(c, i, k, o) {
+			par = !par
+		}
+	}
+	return par
+}
+
+// bitInGroup probes membership: flip data bit i with checks all-false
+// and see whether syndrome... membership is deterministic, mirror the
+// generator's formula directly instead.
+func bitInGroup(_ *circuit.Circuit, i, k int, o ECCOptions) bool {
+	bits := 1
+	for 1<<bits < o.DataBits+1 {
+		bits++
+	}
+	code := i + 1
+	s := (k / bits) % bits
+	rot := ((code >> s) | (code << (bits - s))) & (1<<bits - 1)
+	return (rot>>(k%bits))&1 == 1
+}
+
+func TestInterruptControllerPriority(t *testing.T) {
+	c := InterruptController(27)
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// All enables on, single request on channel 5: encoded outputs must
+	// spell 5 and "pending" must be high.
+	in := make([]bool, c.NumPIs())
+	for i := 27; i < 54; i++ {
+		in[i] = true // enables
+	}
+	in[5] = true
+	out, err := c.Evaluate(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bits := len(out) - 1
+	var got int
+	for b := 0; b < bits; b++ {
+		if out[b] {
+			got |= 1 << b
+		}
+	}
+	if got != 5 {
+		t.Fatalf("encoded channel %d, want 5 (out=%v)", got, out)
+	}
+	if !out[bits] {
+		t.Fatal("pending flag low")
+	}
+	// No requests: everything low.
+	for i := range in[:27] {
+		in[i] = false
+	}
+	out, _ = c.Evaluate(in)
+	for i, b := range out {
+		if b {
+			t.Fatalf("output %d high with no requests", i)
+		}
+	}
+}
+
+func TestRandomLogicValid(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		c := RandomLogic(5, 50, seed)
+		if err := c.Validate(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		fan, po := c.Fanouts()
+		for gi := range c.Gates {
+			if len(fan[gi])+po[gi] == 0 {
+				t.Fatalf("seed %d: dangling gate", seed)
+			}
+		}
+	}
+}
+
+func TestInverterChain(t *testing.T) {
+	c := InverterChain(5)
+	out, err := c.Evaluate([]bool{true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0] != false { // odd chain inverts
+		t.Fatal("chain5(true) should be false")
+	}
+	if c.NumGates() != 5 {
+		t.Fatalf("chain has %d gates", c.NumGates())
+	}
+}
+
+func TestForkShape(t *testing.T) {
+	c := Fork()
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	fan, _ := c.Fanouts()
+	if len(fan[0]) != 2 {
+		t.Fatalf("gate A should drive two gates, drives %d", len(fan[0]))
+	}
+}
+
+func TestC7552AdderLanesFunctional(t *testing.T) {
+	// The c7552 stand-in's first sum lane must compute a+b+cin; the
+	// first diff lane a+~b+bin.
+	c := C7552()
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 8; trial++ {
+		a := rng.Uint64() & 0xFFFFFFFF
+		b := rng.Uint64() & 0xFFFFFFFF
+		in := make([]bool, c.NumPIs())
+		// PI order is interleaved: a0, b0, a1, b1, ..., then cin, bin.
+		for i := 0; i < 32; i++ {
+			in[2*i] = a>>i&1 == 1
+			in[2*i+1] = b>>i&1 == 1
+		}
+		// cin = 0, bin = 1 (so diff = a - b in two's complement).
+		in[65] = true
+		out, err := c.Evaluate(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// PO order: per lane (sum carry, diff borrow) ×3, comparators ×2,
+		// then 32×(sum bit, diff bit), then 2 parity bits.
+		// Find the interleaved result bits at offset 8.
+		base := 8
+		var sum, diff uint64
+		for i := 0; i < 32; i++ {
+			if out[base+2*i] {
+				sum |= 1 << i
+			}
+			if out[base+2*i+1] {
+				diff |= 1 << i
+			}
+		}
+		wantSum := (a + b) & 0xFFFFFFFF
+		wantDiff := (a - b) & 0xFFFFFFFF
+		if sum != wantSum {
+			t.Fatalf("sum lane: %x + %x = %x, got %x", a, b, wantSum, sum)
+		}
+		if diff != wantDiff {
+			t.Fatalf("diff lane: %x - %x = %x, got %x", a, b, wantDiff, diff)
+		}
+		// Cross-lane comparators must agree (identical lanes).
+		if !out[6] || !out[7] {
+			t.Fatal("cross-lane comparators disagree on identical lanes")
+		}
+	}
+}

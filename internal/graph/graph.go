@@ -1,0 +1,272 @@
+// Package graph provides the directed-graph substrate used by every other
+// layer of the sizer: adjacency storage, topological ordering, DAG
+// validation, reachability and longest-path computations.
+//
+// Vertices are dense integer IDs in [0, N).  Edges carry an integer ID so
+// higher layers (delay balancing, the D-phase flow reduction) can attach
+// per-edge attributes in parallel slices.
+package graph
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrCycle is returned by operations that require a DAG when the graph
+// contains a directed cycle.
+var ErrCycle = errors.New("graph: directed cycle detected")
+
+// Edge is a directed edge u -> v with a dense ID assigned at insertion.
+type Edge struct {
+	ID   int
+	From int
+	To   int
+}
+
+// Digraph is a mutable directed graph over dense vertex IDs.
+// The zero value is an empty graph; use AddVertex/AddEdge to build it.
+type Digraph struct {
+	out   [][]int // vertex -> edge IDs leaving it
+	in    [][]int // vertex -> edge IDs entering it
+	edges []Edge
+}
+
+// New returns a digraph with n vertices and no edges.
+func New(n int) *Digraph {
+	return &Digraph{
+		out: make([][]int, n),
+		in:  make([][]int, n),
+	}
+}
+
+// N returns the number of vertices.
+func (g *Digraph) N() int { return len(g.out) }
+
+// M returns the number of edges.
+func (g *Digraph) M() int { return len(g.edges) }
+
+// AddVertex appends a new vertex and returns its ID.
+func (g *Digraph) AddVertex() int {
+	g.out = append(g.out, nil)
+	g.in = append(g.in, nil)
+	return len(g.out) - 1
+}
+
+// AddEdge inserts the edge u -> v and returns its ID.
+// Parallel edges and self-loops are permitted at this layer; DAG users
+// reject self-loops via Validate or TopoOrder.
+func (g *Digraph) AddEdge(u, v int) int {
+	if u < 0 || u >= len(g.out) || v < 0 || v >= len(g.out) {
+		panic(fmt.Sprintf("graph: AddEdge(%d,%d) out of range [0,%d)", u, v, len(g.out)))
+	}
+	id := len(g.edges)
+	g.edges = append(g.edges, Edge{ID: id, From: u, To: v})
+	g.out[u] = append(g.out[u], id)
+	g.in[v] = append(g.in[v], id)
+	return id
+}
+
+// Edge returns the edge with the given ID.
+func (g *Digraph) Edge(id int) Edge { return g.edges[id] }
+
+// Edges returns the underlying edge slice. Callers must not mutate it.
+func (g *Digraph) Edges() []Edge { return g.edges }
+
+// Out returns the IDs of edges leaving u. Callers must not mutate it.
+func (g *Digraph) Out(u int) []int { return g.out[u] }
+
+// In returns the IDs of edges entering v. Callers must not mutate it.
+func (g *Digraph) In(v int) []int { return g.in[v] }
+
+// OutDegree returns the number of edges leaving u.
+func (g *Digraph) OutDegree(u int) int { return len(g.out[u]) }
+
+// InDegree returns the number of edges entering v.
+func (g *Digraph) InDegree(v int) int { return len(g.in[v]) }
+
+// Succ appends the successor vertices of u to dst and returns it.
+func (g *Digraph) Succ(dst []int, u int) []int {
+	for _, e := range g.out[u] {
+		dst = append(dst, g.edges[e].To)
+	}
+	return dst
+}
+
+// Pred appends the predecessor vertices of v to dst and returns it.
+func (g *Digraph) Pred(dst []int, v int) []int {
+	for _, e := range g.in[v] {
+		dst = append(dst, g.edges[e].From)
+	}
+	return dst
+}
+
+// Clone returns a deep copy of the graph.
+func (g *Digraph) Clone() *Digraph {
+	c := &Digraph{
+		out:   make([][]int, len(g.out)),
+		in:    make([][]int, len(g.in)),
+		edges: append([]Edge(nil), g.edges...),
+	}
+	for i := range g.out {
+		c.out[i] = append([]int(nil), g.out[i]...)
+		c.in[i] = append([]int(nil), g.in[i]...)
+	}
+	return c
+}
+
+// TopoOrder returns a topological ordering of the vertices (Kahn's
+// algorithm). It returns ErrCycle if the graph is not a DAG.
+func (g *Digraph) TopoOrder() ([]int, error) {
+	n := g.N()
+	indeg := make([]int, n)
+	for v := 0; v < n; v++ {
+		indeg[v] = len(g.in[v])
+	}
+	order := make([]int, 0, n)
+	queue := make([]int, 0, n)
+	for v := 0; v < n; v++ {
+		if indeg[v] == 0 {
+			queue = append(queue, v)
+		}
+	}
+	for len(queue) > 0 {
+		u := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		order = append(order, u)
+		for _, e := range g.out[u] {
+			w := g.edges[e].To
+			indeg[w]--
+			if indeg[w] == 0 {
+				queue = append(queue, w)
+			}
+		}
+	}
+	if len(order) != n {
+		return nil, ErrCycle
+	}
+	return order, nil
+}
+
+// IsDAG reports whether the graph is acyclic.
+func (g *Digraph) IsDAG() bool {
+	_, err := g.TopoOrder()
+	return err == nil
+}
+
+// Sources returns all vertices with in-degree zero.
+func (g *Digraph) Sources() []int {
+	var s []int
+	for v := 0; v < g.N(); v++ {
+		if len(g.in[v]) == 0 {
+			s = append(s, v)
+		}
+	}
+	return s
+}
+
+// Sinks returns all vertices with out-degree zero.
+func (g *Digraph) Sinks() []int {
+	var s []int
+	for v := 0; v < g.N(); v++ {
+		if len(g.out[v]) == 0 {
+			s = append(s, v)
+		}
+	}
+	return s
+}
+
+// LongestPath computes, for a DAG with non-negative vertex weights w,
+// the maximum over all paths of the sum of vertex weights, and returns
+// per-vertex "distance to end of longest path starting here" values.
+// It is the core of critical-path analysis and is exposed here so graph
+// property tests can cross-check the STA layer.
+func (g *Digraph) LongestPath(w []float64) (dist []float64, best float64, err error) {
+	if len(w) != g.N() {
+		return nil, 0, fmt.Errorf("graph: weight slice length %d != vertex count %d", len(w), g.N())
+	}
+	order, err := g.TopoOrder()
+	if err != nil {
+		return nil, 0, err
+	}
+	dist = make([]float64, g.N())
+	// Process in reverse topological order: dist[u] = w[u] + max dist[succ].
+	for i := len(order) - 1; i >= 0; i-- {
+		u := order[i]
+		d := 0.0
+		for _, e := range g.out[u] {
+			v := g.edges[e].To
+			if dist[v] > d {
+				d = dist[v]
+			}
+		}
+		dist[u] = w[u] + d
+	}
+	for _, d := range dist {
+		if d > best {
+			best = d
+		}
+	}
+	return dist, best, nil
+}
+
+// Reachable returns the set of vertices reachable from any seed,
+// following edges forward, as a boolean mask.
+func (g *Digraph) Reachable(seeds []int) []bool {
+	seen := make([]bool, g.N())
+	stack := append([]int(nil), seeds...)
+	for _, s := range stack {
+		seen[s] = true
+	}
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, e := range g.out[u] {
+			v := g.edges[e].To
+			if !seen[v] {
+				seen[v] = true
+				stack = append(stack, v)
+			}
+		}
+	}
+	return seen
+}
+
+// CoReachable returns the set of vertices from which any seed is
+// reachable (edges followed backward), as a boolean mask.
+func (g *Digraph) CoReachable(seeds []int) []bool {
+	seen := make([]bool, g.N())
+	stack := append([]int(nil), seeds...)
+	for _, s := range stack {
+		seen[s] = true
+	}
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, e := range g.in[u] {
+			v := g.edges[e].From
+			if !seen[v] {
+				seen[v] = true
+				stack = append(stack, v)
+			}
+		}
+	}
+	return seen
+}
+
+// Validate performs structural sanity checks used by failure-injection
+// tests: it rejects self-loops and verifies in/out adjacency consistency.
+func (g *Digraph) Validate() error {
+	for _, e := range g.edges {
+		if e.From == e.To {
+			return fmt.Errorf("graph: self-loop on vertex %d", e.From)
+		}
+	}
+	var count int
+	for v := 0; v < g.N(); v++ {
+		count += len(g.out[v])
+	}
+	if count != len(g.edges) {
+		return fmt.Errorf("graph: adjacency count %d != edge count %d", count, len(g.edges))
+	}
+	return nil
+}

@@ -1,0 +1,302 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func mkChain(n int) *Digraph {
+	g := New(n)
+	for i := 0; i+1 < n; i++ {
+		g.AddEdge(i, i+1)
+	}
+	return g
+}
+
+func TestEmptyGraph(t *testing.T) {
+	g := New(0)
+	if g.N() != 0 || g.M() != 0 {
+		t.Fatalf("empty graph has N=%d M=%d", g.N(), g.M())
+	}
+	order, err := g.TopoOrder()
+	if err != nil || len(order) != 0 {
+		t.Fatalf("topo of empty graph: %v, %v", order, err)
+	}
+}
+
+func TestAddVertexAndEdge(t *testing.T) {
+	g := New(2)
+	v := g.AddVertex()
+	if v != 2 || g.N() != 3 {
+		t.Fatalf("AddVertex returned %d, N=%d", v, g.N())
+	}
+	e := g.AddEdge(0, 2)
+	if e != 0 {
+		t.Fatalf("first edge ID = %d", e)
+	}
+	if got := g.Edge(e); got.From != 0 || got.To != 2 {
+		t.Fatalf("edge content %+v", got)
+	}
+	if g.OutDegree(0) != 1 || g.InDegree(2) != 1 {
+		t.Fatalf("degrees wrong: out(0)=%d in(2)=%d", g.OutDegree(0), g.InDegree(2))
+	}
+}
+
+func TestAddEdgeOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for out-of-range AddEdge")
+		}
+	}()
+	New(1).AddEdge(0, 5)
+}
+
+func TestTopoOrderChain(t *testing.T) {
+	g := mkChain(5)
+	order, err := g.TopoOrder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos := make([]int, 5)
+	for i, v := range order {
+		pos[v] = i
+	}
+	for _, e := range g.Edges() {
+		if pos[e.From] >= pos[e.To] {
+			t.Fatalf("edge %d->%d violates order", e.From, e.To)
+		}
+	}
+}
+
+func TestTopoOrderCycle(t *testing.T) {
+	g := New(3)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(2, 0)
+	if _, err := g.TopoOrder(); err != ErrCycle {
+		t.Fatalf("expected ErrCycle, got %v", err)
+	}
+	if g.IsDAG() {
+		t.Fatal("cycle graph reported as DAG")
+	}
+}
+
+func TestSourcesSinks(t *testing.T) {
+	g := New(4)
+	g.AddEdge(0, 2)
+	g.AddEdge(1, 2)
+	g.AddEdge(2, 3)
+	src, snk := g.Sources(), g.Sinks()
+	if len(src) != 2 || src[0] != 0 || src[1] != 1 {
+		t.Fatalf("sources %v", src)
+	}
+	if len(snk) != 1 || snk[0] != 3 {
+		t.Fatalf("sinks %v", snk)
+	}
+}
+
+func TestSuccPred(t *testing.T) {
+	g := New(3)
+	g.AddEdge(0, 1)
+	g.AddEdge(0, 2)
+	g.AddEdge(1, 2)
+	succ := g.Succ(nil, 0)
+	if len(succ) != 2 || succ[0] != 1 || succ[1] != 2 {
+		t.Fatalf("succ(0) = %v", succ)
+	}
+	pred := g.Pred(nil, 2)
+	if len(pred) != 2 || pred[0] != 0 || pred[1] != 1 {
+		t.Fatalf("pred(2) = %v", pred)
+	}
+}
+
+func TestLongestPathDiamond(t *testing.T) {
+	// 0 -> 1 -> 3, 0 -> 2 -> 3 with weights 1, 5, 2, 1.
+	g := New(4)
+	g.AddEdge(0, 1)
+	g.AddEdge(0, 2)
+	g.AddEdge(1, 3)
+	g.AddEdge(2, 3)
+	dist, best, err := g.LongestPath([]float64{1, 5, 2, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best != 7 { // 0(1) -> 1(5) -> 3(1)
+		t.Fatalf("longest = %v, want 7", best)
+	}
+	if dist[0] != 7 || dist[1] != 6 || dist[2] != 3 || dist[3] != 1 {
+		t.Fatalf("dist = %v", dist)
+	}
+}
+
+func TestLongestPathBadWeights(t *testing.T) {
+	g := mkChain(3)
+	if _, _, err := g.LongestPath([]float64{1, 2}); err == nil {
+		t.Fatal("expected length-mismatch error")
+	}
+}
+
+func TestLongestPathCycle(t *testing.T) {
+	g := New(2)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 0)
+	if _, _, err := g.LongestPath([]float64{1, 1}); err != ErrCycle {
+		t.Fatalf("expected ErrCycle, got %v", err)
+	}
+}
+
+func TestReachable(t *testing.T) {
+	g := New(5)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(3, 4)
+	seen := g.Reachable([]int{0})
+	want := []bool{true, true, true, false, false}
+	for i := range want {
+		if seen[i] != want[i] {
+			t.Fatalf("reachable mask %v", seen)
+		}
+	}
+	co := g.CoReachable([]int{2})
+	wantCo := []bool{true, true, true, false, false}
+	for i := range wantCo {
+		if co[i] != wantCo[i] {
+			t.Fatalf("coreachable mask %v", co)
+		}
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	g := mkChain(3)
+	c := g.Clone()
+	c.AddEdge(0, 2)
+	if g.M() == c.M() {
+		t.Fatal("clone shares edge storage")
+	}
+	if g.OutDegree(0) != 1 || c.OutDegree(0) != 2 {
+		t.Fatalf("degree leak: g=%d c=%d", g.OutDegree(0), c.OutDegree(0))
+	}
+}
+
+func TestValidateSelfLoop(t *testing.T) {
+	g := New(2)
+	g.AddEdge(1, 1)
+	if err := g.Validate(); err == nil {
+		t.Fatal("self-loop not rejected")
+	}
+}
+
+func TestValidateOK(t *testing.T) {
+	if err := mkChain(10).Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// randomDAG builds a DAG by only adding edges from lower to higher IDs.
+func randomDAG(rng *rand.Rand, n, m int) *Digraph {
+	g := New(n)
+	for i := 0; i < m; i++ {
+		u := rng.Intn(n - 1)
+		v := u + 1 + rng.Intn(n-u-1)
+		g.AddEdge(u, v)
+	}
+	return g
+}
+
+// Property: TopoOrder of a randomly built DAG always respects all edges.
+func TestQuickTopoOrderRespectsEdges(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(40)
+		g := randomDAG(rng, n, rng.Intn(3*n))
+		order, err := g.TopoOrder()
+		if err != nil {
+			return false
+		}
+		pos := make([]int, n)
+		for i, v := range order {
+			pos[v] = i
+		}
+		for _, e := range g.Edges() {
+			if pos[e.From] >= pos[e.To] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: LongestPath dist satisfies Bellman optimality on the DAG:
+// dist[u] = w[u] + max(0, max_{u->v} dist[v]).
+func TestQuickLongestPathBellman(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(30)
+		g := randomDAG(rng, n, rng.Intn(3*n))
+		w := make([]float64, n)
+		for i := range w {
+			w[i] = float64(rng.Intn(100))
+		}
+		dist, best, err := g.LongestPath(w)
+		if err != nil {
+			return false
+		}
+		maxd := 0.0
+		for u := 0; u < n; u++ {
+			d := 0.0
+			for _, e := range g.Out(u) {
+				v := g.Edge(e).To
+				if dist[v] > d {
+					d = dist[v]
+				}
+			}
+			if dist[u] != w[u]+d {
+				return false
+			}
+			if dist[u] > maxd {
+				maxd = dist[u]
+			}
+		}
+		return best == maxd
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Reachable ∘ CoReachable symmetry — v is reachable from u iff
+// u is co-reachable from v.
+func TestQuickReachSymmetry(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(25)
+		g := randomDAG(rng, n, rng.Intn(2*n))
+		u := rng.Intn(n)
+		fwd := g.Reachable([]int{u})
+		for v := 0; v < n; v++ {
+			back := g.CoReachable([]int{v})
+			if fwd[v] != back[u] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkTopoOrder(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	g := randomDAG(rng, 5000, 20000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := g.TopoOrder(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,95 @@
+package graph
+
+// SCC computes strongly connected components with Tarjan's algorithm
+// (iterative).  It returns comp (vertex -> component ID) and the number
+// of components.  Component IDs are in reverse topological order of the
+// condensation: if there is an edge u->v across components then
+// comp[u] > comp[v].
+func (g *Digraph) SCC() (comp []int, n int) {
+	const unvisited = -1
+	nv := g.N()
+	comp = make([]int, nv)
+	index := make([]int, nv)
+	low := make([]int, nv)
+	onStack := make([]bool, nv)
+	for i := range index {
+		index[i] = unvisited
+		comp[i] = unvisited
+	}
+	var stack []int
+	next := 0
+
+	type frame struct {
+		v  int
+		ei int // next out-edge index to process
+	}
+	var call []frame
+	for root := 0; root < nv; root++ {
+		if index[root] != unvisited {
+			continue
+		}
+		call = append(call[:0], frame{v: root})
+		index[root] = next
+		low[root] = next
+		next++
+		stack = append(stack, root)
+		onStack[root] = true
+		for len(call) > 0 {
+			f := &call[len(call)-1]
+			v := f.v
+			if f.ei < g.OutDegree(v) {
+				e := g.Out(v)[f.ei]
+				f.ei++
+				w := g.Edge(e).To
+				if index[w] == unvisited {
+					index[w] = next
+					low[w] = next
+					next++
+					stack = append(stack, w)
+					onStack[w] = true
+					call = append(call, frame{v: w})
+				} else if onStack[w] && index[w] < low[v] {
+					low[v] = index[w]
+				}
+				continue
+			}
+			// Post-process v.
+			call = call[:len(call)-1]
+			if len(call) > 0 {
+				p := call[len(call)-1].v
+				if low[v] < low[p] {
+					low[p] = low[v]
+				}
+			}
+			if low[v] == index[v] {
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					comp[w] = n
+					if w == v {
+						break
+					}
+				}
+				n++
+			}
+		}
+	}
+	return comp, n
+}
+
+// CondensationOrder returns the vertices grouped by SCC in topological
+// order of the condensation (every group's dependencies appear in
+// earlier groups, following edge direction).
+func (g *Digraph) CondensationOrder() [][]int {
+	comp, n := g.SCC()
+	groups := make([][]int, n)
+	for v := 0; v < g.N(); v++ {
+		groups[comp[v]] = append(groups[comp[v]], v)
+	}
+	// Tarjan emits components in reverse topological order; reverse them.
+	for i, j := 0, len(groups)-1; i < j; i, j = i+1, j-1 {
+		groups[i], groups[j] = groups[j], groups[i]
+	}
+	return groups
+}

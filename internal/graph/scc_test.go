@@ -1,0 +1,125 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSCCSimpleCycle(t *testing.T) {
+	g := New(4)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(2, 0) // {0,1,2} strongly connected
+	g.AddEdge(2, 3) // {3} alone
+	comp, n := g.SCC()
+	if n != 2 {
+		t.Fatalf("components = %d, want 2", n)
+	}
+	if comp[0] != comp[1] || comp[1] != comp[2] {
+		t.Fatalf("cycle split: %v", comp)
+	}
+	if comp[3] == comp[0] {
+		t.Fatalf("vertex 3 merged into the cycle: %v", comp)
+	}
+	// Edge 2->3 crosses components: Tarjan numbering has comp[2] > comp[3].
+	if comp[2] <= comp[3] {
+		t.Fatalf("component numbering not reverse-topological: %v", comp)
+	}
+}
+
+func TestSCCAllSingletons(t *testing.T) {
+	g := New(5)
+	for i := 0; i+1 < 5; i++ {
+		g.AddEdge(i, i+1)
+	}
+	_, n := g.SCC()
+	if n != 5 {
+		t.Fatalf("DAG should have %d singleton components, got %d", 5, n)
+	}
+}
+
+func TestCondensationOrderRespectsEdges(t *testing.T) {
+	g := New(6)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 0) // block A = {0,1}
+	g.AddEdge(1, 2)
+	g.AddEdge(2, 3)
+	g.AddEdge(3, 2) // block B = {2,3}
+	g.AddEdge(3, 4)
+	g.AddEdge(5, 0) // {5} upstream of A
+	groups := g.CondensationOrder()
+	pos := make(map[int]int)
+	for gi, grp := range groups {
+		for _, v := range grp {
+			pos[v] = gi
+		}
+	}
+	for _, e := range g.Edges() {
+		if pos[e.From] > pos[e.To] {
+			t.Fatalf("edge %d->%d violates condensation order", e.From, e.To)
+		}
+	}
+	if pos[0] != pos[1] || pos[2] != pos[3] {
+		t.Fatal("blocks split")
+	}
+	if pos[5] > pos[0] {
+		t.Fatal("upstream singleton ordered after its successor block")
+	}
+}
+
+// Property: on random digraphs (cycles allowed), (1) two vertices share
+// a component iff they reach each other, and (2) condensation order
+// respects all edges.
+func TestQuickSCCCorrect(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(12)
+		g := New(n)
+		for i := 0; i < 2*n; i++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u != v {
+				g.AddEdge(u, v)
+			}
+		}
+		comp, _ := g.SCC()
+		for u := 0; u < n; u++ {
+			fwd := g.Reachable([]int{u})
+			back := g.CoReachable([]int{u})
+			for v := 0; v < n; v++ {
+				sameComp := comp[u] == comp[v]
+				mutual := fwd[v] && back[v]
+				if sameComp != mutual {
+					return false
+				}
+			}
+		}
+		groups := g.CondensationOrder()
+		pos := make([]int, n)
+		for gi, grp := range groups {
+			for _, v := range grp {
+				pos[v] = gi
+			}
+		}
+		for _, e := range g.Edges() {
+			if pos[e.From] > pos[e.To] {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 200}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInAdjacency(t *testing.T) {
+	g := New(3)
+	e1 := g.AddEdge(0, 2)
+	e2 := g.AddEdge(1, 2)
+	in := g.In(2)
+	if len(in) != 2 || in[0] != e1 || in[1] != e2 {
+		t.Fatalf("In(2) = %v", in)
+	}
+}

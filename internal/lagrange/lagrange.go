@@ -1,0 +1,312 @@
+// Package lagrange implements a Lagrangian-relaxation gate sizer in the
+// style of Chen, Chu and Wong ("Fast and Exact Simultaneous Gate and
+// Wire Sizing by Lagrangian Relaxation", ICCAD 1998) — reference [8] of
+// the MINFLOTRANSIT paper and the exact-optimization competitor it is
+// measured against.  Having an independent optimizer lets the test
+// suite cross-check MINFLOTRANSIT's solutions: two different exact
+// methods must land on (nearly) the same area.
+//
+// Formulation.  Minimize Σ w_i·x_i subject to the arrival-time
+// constraints finish(u) + d(v) ≤ finish(v) on every timing edge and
+// finish(po) ≤ T.  Relaxing the timing constraints with multipliers λ
+// that satisfy per-vertex flow conservation (Σ_in λ = Σ_out λ, the
+// Karush–Kuhn–Tucker condition on the arrival variables) collapses the
+// Lagrangian subproblem to
+//
+//	minimize  Σ_i [ w_i·x_i + Λ_i·d_i(x) ],    Λ_i = Σ λ into i,
+//
+// a posynomial minimized by cyclic coordinate descent: with the Elmore
+// decomposition d_i = Self_i + L_i(x_{-i})/x_i the optimal own-size is
+//
+//	x_i = sqrt( Λ_i·L_i / (w_i + Σ_u Λ_u·a_ui/x_u) ),
+//
+// clamped to the size bounds.  The outer loop updates λ by projected
+// subgradient (step ∝ 1/k) and renormalizes for flow conservation.
+package lagrange
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"minflo/internal/dag"
+	"minflo/internal/smp"
+	"minflo/internal/sta"
+	"minflo/internal/tilos"
+)
+
+// ErrInfeasible mirrors tilos.ErrInfeasible for unreachable targets.
+var ErrInfeasible = errors.New("lagrange: delay target unreachable")
+
+// Options tune the solver. Zero values select defaults.
+type Options struct {
+	// MaxIters bounds outer (multiplier-update) iterations. Default 250.
+	MaxIters int
+	// InnerSweeps bounds coordinate-descent sweeps per subproblem.
+	// Default 30.
+	InnerSweeps int
+	// Step0 is the initial subgradient step. Default 0.5.
+	Step0 float64
+	// Tol is the relative area-change convergence tolerance. Default 1e-5.
+	Tol float64
+}
+
+// Result is the final sizing.
+type Result struct {
+	X     []float64
+	Area  float64
+	CP    float64
+	Iters int
+	// Repaired reports whether a TILOS patch pass was needed to restore
+	// feasibility after the multipliers converged.
+	Repaired bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxIters == 0 {
+		o.MaxIters = 250
+	}
+	if o.InnerSweeps == 0 {
+		o.InnerSweeps = 30
+	}
+	if o.Step0 == 0 {
+		o.Step0 = 0.5
+	}
+	if o.Tol == 0 {
+		o.Tol = 1e-5
+	}
+	return o
+}
+
+// Size runs the Lagrangian-relaxation sizer toward critical-path target
+// T on the gate-level problem p.
+func Size(p *dag.Problem, T float64, opt Options) (*Result, error) {
+	opt = opt.withDefaults()
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	n := p.NumSizable
+	g := p.G
+
+	// Edge multipliers, indexed by edge ID; sinkMu plays the PO-arc role.
+	lambda := make([]float64, g.M())
+	// Initialize with a conservative flow: unit out of the sink spread
+	// backward over the graph (reverse topo, in-edges share the vertex's
+	// out-flow equally).
+	outFlow := make([]float64, g.N())
+	order := p.Topo()
+	outFlow[p.Sink] = 1
+	for i := len(order) - 1; i >= 0; i-- {
+		v := order[i]
+		if v != p.Sink && g.OutDegree(v) == 0 {
+			outFlow[v] = 0
+		}
+		ins := g.In(v)
+		if len(ins) == 0 {
+			continue
+		}
+		share := outFlow[v] / float64(len(ins))
+		for _, e := range ins {
+			lambda[e] = share
+			outFlow[g.Edge(e).From] += share
+		}
+	}
+
+	// Reverse coupling index: for vertex i, who loads it (a_ui terms).
+	type loadRef struct {
+		u int
+		a float64
+	}
+	loads := make([][]loadRef, n)
+	for u := 0; u < n; u++ {
+		for _, t := range p.Coeffs[u].Terms {
+			if t.J != u {
+				loads[t.J] = append(loads[t.J], loadRef{u, t.A})
+			}
+		}
+	}
+
+	x := p.InitialSizes()
+	bestX := append([]float64(nil), x...)
+	bestFeasibleArea := math.Inf(1)
+	haveFeasible := false
+	prevArea := math.Inf(1)
+	iters := 0
+
+	vertexLambda := make([]float64, g.N())
+	for k := 1; k <= opt.MaxIters; k++ {
+		iters = k
+		// Λ per vertex: flow into the vertex.
+		for v := range vertexLambda {
+			vertexLambda[v] = 0
+		}
+		for _, e := range g.Edges() {
+			vertexLambda[e.To] += lambda[e.ID]
+		}
+
+		// --- Lagrangian subproblem: coordinate descent on x. ---
+		for sweep := 0; sweep < opt.InnerSweeps; sweep++ {
+			maxRel := 0.0
+			for _, v := range order {
+				if v >= n {
+					continue
+				}
+				li := p.Coeffs[v].LoadAt(x)
+				denom := p.AreaW[v]
+				for _, lr := range loads[v] {
+					denom += vertexLambda[lr.u] * lr.a / x[lr.u]
+				}
+				num := vertexLambda[v] * li
+				nx := p.MinSize
+				if num > 0 && denom > 0 {
+					nx = math.Sqrt(num / denom)
+				}
+				if nx < p.MinSize {
+					nx = p.MinSize
+				}
+				if nx > p.MaxSize {
+					nx = p.MaxSize
+				}
+				if rel := math.Abs(nx-x[v]) / x[v]; rel > maxRel {
+					maxRel = rel
+				}
+				x[v] = nx
+			}
+			if maxRel < 1e-6 {
+				break
+			}
+		}
+
+		// --- Timing and multiplier update. ---
+		d := p.Delays(x)
+		tm, err := sta.Analyze(g, d)
+		if err != nil {
+			return nil, err
+		}
+		area := p.Area(x)
+		if tm.CP <= T && area < bestFeasibleArea {
+			bestFeasibleArea = area
+			copy(bestX, x)
+			haveFeasible = true
+		}
+
+		// Feasibility projection: the subproblem solution's *delay
+		// profile* is useful even when it misses T.  Scaling every
+		// vertex budget by T/CP keeps all path sums ≤ T; the W-phase
+		// least-fixed-point then recovers the cheapest sizes realizing
+		// that profile.  This yields a feasible candidate per iteration.
+		if tm.CP > T {
+			if xf, ok := projectFeasible(p, d, T, tm.CP); ok {
+				df := p.Delays(xf)
+				tf, err := sta.Analyze(g, df)
+				if err == nil && tf.CP <= T*(1+1e-9) {
+					if a := p.Area(xf); a < bestFeasibleArea {
+						bestFeasibleArea = a
+						copy(bestX, xf)
+						haveFeasible = true
+					}
+				}
+			}
+		}
+
+		if math.Abs(area-prevArea) < opt.Tol*area && tm.CP <= T*(1+1e-6) {
+			break
+		}
+		prevArea = area
+
+		// Multiplicative subgradient on the edge multipliers: edges with
+		// little slack (relative to the target) grow, slack-rich edges
+		// decay.  Step ∝ 1/√k (standard diminishing schedule).
+		step := opt.Step0 / math.Sqrt(float64(k))
+		scaleT := 1 / T
+		for _, e := range g.Edges() {
+			u, v := e.From, e.To
+			slack := tm.RT[v] - tm.AT[u] - d[u] // edge slack vs CP
+			slack += T - tm.CP                  // shift to target
+			lambda[e.ID] *= math.Exp(-step * slack * scaleT)
+			if lambda[e.ID] < 1e-12 {
+				lambda[e.ID] = 1e-12
+			}
+		}
+		// Project back to flow conservation: forward topological pass
+		// scaling each vertex's outgoing multipliers to match inflow.
+		projectConservation(p, lambda)
+	}
+
+	if !haveFeasible {
+		// Multipliers never produced a feasible point: patch with TILOS
+		// from the current sizes.
+		tr, err := tilos.Size(p, T, x, tilos.Options{})
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrInfeasible, err)
+		}
+		return &Result{X: tr.X, Area: tr.Area, CP: tr.CP, Iters: iters, Repaired: true}, nil
+	}
+	d := p.Delays(bestX)
+	tm, err := sta.Analyze(g, d)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{X: bestX, Area: bestFeasibleArea, CP: tm.CP, Iters: iters}, nil
+}
+
+// projectFeasible scales the achieved delay profile to the target and
+// solves the W-phase SMP for the cheapest sizes meeting it.  Budgets
+// are floored above each vertex's intrinsic delay; flooring can break
+// the path-sum guarantee, so the caller re-times the result.
+func projectFeasible(p *dag.Problem, d []float64, T, cp float64) ([]float64, bool) {
+	n := p.NumSizable
+	scale := T / cp
+	budgets := make([]float64, n)
+	for i := 0; i < n; i++ {
+		b := d[i] * scale
+		if min := p.Coeffs[i].Self * (1 + 1e-9); b <= min {
+			b = min + 1e-12
+		}
+		budgets[i] = b
+	}
+	w, err := smp.Solve(p.Coeffs, budgets, p.MinSize, p.MaxSize, smp.Options{})
+	if err != nil {
+		return nil, false
+	}
+	return w.X, true
+}
+
+// projectConservation rescales multipliers so that at every internal
+// vertex the outgoing flow equals the incoming flow (PIs source flow,
+// the sink absorbs it).  Forward topological pass.
+func projectConservation(p *dag.Problem, lambda []float64) {
+	g := p.G
+	for _, v := range p.Topo() {
+		if v == p.Sink {
+			continue
+		}
+		outs := g.Out(v)
+		if len(outs) == 0 {
+			continue
+		}
+		var in float64
+		for _, e := range g.In(v) {
+			in += lambda[e]
+		}
+		if g.InDegree(v) == 0 {
+			// Sources pass their current out-flow through unchanged.
+			continue
+		}
+		var out float64
+		for _, e := range outs {
+			out += lambda[e]
+		}
+		if out <= 0 {
+			share := in / float64(len(outs))
+			for _, e := range outs {
+				lambda[e] = share
+			}
+			continue
+		}
+		f := in / out
+		for _, e := range outs {
+			lambda[e] *= f
+		}
+	}
+}

@@ -1,0 +1,132 @@
+package lagrange
+
+import (
+	"testing"
+
+	"minflo/internal/circuit"
+	"minflo/internal/core"
+	"minflo/internal/dag"
+	"minflo/internal/delay"
+	"minflo/internal/gen"
+	"minflo/internal/sta"
+	"minflo/internal/tech"
+)
+
+func mustProblem(t *testing.T, ckt *circuit.Circuit) *dag.Problem {
+	t.Helper()
+	m := delay.NewModel(tech.Default013())
+	p, err := dag.GateLevel(ckt, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func dmin(t *testing.T, p *dag.Problem) float64 {
+	t.Helper()
+	tm, err := sta.Analyze(p.G, p.Delays(p.InitialSizes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tm.CP
+}
+
+func TestMeetsTargetChain(t *testing.T) {
+	p := mustProblem(t, gen.InverterChain(10))
+	d0 := dmin(t, p)
+	for _, frac := range []float64{0.9, 0.7, 0.55} {
+		T := frac * d0
+		r, err := Size(p, T, Options{})
+		if err != nil {
+			t.Fatalf("frac %.2f: %v", frac, err)
+		}
+		if r.CP > T*(1+1e-9) {
+			t.Fatalf("frac %.2f: CP %g > %g", frac, r.CP, T)
+		}
+		for i, xi := range r.X {
+			if xi < p.MinSize-1e-9 || xi > p.MaxSize+1e-9 {
+				t.Fatalf("size[%d] = %g out of bounds", i, xi)
+			}
+		}
+	}
+}
+
+func TestMeetsTargetSuite(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		ckt  *circuit.Circuit
+		frac float64
+	}{
+		{"c17", gen.C17(), 0.5},
+		{"fork", gen.Fork(), 0.7},
+		{"adder8", gen.RippleAdder(8, gen.FAXor), 0.55},
+		{"c432s", gen.C432(), 0.45},
+	} {
+		p := mustProblem(t, tc.ckt)
+		T := tc.frac * dmin(t, p)
+		r, err := Size(p, T, Options{})
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if r.CP > T*(1+1e-9) {
+			t.Fatalf("%s: CP %g > target %g", tc.name, r.CP, T)
+		}
+		if r.Area < p.MinAreaValue()-1e-9 {
+			t.Fatalf("%s: area below minimum", tc.name)
+		}
+	}
+}
+
+// TestCrossCheckAgainstMinflotransit: two independent optimizers attack
+// the same convex program (the paper presents both [8] and
+// MINFLOTRANSIT as exact methods); their areas must agree closely.
+func TestCrossCheckAgainstMinflotransit(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		ckt  *circuit.Circuit
+	}{
+		{"c17", gen.C17()},
+		{"c432s", gen.C432()},
+		{"adder8", gen.RippleAdder(8, gen.FAXor)},
+	} {
+		p := mustProblem(t, tc.ckt)
+		T := 0.5 * dmin(t, p)
+		lr, err := Size(p, T, Options{})
+		if err != nil {
+			t.Fatalf("%s: LR: %v", tc.name, err)
+		}
+		mf, err := core.Size(p, T, core.Options{})
+		if err != nil {
+			t.Fatalf("%s: MINFLO: %v", tc.name, err)
+		}
+		ratio := lr.Area / mf.Area
+		t.Logf("%s: LR area %.1f (%d iters, repaired=%v) vs MINFLO %.1f (%d iters) — ratio %.3f",
+			tc.name, lr.Area, lr.Iters, lr.Repaired, mf.Area, mf.Iterations, ratio)
+		if ratio > 1.15 || ratio < 0.85 {
+			t.Errorf("%s: optimizers disagree by %.1f%%", tc.name, 100*(ratio-1))
+		}
+	}
+}
+
+func TestInfeasibleTarget(t *testing.T) {
+	p := mustProblem(t, gen.InverterChain(8))
+	if _, err := Size(p, 0.01*dmin(t, p), Options{}); err == nil {
+		t.Fatal("impossible target accepted")
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	p := mustProblem(t, gen.C17())
+	T := 0.55 * dmin(t, p)
+	a, err := Size(p, T, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Size(p, T, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Area != b.Area || a.CP != b.CP {
+		t.Fatalf("nondeterministic: %g/%g vs %g/%g", a.Area, a.CP, b.Area, b.CP)
+	}
+}

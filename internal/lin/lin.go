@@ -1,0 +1,278 @@
+// Package lin provides the (block-)triangular linear algebra of the
+// D-phase setup (paper §2.3, eq. 6–7).
+//
+// With D = diag(delay(i)) and A the non-negative coupling matrix of the
+// simple monotonic decomposition, the system (D−A)X = B is (block)
+// upper triangular in a topological numbering of the dependency graph
+// (i → j when a_ij ≠ 0).  For gate sizing the blocks are single
+// vertices; for transistor sizing, mutually-loading devices inside one
+// gate form small blocks (hence the SCC machinery).
+//
+// The first-order area sensitivity of a budget change ΔD is
+//
+//	Δ(wᵀX) ≈ −Σ_i C_i·ΔD_i,   C_i = x_i·y_i,  (D−A)ᵀ y = w,
+//
+// with w the area weights.  Because A is non-negative and nilpotent
+// across blocks, y > 0, hence every C_i > 0 — Solve verifies this.
+package lin
+
+import (
+	"fmt"
+	"math"
+
+	"minflo/internal/delay"
+	"minflo/internal/graph"
+)
+
+// inc records one incoming coupling: vertex i's delay mentions x_j with
+// coefficient a (an entry a_ij of A, indexed by column j).
+type inc struct {
+	i int
+	a float64
+}
+
+// depGraph builds the dependency graph: edge i→j when a_ij ≠ 0.
+func depGraph(coeffs []delay.Coeffs) *graph.Digraph {
+	g := graph.New(len(coeffs))
+	for i := range coeffs {
+		for _, t := range coeffs[i].Terms {
+			if t.A != 0 && t.J != i {
+				g.AddEdge(i, t.J)
+			}
+		}
+	}
+	return g
+}
+
+// Sensitivities computes C_i = x_i·y_i where (D−A)ᵀ y = w.
+// d must be the delay budgets (d_i > a_ii required), x the current
+// sizes, w the area weights.
+func Sensitivities(coeffs []delay.Coeffs, x, d, w []float64) ([]float64, error) {
+	n := len(coeffs)
+	if len(x) != n || len(d) != n || len(w) != n {
+		return nil, fmt.Errorf("lin: length mismatch")
+	}
+	y, err := SolveTranspose(coeffs, d, w)
+	if err != nil {
+		return nil, err
+	}
+	c := make([]float64, n)
+	for i := range c {
+		if y[i] <= 0 {
+			return nil, fmt.Errorf("lin: non-positive dual y[%d] = %g (model invariant broken)", i, y[i])
+		}
+		c[i] = x[i] * y[i]
+	}
+	return c, nil
+}
+
+// SolveTranspose solves (D−A)ᵀ y = w by block-forward substitution over
+// the SCC condensation of the dependency graph.
+//
+// Row j of the transpose system reads
+//
+//	(d_j − a_jj)·y_j − Σ_{i : a_ij ≠ 0, i≠j} a_ij·y_i = w_j .
+//
+// y_j therefore needs y_i for the vertices i whose delay mentions x_j —
+// the *predecessors* of j in the dependency graph — so blocks are
+// processed in condensation order.
+func SolveTranspose(coeffs []delay.Coeffs, d, w []float64) ([]float64, error) {
+	n := len(coeffs)
+	// incoming[j] lists (i, a_ij) pairs.
+	incoming := make([][]inc, n)
+	for i := range coeffs {
+		for _, t := range coeffs[i].Terms {
+			if t.J == i || t.A == 0 {
+				continue
+			}
+			incoming[t.J] = append(incoming[t.J], inc{i, t.A})
+		}
+	}
+	diag := make([]float64, n)
+	for j := range coeffs {
+		diag[j] = d[j] - coeffs[j].Self
+		if diag[j] <= 0 || math.IsNaN(diag[j]) {
+			return nil, fmt.Errorf("lin: budget %g at vertex %d does not exceed intrinsic delay %g",
+				d[j], j, coeffs[j].Self)
+		}
+	}
+
+	dep := depGraph(coeffs)
+	groups := dep.CondensationOrder()
+	y := make([]float64, n)
+	solved := make([]bool, n)
+	for _, grp := range groups {
+		if len(grp) == 1 {
+			j := grp[0]
+			rhs := w[j]
+			for _, in := range incoming[j] {
+				if in.i == j {
+					continue
+				}
+				if !solved[in.i] {
+					return nil, fmt.Errorf("lin: dependency order violated at %d<-%d", j, in.i)
+				}
+				rhs += in.a * y[in.i]
+			}
+			y[j] = rhs / diag[j]
+			solved[j] = true
+			continue
+		}
+		// Dense block solve for the SCC {grp}.
+		if err := solveBlock(grp, incoming, diag, w, y, solved); err != nil {
+			return nil, err
+		}
+		for _, j := range grp {
+			solved[j] = true
+		}
+	}
+	return y, nil
+}
+
+// solveBlock solves the dense sub-system for one SCC. Off-block terms
+// use already-solved y values; in-block terms form the matrix.
+func solveBlock(grp []int, incoming [][]inc, diag, w, y []float64, solved []bool) error {
+	m := len(grp)
+	pos := make(map[int]int, m)
+	for k, j := range grp {
+		pos[j] = k
+	}
+	// Build M·yb = rhs.
+	M := make([][]float64, m)
+	rhs := make([]float64, m)
+	for k, j := range grp {
+		M[k] = make([]float64, m)
+		M[k][k] = diag[j]
+		rhs[k] = w[j]
+		for _, in := range incoming[j] {
+			if kk, inBlock := pos[in.i]; inBlock {
+				M[k][kk] -= in.a
+			} else {
+				if !solved[in.i] {
+					return fmt.Errorf("lin: block dependency order violated at %d<-%d", j, in.i)
+				}
+				rhs[k] += in.a * y[in.i]
+			}
+		}
+	}
+	sol, err := gauss(M, rhs)
+	if err != nil {
+		return err
+	}
+	for k, j := range grp {
+		y[j] = sol[k]
+	}
+	return nil
+}
+
+// gauss solves a small dense linear system with partial pivoting.
+func gauss(M [][]float64, b []float64) ([]float64, error) {
+	n := len(M)
+	for col := 0; col < n; col++ {
+		// Pivot.
+		p := col
+		for r := col + 1; r < n; r++ {
+			if math.Abs(M[r][col]) > math.Abs(M[p][col]) {
+				p = r
+			}
+		}
+		if math.Abs(M[p][col]) < 1e-300 {
+			return nil, fmt.Errorf("lin: singular block matrix")
+		}
+		M[col], M[p] = M[p], M[col]
+		b[col], b[p] = b[p], b[col]
+		inv := 1 / M[col][col]
+		for r := col + 1; r < n; r++ {
+			f := M[r][col] * inv
+			if f == 0 {
+				continue
+			}
+			for c := col; c < n; c++ {
+				M[r][c] -= f * M[col][c]
+			}
+			b[r] -= f * b[col]
+		}
+	}
+	x := make([]float64, n)
+	for r := n - 1; r >= 0; r-- {
+		s := b[r]
+		for c := r + 1; c < n; c++ {
+			s -= M[r][c] * x[c]
+		}
+		x[r] = s / M[r][r]
+	}
+	return x, nil
+}
+
+// SolveForward solves (D−A)X = B (the paper's eq. 6) by block-backward
+// substitution — used by tests to cross-validate the decomposition:
+// plugging the returned X back into the delay model must reproduce d.
+func SolveForward(coeffs []delay.Coeffs, d, b []float64) ([]float64, error) {
+	n := len(coeffs)
+	diag := make([]float64, n)
+	for j := range coeffs {
+		diag[j] = d[j] - coeffs[j].Self
+		if diag[j] <= 0 {
+			return nil, fmt.Errorf("lin: budget at vertex %d does not exceed intrinsic delay", j)
+		}
+	}
+	dep := depGraph(coeffs)
+	groups := dep.CondensationOrder()
+	x := make([]float64, n)
+	solved := make([]bool, n)
+	// Row i: (d_i − a_ii)x_i − Σ a_ij x_j = b_i; x_i needs successors x_j,
+	// so process condensation groups in reverse order.
+	for gi := len(groups) - 1; gi >= 0; gi-- {
+		grp := groups[gi]
+		if len(grp) == 1 {
+			i := grp[0]
+			rhs := b[i]
+			for _, t := range coeffs[i].Terms {
+				if t.J == i {
+					continue
+				}
+				if !solved[t.J] {
+					return nil, fmt.Errorf("lin: forward order violated at %d->%d", i, t.J)
+				}
+				rhs += t.A * x[t.J]
+			}
+			x[i] = rhs / diag[i]
+			solved[i] = true
+			continue
+		}
+		m := len(grp)
+		pos := make(map[int]int, m)
+		for k, j := range grp {
+			pos[j] = k
+		}
+		M := make([][]float64, m)
+		rhs := make([]float64, m)
+		for k, i := range grp {
+			M[k] = make([]float64, m)
+			M[k][k] = diag[i]
+			rhs[k] = b[i]
+			for _, t := range coeffs[i].Terms {
+				if t.J == i {
+					continue
+				}
+				if kk, in := pos[t.J]; in {
+					M[k][kk] -= t.A
+				} else {
+					if !solved[t.J] {
+						return nil, fmt.Errorf("lin: forward block order violated at %d->%d", i, t.J)
+					}
+					rhs[k] += t.A * x[t.J]
+				}
+			}
+		}
+		sol, err := gauss(M, rhs)
+		if err != nil {
+			return nil, err
+		}
+		for k, i := range grp {
+			x[i] = sol[k]
+			solved[i] = true
+		}
+	}
+	return x, nil
+}

@@ -1,0 +1,303 @@
+package lin
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"minflo/internal/delay"
+)
+
+// chainCoeffs builds an acyclic 3-vertex chain: 0 loads 1 loads 2.
+func chainCoeffs() []delay.Coeffs {
+	return []delay.Coeffs{
+		{Self: 1, Terms: []delay.Term{{J: 1, A: 2}}, Const: 3},
+		{Self: 1, Terms: []delay.Term{{J: 2, A: 2}}, Const: 3},
+		{Self: 1, Const: 5},
+	}
+}
+
+func TestSolveForwardRoundTrip(t *testing.T) {
+	// Pick sizes, evaluate delays, then recover the sizes from the
+	// delays via eq. (6): (D−A)X = B.
+	ks := chainCoeffs()
+	x := []float64{2, 3, 4}
+	d := delay.Delays(ks, x)
+	b := make([]float64, len(ks))
+	for i := range ks {
+		b[i] = ks[i].Const
+	}
+	got, err := SolveForward(ks, d, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range x {
+		if math.Abs(got[i]-x[i]) > 1e-9 {
+			t.Fatalf("x[%d] = %g, want %g", i, got[i], x[i])
+		}
+	}
+}
+
+func TestSolveTransposeByHand(t *testing.T) {
+	// Two vertices: 0 couples to 1 with a=2; budgets make diagonals 2, 4.
+	ks := []delay.Coeffs{
+		{Self: 1, Terms: []delay.Term{{J: 1, A: 2}}},
+		{Self: 1},
+	}
+	d := []float64{3, 5} // diag = d - self = 2, 4
+	w := []float64{1, 1}
+	// Transpose system: 2·y0 = 1 → y0 = 0.5; 4·y1 − 2·y0 = 1 → y1 = 0.5.
+	y, err := SolveTranspose(ks, d, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(y[0]-0.5) > 1e-12 || math.Abs(y[1]-0.5) > 1e-12 {
+		t.Fatalf("y = %v", y)
+	}
+}
+
+func TestSensitivitiesPositive(t *testing.T) {
+	ks := chainCoeffs()
+	x := []float64{2, 3, 4}
+	d := delay.Delays(ks, x)
+	w := []float64{3, 3, 3}
+	C, err := Sensitivities(ks, x, d, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range C {
+		if c <= 0 {
+			t.Fatalf("C[%d] = %g", i, c)
+		}
+	}
+}
+
+func TestBudgetBelowIntrinsicRejected(t *testing.T) {
+	ks := []delay.Coeffs{{Self: 5, Const: 1}}
+	if _, err := SolveTranspose(ks, []float64{4}, []float64{1}); err == nil {
+		t.Fatal("budget below intrinsic accepted")
+	}
+	if _, err := SolveForward(ks, []float64{5}, []float64{1}); err == nil {
+		t.Fatal("budget equal to intrinsic accepted")
+	}
+}
+
+// denseSolve is an independent reference: builds (D−A)ᵀ as a dense
+// matrix and solves with Gaussian elimination.
+func denseSolveTranspose(ks []delay.Coeffs, d, w []float64) []float64 {
+	n := len(ks)
+	M := make([][]float64, n)
+	for j := 0; j < n; j++ {
+		M[j] = make([]float64, n)
+		M[j][j] = d[j] - ks[j].Self
+	}
+	for i := range ks {
+		for _, t := range ks[i].Terms {
+			if t.J != i {
+				M[t.J][i] -= t.A // transpose: row j, column i
+			}
+		}
+	}
+	b := append([]float64(nil), w...)
+	// Plain Gaussian elimination with partial pivoting.
+	for col := 0; col < n; col++ {
+		p := col
+		for r := col + 1; r < n; r++ {
+			if math.Abs(M[r][col]) > math.Abs(M[p][col]) {
+				p = r
+			}
+		}
+		M[col], M[p] = M[p], M[col]
+		b[col], b[p] = b[p], b[col]
+		for r := col + 1; r < n; r++ {
+			f := M[r][col] / M[col][col]
+			for c := col; c < n; c++ {
+				M[r][c] -= f * M[col][c]
+			}
+			b[r] -= f * b[col]
+		}
+	}
+	y := make([]float64, n)
+	for r := n - 1; r >= 0; r-- {
+		s := b[r]
+		for c := r + 1; c < n; c++ {
+			s -= M[r][c] * y[c]
+		}
+		y[r] = s / M[r][r]
+	}
+	return y
+}
+
+// Property: the SCC block solver matches the dense reference on random
+// DAG-structured coefficient sets.
+func TestQuickTransposeMatchesDense(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(10)
+		ks := make([]delay.Coeffs, n)
+		for i := 0; i < n; i++ {
+			ks[i].Self = rng.Float64()
+			ks[i].Const = rng.Float64()
+			for j := i + 1; j < n; j++ {
+				if rng.Intn(3) == 0 {
+					ks[i].Terms = append(ks[i].Terms, delay.Term{J: j, A: rng.Float64() * 2})
+				}
+			}
+		}
+		d := make([]float64, n)
+		w := make([]float64, n)
+		for i := range d {
+			d[i] = ks[i].Self + 0.5 + rng.Float64()*5
+			w[i] = 1 + rng.Float64()*5
+		}
+		got, err := SolveTranspose(ks, d, w)
+		if err != nil {
+			return false
+		}
+		want := denseSolveTranspose(ks, d, w)
+		for i := range got {
+			if math.Abs(got[i]-want[i]) > 1e-6*(1+math.Abs(want[i])) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: with cyclic (intra-gate style) couplings the block solver
+// still matches the dense reference — the transistor-sizing case where
+// (D−A) is only *block* triangular.
+func TestQuickBlockTransposeMatchesDense(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nBlocks := 1 + rng.Intn(4)
+		var ks []delay.Coeffs
+		base := 0
+		for bl := 0; bl < nBlocks; bl++ {
+			size := 1 + rng.Intn(3)
+			for i := 0; i < size; i++ {
+				ks = append(ks, delay.Coeffs{Self: rng.Float64()})
+			}
+			for i := 0; i < size; i++ {
+				for j := 0; j < size; j++ {
+					if i != j && rng.Intn(2) == 0 {
+						ks[base+i].Terms = append(ks[base+i].Terms,
+							delay.Term{J: base + j, A: 0.2 * rng.Float64()})
+					}
+				}
+				// forward coupling to the next block
+				if bl+1 < nBlocks && rng.Intn(2) == 0 {
+					ks[base+i].Terms = append(ks[base+i].Terms,
+						delay.Term{J: base + size, A: rng.Float64()})
+				}
+			}
+			base += size
+		}
+		n := len(ks)
+		// Fix dangling forward couplings past the end.
+		for i := range ks {
+			valid := ks[i].Terms[:0]
+			for _, t := range ks[i].Terms {
+				if t.J < n {
+					valid = append(valid, t)
+				}
+			}
+			ks[i].Terms = valid
+		}
+		d := make([]float64, n)
+		w := make([]float64, n)
+		for i := range d {
+			d[i] = ks[i].Self + 1 + rng.Float64()*5
+			w[i] = 1 + rng.Float64()*3
+		}
+		got, err := SolveTranspose(ks, d, w)
+		if err != nil {
+			return false
+		}
+		want := denseSolveTranspose(ks, d, w)
+		for i := range got {
+			if math.Abs(got[i]-want[i]) > 1e-6*(1+math.Abs(want[i])) {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 60}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLengthMismatch(t *testing.T) {
+	ks := chainCoeffs()
+	if _, err := Sensitivities(ks, []float64{1}, []float64{1, 1, 1}, []float64{1, 1, 1}); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+}
+
+func TestSolveForwardBlockCyclic(t *testing.T) {
+	// Two mutually loading vertices (an intra-gate block): the forward
+	// solve must recover the sizes from the delays through the dense
+	// block path.
+	ks := []delay.Coeffs{
+		{Self: 0.5, Terms: []delay.Term{{J: 1, A: 0.4}}, Const: 2},
+		{Self: 0.5, Terms: []delay.Term{{J: 0, A: 0.3}}, Const: 3},
+	}
+	x := []float64{2.5, 1.5}
+	d := delay.Delays(ks, x)
+	b := []float64{ks[0].Const, ks[1].Const}
+	got, err := SolveForward(ks, d, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range x {
+		if math.Abs(got[i]-x[i]) > 1e-9 {
+			t.Fatalf("x[%d] = %g, want %g", i, got[i], x[i])
+		}
+	}
+}
+
+// Property: forward-solve round trip on random DAG coefficient sets:
+// delays evaluated at x, then solved back, must reproduce x.
+func TestQuickForwardRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(10)
+		ks := make([]delay.Coeffs, n)
+		for i := 0; i < n; i++ {
+			ks[i].Self = rng.Float64()
+			ks[i].Const = 0.5 + rng.Float64()*4
+			for j := i + 1; j < n; j++ {
+				if rng.Intn(3) == 0 {
+					ks[i].Terms = append(ks[i].Terms, delay.Term{J: j, A: rng.Float64()})
+				}
+			}
+		}
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = 1 + rng.Float64()*10
+		}
+		d := delay.Delays(ks, x)
+		b := make([]float64, n)
+		for i := range b {
+			b[i] = ks[i].Const
+		}
+		got, err := SolveForward(ks, d, b)
+		if err != nil {
+			return false
+		}
+		for i := range x {
+			if math.Abs(got[i]-x[i]) > 1e-6*(1+x[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,186 @@
+package mcmf
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestCostScalingTrivial(t *testing.T) {
+	s := New(2)
+	s.SetSupply(0, 3)
+	s.SetSupply(1, -3)
+	a := s.AddArc(0, 1, 10, 7)
+	cost, err := s.SolveCostScaling()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cost != 21 {
+		t.Fatalf("cost = %v, want 21", cost)
+	}
+	if s.Flow(a) != 3 {
+		t.Fatalf("flow = %d", s.Flow(a))
+	}
+	if err := s.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCostScalingChoosesCheaperPath(t *testing.T) {
+	s := New(3)
+	s.SetSupply(0, 4)
+	s.SetSupply(1, -4)
+	s.AddArc(0, 1, 10, 10)
+	s.AddArc(0, 2, 10, 2)
+	s.AddArc(2, 1, 10, 3)
+	cost, err := s.SolveCostScaling()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cost != 20 {
+		t.Fatalf("cost = %v, want 20", cost)
+	}
+	if err := s.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCostScalingInfeasible(t *testing.T) {
+	s := New(2)
+	s.SetSupply(0, 10)
+	s.SetSupply(1, -10)
+	s.AddArc(0, 1, 3, 1)
+	if _, err := s.SolveCostScaling(); err != ErrInfeasible {
+		t.Fatalf("want ErrInfeasible, got %v", err)
+	}
+}
+
+func TestCostScalingUnbalanced(t *testing.T) {
+	s := New(2)
+	s.SetSupply(0, 5)
+	if _, err := s.SolveCostScaling(); err != ErrUnbalanced {
+		t.Fatalf("want ErrUnbalanced, got %v", err)
+	}
+}
+
+func TestCostScalingNegativeArc(t *testing.T) {
+	s := New(3)
+	s.SetSupply(0, 2)
+	s.SetSupply(2, -2)
+	s.AddArc(0, 1, 5, -4)
+	s.AddArc(1, 2, 5, 1)
+	cost, err := s.SolveCostScaling()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cost != -6 {
+		t.Fatalf("cost = %v, want -6", cost)
+	}
+	if err := s.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: both engines find the same optimal cost on random feasible
+// instances (SSP refuses negative cycles; skip those).
+func TestQuickEnginesAgree(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(7)
+		m := 1 + rng.Intn(14)
+		build := func() *Solver {
+			rr := rand.New(rand.NewSource(seed))
+			_ = rr
+			s := New(n)
+			r2 := rand.New(rand.NewSource(seed + 1))
+			for i := 0; i < m; i++ {
+				u, v := r2.Intn(n), r2.Intn(n)
+				if u == v {
+					continue
+				}
+				s.AddArc(u, v, int64(r2.Intn(9)), int64(r2.Intn(15)-3))
+			}
+			for k := 0; k < 2; k++ {
+				a, b := r2.Intn(n), r2.Intn(n)
+				if a != b {
+					amt := int64(r2.Intn(4))
+					s.AddSupply(a, amt)
+					s.AddSupply(b, -amt)
+				}
+			}
+			return s
+		}
+		s1 := build()
+		c1, err1 := s1.Solve()
+		s2 := build()
+		c2, err2 := s2.SolveCostScaling()
+		if err1 == ErrNegativeCycle {
+			// SSP refuses; cost-scaling may legitimately solve it.
+			return true
+		}
+		if (err1 == nil) != (err2 == nil) {
+			return false
+		}
+		if err1 != nil {
+			return true
+		}
+		if err := s2.Verify(); err != nil {
+			return false
+		}
+		return c1 == c2
+	}
+	cfg := &quick.Config{MaxCount: 400}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// BenchmarkFlowEngines compares the two engines on a D-phase-shaped
+// layered instance (the ablation DESIGN.md §5 calls out).
+func BenchmarkFlowEngines(b *testing.B) {
+	build := func(seed int64) *Solver {
+		rng := rand.New(rand.NewSource(seed))
+		const layers, width = 30, 20
+		s := New(layers * width)
+		for l := 0; l+1 < layers; l++ {
+			for i := 0; i < width; i++ {
+				u := l*width + i
+				// Backbone arcs keep every instance feasible.
+				s.AddArc(u, (l+1)*width+i, 1_000_000, 900)
+				s.AddArc(u, (l+1)*width+(i+1)%width, 1_000_000, 900)
+				for k := 0; k < 3; k++ {
+					s.AddArc(u, (l+1)*width+rng.Intn(width), 1_000_000, int64(rng.Intn(1000)))
+				}
+			}
+		}
+		var tot int64
+		for i := 0; i < width; i++ {
+			amt := int64(10 + rng.Intn(50))
+			s.SetSupply(i, amt)
+			tot += amt
+		}
+		for i := 0; i < width; i++ {
+			v := (layers-1)*width + i
+			share := tot / int64(width-i)
+			s.SetSupply(v, -share)
+			tot -= share
+		}
+		return s
+	}
+	b.Run("ssp", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			s := build(int64(i))
+			if _, err := s.Solve(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("costscaling", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			s := build(int64(i))
+			if _, err := s.SolveCostScaling(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

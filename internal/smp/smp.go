@@ -1,0 +1,151 @@
+// Package smp solves the W-phase Simple Monotonic Program
+// (paper §2.3.2, eq. 11):
+//
+//	minimize   Σ w_i·x_i
+//	subject to delay(i) ≤ d_i       i.e.  x_i ≥ (Σ a_ij x_j + b_i)/(d_i − a_ii)
+//	           lo ≤ x_i ≤ hi
+//
+// Because every right-hand side is monotone non-decreasing in every
+// x_j, the feasible set is closed under pointwise minimum and the
+// unique minimal solution is the least fixed point of
+//
+//	x ← clamp( (A·x + b) ⊘ (d − diag(A)) ).
+//
+// Solve iterates Gauss–Seidel sweeps in dependency order (exact in one
+// sweep for acyclic dependencies, as in gate sizing; geometric for the
+// small intra-gate blocks of transistor sizing), matching the
+// O(|V|·|E|) worst case of the constraint-relaxation procedure in the
+// paper's reference [10].
+package smp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"minflo/internal/delay"
+	"minflo/internal/graph"
+)
+
+// ErrNoConvergence is returned when the relaxation does not reach a
+// fixed point within the sweep budget.
+var ErrNoConvergence = errors.New("smp: relaxation did not converge")
+
+// Result of a W-phase solve.
+type Result struct {
+	X []float64
+	// Clamped lists the vertices whose constraint required a size above
+	// hi; their budgets are unattainable and their delay exceeds d_i.
+	Clamped []int
+	// Sweeps is the number of Gauss–Seidel sweeps performed.
+	Sweeps int
+}
+
+// Options configure the solver. Zero values select defaults.
+type Options struct {
+	Tol       float64 // convergence tolerance on size change (default 1e-9)
+	MaxSweeps int     // sweep budget (default 4·n + 64)
+}
+
+// Solve computes the least fixed point. d are per-vertex delay budgets;
+// lo/hi are the global size bounds.
+func Solve(coeffs []delay.Coeffs, d []float64, lo, hi float64, opt Options) (*Result, error) {
+	n := len(coeffs)
+	if len(d) != n {
+		return nil, fmt.Errorf("smp: budget vector length %d != %d", len(d), n)
+	}
+	if opt.Tol == 0 {
+		opt.Tol = 1e-9
+	}
+	if opt.MaxSweeps == 0 {
+		opt.MaxSweeps = 4*n + 64
+	}
+	denom := make([]float64, n)
+	for i := range coeffs {
+		denom[i] = d[i] - coeffs[i].Self
+		if denom[i] <= 0 || math.IsNaN(denom[i]) {
+			return nil, fmt.Errorf("smp: budget %g at vertex %d below intrinsic delay %g",
+				d[i], i, coeffs[i].Self)
+		}
+	}
+
+	// Sweep order: dependencies first.  x_i needs x_j for terms (i→j in
+	// the dependency graph), so we process the condensation in reverse
+	// topological order (sinks of the dependency graph first).
+	dep := graph.New(n)
+	for i := range coeffs {
+		for _, t := range coeffs[i].Terms {
+			if t.J != i && t.A != 0 {
+				dep.AddEdge(i, t.J)
+			}
+		}
+	}
+	groups := dep.CondensationOrder()
+	order := make([]int, 0, n)
+	for gi := len(groups) - 1; gi >= 0; gi-- {
+		order = append(order, groups[gi]...)
+	}
+
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = lo
+	}
+	res := &Result{X: x}
+	for sweep := 0; sweep < opt.MaxSweeps; sweep++ {
+		res.Sweeps = sweep + 1
+		maxDelta := 0.0
+		for _, i := range order {
+			need := coeffs[i].LoadAt(x) / denom[i]
+			nx := need
+			if nx < lo {
+				nx = lo
+			}
+			if nx > hi {
+				nx = hi
+			}
+			if nx > x[i] { // least fixed point: sizes only grow from lo
+				if nx-x[i] > maxDelta {
+					maxDelta = nx - x[i]
+				}
+				x[i] = nx
+			}
+		}
+		if maxDelta <= opt.Tol {
+			// Converged; collect clamped vertices.
+			for i := range coeffs {
+				if need := coeffs[i].LoadAt(x) / denom[i]; need > hi*(1+1e-12) {
+					res.Clamped = append(res.Clamped, i)
+				}
+			}
+			return res, nil
+		}
+	}
+	return nil, ErrNoConvergence
+}
+
+// Verify checks the result against the constraints: every unclamped
+// vertex meets its budget, and minimality holds (each x_i is either at
+// the lower bound or tight against its constraint/upper bound).
+func Verify(coeffs []delay.Coeffs, d []float64, lo, hi float64, r *Result, eps float64) error {
+	clamped := make(map[int]bool, len(r.Clamped))
+	for _, i := range r.Clamped {
+		clamped[i] = true
+	}
+	for i := range coeffs {
+		di := coeffs[i].Delay(r.X[i], r.X)
+		if !clamped[i] && di > d[i]*(1+eps)+eps {
+			return fmt.Errorf("smp: vertex %d delay %g exceeds budget %g", i, di, d[i])
+		}
+		xi := r.X[i]
+		if xi < lo-eps || xi > hi+eps {
+			return fmt.Errorf("smp: vertex %d size %g outside [%g,%g]", i, xi, lo, hi)
+		}
+		need := coeffs[i].LoadAt(r.X) / (d[i] - coeffs[i].Self)
+		slackLo := xi - lo
+		tight := math.Abs(xi-need) <= eps*(1+need) || math.Abs(xi-hi) <= eps
+		if slackLo > eps && !tight {
+			return fmt.Errorf("smp: vertex %d not minimal: x=%g, bound=%g", i, xi, need)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,224 @@
+// Incremental arrival-time maintenance.  TILOS re-times the circuit
+// after every single bump; a full forward/backward analysis per move
+// makes the baseline superlinear.  Arrivals maintains only the forward
+// quantities (AT, finish times, CP) and repropagates from the changed
+// vertices in topological order, which is all the greedy needs: the
+// target check uses CP, path extraction uses AT, and sensitivities are
+// local.
+package sta
+
+import (
+	"fmt"
+
+	"minflo/internal/graph"
+)
+
+// Arrivals tracks arrival times under point updates to vertex delays.
+type Arrivals struct {
+	g      *graph.Digraph
+	d      []float64
+	at     []float64
+	finish []float64 // at + d
+	pos    []int     // topological position per vertex
+
+	// Flattened adjacency (avoids edge-struct copies on the hot path).
+	preds [][]int32
+	succs [][]int32
+
+	// worklist state
+	pq     workHeap
+	inWork []bool
+}
+
+// NewArrivals runs the initial forward pass.
+func NewArrivals(g *graph.Digraph, d []float64) (*Arrivals, error) {
+	if len(d) != g.N() {
+		return nil, fmt.Errorf("sta: delay vector length %d != %d vertices", len(d), g.N())
+	}
+	order, err := g.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	a := &Arrivals{
+		g:      g,
+		d:      append([]float64(nil), d...),
+		at:     make([]float64, g.N()),
+		finish: make([]float64, g.N()),
+		pos:    make([]int, g.N()),
+		preds:  make([][]int32, g.N()),
+		succs:  make([][]int32, g.N()),
+		inWork: make([]bool, g.N()),
+	}
+	for _, e := range g.Edges() {
+		a.preds[e.To] = append(a.preds[e.To], int32(e.From))
+		a.succs[e.From] = append(a.succs[e.From], int32(e.To))
+	}
+	for i, v := range order {
+		a.pos[v] = i
+	}
+	for _, v := range order {
+		a.recomputeAT(v)
+	}
+	return a, nil
+}
+
+// AT returns the arrival time at v's input.
+func (a *Arrivals) AT(v int) float64 { return a.at[v] }
+
+// ATSlice exposes the arrival array (read-only for callers).
+func (a *Arrivals) ATSlice() []float64 { return a.at }
+
+// Delay returns the current delay of v.
+func (a *Arrivals) Delay(v int) float64 { return a.d[v] }
+
+// DelaySlice exposes the delay array (read-only for callers).
+func (a *Arrivals) DelaySlice() []float64 { return a.d }
+
+// CP returns the critical-path delay max(AT+delay).
+func (a *Arrivals) CP() float64 {
+	best := 0.0
+	for _, f := range a.finish {
+		if f > best {
+			best = f
+		}
+	}
+	return best
+}
+
+// recomputeAT refreshes at/finish for v from its fanins.
+func (a *Arrivals) recomputeAT(v int) {
+	at := 0.0
+	for _, u := range a.preds[v] {
+		if f := a.finish[u]; f > at {
+			at = f
+		}
+	}
+	a.at[v] = at
+	a.finish[v] = at + a.d[v]
+}
+
+// workHeap is a hand-rolled binary min-heap of vertices keyed by
+// topological position (no interface boxing — this sits on TILOS's
+// innermost loop).
+type workHeap struct {
+	items []int
+	pos   []int
+}
+
+func (h *workHeap) push(v int) {
+	h.items = append(h.items, v)
+	i := len(h.items) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if h.pos[h.items[p]] <= h.pos[h.items[i]] {
+			break
+		}
+		h.items[p], h.items[i] = h.items[i], h.items[p]
+		i = p
+	}
+}
+
+func (h *workHeap) pop() int {
+	top := h.items[0]
+	last := len(h.items) - 1
+	h.items[0] = h.items[last]
+	h.items = h.items[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		m := i
+		if l < last && h.pos[h.items[l]] < h.pos[h.items[m]] {
+			m = l
+		}
+		if r < last && h.pos[h.items[r]] < h.pos[h.items[m]] {
+			m = r
+		}
+		if m == i {
+			break
+		}
+		h.items[i], h.items[m] = h.items[m], h.items[i]
+		i = m
+	}
+	return top
+}
+
+// SetDelays updates the delays of the listed vertices and repropagates
+// arrival times downstream.  Processing strictly in topological order
+// guarantees each affected vertex is recomputed exactly once.
+func (a *Arrivals) SetDelays(vs []int, newD []float64) {
+	if a.pq.pos == nil {
+		a.pq.pos = a.pos
+	}
+	for i, v := range vs {
+		if a.d[v] == newD[i] {
+			continue
+		}
+		a.d[v] = newD[i]
+		a.enqueue(v)
+	}
+	for len(a.pq.items) > 0 {
+		v := a.pq.pop()
+		a.inWork[v] = false
+		oldFinish := a.finish[v]
+		at := 0.0
+		for _, u := range a.preds[v] {
+			if f := a.finish[u]; f > at {
+				at = f
+			}
+		}
+		a.at[v] = at
+		a.finish[v] = at + a.d[v]
+		if a.finish[v] != oldFinish {
+			for _, w := range a.succs[v] {
+				a.enqueue(int(w))
+			}
+		}
+	}
+}
+
+func (a *Arrivals) enqueue(v int) {
+	if !a.inWork[v] {
+		a.inWork[v] = true
+		a.pq.push(v)
+	}
+}
+
+// CriticalPathInc extracts one critical path using the maintained
+// arrival times (source to the vertex attaining CP).
+func (a *Arrivals) CriticalPathInc() []int {
+	cp := a.CP()
+	end := -1
+	for v := 0; v < a.g.N(); v++ {
+		if a.finish[v] >= cp-1e-12 {
+			end = v
+			break
+		}
+	}
+	if end == -1 {
+		return nil
+	}
+	var rev []int
+	v := end
+	for {
+		rev = append(rev, v)
+		if a.g.InDegree(v) == 0 {
+			break
+		}
+		next := -1
+		for _, e := range a.g.In(v) {
+			u := a.g.Edge(e).From
+			if a.finish[u] >= a.at[v]-1e-12 {
+				next = u
+				break
+			}
+		}
+		if next == -1 {
+			break
+		}
+		v = next
+	}
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev
+}

@@ -1,0 +1,182 @@
+package sta
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"minflo/internal/graph"
+)
+
+func TestArrivalsMatchesAnalyzeInitially(t *testing.T) {
+	g, d := diamond()
+	a, err := NewArrivals(g, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tm, _ := Analyze(g, d)
+	for v := 0; v < g.N(); v++ {
+		if a.AT(v) != tm.AT[v] {
+			t.Fatalf("AT(%d) = %g, want %g", v, a.AT(v), tm.AT[v])
+		}
+	}
+	if a.CP() != tm.CP {
+		t.Fatalf("CP %g != %g", a.CP(), tm.CP)
+	}
+}
+
+func TestArrivalsPointUpdate(t *testing.T) {
+	g, d := diamond()
+	a, _ := NewArrivals(g, d)
+	// Speed up vertex 1 (the critical one): 5 -> 1.
+	a.SetDelays([]int{1}, []float64{1})
+	d[1] = 1
+	tm, _ := Analyze(g, d)
+	for v := 0; v < g.N(); v++ {
+		if a.AT(v) != tm.AT[v] {
+			t.Fatalf("after update AT(%d) = %g, want %g", v, a.AT(v), tm.AT[v])
+		}
+	}
+	if a.CP() != tm.CP {
+		t.Fatalf("after update CP %g != %g", a.CP(), tm.CP)
+	}
+}
+
+func TestArrivalsLengthMismatch(t *testing.T) {
+	g, _ := diamond()
+	if _, err := NewArrivals(g, []float64{1}); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestArrivalsCycle(t *testing.T) {
+	g := graph.New(2)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 0)
+	if _, err := NewArrivals(g, []float64{1, 1}); err == nil {
+		t.Fatal("expected cycle error")
+	}
+}
+
+// Property: after an arbitrary sequence of random delay updates, the
+// incremental state matches a from-scratch analysis exactly.
+func TestQuickIncrementalMatchesFull(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(25)
+		g := graph.New(n)
+		for i := 0; i < 3*n; i++ {
+			u := rng.Intn(n - 1)
+			v := u + 1 + rng.Intn(n-u-1)
+			g.AddEdge(u, v)
+		}
+		d := make([]float64, n)
+		for i := range d {
+			d[i] = float64(1 + rng.Intn(9))
+		}
+		a, err := NewArrivals(g, d)
+		if err != nil {
+			return false
+		}
+		for round := 0; round < 12; round++ {
+			// Batch of 1-3 random updates.
+			k := 1 + rng.Intn(3)
+			vs := make([]int, k)
+			nd := make([]float64, k)
+			for i := 0; i < k; i++ {
+				vs[i] = rng.Intn(n)
+				nd[i] = float64(rng.Intn(12))
+				d[vs[i]] = nd[i]
+			}
+			// Duplicate updates in one batch are allowed; last wins in d,
+			// so make the batch consistent with d.
+			for i := 0; i < k; i++ {
+				nd[i] = d[vs[i]]
+			}
+			a.SetDelays(vs, nd)
+			tm, err := Analyze(g, d)
+			if err != nil {
+				return false
+			}
+			for v := 0; v < n; v++ {
+				if math.Abs(a.AT(v)-tm.AT[v]) > 1e-12 {
+					return false
+				}
+			}
+			if math.Abs(a.CP()-tm.CP) > 1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the incremental critical path is a real path achieving CP.
+func TestQuickIncrementalCriticalPath(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(20)
+		g := graph.New(n)
+		for i := 0; i < 2*n; i++ {
+			u := rng.Intn(n - 1)
+			v := u + 1 + rng.Intn(n-u-1)
+			g.AddEdge(u, v)
+		}
+		d := make([]float64, n)
+		for i := range d {
+			d[i] = float64(1 + rng.Intn(9))
+		}
+		a, err := NewArrivals(g, d)
+		if err != nil {
+			return false
+		}
+		// A few updates first.
+		for i := 0; i < 5; i++ {
+			v := rng.Intn(n)
+			nd := float64(rng.Intn(12))
+			d[v] = nd
+			a.SetDelays([]int{v}, []float64{nd})
+		}
+		path := a.CriticalPathInc()
+		if len(path) == 0 {
+			return false
+		}
+		sum := 0.0
+		for _, v := range path {
+			sum += d[v]
+		}
+		return math.Abs(sum-a.CP()) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkIncrementalUpdate(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	n := 4000
+	g := graph.New(n)
+	for i := 0; i < 3*n; i++ {
+		u := rng.Intn(n - 1)
+		v := u + 1 + rng.Intn(n-u-1)
+		g.AddEdge(u, v)
+	}
+	d := make([]float64, n)
+	for i := range d {
+		d[i] = float64(1 + rng.Intn(9))
+	}
+	a, err := NewArrivals(g, d)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		v := rng.Intn(n)
+		nd := float64(1 + rng.Intn(12))
+		a.SetDelays([]int{v}, []float64{nd})
+	}
+}

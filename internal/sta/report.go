@@ -1,0 +1,108 @@
+// Timing reports: human-readable critical-path and slack summaries in
+// the style of industrial STA tools.
+package sta
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+
+	"minflo/internal/graph"
+)
+
+// Report summarizes one timing analysis for presentation.
+type Report struct {
+	CP        float64
+	Target    float64 // 0 when no target was supplied
+	WNS       float64 // worst negative slack vs Target (0 when met)
+	Path      []int   // one critical path (vertex ids)
+	Histogram []HistBin
+}
+
+// HistBin is one slack-histogram bucket.
+type HistBin struct {
+	Lo, Hi float64
+	Count  int
+}
+
+// NewReport builds a report from an analysis; target may be 0.
+func NewReport(g *graph.Digraph, d []float64, t *Timing, target float64) *Report {
+	r := &Report{CP: t.CP, Target: target, Path: CriticalPath(g, d, t)}
+	if target > 0 && t.CP > target {
+		r.WNS = target - t.CP
+	}
+	// Slack histogram over vertices with non-zero delay (real elements).
+	var slacks []float64
+	for v := 0; v < g.N(); v++ {
+		if d[v] > 0 {
+			slacks = append(slacks, t.Slack[v])
+		}
+	}
+	if len(slacks) == 0 {
+		return r
+	}
+	sort.Float64s(slacks)
+	lo, hi := slacks[0], slacks[len(slacks)-1]
+	const bins = 8
+	width := (hi - lo) / bins
+	if width <= 0 {
+		r.Histogram = []HistBin{{Lo: lo, Hi: hi, Count: len(slacks)}}
+		return r
+	}
+	r.Histogram = make([]HistBin, bins)
+	for b := 0; b < bins; b++ {
+		r.Histogram[b] = HistBin{Lo: lo + float64(b)*width, Hi: lo + float64(b+1)*width}
+	}
+	for _, s := range slacks {
+		b := int((s - lo) / width)
+		if b >= bins {
+			b = bins - 1
+		}
+		r.Histogram[b].Count++
+	}
+	return r
+}
+
+// Write renders the report with vertex labels supplied by name.
+func (r *Report) Write(w io.Writer, d []float64, name func(v int) string) {
+	fmt.Fprintf(w, "critical path: %.1f ps", r.CP)
+	if r.Target > 0 {
+		if r.WNS < 0 {
+			fmt.Fprintf(w, "  (target %.1f VIOLATED, WNS %.1f)", r.Target, r.WNS)
+		} else {
+			fmt.Fprintf(w, "  (target %.1f met, margin %.1f)", r.Target, r.Target-r.CP)
+		}
+	}
+	fmt.Fprintln(w)
+	if len(r.Path) > 0 {
+		fmt.Fprintln(w, "path:")
+		at := 0.0
+		for _, v := range r.Path {
+			if d[v] == 0 {
+				continue
+			}
+			at += d[v]
+			fmt.Fprintf(w, "  %-24s +%8.1f  @%9.1f\n", name(v), d[v], at)
+		}
+	}
+	if len(r.Histogram) > 0 {
+		fmt.Fprintln(w, "slack histogram:")
+		max := 0
+		for _, b := range r.Histogram {
+			if b.Count > max {
+				max = b.Count
+			}
+		}
+		for _, b := range r.Histogram {
+			bar := ""
+			if max > 0 {
+				n := int(math.Round(40 * float64(b.Count) / float64(max)))
+				for i := 0; i < n; i++ {
+					bar += "#"
+				}
+			}
+			fmt.Fprintf(w, "  [%9.1f, %9.1f) %5d %s\n", b.Lo, b.Hi, b.Count, bar)
+		}
+	}
+}

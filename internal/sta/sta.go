@@ -1,0 +1,137 @@
+// Package sta implements static timing analysis on the sizing DAG:
+// arrival times, required times, vertex slacks, edge slacks and the
+// critical path, exactly as defined in the paper's equation (8).
+package sta
+
+import (
+	"fmt"
+	"math"
+
+	"minflo/internal/graph"
+)
+
+// Timing holds the analysis results for one delay assignment.
+type Timing struct {
+	// AT[v] is the arrival time at v's input (max over fanin of
+	// AT(u)+delay(u); 0 at sources).
+	AT []float64
+	// RT[v] is the required time (CP − delay(v) at sinks, else
+	// min over fanout of RT(w) − delay(v)).
+	RT []float64
+	// Slack[v] = RT[v] − AT[v].
+	Slack []float64
+	// EdgeSlack[e] = RT(to) − AT(from) − delay(from).
+	EdgeSlack []float64
+	// CP is the critical-path delay max_v(AT+delay).
+	CP float64
+}
+
+// Analyze runs forward/backward timing over the DAG with per-vertex
+// delays d. Sources (in-degree 0) arrive at time zero.
+func Analyze(g *graph.Digraph, d []float64) (*Timing, error) {
+	if len(d) != g.N() {
+		return nil, fmt.Errorf("sta: delay vector length %d != %d vertices", len(d), g.N())
+	}
+	order, err := g.TopoOrder()
+	if err != nil {
+		return nil, fmt.Errorf("sta: %w", err)
+	}
+	n := g.N()
+	t := &Timing{
+		AT:        make([]float64, n),
+		RT:        make([]float64, n),
+		Slack:     make([]float64, n),
+		EdgeSlack: make([]float64, g.M()),
+	}
+	for _, v := range order {
+		at := 0.0
+		for _, e := range g.In(v) {
+			u := g.Edge(e).From
+			if a := t.AT[u] + d[u]; a > at {
+				at = a
+			}
+		}
+		t.AT[v] = at
+		if fin := at + d[v]; fin > t.CP {
+			t.CP = fin
+		}
+	}
+	for i := len(order) - 1; i >= 0; i-- {
+		v := order[i]
+		rt := math.Inf(1)
+		if g.OutDegree(v) == 0 {
+			rt = t.CP - d[v]
+		}
+		for _, e := range g.Out(v) {
+			w := g.Edge(e).To
+			if r := t.RT[w] - d[v]; r < rt {
+				rt = r
+			}
+		}
+		t.RT[v] = rt
+	}
+	for v := 0; v < n; v++ {
+		t.Slack[v] = t.RT[v] - t.AT[v]
+	}
+	for _, e := range g.Edges() {
+		t.EdgeSlack[e.ID] = t.RT[e.To] - t.AT[e.From] - d[e.From]
+	}
+	return t, nil
+}
+
+// Safe reports whether the circuit is "safe" in the paper's sense:
+// every vertex slack and every edge slack is non-negative (within eps).
+func (t *Timing) Safe(eps float64) bool {
+	for _, s := range t.Slack {
+		if s < -eps {
+			return false
+		}
+	}
+	for _, s := range t.EdgeSlack {
+		if s < -eps {
+			return false
+		}
+	}
+	return true
+}
+
+// CriticalPath returns one maximal-delay path as a vertex sequence
+// (source to sink), following tight arrival-time edges.
+func CriticalPath(g *graph.Digraph, d []float64, t *Timing) []int {
+	// Find the endpoint: vertex with AT+delay == CP.
+	end := -1
+	for v := 0; v < g.N(); v++ {
+		if t.AT[v]+d[v] >= t.CP-1e-12 {
+			end = v
+			break
+		}
+	}
+	if end == -1 {
+		return nil
+	}
+	var rev []int
+	v := end
+	for {
+		rev = append(rev, v)
+		if g.InDegree(v) == 0 {
+			break
+		}
+		next := -1
+		for _, e := range g.In(v) {
+			u := g.Edge(e).From
+			if t.AT[u]+d[u] >= t.AT[v]-1e-12 {
+				next = u
+				break
+			}
+		}
+		if next == -1 {
+			break
+		}
+		v = next
+	}
+	// Reverse in place.
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev
+}

@@ -1,0 +1,236 @@
+package sta
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"minflo/internal/graph"
+)
+
+// diamond: 0 -> {1,2} -> 3 with delays 1, 5, 2, 1.
+func diamond() (*graph.Digraph, []float64) {
+	g := graph.New(4)
+	g.AddEdge(0, 1)
+	g.AddEdge(0, 2)
+	g.AddEdge(1, 3)
+	g.AddEdge(2, 3)
+	return g, []float64{1, 5, 2, 1}
+}
+
+func TestAnalyzeDiamond(t *testing.T) {
+	g, d := diamond()
+	tm, err := Analyze(g, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tm.CP != 7 { // 0(1) -> 1(5) -> 3(1)
+		t.Fatalf("CP = %g", tm.CP)
+	}
+	wantAT := []float64{0, 1, 1, 6}
+	wantRT := []float64{0, 1, 4, 6}
+	wantSL := []float64{0, 0, 3, 0}
+	for v := 0; v < 4; v++ {
+		if tm.AT[v] != wantAT[v] || tm.RT[v] != wantRT[v] || tm.Slack[v] != wantSL[v] {
+			t.Fatalf("vertex %d: AT=%g RT=%g SL=%g", v, tm.AT[v], tm.RT[v], tm.Slack[v])
+		}
+	}
+	// Edge slacks: the off-critical edges carry the slack.
+	// e0: 0->1: RT(1)-AT(0)-d(0) = 1-0-1 = 0 (critical)
+	// e1: 0->2: 4-0-1 = 3
+	// e2: 1->3: 6-1-5 = 0 (critical)
+	// e3: 2->3: 6-1-2 = 3
+	want := []float64{0, 3, 0, 3}
+	for e := range want {
+		if tm.EdgeSlack[e] != want[e] {
+			t.Fatalf("edge %d slack %g, want %g", e, tm.EdgeSlack[e], want[e])
+		}
+	}
+	if !tm.Safe(1e-12) {
+		t.Fatal("diamond should be safe")
+	}
+}
+
+func TestAnalyzeLengthMismatch(t *testing.T) {
+	g, _ := diamond()
+	if _, err := Analyze(g, []float64{1}); err == nil {
+		t.Fatal("expected length error")
+	}
+}
+
+func TestAnalyzeCycle(t *testing.T) {
+	g := graph.New(2)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 0)
+	if _, err := Analyze(g, []float64{1, 1}); err == nil {
+		t.Fatal("expected cycle error")
+	}
+}
+
+func TestCriticalPathDiamond(t *testing.T) {
+	g, d := diamond()
+	tm, _ := Analyze(g, d)
+	path := CriticalPath(g, d, tm)
+	if len(path) != 3 || path[0] != 0 || path[1] != 1 || path[2] != 3 {
+		t.Fatalf("critical path %v", path)
+	}
+}
+
+func randomDAG(rng *rand.Rand, n int) (*graph.Digraph, []float64) {
+	g := graph.New(n)
+	for i := 0; i < 3*n; i++ {
+		u := rng.Intn(n - 1)
+		v := u + 1 + rng.Intn(n-u-1)
+		g.AddEdge(u, v)
+	}
+	d := make([]float64, n)
+	for i := range d {
+		d[i] = float64(1 + rng.Intn(9))
+	}
+	return g, d
+}
+
+// Property: CP equals the vertex-weighted longest path in the graph.
+func TestQuickCPMatchesLongestPath(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g, d := randomDAG(rng, 2+rng.Intn(30))
+		tm, err := Analyze(g, d)
+		if err != nil {
+			return false
+		}
+		_, best, err := g.LongestPath(d)
+		if err != nil {
+			return false
+		}
+		return math.Abs(tm.CP-best) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: slack identities — slack(v) = RT−AT ≥ 0 and every edge
+// slack is ≥ 0 (a freshly analyzed circuit is always safe); a vertex on
+// some critical path has zero slack.
+func TestQuickSlackInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g, d := randomDAG(rng, 2+rng.Intn(30))
+		tm, err := Analyze(g, d)
+		if err != nil {
+			return false
+		}
+		if !tm.Safe(1e-12) {
+			return false
+		}
+		zero := false
+		for v := 0; v < g.N(); v++ {
+			if math.Abs(tm.Slack[v]) < 1e-12 {
+				zero = true
+			}
+		}
+		return zero
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the critical path is a real path, starts at a source, ends
+// at a sink, and its vertex delays sum to CP.
+func TestQuickCriticalPathSums(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g, d := randomDAG(rng, 2+rng.Intn(25))
+		tm, err := Analyze(g, d)
+		if err != nil {
+			return false
+		}
+		path := CriticalPath(g, d, tm)
+		if len(path) == 0 {
+			return false
+		}
+		if g.InDegree(path[0]) != 0 {
+			return false
+		}
+		sum := 0.0
+		for i, v := range path {
+			sum += d[v]
+			if i+1 < len(path) {
+				// consecutive vertices must be connected
+				ok := false
+				for _, e := range g.Out(v) {
+					if g.Edge(e).To == path[i+1] {
+						ok = true
+					}
+				}
+				if !ok {
+					return false
+				}
+			}
+		}
+		return math.Abs(sum-tm.CP) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSafeDetectsViolation(t *testing.T) {
+	tm := &Timing{Slack: []float64{0.5, -0.1}, EdgeSlack: nil}
+	if tm.Safe(1e-12) {
+		t.Fatal("negative slack accepted")
+	}
+	tm = &Timing{Slack: []float64{0.5}, EdgeSlack: []float64{-1}}
+	if tm.Safe(1e-12) {
+		t.Fatal("negative edge slack accepted")
+	}
+}
+
+func TestReport(t *testing.T) {
+	g, d := diamond()
+	tm, _ := Analyze(g, d)
+	r := NewReport(g, d, tm, 10)
+	if r.CP != 7 || r.WNS != 0 {
+		t.Fatalf("report CP=%g WNS=%g", r.CP, r.WNS)
+	}
+	if len(r.Path) != 3 {
+		t.Fatalf("path %v", r.Path)
+	}
+	var buf strings.Builder
+	r.Write(&buf, d, func(v int) string { return fmt.Sprintf("v%d", v) })
+	out := buf.String()
+	if !strings.Contains(out, "critical path: 7.0") || !strings.Contains(out, "target 10.0 met") {
+		t.Fatalf("report output:\n%s", out)
+	}
+	if !strings.Contains(out, "slack histogram") {
+		t.Fatalf("missing histogram:\n%s", out)
+	}
+	// Violated target.
+	r2 := NewReport(g, d, tm, 5)
+	if r2.WNS != -2 {
+		t.Fatalf("WNS = %g, want -2", r2.WNS)
+	}
+	buf.Reset()
+	r2.Write(&buf, d, func(v int) string { return "x" })
+	if !strings.Contains(buf.String(), "VIOLATED") {
+		t.Fatal("violation not flagged")
+	}
+}
+
+func TestReportUniformSlack(t *testing.T) {
+	// A pure chain has zero slack everywhere: single histogram bucket.
+	g := graph.New(3)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	d := []float64{1, 1, 1}
+	tm, _ := Analyze(g, d)
+	r := NewReport(g, d, tm, 0)
+	if len(r.Histogram) != 1 || r.Histogram[0].Count != 3 {
+		t.Fatalf("histogram %+v", r.Histogram)
+	}
+}

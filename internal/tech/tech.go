@@ -1,0 +1,79 @@
+// Package tech holds the technology parameters of the target process.
+//
+// The paper simulates a 0.13 µm-class process with parameters from [16].
+// The exact silicon numbers are not public; what the experiments depend
+// on is the *structure* of the model — drive resistance inversely
+// proportional to device width, gate/diffusion capacitance proportional
+// to width, plus fixed wire capacitance — and plausible relative
+// magnitudes.  Units: kΩ for resistance, fF for capacitance, so R·C is
+// in picoseconds.
+package tech
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Params is a process description used by the delay model.
+type Params struct {
+	// RUnit is the drive resistance of a unit-width NMOS transistor; the
+	// resistance of a width-x device is RUnit/x.  (kΩ)
+	RUnit float64
+	// PMOSRatio scales NMOS resistance to PMOS resistance (hole vs.
+	// electron mobility); a unit PMOS has resistance RUnit*PMOSRatio.
+	PMOSRatio float64
+	// CGate is the gate capacitance per unit transistor width. (fF)
+	CGate float64
+	// CDiff is the drain/source diffusion capacitance per unit width. (fF)
+	CDiff float64
+	// CWire is the fixed wiring capacitance charged to each fanout
+	// connection (the paper's D/E terms). (fF)
+	CWire float64
+	// MinSize and MaxSize bound transistor sizes (paper eq. 1).
+	MinSize, MaxSize float64
+}
+
+// Default013 returns the default 0.13 µm-class parameter set used by all
+// experiments.  See DESIGN.md §4 for the substitution note.
+func Default013() Params {
+	return Params{
+		RUnit:     8.0, // kΩ for a minimum-width NMOS
+		PMOSRatio: 2.0, // PMOS ~2x resistive at equal width
+		CGate:     1.5, // fF per unit width
+		CDiff:     0.6, // fF per unit width
+		CWire:     8.0, // fF per fanout connection (wire dominates at min size)
+		MinSize:   1.0,
+		MaxSize:   128.0,
+	}
+}
+
+// Validate checks the parameter set for physical plausibility.
+func (p Params) Validate() error {
+	switch {
+	case p.RUnit <= 0:
+		return errors.New("tech: RUnit must be positive")
+	case p.PMOSRatio <= 0:
+		return errors.New("tech: PMOSRatio must be positive")
+	case p.CGate <= 0:
+		return errors.New("tech: CGate must be positive")
+	case p.CDiff < 0:
+		return errors.New("tech: CDiff must be non-negative")
+	case p.CWire < 0:
+		return errors.New("tech: CWire must be non-negative")
+	case p.MinSize <= 0:
+		return errors.New("tech: MinSize must be positive")
+	case p.MaxSize < p.MinSize:
+		return fmt.Errorf("tech: MaxSize %g < MinSize %g", p.MaxSize, p.MinSize)
+	}
+	return nil
+}
+
+// FO4 returns the delay of a fanout-of-4 inverter in this process — a
+// convenient unit for reporting circuit delays.
+func (p Params) FO4() float64 {
+	// R * (self diffusion + 4x gate load), inverter with unit size.
+	return p.RUnit * (p.CDiff + 4*p.CGate)
+}
+
+// Tau returns the basic RC time constant RUnit*CGate.
+func (p Params) Tau() float64 { return p.RUnit * p.CGate }

@@ -1,0 +1,46 @@
+package tech
+
+import "testing"
+
+func TestDefaultValidates(t *testing.T) {
+	if err := Default013().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*Params)
+	}{
+		{"zero RUnit", func(p *Params) { p.RUnit = 0 }},
+		{"negative RUnit", func(p *Params) { p.RUnit = -1 }},
+		{"zero PMOSRatio", func(p *Params) { p.PMOSRatio = 0 }},
+		{"zero CGate", func(p *Params) { p.CGate = 0 }},
+		{"negative CDiff", func(p *Params) { p.CDiff = -0.1 }},
+		{"negative CWire", func(p *Params) { p.CWire = -2 }},
+		{"zero MinSize", func(p *Params) { p.MinSize = 0 }},
+		{"Max below Min", func(p *Params) { p.MaxSize = 0.5 }},
+	}
+	for _, c := range cases {
+		p := Default013()
+		c.mut(&p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("%s: expected validation error", c.name)
+		}
+	}
+}
+
+func TestFO4Positive(t *testing.T) {
+	p := Default013()
+	if p.FO4() <= 0 {
+		t.Fatalf("FO4 = %g", p.FO4())
+	}
+	if p.Tau() <= 0 {
+		t.Fatalf("Tau = %g", p.Tau())
+	}
+	// FO4 must exceed tau (four gate loads plus parasitic).
+	if p.FO4() <= p.Tau() {
+		t.Fatalf("FO4 %g not above tau %g", p.FO4(), p.Tau())
+	}
+}

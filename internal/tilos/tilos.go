@@ -1,0 +1,156 @@
+// Package tilos implements the TILOS sizing heuristic of Fishburn and
+// Dunlop ([1], as described in [15]) — the paper's baseline and the
+// initial-guess engine for MINFLOTRANSIT.
+//
+// Starting from a minimum-sized circuit, TILOS repeatedly finds the
+// critical path, computes for every vertex on it the sensitivity (delay
+// reduction per unit area) of bumping that vertex's size by a constant
+// factor (1.1 in the paper), applies the single best bump, and repeats
+// until the timing target is met or no bump helps.
+package tilos
+
+import (
+	"errors"
+	"fmt"
+
+	"minflo/internal/dag"
+	"minflo/internal/sta"
+)
+
+// ErrInfeasible is returned when the target cannot be met: the critical
+// path no longer improves even with the best bump available.
+var ErrInfeasible = errors.New("tilos: delay target unreachable")
+
+// Options control the heuristic.
+type Options struct {
+	Bump     float64 // upsizing factor per move (default 1.1, as in §3)
+	MaxMoves int     // move budget (default 200·n)
+}
+
+// Result reports the sizing outcome.
+type Result struct {
+	X     []float64
+	CP    float64
+	Area  float64
+	Moves int
+}
+
+// Size runs TILOS on problem p toward critical-path target t, starting
+// from sizes x0 (pass nil for minimum sizes).
+func Size(p *dag.Problem, t float64, x0 []float64, opt Options) (*Result, error) {
+	if opt.Bump == 0 {
+		opt.Bump = 1.1
+	}
+	if opt.Bump <= 1 {
+		return nil, fmt.Errorf("tilos: bump factor %g must exceed 1", opt.Bump)
+	}
+	if opt.MaxMoves == 0 {
+		opt.MaxMoves = 200 * p.NumSizable
+	}
+	var x []float64
+	if x0 == nil {
+		x = p.InitialSizes()
+	} else {
+		x = append([]float64(nil), x0...)
+	}
+
+	// affected[v] lists the vertices whose delay mentions x_v (the
+	// coefficient coupling, NOT graph adjacency: at transistor level
+	// pull-up and pull-down roots load each other through the output
+	// node without sharing an edge).
+	affected := make([][]int, p.NumSizable)
+	for u := 0; u < p.NumSizable; u++ {
+		for _, tm := range p.Coeffs[u].Terms {
+			if tm.J != u {
+				affected[tm.J] = append(affected[tm.J], u)
+			}
+		}
+	}
+
+	arr, err := sta.NewArrivals(p.G, p.Delays(x))
+	if err != nil {
+		return nil, err
+	}
+	changed := make([]int, 0, 8)
+	newDelays := make([]float64, 0, 8)
+
+	moves := 0
+	for {
+		cp := arr.CP()
+		if cp <= t {
+			return &Result{X: x, CP: cp, Area: p.Area(x), Moves: moves}, nil
+		}
+		if moves >= opt.MaxMoves {
+			return nil, fmt.Errorf("%w: move budget exhausted at CP %g (target %g)", ErrInfeasible, cp, t)
+		}
+		path := arr.CriticalPathInc()
+		best, bestSens := -1, 0.0
+		for pi, v := range path {
+			if v >= p.NumSizable || x[v] >= p.MaxSize {
+				continue
+			}
+			nx := x[v] * opt.Bump
+			if nx > p.MaxSize {
+				nx = p.MaxSize
+			}
+			// Delay change along the critical path: own delay improves
+			// (stronger drive), the path predecessor's worsens (heavier
+			// load).  As in TILOS, off-path fanins are ignored — the
+			// next iteration's timing pass accounts for any new critical
+			// path.
+			delta := deltaOwn(p, x, v, nx)
+			if pi > 0 {
+				if u := path[pi-1]; u < p.NumSizable {
+					delta += deltaLoad(p, x, u, v, nx)
+				}
+			}
+			dArea := p.AreaW[v] * (nx - x[v])
+			if dArea <= 0 {
+				continue
+			}
+			sens := -delta / dArea
+			if sens > bestSens {
+				bestSens = sens
+				best = v
+			}
+		}
+		if best == -1 {
+			return nil, fmt.Errorf("%w: no improving move at CP %g (target %g)", ErrInfeasible, cp, t)
+		}
+		nx := x[best] * opt.Bump
+		if nx > p.MaxSize {
+			nx = p.MaxSize
+		}
+		x[best] = nx
+		moves++
+		// Incremental re-timing: the bump changes best's own delay and
+		// the delay of every vertex whose load mentions x_best.
+		changed = append(changed[:0], best)
+		newDelays = append(newDelays[:0], p.Coeffs[best].Delay(x[best], x))
+		for _, u := range affected[best] {
+			changed = append(changed, u)
+			newDelays = append(newDelays, p.Coeffs[u].Delay(x[u], x))
+		}
+		arr.SetDelays(changed, newDelays)
+	}
+}
+
+// deltaOwn returns delay(v) at size nx minus delay(v) at x[v].
+func deltaOwn(p *dag.Problem, x []float64, v int, nx float64) float64 {
+	c := &p.Coeffs[v]
+	load := c.LoadAt(x)
+	return load/nx - load/x[v]
+}
+
+// deltaLoad returns the change in delay(u) when vertex v (a fanout of
+// u) grows from x[v] to nx.
+func deltaLoad(p *dag.Problem, x []float64, u, v int, nx float64) float64 {
+	c := &p.Coeffs[u]
+	var a float64
+	for _, tm := range c.Terms {
+		if tm.J == v {
+			a += tm.A
+		}
+	}
+	return a * (nx - x[v]) / x[u]
+}

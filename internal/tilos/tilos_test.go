@@ -1,0 +1,148 @@
+package tilos
+
+import (
+	"errors"
+	"testing"
+
+	"minflo/internal/dag"
+	"minflo/internal/delay"
+	"minflo/internal/gen"
+	"minflo/internal/sta"
+	"minflo/internal/tech"
+)
+
+func mkChainProblem(t *testing.T, n int) (*dag.Problem, float64) {
+	t.Helper()
+	m := delay.NewModel(tech.Default013())
+	p, err := dag.GateLevel(gen.InverterChain(n), m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tm, err := sta.Analyze(p.G, p.Delays(p.InitialSizes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p, tm.CP
+}
+
+func TestMeetsTarget(t *testing.T) {
+	p, dmin := mkChainProblem(t, 12)
+	for _, frac := range []float64{0.95, 0.8, 0.6} {
+		r, err := Size(p, frac*dmin, nil, Options{})
+		if err != nil {
+			t.Fatalf("frac %.2f: %v", frac, err)
+		}
+		if r.CP > frac*dmin {
+			t.Fatalf("frac %.2f: CP %g > target %g", frac, r.CP, frac*dmin)
+		}
+		for i, x := range r.X {
+			if x < p.MinSize || x > p.MaxSize {
+				t.Fatalf("size[%d] = %g out of bounds", i, x)
+			}
+		}
+	}
+}
+
+func TestAlreadyMet(t *testing.T) {
+	p, dmin := mkChainProblem(t, 8)
+	r, err := Size(p, dmin*1.01, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Moves != 0 {
+		t.Fatalf("moves %d for an already-met target", r.Moves)
+	}
+	if r.Area != p.MinAreaValue() {
+		t.Fatalf("area %g, want minimum %g", r.Area, p.MinAreaValue())
+	}
+}
+
+func TestInfeasibleTarget(t *testing.T) {
+	p, dmin := mkChainProblem(t, 8)
+	_, err := Size(p, 0.001*dmin, nil, Options{})
+	if !errors.Is(err, ErrInfeasible) {
+		t.Fatalf("want ErrInfeasible, got %v", err)
+	}
+}
+
+func TestTighterTargetsCostMoreArea(t *testing.T) {
+	p, dmin := mkChainProblem(t, 12)
+	var prev float64
+	for i, frac := range []float64{0.95, 0.85, 0.75, 0.65} {
+		r, err := Size(p, frac*dmin, nil, Options{})
+		if err != nil {
+			t.Fatalf("frac %.2f: %v", frac, err)
+		}
+		if i > 0 && r.Area < prev-1e-9 {
+			t.Fatalf("area not monotone: %.2f·Dmin costs %g < %g", frac, r.Area, prev)
+		}
+		prev = r.Area
+	}
+}
+
+func TestBumpValidation(t *testing.T) {
+	p, dmin := mkChainProblem(t, 4)
+	if _, err := Size(p, dmin, nil, Options{Bump: 0.9}); err == nil {
+		t.Fatal("bump < 1 accepted")
+	}
+}
+
+func TestSmallerBumpFinerArea(t *testing.T) {
+	// A smaller bump factor overshoots less, so the final area should
+	// not be (meaningfully) larger.
+	p, dmin := mkChainProblem(t, 12)
+	coarse, err := Size(p, 0.7*dmin, nil, Options{Bump: 1.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fine, err := Size(p, 0.7*dmin, nil, Options{Bump: 1.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fine.Area > coarse.Area*1.02 {
+		t.Fatalf("fine bump area %g way above coarse %g", fine.Area, coarse.Area)
+	}
+}
+
+func TestWarmStart(t *testing.T) {
+	p, dmin := mkChainProblem(t, 10)
+	first, err := Size(p, 0.8*dmin, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Warm-starting from the previous solution with the same target
+	// should need no further moves.
+	again, err := Size(p, 0.8*dmin, first.X, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Moves != 0 {
+		t.Fatalf("warm start still made %d moves", again.Moves)
+	}
+}
+
+func TestMoveBudget(t *testing.T) {
+	p, dmin := mkChainProblem(t, 12)
+	_, err := Size(p, 0.5*dmin, nil, Options{MaxMoves: 1})
+	if !errors.Is(err, ErrInfeasible) {
+		t.Fatalf("want budget exhaustion, got %v", err)
+	}
+}
+
+func TestC17AllSpecs(t *testing.T) {
+	m := delay.NewModel(tech.Default013())
+	p, err := dag.GateLevel(gen.C17(), m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tm, _ := sta.Analyze(p.G, p.Delays(p.InitialSizes()))
+	for _, frac := range []float64{0.9, 0.7, 0.5, 0.45} {
+		r, err := Size(p, frac*tm.CP, nil, Options{})
+		if err != nil {
+			t.Fatalf("frac %.2f: %v", frac, err)
+		}
+		if r.CP > frac*tm.CP {
+			t.Fatalf("target missed at %.2f", frac)
+		}
+	}
+}

@@ -1,0 +1,128 @@
+package minflo
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"minflo/internal/gen"
+)
+
+// BenchmarkNames lists the circuits of the Table 1 suite in paper order.
+func BenchmarkNames() []string {
+	return []string{
+		"adder32", "adder256", "c432", "c499", "c880", "c1355",
+		"c1908", "c2670", "c3540", "c5315", "c6288", "c7552",
+	}
+}
+
+// CircuitByName builds a benchmark circuit by its Table 1 name
+// (synthetic stand-ins for the ISCAS85 entries; see DESIGN.md §4),
+// plus the extras "c17", "chainN", "adderN", "multN".
+func CircuitByName(name string) (*Circuit, error) {
+	switch strings.ToLower(name) {
+	case "adder32":
+		return gen.RippleAdder(32, gen.FABuffered), nil
+	case "adder256":
+		return gen.RippleAdder(256, gen.FABuffered), nil
+	case "c17":
+		return gen.C17(), nil
+	case "c432", "c432s":
+		return gen.C432(), nil
+	case "c499", "c499s":
+		return gen.C499(), nil
+	case "c880", "c880s":
+		return gen.C880(), nil
+	case "c1355", "c1355s":
+		return gen.C1355(), nil
+	case "c1908", "c1908s":
+		return gen.C1908(), nil
+	case "c2670", "c2670s":
+		return gen.C2670(), nil
+	case "c3540", "c3540s":
+		return gen.C3540(), nil
+	case "c5315", "c5315s":
+		return gen.C5315(), nil
+	case "c6288", "c6288s", "mult16":
+		return gen.C6288(), nil
+	case "c7552", "c7552s":
+		return gen.C7552(), nil
+	}
+	var n int
+	if _, err := fmt.Sscanf(strings.ToLower(name), "adder%d", &n); err == nil && n > 0 {
+		return gen.RippleAdder(n, gen.FABuffered), nil
+	}
+	if _, err := fmt.Sscanf(strings.ToLower(name), "mult%d", &n); err == nil && n > 1 {
+		return gen.ArrayMultiplier(n), nil
+	}
+	if _, err := fmt.Sscanf(strings.ToLower(name), "chain%d", &n); err == nil && n > 0 {
+		return gen.InverterChain(n), nil
+	}
+	return nil, fmt.Errorf("minflo: unknown benchmark %q (try one of %s, c17, adderN, multN, chainN)",
+		name, strings.Join(BenchmarkNames(), ", "))
+}
+
+// PaperSpec returns the delay spec (fraction of Dmin) Table 1 uses for
+// the named benchmark.
+func PaperSpec(name string) float64 {
+	switch strings.ToLower(name) {
+	case "adder32", "adder256":
+		return 0.5
+	case "c499":
+		return 0.57
+	default:
+		return 0.4
+	}
+}
+
+// PaperSavings returns the paper's reported area saving (percent) for
+// the named benchmark — used by EXPERIMENTS.md style comparisons.
+func PaperSavings(name string) (float64, bool) {
+	v, ok := map[string]float64{
+		"adder32":  1.0, // "≤ 1%"
+		"adder256": 1.0,
+		"c432":     9.4,
+		"c499":     7.2,
+		"c880":     4.0,
+		"c1355":    9.5,
+		"c1908":    4.6,
+		"c2670":    9.1,
+		"c3540":    7.7,
+		"c5315":    2.0,
+		"c6288":    16.5,
+		"c7552":    3.3,
+	}[strings.ToLower(name)]
+	return v, ok
+}
+
+// WriteTable formats Table-1 rows as an aligned text table.
+func WriteTable(w io.Writer, rows []*TableRow) {
+	fmt.Fprintf(w, "%-10s %7s %6s %9s %11s %11s %8s %9s %10s %6s\n",
+		"circuit", "gates", "spec", "Dmin(ps)", "TILOS area", "MINFLO area",
+		"saved%", "paper%", "t(TILOS)", "iters")
+	for _, r := range rows {
+		paper := "-"
+		if v, ok := PaperSavings(strings.TrimSuffix(r.Circuit, "s")); ok {
+			paper = fmt.Sprintf("%.1f", v)
+		}
+		fmt.Fprintf(w, "%-10s %7d %6.2f %9.0f %11.0f %11.0f %8.1f %9s %10s %6d\n",
+			r.Circuit, r.Gates, r.DelaySpec, r.DminPS, r.TilosArea, r.MinfloArea,
+			r.SavingsPct, paper, r.TilosTime.Round(1e6), r.Iterations)
+	}
+}
+
+// WriteCurve formats Figure-7 style sweep points as aligned columns.
+func WriteCurve(w io.Writer, name string, pts []TradeoffPoint) {
+	fmt.Fprintf(w, "# %s — area ratio vs delay ratio (Figure 7)\n", name)
+	fmt.Fprintf(w, "%8s %12s %12s\n", "T/Dmin", "TILOS", "MINFLO")
+	sorted := append([]TradeoffPoint(nil), pts...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Frac < sorted[j].Frac })
+	for _, pt := range sorted {
+		if !pt.Feasible {
+			fmt.Fprintf(w, "%8.2f %12s %12s\n", pt.Frac, "infeasible", "infeasible")
+			continue
+		}
+		fmt.Fprintf(w, "%8.2f %12.3f %12.3f\n", pt.Frac, pt.TilosRatio, pt.MinfloRatio)
+	}
+}
