@@ -20,6 +20,7 @@ import (
 	"minflo/internal/dag"
 	"minflo/internal/delay"
 	"minflo/internal/gen"
+	"minflo/internal/mcmf"
 	"minflo/internal/sta"
 	"minflo/internal/tech"
 	"minflo/internal/tilos"
@@ -240,6 +241,40 @@ func BenchmarkWireSizing(b *testing.B) {
 	}
 	b.StopTimer()
 	b.ReportMetric(100*(1-last.Area/last.TilosArea), "saved%")
+}
+
+// BenchmarkMCMF measures the min-cost-flow substrate on a
+// D-phase-shaped layered instance (mcmf.NewGridInstance, 1000 nodes /
+// ~4900 arcs).  "fresh" builds the network and solves, one op per
+// build — the per-problem cost.  "warm" re-solves one network through
+// the Reset warm-start path — the per-iteration cost of the D/W loop,
+// which must be allocation-free (internal/mcmf TestWarmResolveAllocFree
+// asserts 0 allocs).  These rows anchor the BENCH_*.json perf
+// trajectory (cmd/mkbench -snapshot; see EXPERIMENTS.md).
+func BenchmarkMCMF(b *testing.B) {
+	b.Run("fresh", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			s := mcmf.NewGridInstance(40, 25, 7)
+			if _, err := s.Solve(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("warm", func(b *testing.B) {
+		s := mcmf.NewGridInstance(40, 25, 7)
+		if _, err := s.Solve(); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			s.Reset()
+			if _, err := s.Solve(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 // BenchmarkSTA measures the timing-analysis substrate on the largest

@@ -1,21 +1,48 @@
 // Command mkbench writes the synthetic benchmark suite to .bench files
-// so the circuits can be inspected or consumed by other EDA tools.
+// so the circuits can be inspected or consumed by other EDA tools, and
+// records benchmark-regression snapshots:
 //
 //	mkbench -dir ./benchmarks
+//	mkbench -snapshot -note "post flow-engine overhaul"
+//
+// In -snapshot mode it runs `go test -run=^$ -bench=<regex> -benchmem`
+// on the module root package, parses the output, and writes a dated
+// BENCH_<date>.json (see internal/benchsnap and EXPERIMENTS.md).  Committed
+// snapshots give every future perf PR a recorded before/after baseline.
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"os/exec"
 	"path/filepath"
+	"runtime"
+	"time"
 
 	"minflo"
+	"minflo/internal/benchsnap"
 )
 
 func main() {
-	dir := flag.String("dir", "benchmarks", "output directory")
+	dir := flag.String("dir", "benchmarks", "output directory for .bench files")
+	snapshot := flag.Bool("snapshot", false, "record a benchmark snapshot instead of writing .bench files")
+	benchRe := flag.String("bench", "BenchmarkMCMF|BenchmarkSTA$|BenchmarkTable1", "benchmark regex for -snapshot")
+	benchtime := flag.String("benchtime", "1x", "go test -benchtime value for -snapshot")
+	pkg := flag.String("pkg", ".", "package to benchmark for -snapshot (run from the module root)")
+	out := flag.String("out", "", "snapshot output path (default BENCH_<date>.json)")
+	note := flag.String("note", "", "free-form note stored in the snapshot")
 	flag.Parse()
+
+	if *snapshot {
+		if err := writeSnapshot(*benchRe, *benchtime, *pkg, *out, *note); err != nil {
+			fail(err)
+		}
+		return
+	}
+
 	if err := os.MkdirAll(*dir, 0o755); err != nil {
 		fail(err)
 	}
@@ -40,6 +67,48 @@ func main() {
 		st, _ := ckt.ComputeStats()
 		fmt.Printf("wrote %-24s (%d gates)\n", path, st.Gates)
 	}
+}
+
+// writeSnapshot runs the benchmarks and records the parsed results.
+func writeSnapshot(benchRe, benchtime, pkg, out, note string) error {
+	date := time.Now().Format("2006-01-02")
+	if out == "" {
+		out = "BENCH_" + date + ".json"
+	}
+	cmd := exec.Command("go", "test", "-run=^$", "-bench="+benchRe,
+		"-benchmem", "-benchtime="+benchtime, pkg)
+	var stdout bytes.Buffer
+	cmd.Stdout = io.MultiWriter(&stdout, os.Stderr) // live progress + capture
+	cmd.Stderr = os.Stderr
+	if err := cmd.Run(); err != nil {
+		return fmt.Errorf("benchmark run failed: %w", err)
+	}
+	results, err := benchsnap.ParseBenchOutput(&stdout)
+	if err != nil {
+		return err
+	}
+	if len(results) == 0 {
+		return fmt.Errorf("no benchmark lines matched -bench=%s", benchRe)
+	}
+	snap := &benchsnap.Snapshot{
+		Date:      date,
+		GoVersion: runtime.Version(),
+		Note:      note,
+		Results:   results,
+	}
+	f, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	if err := snap.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (%d benchmarks)\n", out, len(results))
+	return nil
 }
 
 func fail(err error) {

@@ -1,0 +1,3 @@
+module minflo
+
+go 1.24

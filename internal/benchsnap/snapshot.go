@@ -1,0 +1,147 @@
+// Benchmark snapshots: a small, dependency-free format for recording
+// the repo's performance trajectory across PRs.
+//
+// A Snapshot is the parsed form of `go test -bench -benchmem` output
+// (ns/op, B/op, allocs/op plus any custom ReportMetric columns) stamped
+// with the date and Go version.  cmd/mkbench -snapshot runs the
+// benchmarks and writes one as BENCH_<date>.json at the repo root;
+// EXPERIMENTS.md records how each snapshot was produced and what the
+// numbers mean.  Future PRs compare against the last committed snapshot
+// instead of folklore.
+package benchsnap
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// BenchResult is one benchmark line of `go test -bench -benchmem`.
+type BenchResult struct {
+	// Name is the benchmark name with the GOMAXPROCS suffix stripped
+	// (BenchmarkMCMF/warm-8 -> BenchmarkMCMF/warm).
+	Name string `json:"name"`
+	// Iters is the measured iteration count (the b.N column).
+	Iters int64 `json:"iters"`
+	// NsPerOp, BytesPerOp and AllocsPerOp are the standard -benchmem
+	// columns; Bytes/Allocs are -1 when -benchmem was not in effect.
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	// Metrics holds any custom b.ReportMetric columns (saved%, iters, …).
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Snapshot is a dated set of benchmark results.
+type Snapshot struct {
+	Date      string        `json:"date"`       // YYYY-MM-DD
+	GoVersion string        `json:"go_version"` // runtime.Version() of the run
+	Note      string        `json:"note,omitempty"`
+	Results   []BenchResult `json:"results"`
+}
+
+// ParseBenchOutput extracts benchmark lines from `go test -bench`
+// output.  Non-benchmark lines (goos/pkg headers, PASS, ok) are
+// skipped; malformed benchmark lines are an error.
+func ParseBenchOutput(r io.Reader) ([]BenchResult, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var out []BenchResult
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			continue
+		}
+		res := BenchResult{
+			Name:        stripProcSuffix(fields[0]),
+			BytesPerOp:  -1,
+			AllocsPerOp: -1,
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bench: bad iteration count in %q", line)
+		}
+		res.Iters = iters
+		// Remaining fields come in "<value> <unit>" pairs.
+		if (len(fields)-2)%2 != 0 {
+			return nil, fmt.Errorf("bench: odd value/unit pairing in %q", line)
+		}
+		for i := 2; i+1 < len(fields); i += 2 {
+			val, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("bench: bad value %q in %q", fields[i], line)
+			}
+			switch unit := fields[i+1]; unit {
+			case "ns/op":
+				res.NsPerOp = val
+			case "B/op":
+				res.BytesPerOp = val
+			case "allocs/op":
+				res.AllocsPerOp = val
+			default:
+				if res.Metrics == nil {
+					res.Metrics = map[string]float64{}
+				}
+				res.Metrics[unit] = val
+			}
+		}
+		out = append(out, res)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// stripProcSuffix removes the trailing -<GOMAXPROCS> from a benchmark
+// name (only the final numeric dash segment; sub-benchmark names keep
+// their dashes).
+func stripProcSuffix(name string) string {
+	i := strings.LastIndex(name, "-")
+	if i < 0 {
+		return name
+	}
+	if _, err := strconv.Atoi(name[i+1:]); err != nil {
+		return name
+	}
+	return name[:i]
+}
+
+// WriteJSON emits the snapshot as stable, human-diffable JSON (results
+// sorted by name, two-space indent, trailing newline).
+func (s *Snapshot) WriteJSON(w io.Writer) error {
+	sorted := append([]BenchResult(nil), s.Results...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Name < sorted[j].Name })
+	cp := *s
+	cp.Results = sorted
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(&cp)
+}
+
+// ReadSnapshot parses a snapshot previously written by WriteJSON.
+func ReadSnapshot(r io.Reader) (*Snapshot, error) {
+	var s Snapshot
+	if err := json.NewDecoder(r).Decode(&s); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}
+
+// Lookup returns the result with the given name, or nil.
+func (s *Snapshot) Lookup(name string) *BenchResult {
+	for i := range s.Results {
+		if s.Results[i].Name == name {
+			return &s.Results[i]
+		}
+	}
+	return nil
+}

@@ -1,0 +1,95 @@
+package benchsnap
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+const sampleBenchOutput = `goos: linux
+goarch: amd64
+pkg: minflo
+cpu: Example CPU @ 2.00GHz
+BenchmarkMCMF/fresh-8         	     100	  11039022 ns/op	 1474707 B/op	   12182 allocs/op
+BenchmarkMCMF/warm-8          	     150	   7039022 ns/op	       0 B/op	       0 allocs/op
+BenchmarkSTA-8                	    2000	    628702 ns/op	  271373 B/op	      17 allocs/op
+BenchmarkTable1/c432-8        	       1	1318478778 ns/op	       31.96 saved%	 4343 area
+PASS
+ok  	minflo	12.345s
+`
+
+func TestParseBenchOutput(t *testing.T) {
+	rs, err := ParseBenchOutput(strings.NewReader(sampleBenchOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 4 {
+		t.Fatalf("got %d results, want 4", len(rs))
+	}
+	if rs[0].Name != "BenchmarkMCMF/fresh" {
+		t.Errorf("name = %q (proc suffix not stripped?)", rs[0].Name)
+	}
+	if rs[0].Iters != 100 || rs[0].NsPerOp != 11039022 || rs[0].AllocsPerOp != 12182 {
+		t.Errorf("unexpected first row: %+v", rs[0])
+	}
+	if rs[1].AllocsPerOp != 0 || rs[1].BytesPerOp != 0 {
+		t.Errorf("warm row should have zero allocs: %+v", rs[1])
+	}
+	if got := rs[3].Metrics["saved%"]; got != 31.96 {
+		t.Errorf("custom metric saved%% = %v, want 31.96", got)
+	}
+	if got := rs[3].Metrics["area"]; got != 4343 {
+		t.Errorf("custom metric area = %v, want 4343", got)
+	}
+}
+
+func TestParseBenchOutputNoBenchmem(t *testing.T) {
+	rs, err := ParseBenchOutput(strings.NewReader("BenchmarkX-4\t10\t123 ns/op\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 1 || rs[0].BytesPerOp != -1 || rs[0].AllocsPerOp != -1 {
+		t.Fatalf("want sentinel -1 for missing benchmem columns, got %+v", rs)
+	}
+}
+
+func TestParseBenchOutputMalformed(t *testing.T) {
+	if _, err := ParseBenchOutput(strings.NewReader("BenchmarkX-4\tnotanumber\t123 ns/op\n")); err == nil {
+		t.Fatal("want error for bad iteration count")
+	}
+	if _, err := ParseBenchOutput(strings.NewReader("BenchmarkX-4\t10\t123 ns/op extra\n")); err == nil {
+		t.Fatal("want error for odd value/unit pairing")
+	}
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	rs, err := ParseBenchOutput(strings.NewReader(sampleBenchOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := &Snapshot{Date: "2026-07-29", GoVersion: "go1.24.0", Note: "test", Results: rs}
+	var buf bytes.Buffer
+	if err := snap.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadSnapshot(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Date != snap.Date || back.GoVersion != snap.GoVersion || len(back.Results) != len(snap.Results) {
+		t.Fatalf("round trip mismatch: %+v", back)
+	}
+	r := back.Lookup("BenchmarkMCMF/warm")
+	if r == nil || r.NsPerOp != 7039022 {
+		t.Fatalf("Lookup after round trip: %+v", r)
+	}
+	if back.Lookup("BenchmarkNope") != nil {
+		t.Fatal("Lookup of missing name should be nil")
+	}
+	// Results must come back sorted by name (stable diffs).
+	for i := 1; i < len(back.Results); i++ {
+		if back.Results[i-1].Name > back.Results[i].Name {
+			t.Fatalf("results not sorted: %q > %q", back.Results[i-1].Name, back.Results[i].Name)
+		}
+	}
+}

@@ -4,6 +4,17 @@
 // displacement LP) and W-phases (minimum-area sizing for the budgets
 // via a Simple Monotonic Program), iterated until the area improvement
 // is negligible.
+//
+// The D-phase constraint network has a fixed topology for the life of a
+// problem (one window-constraint pair and one objective term per
+// sizable vertex, one causality constraint per non-self edge of the
+// augmented DAG), so Size builds the dcs.System exactly once and each
+// iteration only rewrites weights and coefficients in place — the
+// flow network underneath is likewise built once and warm-started
+// (see internal/dcs and internal/mcmf).  Per-iteration scratch
+// (delay vectors, budgets, windows) is preallocated, and the post-
+// W-phase retiming runs on a persistent incremental sta.Arrivals
+// engine instead of a full analysis per iteration.
 package core
 
 import (
@@ -66,6 +77,10 @@ type IterStats struct {
 	Window    float64 // budget window η used this iteration
 	Clamped   int     // W-phase vertices pinned at MaxSize
 	Repaired  bool    // TILOS repair pass was needed
+	// NetBuilds is the cumulative number of D-phase flow-network
+	// constructions so far — 1 on every iteration when the build-once
+	// reuse path is working (asserted by tests).
+	NetBuilds int
 }
 
 // Result is the final sizing.
@@ -99,6 +114,89 @@ func (o Options) withDefaults() Options {
 		o.AreaTol = 1e-4
 	}
 	return o
+}
+
+// iterScratch holds everything the D/W iteration reuses across rounds:
+// the build-once D-phase constraint system with its constraint and
+// objective IDs, the timing engines, and all per-iteration buffers.
+type iterScratch struct {
+	analyzer *sta.Analyzer // full timing over aug.G (balance needs RT)
+	arr      *sta.Arrivals // incremental arrivals over p.G (post-W CP)
+	allV     []int         // 0..p.G.N()-1, the SetDelays index vector
+
+	sys    *dcs.System
+	loID   []int // constraint r_i − r_dm ≤ …, per sizable vertex
+	hiID   []int // constraint r_dm − r_i ≤ …, per sizable vertex
+	objID  []int // objective term per sizable vertex
+	edgeID []int // constraint per augmented edge (-1 for self edges)
+
+	selfEdge []bool // per augmented edge: is it i→Dmy(i)?
+
+	dAug      []float64 // aug.G delay vector
+	dBase     []float64 // p.G delay vector
+	budgets   []float64
+	minD      []float64
+	newBudget []float64
+}
+
+// newIterScratch builds the constraint-network topology once and
+// preallocates the iteration buffers.  x0 seeds the incremental
+// arrival engine.
+func newIterScratch(p *dag.Problem, aug *dag.Augmented, x0 []float64) (*iterScratch, error) {
+	n := p.NumSizable
+	sc := &iterScratch{
+		loID:      make([]int, n),
+		hiID:      make([]int, n),
+		objID:     make([]int, n),
+		edgeID:    make([]int, aug.G.M()),
+		selfEdge:  make([]bool, aug.G.M()),
+		dAug:      make([]float64, aug.G.N()),
+		dBase:     make([]float64, p.G.N()),
+		budgets:   make([]float64, n),
+		minD:      make([]float64, n),
+		newBudget: make([]float64, n),
+		allV:      make([]int, p.G.N()),
+	}
+	for v := range sc.allV {
+		sc.allV[v] = v
+	}
+	var err error
+	if sc.analyzer, err = sta.NewAnalyzer(aug.G); err != nil {
+		return nil, err
+	}
+	if sc.arr, err = sta.NewArrivals(p.G, p.DelaysInto(sc.dBase, x0)); err != nil {
+		return nil, err
+	}
+
+	// D-phase constraint topology (weights are rewritten every round).
+	sys := dcs.NewSystem(aug.G.N())
+	for _, pi := range p.PIs {
+		sys.Pin(pi)
+	}
+	sys.Pin(p.Sink)
+	for i := 0; i < n; i++ {
+		dm := aug.DmyOf[i]
+		sc.selfEdge[aug.SelfEdge[i]] = true
+		sc.loID[i] = sys.AddConstraint(i, dm, 0) // r_i − r_dm ≤ FSDU − MINΔD
+		sc.hiID[i] = sys.AddConstraint(dm, i, 0) // r_dm − r_i ≤ MAXΔD − FSDU
+		sc.objID[i] = sys.AddObjective(dm, i, 0)
+	}
+	for _, e := range aug.G.Edges() {
+		if sc.selfEdge[e.ID] {
+			sc.edgeID[e.ID] = -1
+			continue
+		}
+		sc.edgeID[e.ID] = sys.AddConstraint(e.From, e.To, 0)
+	}
+	sc.sys = sys
+	return sc, nil
+}
+
+// retime updates the incremental arrival engine to sizes x and returns
+// the critical path.
+func (sc *iterScratch) retime(p *dag.Problem, x []float64) float64 {
+	sc.arr.SetDelays(sc.allV, p.DelaysInto(sc.dBase, x))
+	return sc.arr.CP()
 }
 
 // Size runs MINFLOTRANSIT on problem p with critical-path target T.
@@ -139,6 +237,10 @@ func Size(p *dag.Problem, T float64, opt Options) (*Result, error) {
 	}
 
 	aug := p.Augment()
+	sc, err := newIterScratch(p, aug, x)
+	if err != nil {
+		return nil, err
+	}
 	bestX := append([]float64(nil), x...)
 	bestArea := p.Area(x)
 	noImprove := 0
@@ -148,7 +250,7 @@ func Size(p *dag.Problem, T float64, opt Options) (*Result, error) {
 	// like a trust region: halve after an iteration whose first-order
 	// prediction overshot (area got worse), relax back on success.
 	for it := 1; it <= opt.MaxIters; it++ {
-		newX, st, err := iterate(p, aug, x, T, window, opt)
+		newX, st, err := iterate(p, aug, sc, x, T, window, opt)
 		if err != nil {
 			// A failed iteration is not fatal: the current best solution
 			// stands (this triggers only on numerical corner cases).
@@ -187,23 +289,19 @@ func Size(p *dag.Problem, T float64, opt Options) (*Result, error) {
 		}
 	}
 
-	d := p.Delays(bestX)
-	tm, err := sta.Analyze(p.G, d)
-	if err != nil {
-		return nil, err
-	}
 	res.X = bestX
 	res.Area = bestArea
-	res.CP = tm.CP
+	res.CP = sc.retime(p, bestX)
 	return res, nil
 }
 
 // iterate performs one D-phase + W-phase round from sizes x with the
-// given budget window.
-func iterate(p *dag.Problem, aug *dag.Augmented, x []float64, T, window float64, opt Options) ([]float64, *IterStats, error) {
+// given budget window, reusing the scratch's constraint network and
+// buffers.
+func iterate(p *dag.Problem, aug *dag.Augmented, sc *iterScratch, x []float64, T, window float64, opt Options) ([]float64, *IterStats, error) {
 	n := p.NumSizable
-	d := aug.Delays(x)
-	tm, err := sta.Analyze(aug.G, d)
+	d := aug.DelaysInto(sc.dAug, x)
+	tm, err := sc.analyzer.Analyze(d)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -227,25 +325,20 @@ func iterate(p *dag.Problem, aug *dag.Augmented, x []float64, T, window float64,
 	}
 
 	// D-phase (2): area sensitivities C_i (eq. 7).
-	budgets := make([]float64, n)
+	budgets := sc.budgets
 	copy(budgets, d[:n])
 	C, err := lin.Sensitivities(p.Coeffs, x, budgets, p.AreaW)
 	if err != nil {
 		return nil, nil, err
 	}
 
-	// D-phase (3)-(5): window constraints, causality, min-cost-flow dual.
-	sys := dcs.NewSystem(aug.G.N())
-	for _, pi := range p.PIs {
-		sys.Pin(pi)
-	}
-	sys.Pin(p.Sink)
-	selfEdge := make([]bool, aug.G.M())
-	minD := make([]float64, n)
+	// D-phase (3)-(5): window constraints, causality, min-cost-flow
+	// dual — weights and coefficients rewritten in place on the
+	// build-once system.
+	sys := sc.sys
+	minD := sc.minD
 	for i := 0; i < n; i++ {
-		dm := aug.DmyOf[i]
 		se := aug.SelfEdge[i]
-		selfEdge[se] = true
 		selfF := cfg.FSDU[se]
 
 		maxD := window * d[i]
@@ -261,15 +354,14 @@ func iterate(p *dag.Problem, aug *dag.Augmented, x []float64, T, window float64,
 			lo = 0
 		}
 		minD[i] = lo
-		sys.AddConstraint(i, dm, selfF-lo)   // r_i − r_dm ≤ FSDU − MINΔD
-		sys.AddConstraint(dm, i, maxD-selfF) // r_dm − r_i ≤ MAXΔD − FSDU
-		sys.AddObjective(dm, i, C[i])
+		sys.SetWeight(sc.loID[i], selfF-lo)   // r_i − r_dm ≤ FSDU − MINΔD
+		sys.SetWeight(sc.hiID[i], maxD-selfF) // r_dm − r_i ≤ MAXΔD − FSDU
+		sys.SetObjectiveCoeff(sc.objID[i], C[i])
 	}
 	for _, e := range aug.G.Edges() {
-		if selfEdge[e.ID] {
-			continue
+		if id := sc.edgeID[e.ID]; id >= 0 {
+			sys.SetWeight(id, cfg.FSDU[e.ID])
 		}
-		sys.AddConstraint(e.From, e.To, cfg.FSDU[e.ID])
 	}
 	sol, err := sys.Solve(dcs.Options{CostScale: opt.CostScale, SupplyScale: opt.SupplyScale})
 	if err != nil {
@@ -277,7 +369,7 @@ func iterate(p *dag.Problem, aug *dag.Augmented, x []float64, T, window float64,
 	}
 
 	// New budgets: ΔD_i = FSDU_r(i→Dmy(i)).
-	newBudget := make([]float64, n)
+	newBudget := sc.newBudget
 	for i := 0; i < n; i++ {
 		dd := cfg.FSDU[aug.SelfEdge[i]] + sol.R[aug.DmyOf[i]] - sol.R[i]
 		if dd < minD[i] {
@@ -297,26 +389,20 @@ func iterate(p *dag.Problem, aug *dag.Augmented, x []float64, T, window float64,
 	}
 	newX := w.X
 
-	// Re-time; repair with TILOS if MaxSize clamping broke the target.
-	st := &IterStats{Objective: sol.Objective, Clamped: len(w.Clamped)}
-	nd := p.Delays(newX)
-	ntm, err := sta.Analyze(p.G, nd)
-	if err != nil {
-		return nil, nil, err
-	}
-	if ntm.CP > T*(1+1e-9) {
+	// Re-time incrementally; repair with TILOS if MaxSize clamping broke
+	// the target.
+	st := &IterStats{Objective: sol.Objective, Clamped: len(w.Clamped), NetBuilds: sys.Builds()}
+	cp := sc.retime(p, newX)
+	if cp > T*(1+1e-9) {
 		tr, rerr := tilos.Size(p, T, newX, opt.Tilos)
 		if rerr != nil {
 			return nil, nil, fmt.Errorf("core: repair failed: %w", rerr)
 		}
 		newX = tr.X
-		ntm, err = sta.Analyze(p.G, p.Delays(newX))
-		if err != nil {
-			return nil, nil, err
-		}
+		cp = sc.retime(p, newX)
 		st.Repaired = true
 	}
 	st.Area = p.Area(newX)
-	st.CP = ntm.CP
+	st.CP = cp
 	return newX, st, nil
 }

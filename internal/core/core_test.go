@@ -38,6 +38,34 @@ func TestSizeC17(t *testing.T) {
 	}
 }
 
+// TestSingleNetworkBuildPerProblem asserts the build-once D-phase path:
+// no matter how many D/W iterations run, the dcs constraint network is
+// constructed exactly once and all later iterations go through the
+// in-place SetWeight/SetObjectiveCoeff update path.
+func TestSingleNetworkBuildPerProblem(t *testing.T) {
+	m := delay.NewModel(tech.Default013())
+	p, err := dag.GateLevel(gen.C432(), m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tm, err := sta.Analyze(p.G, p.Delays(p.InitialSizes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Size(p, 0.5*tm.CP, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Iterations < 2 {
+		t.Fatalf("need a multi-iteration run to exercise reuse, got %d", res.Iterations)
+	}
+	for _, st := range res.Stats {
+		if st.NetBuilds != 1 {
+			t.Fatalf("iteration %d reports %d network builds, want 1", st.Iter, st.NetBuilds)
+		}
+	}
+}
+
 func TestSizeMeetsTargetAcrossSpecs(t *testing.T) {
 	m := delay.NewModel(tech.Default013())
 	p, err := dag.GateLevel(gen.RippleAdder(8, gen.FAXor), m)

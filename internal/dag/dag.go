@@ -151,9 +151,17 @@ func (p *Problem) InitialSizes() []float64 {
 // Delays returns the per-vertex delay vector over all of G's vertices
 // (zero for PI/sink vertices).
 func (p *Problem) Delays(x []float64) []float64 {
-	d := make([]float64, p.G.N())
+	return p.DelaysInto(make([]float64, p.G.N()), x)
+}
+
+// DelaysInto fills d (length G.N()) with the per-vertex delays at sizes
+// x and returns it — the allocation-free variant for iteration loops.
+func (p *Problem) DelaysInto(d, x []float64) []float64 {
 	for i := 0; i < p.NumSizable; i++ {
 		d[i] = p.Coeffs[i].Delay(x[i], x)
+	}
+	for i := p.NumSizable; i < len(d); i++ {
+		d[i] = 0
 	}
 	return d
 }
@@ -255,9 +263,18 @@ func (p *Problem) Augment() *Augmented {
 // Delays returns the augmented-graph delay vector (dummies have zero
 // delay).
 func (a *Augmented) Delays(x []float64) []float64 {
-	d := make([]float64, a.G.N())
+	return a.DelaysInto(make([]float64, a.G.N()), x)
+}
+
+// DelaysInto fills d (length G.N()) with the augmented-graph delays at
+// sizes x and returns it — the allocation-free variant for iteration
+// loops.
+func (a *Augmented) DelaysInto(d, x []float64) []float64 {
 	for i := 0; i < a.Base.NumSizable; i++ {
 		d[i] = a.Base.Coeffs[i].Delay(x[i], x)
+	}
+	for i := a.Base.NumSizable; i < len(d); i++ {
+		d[i] = 0
 	}
 	return d
 }

@@ -15,6 +15,14 @@
 // duality (primal objective == dual flow cost) is checked before
 // returning, so every solution is certified optimal.
 //
+// A System separates build-once topology from per-iteration data.  The
+// constraint endpoints, objective endpoints and pins define the flow
+// network, which is built once and cached (arc IDs recorded per
+// constraint); SetWeight and SetObjectiveCoeff update costs and
+// supplies in place, so the D/W iteration of internal/core re-solves
+// the same network dozens of times without reconstructing it — each
+// re-solve also warm-starts the flow solver from the previous duals.
+//
 // Costs and supplies are integerized by scaling (the paper's
 // "multiply by a power of 10 and round" step); Options selects the
 // scales.
@@ -47,17 +55,28 @@ type objTerm struct {
 	coeff       float64
 }
 
-// System accumulates a difference-constraint LP.
+// System accumulates a difference-constraint LP and owns the cached
+// min-cost-flow network its Solve calls reuse.
 type System struct {
 	n      int
 	cons   []constraint
 	obj    []objTerm
 	pinned []int
+
+	// Cached flow network.  Valid while builtVersion == topoVersion;
+	// adding constraints, objectives or pins bumps topoVersion and
+	// forces a rebuild on the next Solve.
+	flow         *mcmf.Solver
+	consArc      []int    // flow arc ID per constraint
+	pinArc       [][2]int // flow arc pair per pin
+	topoVersion  int
+	builtVersion int
+	builds       int
 }
 
 // NewSystem creates a system over n variables r(0..n-1).
 func NewSystem(n int) *System {
-	return &System{n: n}
+	return &System{n: n, builtVersion: -1}
 }
 
 // NumVars returns the number of variables.
@@ -66,30 +85,66 @@ func (s *System) NumVars() int { return s.n }
 // NumConstraints returns the number of difference constraints added.
 func (s *System) NumConstraints() int { return len(s.cons) }
 
-// AddConstraint adds r(u) − r(v) ≤ w.
-func (s *System) AddConstraint(u, v int, w float64) {
+// NumObjectives returns the number of objective terms added.
+func (s *System) NumObjectives() int { return len(s.obj) }
+
+// Builds returns how many times the flow network has been constructed —
+// a correctly reused System reports 1 no matter how many Solve calls it
+// served (asserted by the core optimizer tests).
+func (s *System) Builds() int { return s.builds }
+
+// AddConstraint adds r(u) − r(v) ≤ w and returns the constraint's ID
+// for later SetWeight updates.
+func (s *System) AddConstraint(u, v int, w float64) int {
 	if u < 0 || u >= s.n || v < 0 || v >= s.n {
 		panic(fmt.Sprintf("dcs: AddConstraint(%d,%d) out of range [0,%d)", u, v, s.n))
 	}
-	if math.IsNaN(w) || math.IsInf(w, 0) {
-		panic("dcs: non-finite constraint weight")
-	}
+	checkWeight(w)
 	s.cons = append(s.cons, constraint{u, v, w})
+	s.topoVersion++
+	return len(s.cons) - 1
 }
 
-// AddObjective adds the term coeff·(r(plus) − r(minus)) to the maximized
-// objective. Coefficients must be non-negative (the paper's C_i > 0).
-func (s *System) AddObjective(plus, minus int, coeff float64) {
+// SetWeight updates the right-hand side of constraint id in place:
+// r(u) − r(v) ≤ w with the original endpoints.  The cached flow network
+// is kept; only the arc cost changes on the next Solve.
+func (s *System) SetWeight(id int, w float64) {
+	checkWeight(w)
+	s.cons[id].w = w
+}
+
+// AddObjective adds the term coeff·(r(plus) − r(minus)) to the
+// maximized objective and returns the term's ID for later
+// SetObjectiveCoeff updates.  Coefficients must be non-negative (the
+// paper's C_i > 0); zero-coefficient terms are kept so IDs stay stable
+// across coefficient updates.
+func (s *System) AddObjective(plus, minus int, coeff float64) int {
 	if plus < 0 || plus >= s.n || minus < 0 || minus >= s.n {
 		panic(fmt.Sprintf("dcs: AddObjective(%d,%d) out of range [0,%d)", plus, minus, s.n))
 	}
-	if coeff < 0 || math.IsNaN(coeff) || math.IsInf(coeff, 0) {
+	checkCoeff(coeff)
+	s.obj = append(s.obj, objTerm{plus, minus, coeff})
+	s.topoVersion++
+	return len(s.obj) - 1
+}
+
+// SetObjectiveCoeff updates the coefficient of objective term id in
+// place (endpoints unchanged).
+func (s *System) SetObjectiveCoeff(id int, coeff float64) {
+	checkCoeff(coeff)
+	s.obj[id].coeff = coeff
+}
+
+func checkWeight(w float64) {
+	if math.IsNaN(w) || math.IsInf(w, 0) {
+		panic("dcs: non-finite constraint weight")
+	}
+}
+
+func checkCoeff(c float64) {
+	if c < 0 || math.IsNaN(c) || math.IsInf(c, 0) {
 		panic("dcs: objective coefficient must be finite and non-negative")
 	}
-	if coeff == 0 {
-		return
-	}
-	s.obj = append(s.obj, objTerm{plus, minus, coeff})
 }
 
 // Pin forces r(v) = 0 in the solution.
@@ -98,6 +153,7 @@ func (s *System) Pin(v int) {
 		panic(fmt.Sprintf("dcs: Pin(%d) out of range [0,%d)", v, s.n))
 	}
 	s.pinned = append(s.pinned, v)
+	s.topoVersion++
 }
 
 // Options controls integerization. Zero values select the defaults.
@@ -129,24 +185,47 @@ type Solution struct {
 	Arcs      int       // size of the flow instance
 }
 
+// ensureFlow returns the cached flow network, rebuilding it only when
+// the topology changed since the last build.  Costs, capacities and
+// supplies are set by Solve on every call, so the returned network only
+// needs correct arcs.
+func (s *System) ensureFlow() *mcmf.Solver {
+	if s.flow != nil && s.builtVersion == s.topoVersion {
+		s.flow.Reset()
+		return s.flow
+	}
+	ground := s.n
+	f := mcmf.New(s.n + 1)
+	s.consArc = s.consArc[:0]
+	for _, c := range s.cons {
+		s.consArc = append(s.consArc, f.AddArc(c.u, c.v, 0, 0))
+	}
+	s.pinArc = s.pinArc[:0]
+	for _, v := range s.pinned {
+		// r(v) = r(ground): zero-cost arcs both ways.
+		s.pinArc = append(s.pinArc, [2]int{
+			f.AddArc(v, ground, 0, 0),
+			f.AddArc(ground, v, 0, 0),
+		})
+	}
+	s.flow = f
+	s.builtVersion = s.topoVersion
+	s.builds++
+	return f
+}
+
 // Solve maps the system to its min-cost-flow dual, solves it, verifies
-// optimality certificates, and returns the optimal r.
+// optimality certificates, and returns the optimal r.  Repeated calls
+// reuse the cached network (updating costs, capacities and supplies in
+// place) as long as no constraints, objectives or pins were added in
+// between.
 func (s *System) Solve(opt Options) (*Solution, error) {
 	opt = opt.withDefaults()
-
-	// Flow nodes: one per variable plus a ground node.
-	f := mcmf.New(s.n + 1)
 	ground := s.n
 
 	var totalSupply int64
 	for _, t := range s.obj {
-		c := int64(math.Round(t.coeff * opt.SupplyScale))
-		if c == 0 {
-			continue
-		}
-		f.AddSupply(t.plus, c)
-		f.AddSupply(t.minus, -c)
-		totalSupply += c
+		totalSupply += int64(math.Round(t.coeff * opt.SupplyScale))
 	}
 	if totalSupply == 0 {
 		// Degenerate objective: any feasible point is optimal.  Solve the
@@ -159,22 +238,35 @@ func (s *System) Solve(opt Options) (*Solution, error) {
 		return &Solution{R: r}, nil
 	}
 
+	f := s.ensureFlow()
+
+	// Supplies: zero, then accumulate the integerized objective terms.
+	for v := 0; v <= s.n; v++ {
+		f.SetSupply(v, 0)
+	}
+	for _, t := range s.obj {
+		c := int64(math.Round(t.coeff * opt.SupplyScale))
+		if c == 0 {
+			continue
+		}
+		f.AddSupply(t.plus, c)
+		f.AddSupply(t.minus, -c)
+	}
+
 	// Uncapacitated arcs: cap at total supply (an optimal flow needs no
 	// more on any arc when no negative cycles exist).
 	capAll := totalSupply
-
-	for _, c := range s.cons {
+	for i, c := range s.cons {
 		// Floor (not round) the scaled weight: the integerized feasible
 		// region is then a subset of the real one, so the recovered r
 		// satisfies every original constraint exactly.  This keeps the
 		// D-phase causality constraints (edge slack ≥ 0) safe.
-		w := int64(math.Floor(c.w * opt.CostScale))
-		f.AddArc(c.u, c.v, capAll, w)
+		f.SetCost(s.consArc[i], int64(math.Floor(c.w*opt.CostScale)))
+		f.SetCapacity(s.consArc[i], capAll)
 	}
-	for _, v := range s.pinned {
-		// r(v) = r(ground): zero-cost arcs both ways.
-		f.AddArc(v, ground, capAll, 0)
-		f.AddArc(ground, v, capAll, 0)
+	for _, pa := range s.pinArc {
+		f.SetCapacity(pa[0], capAll)
+		f.SetCapacity(pa[1], capAll)
 	}
 
 	if _, err := f.Solve(); err != nil {

@@ -142,6 +142,119 @@ func TestPanicsOnBadInput(t *testing.T) {
 	}
 }
 
+// TestReuseMatchesFresh drives the build-once/update-in-place path the
+// D/W iteration uses: one System re-solved with updated weights and
+// coefficients must agree with a fresh System built from the same data,
+// and must build its flow network exactly once.
+func TestReuseMatchesFresh(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	n := 8
+	type conSpec struct{ u, v int }
+	type objSpec struct{ p, m int }
+	var cs []conSpec
+	var os []objSpec
+	reused := NewSystem(n)
+	reused.Pin(0)
+	for v := 1; v < n; v++ {
+		cs = append(cs, conSpec{v, 0}, conSpec{0, v})
+	}
+	for i := 0; i < 10; i++ {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u != v {
+			cs = append(cs, conSpec{u, v})
+		}
+	}
+	for i := 0; i < 4; i++ {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u != v {
+			os = append(os, objSpec{u, v})
+		}
+	}
+	conID := make([]int, len(cs))
+	objID := make([]int, len(os))
+	for i, c := range cs {
+		conID[i] = reused.AddConstraint(c.u, c.v, 0)
+	}
+	for i, o := range os {
+		objID[i] = reused.AddObjective(o.p, o.m, 0)
+	}
+
+	for iter := 0; iter < 25; iter++ {
+		ws := make([]float64, len(cs))
+		coeffs := make([]float64, len(os))
+		for i := range ws {
+			ws[i] = rng.Float64() * 8
+		}
+		for i := range coeffs {
+			coeffs[i] = rng.Float64() * 3
+		}
+		for i, id := range conID {
+			reused.SetWeight(id, ws[i])
+		}
+		for i, id := range objID {
+			reused.SetObjectiveCoeff(id, coeffs[i])
+		}
+
+		fresh := NewSystem(n)
+		fresh.Pin(0)
+		for i, c := range cs {
+			fresh.AddConstraint(c.u, c.v, ws[i])
+		}
+		for i, o := range os {
+			fresh.AddObjective(o.p, o.m, coeffs[i])
+		}
+
+		got, gotErr := reused.Solve(Options{})
+		want, wantErr := fresh.Solve(Options{})
+		if (gotErr == nil) != (wantErr == nil) {
+			t.Fatalf("iter %d: reused err %v, fresh err %v", iter, gotErr, wantErr)
+		}
+		if gotErr != nil {
+			continue
+		}
+		if math.Abs(got.Objective-want.Objective) > 1e-6*(1+math.Abs(want.Objective)) {
+			t.Fatalf("iter %d: objective %v != fresh %v", iter, got.Objective, want.Objective)
+		}
+		// Optimal r need not be unique, but the reused system's r must
+		// satisfy every constraint at the current weights.
+		for i, c := range cs {
+			if got.R[c.u]-got.R[c.v] > ws[i]+1e-9 {
+				t.Fatalf("iter %d: reused r violates constraint %d: r(%d)-r(%d)=%v > %v",
+					iter, i, c.u, c.v, got.R[c.u]-got.R[c.v], ws[i])
+			}
+		}
+	}
+	if b := reused.Builds(); b != 1 {
+		t.Fatalf("reused system built the network %d times, want 1", b)
+	}
+}
+
+// TestTopologyChangeRebuilds: adding a constraint after a Solve must
+// invalidate the cached network.
+func TestTopologyChangeRebuilds(t *testing.T) {
+	s := NewSystem(3)
+	s.Pin(0)
+	s.AddConstraint(1, 0, 5)
+	s.AddObjective(1, 0, 1)
+	sol, err := s.Solve(Options{})
+	if err != nil || math.Abs(sol.Objective-5) > 1e-6 {
+		t.Fatalf("first solve: %v, %v", sol, err)
+	}
+	// New tighter constraint via a new variable path.
+	s.AddConstraint(1, 2, 1)
+	s.AddConstraint(2, 0, 2)
+	sol, err = s.Solve(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(sol.Objective-3) > 1e-6 {
+		t.Fatalf("objective after topology change = %v, want 3", sol.Objective)
+	}
+	if b := s.Builds(); b != 2 {
+		t.Fatalf("builds = %d, want 2", b)
+	}
+}
+
 // bruteForce maximizes the objective over integer lattice points in
 // [-B, B]^n by exhaustive search (tiny n only).
 func bruteForce(s *System, B int) (best float64, feasibleExists bool) {

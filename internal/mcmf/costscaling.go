@@ -2,7 +2,8 @@
 // complexity claim for the D-phase — O(|V|·|E|·log log |V|) — comes
 // from the scaling family of algorithms [9]; this file provides one so
 // the flow engines can be compared on D-phase-shaped instances
-// (BenchmarkFlowEngines) and cross-checked for equal optimal cost.
+// (BenchmarkFlowEngines in equivalence_test.go) and cross-checked for
+// equal optimal cost (TestEnginesAgreeRandom).
 //
 // The algorithm maintains an ε-optimal pseudoflow: costs are scaled by
 // (n+1) so that 1-optimality implies exact optimality for integer
@@ -25,6 +26,7 @@ func (s *Solver) SolveCostScaling() (float64, error) {
 	if sum != 0 {
 		return 0, ErrUnbalanced
 	}
+	s.prepare()
 	n := s.n
 	// Feasibility (capacity) check first: run a plain max-flow-style
 	// check by attempting the scaling loop and verifying excesses clear;
@@ -43,11 +45,10 @@ func (s *Solver) SolveCostScaling() (float64, error) {
 			maxC = -c
 		}
 	}
-	// Reset residual capacities to the original configuration.
-	for id, orig := range s.orig {
-		s.arcs[2*id].cap = orig
-		s.arcs[2*id+1].cap = 0
-	}
+	// Start from the unsolved residual configuration; refine phases
+	// mutate it from here on.
+	s.resetResiduals()
+	s.flowDirty = true
 	pot := make([]int64, n) // scaled potentials
 	excess := append([]int64(nil), s.supply...)
 
@@ -55,23 +56,23 @@ func (s *Solver) SolveCostScaling() (float64, error) {
 	if eps == 0 {
 		eps = 1
 	}
-	active := make([]int, 0, n)
+	active := make([]int32, 0, n)
 	inActive := make([]bool, n)
-	pushActive := func(v int) {
+	pushActive := func(v int32) {
 		if !inActive[v] && excess[v] > 0 {
 			inActive[v] = true
 			active = append(active, v)
 		}
 	}
 
-	// current-arc pointers
-	cur := make([]int, n)
+	// Current-arc pointers: absolute cursors into csrArc.
+	cur := make([]int32, n)
 
 	for {
 		// --- refine(ε) ---
 		// Saturate arcs with negative reduced cost.
 		for v := 0; v < n; v++ {
-			for _, ai := range s.adj[v] {
+			for _, ai := range s.arcsOf(v) {
 				a := &s.arcs[ai]
 				if a.cap <= 0 {
 					continue
@@ -88,10 +89,10 @@ func (s *Solver) SolveCostScaling() (float64, error) {
 		active = active[:0]
 		for v := 0; v < n; v++ {
 			inActive[v] = false
-			cur[v] = 0
+			cur[v] = s.csrStart[v]
 			if excess[v] > 0 {
 				inActive[v] = true
-				active = append(active, v)
+				active = append(active, int32(v))
 			}
 		}
 		// Discharge loop.
@@ -107,12 +108,12 @@ func (s *Solver) SolveCostScaling() (float64, error) {
 			inActive[v] = false
 			// Discharge v fully.
 			for excess[v] > 0 {
-				if cur[v] >= len(s.adj[v]) {
+				if cur[v] >= s.csrStart[v+1] {
 					// Relabel: lower v's potential just enough to create
 					// one admissible arc.
 					best := int64(math.MinInt64)
 					hasResidual := false
-					for _, ai := range s.adj[v] {
+					for _, ai := range s.arcsOf(int(v)) {
 						a := &s.arcs[ai]
 						if a.cap <= 0 {
 							continue
@@ -126,10 +127,10 @@ func (s *Solver) SolveCostScaling() (float64, error) {
 						return 0, ErrInfeasible
 					}
 					pot[v] = best
-					cur[v] = 0
+					cur[v] = s.csrStart[v]
 					continue
 				}
-				ai := s.adj[v][cur[v]]
+				ai := s.csrArc[cur[v]]
 				a := &s.arcs[ai]
 				if a.cap > 0 && cost[ai]+pot[v]-pot[a.to] < 0 {
 					amt := excess[v]
@@ -140,7 +141,7 @@ func (s *Solver) SolveCostScaling() (float64, error) {
 					excess[a.to] += amt
 					a.cap -= amt
 					s.arcs[ai^1].cap += amt
-					pushActive(int(a.to))
+					pushActive(a.to)
 				} else {
 					cur[v]++
 				}
@@ -161,12 +162,14 @@ func (s *Solver) SolveCostScaling() (float64, error) {
 			return 0, ErrInfeasible
 		}
 	}
-	// Unscale potentials so Verify's reduced-cost check works in cost
-	// units: pot/alpha rounded toward keeping rc ≥ 0... the scaled
-	// potentials certify ε=1 optimality in scaled units, which implies
-	// exact optimality of the flow; recompute exact potentials with
-	// Bellman–Ford on the residual graph for the certificate.
-	s.pot = make([]int64, n)
+	// The scaled potentials certify ε=1 optimality in scaled units,
+	// which implies exact optimality of the flow; recompute exact
+	// potentials in cost units with Bellman–Ford on the residual graph
+	// for the Verify certificate (zero-seeded: the optimal residual
+	// graph has no negative cycles).
+	for i := 0; i < n; i++ {
+		s.pot[i] = 0
+	}
 	if err := s.bellmanFord(); err != nil {
 		return 0, err
 	}

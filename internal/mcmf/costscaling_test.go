@@ -135,52 +135,6 @@ func TestQuickEnginesAgree(t *testing.T) {
 	}
 }
 
-// BenchmarkFlowEngines compares the two engines on a D-phase-shaped
-// layered instance (the ablation DESIGN.md §5 calls out).
-func BenchmarkFlowEngines(b *testing.B) {
-	build := func(seed int64) *Solver {
-		rng := rand.New(rand.NewSource(seed))
-		const layers, width = 30, 20
-		s := New(layers * width)
-		for l := 0; l+1 < layers; l++ {
-			for i := 0; i < width; i++ {
-				u := l*width + i
-				// Backbone arcs keep every instance feasible.
-				s.AddArc(u, (l+1)*width+i, 1_000_000, 900)
-				s.AddArc(u, (l+1)*width+(i+1)%width, 1_000_000, 900)
-				for k := 0; k < 3; k++ {
-					s.AddArc(u, (l+1)*width+rng.Intn(width), 1_000_000, int64(rng.Intn(1000)))
-				}
-			}
-		}
-		var tot int64
-		for i := 0; i < width; i++ {
-			amt := int64(10 + rng.Intn(50))
-			s.SetSupply(i, amt)
-			tot += amt
-		}
-		for i := 0; i < width; i++ {
-			v := (layers-1)*width + i
-			share := tot / int64(width-i)
-			s.SetSupply(v, -share)
-			tot -= share
-		}
-		return s
-	}
-	b.Run("ssp", func(b *testing.B) {
-		for i := 0; i < b.N; i++ {
-			s := build(int64(i))
-			if _, err := s.Solve(); err != nil {
-				b.Fatal(err)
-			}
-		}
-	})
-	b.Run("costscaling", func(b *testing.B) {
-		for i := 0; i < b.N; i++ {
-			s := build(int64(i))
-			if _, err := s.SolveCostScaling(); err != nil {
-				b.Fatal(err)
-			}
-		}
-	})
-}
+// BenchmarkFlowEngines (the engine comparison this file's doc comment
+// promises) lives in equivalence_test.go next to the equivalence gate,
+// sharing the NewGridInstance workload with BenchmarkMCMF.

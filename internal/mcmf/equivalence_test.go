@@ -1,0 +1,173 @@
+package mcmf
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// buildRandomFeasible constructs a random feasible instance: a
+// high-capacity backbone chain 0→1→…→n−1 (bidirectional when all costs
+// are non-negative) guarantees every supply/demand pair can route;
+// random extra arcs (DAG-oriented when negative costs are allowed, so
+// no negative cycles arise) create alternative routes the two engines
+// must price identically.  The backbone occupies the lowest arc IDs:
+// n−1 forward arcs, then n−1 reverse arcs unless negativeCosts (a
+// reverse chain next to negative forward arcs could close a negative
+// cycle, so there supply is always placed upstream of its demand).
+func buildRandomFeasible(rng *rand.Rand, negativeCosts bool) *Solver {
+	n := 4 + rng.Intn(37)
+	s := New(n)
+	for v := 0; v+1 < n; v++ {
+		s.AddArc(v, v+1, 1_000_000, int64(rng.Intn(20)))
+	}
+	if !negativeCosts {
+		for v := 0; v+1 < n; v++ {
+			s.AddArc(v+1, v, 1_000_000, int64(rng.Intn(20)))
+		}
+	}
+	m := n + rng.Intn(4*n)
+	for i := 0; i < m; i++ {
+		u := rng.Intn(n)
+		v := rng.Intn(n)
+		if u == v {
+			continue
+		}
+		lo := 0
+		if negativeCosts {
+			// DAG orientation only: negative arcs cannot close a cycle.
+			if u > v {
+				u, v = v, u
+			}
+			lo = -5
+		}
+		s.AddArc(u, v, int64(1+rng.Intn(200)), int64(lo+rng.Intn(60)))
+	}
+	for k := 0; k < 1+rng.Intn(5); k++ {
+		a, b := rng.Intn(n), rng.Intn(n)
+		if a == b {
+			continue
+		}
+		if negativeCosts && a > b {
+			a, b = b, a // forward-only backbone: route supply downstream
+		}
+		amt := int64(1 + rng.Intn(40))
+		s.AddSupply(a, amt)
+		s.AddSupply(b, -amt)
+	}
+	return s
+}
+
+// TestEnginesAgreeRandom is the cross-engine equivalence gate promised
+// by the costscaling doc comment: on ≥100 randomized D-phase-shaped
+// instances, Solve (successive shortest paths) and SolveCostScaling
+// (Goldberg–Tarjan) must find the same optimal cost and both must pass
+// the self-certifying Verify.
+func TestEnginesAgreeRandom(t *testing.T) {
+	count := 0
+	for seed := int64(0); seed < 110; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		negative := seed%3 == 0
+		a := buildRandomFeasible(rng, negative)
+		rng = rand.New(rand.NewSource(seed)) // identical twin
+		b := buildRandomFeasible(rng, negative)
+
+		costSSP, err := a.Solve()
+		if err != nil {
+			t.Fatalf("seed %d: ssp: %v", seed, err)
+		}
+		if err := a.Verify(); err != nil {
+			t.Fatalf("seed %d: ssp certificate: %v", seed, err)
+		}
+		costCS, err := b.SolveCostScaling()
+		if err != nil {
+			t.Fatalf("seed %d: cost-scaling: %v", seed, err)
+		}
+		if err := b.Verify(); err != nil {
+			t.Fatalf("seed %d: cost-scaling certificate: %v", seed, err)
+		}
+		if costSSP != costCS {
+			t.Fatalf("seed %d: optimal costs disagree: ssp %v vs cost-scaling %v", seed, costSSP, costCS)
+		}
+		count++
+	}
+	if count < 100 {
+		t.Fatalf("only %d instances exercised, want >= 100", count)
+	}
+}
+
+// TestEnginesAgreeGrid cross-checks the engines on the exact layered
+// instances the benchmarks use.
+func TestEnginesAgreeGrid(t *testing.T) {
+	for seed := int64(1); seed <= 8; seed++ {
+		layers := 6 + int(seed)
+		width := 4 + int(seed)%5
+		a := NewGridInstance(layers, width, seed)
+		b := NewGridInstance(layers, width, seed)
+		costSSP, err := a.Solve()
+		if err != nil {
+			t.Fatalf("seed %d: ssp: %v", seed, err)
+		}
+		costCS, err := b.SolveCostScaling()
+		if err != nil {
+			t.Fatalf("seed %d: cost-scaling: %v", seed, err)
+		}
+		if costSSP != costCS {
+			t.Fatalf("seed %d: %v != %v", seed, costSSP, costCS)
+		}
+		if err := a.Verify(); err != nil {
+			t.Fatal(err)
+		}
+		if err := b.Verify(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestOneSolverBothEngines runs both engines on one instance object:
+// SolveCostScaling starts from the unsolved residual configuration
+// regardless of a prior Solve, so the costs must match.
+func TestOneSolverBothEngines(t *testing.T) {
+	s := NewGridInstance(12, 8, 3)
+	costSSP, err := s.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	costCS, err := s.SolveCostScaling()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if costSSP != costCS {
+		t.Fatalf("same-object engines disagree: %v vs %v", costSSP, costCS)
+	}
+	if err := s.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// BenchmarkFlowEngines compares the two engines on D-phase-shaped
+// instances of growing size (the comparison the costscaling doc comment
+// promises; recorded in BENCH_*.json via cmd/mkbench -snapshot).
+func BenchmarkFlowEngines(b *testing.B) {
+	for _, size := range []struct{ layers, width int }{{10, 10}, {40, 25}} {
+		name := fmt.Sprintf("%dx%d", size.layers, size.width)
+		b.Run("ssp/"+name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				s := NewGridInstance(size.layers, size.width, 7)
+				if _, err := s.Solve(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run("costscaling/"+name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				s := NewGridInstance(size.layers, size.width, 7)
+				if _, err := s.SolveCostScaling(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -12,12 +12,28 @@
 // the flow LP, which is exactly what the D-phase needs (the FSDU
 // displacement r is read off the potentials; see internal/dcs).
 //
+// The solver is built for repeated solves on a fixed topology — the
+// D/W iteration of internal/core solves the same constraint network
+// dozens of times with updated costs and supplies:
+//
+//   - adjacency is a CSR-style arc index (flat csrStart/csrArc arrays)
+//     built once per topology, not a slice-of-slices;
+//   - the Dijkstra priority queue is an inline index-based 4-ary heap
+//     on int64 keys (no container/heap interface boxing);
+//   - per-augmentation dist/prevArc scratch is epoch-stamped instead of
+//     O(n)-reset, and the potential update touches only settled nodes;
+//   - Reset, SetCost, SetCapacity and SetSupply mutate an instance in
+//     place, and a warm re-solve skips Bellman–Ford entirely when the
+//     previous potentials still certify non-negative reduced costs
+//     (falling back to a potential-seeded Bellman–Ford otherwise).
+//
+// After the first Solve on a topology, re-solves allocate nothing.
+//
 // The solver is self-certifying: Verify re-checks conservation, bounds
 // and reduced-cost optimality after every Solve.
 package mcmf
 
 import (
-	"container/heap"
 	"errors"
 	"fmt"
 	"math"
@@ -35,49 +51,81 @@ const inf = math.MaxInt64 / 4
 // arc is stored in the forward/backward residual pair convention:
 // arcs[i] and arcs[i^1] are mutual inverses.
 type arc struct {
-	to   int
 	cap  int64 // remaining residual capacity
 	cost int64
+	to   int32
 }
 
-// Solver holds a min-cost flow instance. Build with New, AddArc and
-// SetSupply, then call Solve once.
+// Solver holds a min-cost flow instance.  Build with New, AddArc and
+// SetSupply, then call Solve.  For repeated solves on the same
+// topology, mutate with Reset/SetCost/SetCapacity/SetSupply and call
+// Solve again: arc arrays, the adjacency index and all scratch are
+// reused, and prior potentials warm-start the next solve.
 type Solver struct {
 	n      int
 	arcs   []arc
-	adj    [][]int32 // node -> indices into arcs
 	supply []int64
 	pot    []int64 // node potentials (valid after Solve)
 	orig   []int64 // original capacity per public arc (index = arcID)
 	solved bool
+
+	// CSR-style adjacency: arc indices of node u are
+	// csrArc[csrStart[u]:csrStart[u+1]].  Rebuilt lazily when arcs or
+	// nodes were added since the last Solve.
+	csrStart  []int32
+	csrArc    []int32
+	topoDirty bool
+	flowDirty bool // residuals carry a previous solve's flow
+
+	// Epoch-stamped Dijkstra scratch: dist/prevArc entries are valid
+	// only when stamp matches epoch, so per-augmentation reset is O(1)
+	// plus the nodes actually visited (tracked in visited).
+	dist    []int64
+	prevArc []int32
+	stamp   []uint32
+	epoch   uint32
+	visited []int32
+	excess  []int64
+	sources []int32
+	h       heap4
 }
 
 // New returns a solver over n nodes with no arcs and zero supplies.
 func New(n int) *Solver {
 	return &Solver{
-		n:      n,
-		adj:    make([][]int32, n),
-		supply: make([]int64, n),
+		n:         n,
+		supply:    make([]int64, n),
+		topoDirty: true,
 	}
 }
 
 // N returns the number of nodes.
 func (s *Solver) N() int { return s.n }
 
+// NumArcs returns the number of public arcs added with AddArc.
+func (s *Solver) NumArcs() int { return len(s.orig) }
+
 // AddNode appends a node with zero supply and returns its index.
 func (s *Solver) AddNode() int {
-	s.adj = append(s.adj, nil)
 	s.supply = append(s.supply, 0)
 	s.n++
+	s.topoDirty = true
+	s.solved = false
 	return s.n - 1
 }
 
 // SetSupply sets the net supply of node v. Positive values are sources
 // (flow leaves v), negative values are demands.
-func (s *Solver) SetSupply(v int, b int64) { s.supply[v] = b }
+func (s *Solver) SetSupply(v int, b int64) {
+	s.supply[v] = b
+	s.solved = false
+}
 
 // AddSupply adds to the net supply of node v.
-func (s *Solver) AddSupply(v int, b int64) { s.supply[v] += b }
+func (s *Solver) AddSupply(v int, b int64) {
+	s.supply[v] += b
+	s.solved = false
+}
 
 // Supply returns the configured supply of node v.
 func (s *Solver) Supply(v int) int64 { return s.supply[v] }
@@ -94,11 +142,66 @@ func (s *Solver) AddArc(u, v int, capacity, cost int64) int {
 	}
 	id := len(s.orig)
 	s.orig = append(s.orig, capacity)
-	s.adj[u] = append(s.adj[u], int32(len(s.arcs)))
-	s.arcs = append(s.arcs, arc{to: v, cap: capacity, cost: cost})
-	s.adj[v] = append(s.adj[v], int32(len(s.arcs)))
-	s.arcs = append(s.arcs, arc{to: u, cap: 0, cost: -cost})
+	s.arcs = append(s.arcs,
+		arc{to: int32(v), cap: capacity, cost: cost},
+		arc{to: int32(u), cap: 0, cost: -cost})
+	s.topoDirty = true
+	s.solved = false
 	return id
+}
+
+// SetCost changes the per-unit cost of an existing arc in place.  The
+// topology (and hence the adjacency index) is untouched, so a
+// subsequent Solve reuses everything and warm-starts from the current
+// potentials.
+func (s *Solver) SetCost(arcID int, cost int64) {
+	s.arcs[2*arcID].cost = cost
+	s.arcs[2*arcID+1].cost = -cost
+	s.solved = false
+}
+
+// Cost returns the per-unit cost of the arc with the given ID.
+func (s *Solver) Cost(arcID int) int64 { return s.arcs[2*arcID].cost }
+
+// SetCapacity changes the capacity of an existing arc in place and
+// clears any flow routed on it (the residual state is restored to the
+// unsolved configuration for that arc).
+func (s *Solver) SetCapacity(arcID int, capacity int64) {
+	if capacity < 0 {
+		panic("mcmf: negative capacity")
+	}
+	s.orig[arcID] = capacity
+	s.arcs[2*arcID].cap = capacity
+	s.arcs[2*arcID+1].cap = 0
+	s.solved = false
+}
+
+// Capacity returns the configured capacity of the arc with the given ID.
+func (s *Solver) Capacity(arcID int) int64 { return s.orig[arcID] }
+
+// Reset restores every arc to its unsolved residual state (full forward
+// capacity, no flow) so the instance can be solved again.  The
+// topology, adjacency index, scratch arrays and node potentials are all
+// kept: combined with SetCost/SetCapacity/SetSupply this is the
+// warm-start path for repeated solves on one network.
+//
+// Calling Reset is optional: Solve clears a previous solve's flow by
+// itself.  It exists for callers that want the restored residual state
+// earlier (e.g. to inspect capacities between solves).
+func (s *Solver) Reset() {
+	s.resetResiduals()
+	s.flowDirty = false
+	s.solved = false
+}
+
+// resetResiduals restores residual capacities to the original
+// configuration (also used by SolveCostScaling, which starts from the
+// unsolved state regardless of prior solves).
+func (s *Solver) resetResiduals() {
+	for id, c := range s.orig {
+		s.arcs[2*id].cap = c
+		s.arcs[2*id+1].cap = 0
+	}
 }
 
 // Flow returns the flow routed on the arc with the given ID.
@@ -125,21 +228,96 @@ func (s *Solver) TotalCost() float64 {
 	return t
 }
 
-// bellmanFord initializes potentials with shortest distances from a
-// virtual super-source attached to every node at distance 0.  Detects
-// negative cycles reachable through positive-residual arcs.
+// prepare (re)builds the CSR adjacency index after topology changes and
+// sizes the scratch arrays.  Prior potentials are preserved so warm
+// starts survive arc additions; new nodes start at potential zero.
+func (s *Solver) prepare() {
+	if !s.topoDirty && len(s.csrStart) == s.n+1 {
+		return
+	}
+	n := s.n
+	if cap(s.csrStart) >= n+1 {
+		s.csrStart = s.csrStart[:n+1]
+		for i := range s.csrStart {
+			s.csrStart[i] = 0
+		}
+	} else {
+		s.csrStart = make([]int32, n+1)
+	}
+	// Origin of arcs[i] is the destination of its pair arcs[i^1].
+	for i := range s.arcs {
+		s.csrStart[s.arcs[i^1].to+1]++
+	}
+	for u := 0; u < n; u++ {
+		s.csrStart[u+1] += s.csrStart[u]
+	}
+	if cap(s.csrArc) >= len(s.arcs) {
+		s.csrArc = s.csrArc[:len(s.arcs)]
+	} else {
+		s.csrArc = make([]int32, len(s.arcs))
+	}
+	cursor := make([]int32, n)
+	copy(cursor, s.csrStart[:n])
+	for i := range s.arcs {
+		u := s.arcs[i^1].to
+		s.csrArc[cursor[u]] = int32(i)
+		cursor[u]++
+	}
+
+	if len(s.pot) < n {
+		pot := make([]int64, n)
+		copy(pot, s.pot)
+		s.pot = pot
+	}
+	if len(s.dist) < n {
+		s.dist = make([]int64, n)
+		s.prevArc = make([]int32, n)
+		s.stamp = make([]uint32, n)
+		s.excess = make([]int64, n)
+		s.epoch = 0
+	}
+	s.topoDirty = false
+}
+
+// arcsOf returns the CSR slice of arc indices leaving u.
+func (s *Solver) arcsOf(u int) []int32 {
+	return s.csrArc[s.csrStart[u]:s.csrStart[u+1]]
+}
+
+// potentialsValid reports whether the current potentials certify
+// non-negative reduced costs on every residual arc — the warm-start
+// test that lets a re-solve on updated costs skip Bellman–Ford.
+func (s *Solver) potentialsValid() bool {
+	for u := 0; u < s.n; u++ {
+		pu := s.pot[u]
+		for _, ai := range s.arcsOf(u) {
+			a := &s.arcs[ai]
+			if a.cap <= 0 {
+				continue
+			}
+			if a.cost+pu-s.pot[a.to] < 0 {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// bellmanFord establishes valid potentials: non-negative reduced costs
+// on every residual arc.  It relaxes to a fixpoint starting from the
+// current potential values — zeros on a fresh instance (the classic
+// virtual-super-source initialization), the previous solve's duals on a
+// warm re-solve, where near-valid potentials converge in a round or
+// two.  Any relaxation fixpoint is a valid potential function; a round
+// that still relaxes after n iterations proves a negative cycle
+// reachable through positive-residual arcs.
 func (s *Solver) bellmanFord() error {
 	dist := s.pot
-	for i := range dist {
-		dist[i] = 0
-	}
-	// At most n rounds; if the n-th round still relaxes, there is a
-	// negative cycle.
 	for round := 0; round < s.n; round++ {
 		changed := false
 		for u := 0; u < s.n; u++ {
 			du := dist[u]
-			for _, ai := range s.adj[u] {
+			for _, ai := range s.arcsOf(u) {
 				a := &s.arcs[ai]
 				if a.cap <= 0 {
 					continue
@@ -157,29 +335,22 @@ func (s *Solver) bellmanFord() error {
 	return ErrNegativeCycle
 }
 
-// pqItem is a priority-queue entry for Dijkstra.
-type pqItem struct {
-	dist int64
-	node int
-}
-
-type pq []pqItem
-
-func (q pq) Len() int            { return len(q) }
-func (q pq) Less(i, j int) bool  { return q[i].dist < q[j].dist }
-func (q pq) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
-func (q *pq) Push(x interface{}) { *q = append(*q, x.(pqItem)) }
-func (q *pq) Pop() interface{} {
-	old := *q
-	n := len(old)
-	it := old[n-1]
-	*q = old[:n-1]
-	return it
+// touch stamps node v into the current Dijkstra epoch.
+func (s *Solver) touch(v int32) {
+	s.stamp[v] = s.epoch
+	s.dist[v] = inf
+	s.prevArc[v] = -1
+	s.visited = append(s.visited, v)
 }
 
 // Solve computes a minimum-cost feasible flow. It returns the total cost
 // (as float64; see TotalCost) or an error if the instance is unbalanced,
 // infeasible, or contains a negative-cost cycle of positive capacity.
+//
+// Solve always prices the instance as configured: a previous solve's
+// flow is cleared automatically (see Reset), so mutate-and-solve-again
+// needs no explicit reset.  After the first solve on a topology the
+// inner loop is allocation-free.
 func (s *Solver) Solve() (float64, error) {
 	var sum int64
 	for _, b := range s.supply {
@@ -188,36 +359,41 @@ func (s *Solver) Solve() (float64, error) {
 	if sum != 0 {
 		return 0, ErrUnbalanced
 	}
-	s.pot = make([]int64, s.n)
-	if err := s.bellmanFord(); err != nil {
-		return 0, err
+	s.prepare()
+	if s.flowDirty {
+		s.resetResiduals()
+		s.flowDirty = false
 	}
-
-	excess := append([]int64(nil), s.supply...)
-	var sources, sinksLeft []int
-	for v, b := range excess {
-		if b > 0 {
-			sources = append(sources, v)
-		} else if b < 0 {
-			sinksLeft = append(sinksLeft, v)
+	if !s.potentialsValid() {
+		if err := s.bellmanFord(); err != nil {
+			return 0, err
 		}
 	}
-	_ = sinksLeft
 
-	dist := make([]int64, s.n)
-	prevArc := make([]int32, s.n)
-	inHeap := make([]bool, s.n)
+	excess := s.excess[:s.n]
+	copy(excess, s.supply)
+	srcs := s.sources[:0]
+	for v := 0; v < s.n; v++ {
+		if excess[v] > 0 {
+			srcs = append(srcs, int32(v))
+		}
+	}
+	s.sources = srcs // retain grown capacity for the next solve
 
+	// Augmentations mutate the residuals from here on; mark them dirty
+	// up front so even an infeasible early return is cleaned up by the
+	// next Solve.
+	s.flowDirty = true
 	for {
 		// Pick any node with positive excess.
-		var src = -1
-		for len(sources) > 0 {
-			v := sources[len(sources)-1]
+		src := int32(-1)
+		for len(srcs) > 0 {
+			v := srcs[len(srcs)-1]
 			if excess[v] > 0 {
 				src = v
 				break
 			}
-			sources = sources[:len(sources)-1]
+			srcs = srcs[:len(srcs)-1]
 		}
 		if src == -1 {
 			break // all supplies routed
@@ -225,57 +401,66 @@ func (s *Solver) Solve() (float64, error) {
 
 		// Dijkstra on reduced costs from src to the nearest node with
 		// negative excess.
-		for i := range dist {
-			dist[i] = inf
-			prevArc[i] = -1
-			inHeap[i] = false
-		}
-		dist[src] = 0
-		h := pq{{0, src}}
-		var target = -1
-		for len(h) > 0 {
-			it := heap.Pop(&h).(pqItem)
-			u := it.node
-			if it.dist > dist[u] {
-				continue
+		s.epoch++
+		if s.epoch == 0 { // uint32 wraparound: invalidate all stamps
+			for i := range s.stamp {
+				s.stamp[i] = 0
 			}
-			if excess[u] < 0 && target == -1 {
+			s.epoch = 1
+		}
+		s.visited = s.visited[:0]
+		s.h.reset()
+		s.touch(src)
+		s.dist[src] = 0
+		s.h.push(0, src)
+		target := int32(-1)
+		var dt int64
+		for !s.h.empty() {
+			d, u := s.h.pop()
+			if d > s.dist[u] {
+				continue // stale heap entry (lazy deletion)
+			}
+			if excess[u] < 0 {
 				target = u
-				// Keep settling nodes at equal distance is unnecessary;
+				dt = d
+				// Settling nodes at equal distance is unnecessary;
 				// stop at the first deficit node for speed.
 				break
 			}
-			du := dist[u]
-			for _, ai := range s.adj[u] {
+			pu := s.pot[u]
+			for _, ai := range s.arcsOf(int(u)) {
 				a := &s.arcs[ai]
 				if a.cap <= 0 {
 					continue
 				}
-				rc := a.cost + s.pot[u] - s.pot[a.to]
+				v := a.to
+				rc := a.cost + pu - s.pot[v]
 				if rc < 0 {
 					// Should not happen with valid potentials; clamp
 					// defensively (can arise from ties after early exit).
 					rc = 0
 				}
-				if nd := du + rc; nd < dist[a.to] {
-					dist[a.to] = nd
-					prevArc[a.to] = ai
-					heap.Push(&h, pqItem{nd, a.to})
+				if s.stamp[v] != s.epoch {
+					s.touch(v)
+				}
+				if nd := d + rc; nd < s.dist[v] {
+					s.dist[v] = nd
+					s.prevArc[v] = ai
+					s.h.push(nd, v)
 				}
 			}
 		}
 		if target == -1 {
 			return 0, ErrInfeasible
 		}
-		// Update potentials: only nodes that were settled (dist < inf)
-		// get dist added; unsettled nodes get the target distance so
-		// future reduced costs stay non-negative.
-		dt := dist[target]
-		for v := 0; v < s.n; v++ {
-			if dist[v] < dt {
-				s.pot[v] += dist[v]
-			} else {
-				s.pot[v] += dt
+		// Update potentials on settled nodes only: pot += dist − dt
+		// (equivalent to the classic pot += min(dist, dt) up to a
+		// uniform −dt shift, which leaves every reduced cost
+		// unchanged).  Unvisited and unsettled nodes keep their
+		// potentials, so the update is O(visited), not O(n).
+		for _, v := range s.visited {
+			if d := s.dist[v]; d < dt {
+				s.pot[v] += d - dt
 			}
 		}
 		// Bottleneck along the path.
@@ -284,7 +469,7 @@ func (s *Solver) Solve() (float64, error) {
 			bott = -excess[target]
 		}
 		for v := target; v != src; {
-			ai := prevArc[v]
+			ai := s.prevArc[v]
 			if s.arcs[ai].cap < bott {
 				bott = s.arcs[ai].cap
 			}
@@ -292,7 +477,7 @@ func (s *Solver) Solve() (float64, error) {
 		}
 		// Augment.
 		for v := target; v != src; {
-			ai := prevArc[v]
+			ai := s.prevArc[v]
 			s.arcs[ai].cap -= bott
 			s.arcs[ai^1].cap += bott
 			v = s.arcs[ai^1].to
@@ -332,7 +517,7 @@ func (s *Solver) Verify() error {
 		}
 	}
 	for u := 0; u < s.n; u++ {
-		for _, ai := range s.adj[u] {
+		for _, ai := range s.arcsOf(u) {
 			a := s.arcs[ai]
 			if a.cap <= 0 {
 				continue
@@ -343,4 +528,71 @@ func (s *Solver) Verify() error {
 		}
 	}
 	return nil
+}
+
+// heap4 is an inline 4-ary min-heap on int64 keys with int32 payloads
+// — parallel arrays, no interface boxing, no container/heap.  A 4-ary
+// layout halves the tree depth of a binary heap, trading slightly more
+// sibling comparisons (all in one cache line) for fewer levels touched
+// per sift, which wins on the pop-heavy Dijkstra workload.  Stale
+// entries are handled by the caller via lazy deletion.
+type heap4 struct {
+	key  []int64
+	node []int32
+}
+
+func (h *heap4) reset() {
+	h.key = h.key[:0]
+	h.node = h.node[:0]
+}
+
+func (h *heap4) empty() bool { return len(h.key) == 0 }
+
+func (h *heap4) push(k int64, v int32) {
+	h.key = append(h.key, k)
+	h.node = append(h.node, v)
+	i := len(h.key) - 1
+	for i > 0 {
+		p := (i - 1) >> 2
+		if h.key[p] <= k {
+			break
+		}
+		h.key[i], h.node[i] = h.key[p], h.node[p]
+		i = p
+	}
+	h.key[i], h.node[i] = k, v
+}
+
+func (h *heap4) pop() (int64, int32) {
+	k0, v0 := h.key[0], h.node[0]
+	last := len(h.key) - 1
+	k, v := h.key[last], h.node[last]
+	h.key = h.key[:last]
+	h.node = h.node[:last]
+	if last > 0 {
+		i := 0
+		for {
+			c := i<<2 + 1
+			if c >= last {
+				break
+			}
+			m := c
+			end := c + 4
+			if end > last {
+				end = last
+			}
+			for j := c + 1; j < end; j++ {
+				if h.key[j] < h.key[m] {
+					m = j
+				}
+			}
+			if h.key[m] >= k {
+				break
+			}
+			h.key[i], h.node[i] = h.key[m], h.node[m]
+			i = m
+		}
+		h.key[i], h.node[i] = k, v
+	}
+	return k0, v0
 }

@@ -408,44 +408,29 @@ func TestQuickVerifyWithNegativeCosts(t *testing.T) {
 func errIsInfeasible(err error) bool { return err == ErrInfeasible }
 
 func BenchmarkSolveGrid(b *testing.B) {
-	// D-phase-shaped instance: layered DAG, supplies on layer boundaries.
-	rng := rand.New(rand.NewSource(7))
-	build := func() *Solver {
-		const layers, width = 40, 25
-		n := layers * width
-		s := New(n)
-		for l := 0; l+1 < layers; l++ {
-			for i := 0; i < width; i++ {
-				u := l*width + i
-				// Backbone arcs guarantee feasibility regardless of the
-				// random extras: straight ahead and one lane over.
-				s.AddArc(u, (l+1)*width+i, 1_000_000, 900)
-				s.AddArc(u, (l+1)*width+(i+1)%width, 1_000_000, 900)
-				for k := 0; k < 3; k++ {
-					v := (l+1)*width + rng.Intn(width)
-					s.AddArc(u, v, 1_000_000, int64(rng.Intn(1000)))
-				}
-			}
+	// D-phase-shaped instance: layered DAG, supplies on layer boundaries
+	// (the same workload as BenchmarkMCMF in package minflo).
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s := NewGridInstance(40, 25, 7)
+		if _, err := s.Solve(); err != nil {
+			b.Fatal(err)
 		}
-		for i := 0; i < width; i++ {
-			s.SetSupply(i, int64(10+rng.Intn(50)))
-		}
-		tot := int64(0)
-		for i := 0; i < width; i++ {
-			tot += s.Supply(i)
-		}
-		for i := 0; i < width; i++ {
-			v := (layers-1)*width + i
-			share := tot / int64(width)
-			s.SetSupply(v, -share)
-			tot -= share
-		}
-		s.AddSupply((layers-1)*width, -tot)
-		return s
 	}
+}
+
+// BenchmarkSolveGridWarm measures re-solves on a fixed topology through
+// the Reset warm-start path — the shape of the D/W iteration loop.
+// This must run allocation-free (asserted by TestWarmResolveAllocFree).
+func BenchmarkSolveGridWarm(b *testing.B) {
+	s := NewGridInstance(40, 25, 7)
+	if _, err := s.Solve(); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		s := build()
+		s.Reset()
 		if _, err := s.Solve(); err != nil {
 			b.Fatal(err)
 		}

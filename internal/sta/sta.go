@@ -28,21 +28,59 @@ type Timing struct {
 
 // Analyze runs forward/backward timing over the DAG with per-vertex
 // delays d. Sources (in-degree 0) arrive at time zero.
+//
+// For repeated analyses over one graph (the optimizer's D/W loop), use
+// an Analyzer: it computes the topological order once and reuses the
+// Timing buffers across calls.
 func Analyze(g *graph.Digraph, d []float64) (*Timing, error) {
-	if len(d) != g.N() {
-		return nil, fmt.Errorf("sta: delay vector length %d != %d vertices", len(d), g.N())
+	a, err := NewAnalyzer(g)
+	if err != nil {
+		return nil, err
 	}
+	return a.Analyze(d)
+}
+
+// Analyzer performs repeated full timing analyses over a fixed graph,
+// amortizing the topological sort and the result allocations: after
+// construction, Analyze allocates nothing.
+type Analyzer struct {
+	g     *graph.Digraph
+	order []int
+	t     Timing
+}
+
+// NewAnalyzer topologically orders g once and preallocates the Timing
+// buffers.
+func NewAnalyzer(g *graph.Digraph) (*Analyzer, error) {
 	order, err := g.TopoOrder()
 	if err != nil {
 		return nil, fmt.Errorf("sta: %w", err)
 	}
 	n := g.N()
-	t := &Timing{
-		AT:        make([]float64, n),
-		RT:        make([]float64, n),
-		Slack:     make([]float64, n),
-		EdgeSlack: make([]float64, g.M()),
+	return &Analyzer{
+		g:     g,
+		order: order,
+		t: Timing{
+			AT:        make([]float64, n),
+			RT:        make([]float64, n),
+			Slack:     make([]float64, n),
+			EdgeSlack: make([]float64, g.M()),
+		},
+	}, nil
+}
+
+// Analyze runs forward/backward timing with per-vertex delays d.  The
+// returned Timing is owned by the Analyzer and overwritten by the next
+// call; callers needing a snapshot must copy it.
+func (a *Analyzer) Analyze(d []float64) (*Timing, error) {
+	g := a.g
+	if len(d) != g.N() {
+		return nil, fmt.Errorf("sta: delay vector length %d != %d vertices", len(d), g.N())
 	}
+	order := a.order
+	n := g.N()
+	t := &a.t
+	t.CP = 0
 	for _, v := range order {
 		at := 0.0
 		for _, e := range g.In(v) {
