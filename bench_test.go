@@ -20,7 +20,9 @@ import (
 	"minflo/internal/dag"
 	"minflo/internal/delay"
 	"minflo/internal/gen"
+	"minflo/internal/lin"
 	"minflo/internal/mcmf"
+	"minflo/internal/smp"
 	"minflo/internal/sta"
 	"minflo/internal/tech"
 	"minflo/internal/tilos"
@@ -104,6 +106,53 @@ func BenchmarkScalingAdder(b *testing.B) {
 		bits := bits
 		b.Run(fmt.Sprintf("%dbit", bits), func(b *testing.B) {
 			runRow(b, fmt.Sprintf("adder%d", bits), 0.5)
+		})
+	}
+}
+
+// BenchmarkScalingLarge runs the generated large-circuit suite —
+// deep meshes and wide trees from 8k to 102k gates — end-to-end
+// (TILOS + MINFLOTRANSIT at 0.9·Dmin), the §3 run-time-growth claim
+// well beyond ISCAS85 sizes.  One full pass takes about a minute; run
+// it explicitly (it is excluded from the default snapshot regex).
+func BenchmarkScalingLarge(b *testing.B) {
+	cases := []struct {
+		name string
+		mk   func() *Circuit
+	}{
+		{"mesh10k", func() *Circuit { return gen.Mesh(100, 100) }},
+		{"mesh20k", func() *Circuit { return gen.Mesh(140, 140) }},
+		{"mesh31k", func() *Circuit { return gen.Mesh(175, 175) }},
+		{"mesh102k", func() *Circuit { return gen.Mesh(320, 320) }},
+		{"tree8k", func() *Circuit { return gen.BalancedTree(1 << 13) }},
+		{"tree16k", func() *Circuit { return gen.BalancedTree(1 << 14) }},
+		{"tree33k", func() *Circuit { return gen.BalancedTree(1 << 15) }},
+	}
+	m := delay.NewModel(tech.Default013())
+	for _, tc := range cases {
+		tc := tc
+		b.Run(tc.name, func(b *testing.B) {
+			p, err := dag.GateLevel(tc.mk(), m)
+			if err != nil {
+				b.Fatal(err)
+			}
+			tm, err := sta.Analyze(p.G, p.Delays(p.InitialSizes()))
+			if err != nil {
+				b.Fatal(err)
+			}
+			T := 0.9 * tm.CP
+			var last *core.Result
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				last, err = core.Size(p, T, core.Options{})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(p.NumSizable), "gates")
+			b.ReportMetric(float64(last.Iterations), "iters")
+			b.ReportMetric(100*(1-last.Area/last.TilosArea), "saved%")
 		})
 	}
 }
@@ -317,6 +366,46 @@ func BenchmarkDPhase(b *testing.B) {
 		}
 	}
 	_ = tr
+}
+
+// BenchmarkWPhase isolates one W-phase round — an SMP solve for fresh
+// budgets plus the area-sensitivity computation the next D-phase needs
+// (companion to BenchmarkDPhase) — on c432 at a TILOS starting point.
+func BenchmarkWPhase(b *testing.B) {
+	m := delay.NewModel(tech.Default013())
+	p, err := dag.GateLevel(gen.C432(), m)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tm, _ := sta.Analyze(p.G, p.Delays(p.InitialSizes()))
+	T := 0.4 * tm.CP
+	tr, err := tilos.Size(p, T, nil, tilos.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Budgets: the per-vertex delays of the TILOS solution (a feasible
+	// budget vector by construction).
+	d := p.Delays(tr.X)[:p.NumSizable]
+	for i := range d {
+		d[i] *= 1.0000001 // strictly above intrinsic for the solvers
+	}
+	// The optimizer's per-problem setup: persistent solvers over the
+	// shared CSR, scratch reused across rounds.
+	ws := smp.NewSolver(p.CSR())
+	ls := lin.NewSolver(p.CSR())
+	x := make([]float64, p.NumSizable)
+	sens := make([]float64, p.NumSizable)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w, err := ws.SolveInto(x, d, p.MinSize, p.MaxSize, smp.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := ls.SensitivitiesInto(sens, w.X, d, p.AreaW); err != nil {
+			b.Fatal(err)
+		}
+	}
 }
 
 // BenchmarkVsLagrangian compares MINFLOTRANSIT against the

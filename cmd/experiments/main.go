@@ -97,15 +97,20 @@ func runTable1(sz *minflo.Sizer, quick bool) {
 	if quick {
 		names = []string{"adder32", "c432", "c499", "c880"}
 	}
-	var rows []*minflo.TableRow
+	jobs := make([]minflo.TableJob, 0, len(names))
 	for _, name := range names {
 		ckt, err := minflo.CircuitByName(name)
 		if err != nil {
 			fail(err)
 		}
-		row, err := sz.RunTableRow(ckt, minflo.PaperSpec(name))
-		if err != nil {
-			fmt.Printf("%-10s %v\n", name, err)
+		jobs = append(jobs, minflo.TableJob{Circuit: ckt, Spec: minflo.PaperSpec(name)})
+	}
+	// Rows run concurrently (one worker per core); results keep suite order.
+	got, errs := sz.RunTable(jobs)
+	var rows []*minflo.TableRow
+	for i, row := range got {
+		if errs[i] != nil {
+			fmt.Printf("%-10s %v\n", names[i], errs[i])
 			continue
 		}
 		rows = append(rows, row)

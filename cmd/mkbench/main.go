@@ -1,14 +1,23 @@
 // Command mkbench writes the synthetic benchmark suite to .bench files
-// so the circuits can be inspected or consumed by other EDA tools, and
-// records benchmark-regression snapshots:
+// so the circuits can be inspected or consumed by other EDA tools,
+// records benchmark-regression snapshots, and diffs them:
 //
 //	mkbench -dir ./benchmarks
 //	mkbench -snapshot -note "post flow-engine overhaul"
+//	mkbench -compare old.json new.json            # exit 1 on >15% regressions
+//	mkbench -compare -threshold 50 old.json new.json
 //
 // In -snapshot mode it runs `go test -run=^$ -bench=<regex> -benchmem`
 // on the module root package, parses the output, and writes a dated
 // BENCH_<date>.json (see internal/benchsnap and EXPERIMENTS.md).  Committed
 // snapshots give every future perf PR a recorded before/after baseline.
+//
+// In -compare mode it prints per-benchmark ns/op and allocs/op deltas
+// between two snapshots and exits non-zero when any benchmark regressed
+// — more than -threshold percent on ns/op, or more than the fixed
+// benchsnap.AllocThresholdPct on the hardware-independent allocs/op
+// (0 allocs/op guarantees are protected at any threshold).  This is
+// the CI regression gate.
 package main
 
 import (
@@ -34,7 +43,23 @@ func main() {
 	pkg := flag.String("pkg", ".", "package to benchmark for -snapshot (run from the module root)")
 	out := flag.String("out", "", "snapshot output path (default BENCH_<date>.json)")
 	note := flag.String("note", "", "free-form note stored in the snapshot")
+	compare := flag.Bool("compare", false, "compare two snapshots: mkbench -compare old.json new.json")
+	threshold := flag.Float64("threshold", 15, "ns/op regression threshold in percent for -compare (allocs/op uses a fixed tight threshold)")
 	flag.Parse()
+
+	if *compare {
+		if flag.NArg() != 2 {
+			fail(fmt.Errorf("-compare needs exactly two snapshot paths, got %d", flag.NArg()))
+		}
+		regressions, err := compareSnapshots(flag.Arg(0), flag.Arg(1), *threshold)
+		if err != nil {
+			fail(err)
+		}
+		if regressions > 0 {
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *snapshot {
 		if err := writeSnapshot(*benchRe, *benchtime, *pkg, *out, *note); err != nil {
@@ -109,6 +134,32 @@ func writeSnapshot(benchRe, benchtime, pkg, out, note string) error {
 	}
 	fmt.Printf("wrote %s (%d benchmarks)\n", out, len(results))
 	return nil
+}
+
+// compareSnapshots diffs two snapshot files and prints the delta table;
+// the returned count is the number of >threshold% regressions.
+func compareSnapshots(oldPath, newPath string, threshold float64) (int, error) {
+	readSnap := func(path string) (*benchsnap.Snapshot, error) {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return benchsnap.ReadSnapshot(f)
+	}
+	oldSnap, err := readSnap(oldPath)
+	if err != nil {
+		return 0, fmt.Errorf("old snapshot: %w", err)
+	}
+	newSnap, err := readSnap(newPath)
+	if err != nil {
+		return 0, fmt.Errorf("new snapshot: %w", err)
+	}
+	fmt.Printf("comparing %s (%s) -> %s (%s), threshold %.0f%%\n",
+		oldPath, oldSnap.Date, newPath, newSnap.Date, threshold)
+	regressions := benchsnap.WriteComparison(os.Stdout, oldSnap, newSnap, threshold)
+	fmt.Printf("geomean ns/op ratio: %.3f\n", benchsnap.GeoMeanNsRatio(oldSnap, newSnap))
+	return regressions, nil
 }
 
 func fail(err error) {

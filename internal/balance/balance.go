@@ -42,9 +42,35 @@ const (
 
 // Balance computes a delay-balanced configuration of g under vertex
 // delays d and timing t.  Sources are held at potential zero.
+//
+// For repeated balancing over one graph (the optimizer's D/W loop),
+// use a Balancer: it reuses the Config buffers across calls.
 func Balance(g *graph.Digraph, d []float64, t *sta.Timing, mode Mode) (*Config, error) {
+	return NewBalancer(g).Balance(d, t, mode)
+}
+
+// Balancer computes balanced configurations of a fixed graph without
+// per-call allocation: the returned Config is owned by the Balancer and
+// overwritten by the next Balance call.
+type Balancer struct {
+	g   *graph.Digraph
+	cfg Config
+}
+
+// NewBalancer preallocates the configuration buffers for g.
+func NewBalancer(g *graph.Digraph) *Balancer {
+	return &Balancer{g: g, cfg: Config{
+		FSDU: make([]float64, g.M()),
+		Pot:  make([]float64, g.N()),
+	}}
+}
+
+// Balance computes a delay-balanced configuration under vertex delays d
+// and timing t, reusing the Balancer's buffers.
+func (b *Balancer) Balance(d []float64, t *sta.Timing, mode Mode) (*Config, error) {
+	g := b.g
 	n := g.N()
-	p := make([]float64, n)
+	p := b.cfg.Pot
 	for v := 0; v < n; v++ {
 		switch {
 		case g.InDegree(v) == 0:
@@ -55,7 +81,7 @@ func Balance(g *graph.Digraph, d []float64, t *sta.Timing, mode Mode) (*Config, 
 			p[v] = t.AT[v]
 		}
 	}
-	cfg := &Config{FSDU: make([]float64, g.M()), Pot: p}
+	cfg := &b.cfg
 	for _, e := range g.Edges() {
 		f := p[e.To] - p[e.From] - d[e.From]
 		if f < -1e-9 {

@@ -1,0 +1,138 @@
+package benchsnap
+
+import (
+	"fmt"
+	"io"
+	"math"
+)
+
+// Delta is the comparison of one benchmark across two snapshots.
+type Delta struct {
+	Name                 string
+	OldNs, NewNs         float64
+	NsPct                float64 // 100·(new−old)/old
+	OldAllocs, NewAllocs float64 // −1 when -benchmem was off
+	AllocsPct            float64
+}
+
+// pct returns the relative change in percent, treating a zero or
+// unmeasured (−1) baseline as no change.
+func pct(old, new float64) float64 {
+	if old <= 0 {
+		return 0
+	}
+	return 100 * (new - old) / old
+}
+
+// Compare matches benchmarks by name and returns one Delta per
+// benchmark present in both snapshots, in the new snapshot's order.
+// onlyOld/onlyNew list the unmatched names — a renamed or deleted
+// benchmark should be visible, not silently dropped.
+func Compare(old, new *Snapshot) (deltas []Delta, onlyOld, onlyNew []string) {
+	for i := range new.Results {
+		nr := &new.Results[i]
+		or := old.Lookup(nr.Name)
+		if or == nil {
+			onlyNew = append(onlyNew, nr.Name)
+			continue
+		}
+		deltas = append(deltas, Delta{
+			Name:      nr.Name,
+			OldNs:     or.NsPerOp,
+			NewNs:     nr.NsPerOp,
+			NsPct:     pct(or.NsPerOp, nr.NsPerOp),
+			OldAllocs: or.AllocsPerOp,
+			NewAllocs: nr.AllocsPerOp,
+			AllocsPct: pct(or.AllocsPerOp, nr.AllocsPerOp),
+		})
+	}
+	for i := range old.Results {
+		if new.Lookup(old.Results[i].Name) == nil {
+			onlyOld = append(onlyOld, old.Results[i].Name)
+		}
+	}
+	return deltas, onlyOld, onlyNew
+}
+
+// AllocThresholdPct is the regression threshold for allocs/op.  Unlike
+// ns/op — which needs a loose, hardware-noise-sized threshold when the
+// baseline was recorded on a different machine — allocation counts are
+// exact and hardware-independent, so the gate holds them tight
+// regardless of the caller's ns/op threshold.
+const AllocThresholdPct = 5
+
+// Regressed reports whether the delta exceeds the regression threshold
+// (in percent) on ns/op, or AllocThresholdPct on allocs/op when both
+// sides measured allocations.  Time below the threshold and any
+// improvement never count.  A benchmark that was allocation-free and
+// now allocates is always a regression — hard-won 0 allocs/op
+// guarantees (warm mcmf re-solves, the W-phase round) must not
+// silently erode.
+func (d *Delta) Regressed(nsThresholdPct float64) bool {
+	if d.NsPct > nsThresholdPct {
+		return true
+	}
+	if d.OldAllocs >= 0 && d.NewAllocs >= 0 {
+		if d.AllocsPct > AllocThresholdPct {
+			return true
+		}
+		if d.OldAllocs == 0 && d.NewAllocs > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// WriteComparison prints a per-benchmark delta table to w and returns
+// the number of regressions beyond thresholdPct.
+func WriteComparison(w io.Writer, old, new *Snapshot, thresholdPct float64) int {
+	deltas, onlyOld, onlyNew := Compare(old, new)
+	fmt.Fprintf(w, "%-44s %14s %14s %8s %10s %8s\n",
+		"benchmark", "old ns/op", "new ns/op", "Δns", "allocs", "Δallocs")
+	regressions := 0
+	for i := range deltas {
+		d := &deltas[i]
+		mark := ""
+		if d.Regressed(thresholdPct) {
+			mark = "  << REGRESSION"
+			regressions++
+		}
+		allocs := "-"
+		dAllocs := "-"
+		if d.OldAllocs >= 0 && d.NewAllocs >= 0 {
+			allocs = fmt.Sprintf("%.0f→%.0f", d.OldAllocs, d.NewAllocs)
+			dAllocs = fmt.Sprintf("%+.1f%%", d.AllocsPct)
+		}
+		fmt.Fprintf(w, "%-44s %14.0f %14.0f %+7.1f%% %10s %8s%s\n",
+			d.Name, d.OldNs, d.NewNs, d.NsPct, allocs, dAllocs, mark)
+	}
+	for _, n := range onlyOld {
+		fmt.Fprintf(w, "%-44s only in old snapshot\n", n)
+	}
+	for _, n := range onlyNew {
+		fmt.Fprintf(w, "%-44s only in new snapshot\n", n)
+	}
+	if regressions > 0 {
+		fmt.Fprintf(w, "%d benchmark(s) regressed (>%.0f%% ns/op or >%d%% allocs/op)\n",
+			regressions, thresholdPct, AllocThresholdPct)
+	}
+	return regressions
+}
+
+// GeoMeanNsRatio returns the geometric-mean new/old ns/op ratio over
+// the matched benchmarks (1.0 = no change), a single scalar for the
+// snapshot-over-snapshot trajectory in EXPERIMENTS.md.
+func GeoMeanNsRatio(old, new *Snapshot) float64 {
+	deltas, _, _ := Compare(old, new)
+	sum, n := 0.0, 0
+	for i := range deltas {
+		if deltas[i].OldNs > 0 && deltas[i].NewNs > 0 {
+			sum += math.Log(deltas[i].NewNs / deltas[i].OldNs)
+			n++
+		}
+	}
+	if n == 0 {
+		return 1
+	}
+	return math.Exp(sum / float64(n))
+}

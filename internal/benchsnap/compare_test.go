@@ -1,0 +1,94 @@
+package benchsnap
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func snap(results ...BenchResult) *Snapshot {
+	return &Snapshot{Date: "2026-07-29", Results: results}
+}
+
+func TestCompareMatchesByName(t *testing.T) {
+	old := snap(
+		BenchResult{Name: "BenchmarkA", NsPerOp: 100, AllocsPerOp: 10},
+		BenchResult{Name: "BenchmarkGone", NsPerOp: 5, AllocsPerOp: -1},
+	)
+	new := snap(
+		BenchResult{Name: "BenchmarkA", NsPerOp: 150, AllocsPerOp: 10},
+		BenchResult{Name: "BenchmarkNew", NsPerOp: 7, AllocsPerOp: -1},
+	)
+	deltas, onlyOld, onlyNew := Compare(old, new)
+	if len(deltas) != 1 || deltas[0].Name != "BenchmarkA" {
+		t.Fatalf("deltas = %+v", deltas)
+	}
+	if math.Abs(deltas[0].NsPct-50) > 1e-9 {
+		t.Fatalf("NsPct = %g, want 50", deltas[0].NsPct)
+	}
+	if len(onlyOld) != 1 || onlyOld[0] != "BenchmarkGone" {
+		t.Fatalf("onlyOld = %v", onlyOld)
+	}
+	if len(onlyNew) != 1 || onlyNew[0] != "BenchmarkNew" {
+		t.Fatalf("onlyNew = %v", onlyNew)
+	}
+}
+
+func TestRegressedThreshold(t *testing.T) {
+	for _, tc := range []struct {
+		d    Delta
+		want bool
+	}{
+		{Delta{NsPct: 14.9}, false},
+		{Delta{NsPct: 15.1}, true},
+		{Delta{NsPct: -40}, false},
+		// Alloc regression alone trips the gate when measured on both
+		// sides — against the tight AllocThresholdPct, not the (possibly
+		// loose) ns/op threshold.
+		{Delta{NsPct: 0, OldAllocs: 100, NewAllocs: 200, AllocsPct: 100}, true},
+		{Delta{NsPct: 0, OldAllocs: 100, NewAllocs: 106, AllocsPct: 6}, true},
+		{Delta{NsPct: 0, OldAllocs: 100, NewAllocs: 104, AllocsPct: 4}, false},
+		// Unmeasured allocs (−1) never trip it.
+		{Delta{NsPct: 0, OldAllocs: -1, NewAllocs: 50, AllocsPct: 0}, false},
+		// Losing a 0-allocs guarantee always trips it.
+		{Delta{NsPct: 0, OldAllocs: 0, NewAllocs: 1, AllocsPct: 0}, true},
+		{Delta{NsPct: 0, OldAllocs: 0, NewAllocs: 0, AllocsPct: 0}, false},
+	} {
+		if got := tc.d.Regressed(15); got != tc.want {
+			t.Fatalf("Regressed(%+v) = %v, want %v", tc.d, got, tc.want)
+		}
+	}
+}
+
+func TestWriteComparisonCountsRegressions(t *testing.T) {
+	old := snap(
+		BenchResult{Name: "BenchmarkFast", NsPerOp: 100, AllocsPerOp: 4},
+		BenchResult{Name: "BenchmarkSlow", NsPerOp: 100, AllocsPerOp: 4},
+	)
+	new := snap(
+		BenchResult{Name: "BenchmarkFast", NsPerOp: 90, AllocsPerOp: 4},
+		BenchResult{Name: "BenchmarkSlow", NsPerOp: 200, AllocsPerOp: 4},
+	)
+	var sb strings.Builder
+	if got := WriteComparison(&sb, old, new, 15); got != 1 {
+		t.Fatalf("regressions = %d, want 1; output:\n%s", got, sb.String())
+	}
+	if !strings.Contains(sb.String(), "REGRESSION") {
+		t.Fatalf("missing regression marker:\n%s", sb.String())
+	}
+}
+
+func TestGeoMeanNsRatio(t *testing.T) {
+	old := snap(
+		BenchResult{Name: "BenchmarkA", NsPerOp: 100},
+		BenchResult{Name: "BenchmarkB", NsPerOp: 100},
+	)
+	new := snap(
+		BenchResult{Name: "BenchmarkA", NsPerOp: 50},
+		BenchResult{Name: "BenchmarkB", NsPerOp: 200},
+	)
+	// Ratios 0.5 and 2.0 → geometric mean 1.0.
+	if r := GeoMeanNsRatio(old, new); math.Abs(r-1) > 1e-12 {
+		t.Fatalf("geomean = %g, want 1", r)
+	}
+}

@@ -118,11 +118,18 @@ func (o Options) withDefaults() Options {
 
 // iterScratch holds everything the D/W iteration reuses across rounds:
 // the build-once D-phase constraint system with its constraint and
-// objective IDs, the timing engines, and all per-iteration buffers.
+// objective IDs, the timing engines, the persistent W-phase and
+// sensitivity solvers (all three sharing the problem's delay.CSR), and
+// all per-iteration buffers — so a steady-state iterate call performs
+// zero heap allocations (asserted by TestIterateSteadyStateZeroAlloc).
 type iterScratch struct {
 	analyzer *sta.Analyzer // full timing over aug.G (balance needs RT)
 	arr      *sta.Arrivals // incremental arrivals over p.G (post-W CP)
 	allV     []int         // 0..p.G.N()-1, the SetDelays index vector
+
+	balancer *balance.Balancer // FSDU configurations over aug.G
+	smp      *smp.Solver       // W-phase engine over p.CSR()
+	lin      *lin.Solver       // sensitivity engine over p.CSR()
 
 	sys    *dcs.System
 	loID   []int // constraint r_i − r_dm ≤ …, per sizable vertex
@@ -137,6 +144,8 @@ type iterScratch struct {
 	budgets   []float64
 	minD      []float64
 	newBudget []float64
+	sens      []float64 // area sensitivities C_i
+	newX      []float64 // W-phase output sizes
 }
 
 // newIterScratch builds the constraint-network topology once and
@@ -145,6 +154,9 @@ type iterScratch struct {
 func newIterScratch(p *dag.Problem, aug *dag.Augmented, x0 []float64) (*iterScratch, error) {
 	n := p.NumSizable
 	sc := &iterScratch{
+		balancer:  balance.NewBalancer(aug.G),
+		smp:       smp.NewSolver(p.CSR()),
+		lin:       lin.NewSolver(p.CSR()),
 		loID:      make([]int, n),
 		hiID:      make([]int, n),
 		objID:     make([]int, n),
@@ -155,6 +167,8 @@ func newIterScratch(p *dag.Problem, aug *dag.Augmented, x0 []float64) (*iterScra
 		budgets:   make([]float64, n),
 		minD:      make([]float64, n),
 		newBudget: make([]float64, n),
+		sens:      make([]float64, n),
+		newX:      make([]float64, n),
 		allV:      make([]int, p.G.N()),
 	}
 	for v := range sc.allV {
@@ -249,8 +263,11 @@ func Size(p *dag.Problem, T float64, opt Options) (*Result, error) {
 	// Step 2: alternate D-phase and W-phase.  The budget window adapts
 	// like a trust region: halve after an iteration whose first-order
 	// prediction overshot (area got worse), relax back on success.
+	// iterate leaves the round's sizes in sc.newX; x and bestX are
+	// stable buffers owned by this loop.
+	x = append([]float64(nil), x...)
 	for it := 1; it <= opt.MaxIters; it++ {
-		newX, st, err := iterate(p, aug, sc, x, T, window, opt)
+		st, err := iterate(p, aug, sc, x, T, window, opt)
 		if err != nil {
 			// A failed iteration is not fatal: the current best solution
 			// stands (this triggers only on numerical corner cases).
@@ -258,16 +275,16 @@ func Size(p *dag.Problem, T float64, opt Options) (*Result, error) {
 		}
 		st.Iter = it
 		st.Window = window
-		res.Stats = append(res.Stats, *st)
+		res.Stats = append(res.Stats, st)
 		res.Iterations = it
 		if opt.OnIteration != nil {
-			opt.OnIteration(*st)
+			opt.OnIteration(st)
 		}
 		// Step 3: stop when the area improvement is negligible.
 		if st.Area < bestArea*(1-opt.AreaTol) {
 			bestArea = st.Area
-			copy(bestX, newX)
-			x = newX
+			copy(bestX, sc.newX)
+			copy(x, sc.newX)
 			noImprove = 0
 			if window < opt.Window {
 				window = math.Min(opt.Window, window*1.5)
@@ -275,8 +292,8 @@ func Size(p *dag.Problem, T float64, opt Options) (*Result, error) {
 		} else {
 			if st.Area < bestArea {
 				bestArea = st.Area
-				copy(bestX, newX)
-				x = newX
+				copy(bestX, sc.newX)
+				copy(x, sc.newX)
 			} else {
 				// Overshoot: back to the best point with a tighter window.
 				copy(x, bestX)
@@ -296,26 +313,27 @@ func Size(p *dag.Problem, T float64, opt Options) (*Result, error) {
 }
 
 // iterate performs one D-phase + W-phase round from sizes x with the
-// given budget window, reusing the scratch's constraint network and
-// buffers.
-func iterate(p *dag.Problem, aug *dag.Augmented, sc *iterScratch, x []float64, T, window float64, opt Options) ([]float64, *IterStats, error) {
+// given budget window, reusing the scratch's constraint network,
+// persistent solvers and buffers; the round's sizes are left in
+// sc.newX.  Steady-state rounds (no TILOS repair) allocate nothing.
+func iterate(p *dag.Problem, aug *dag.Augmented, sc *iterScratch, x []float64, T, window float64, opt Options) (IterStats, error) {
 	n := p.NumSizable
 	d := aug.DelaysInto(sc.dAug, x)
 	tm, err := sc.analyzer.Analyze(d)
 	if err != nil {
-		return nil, nil, err
+		return IterStats{}, err
 	}
 	if tm.CP > T*(1+1e-9) {
-		return nil, nil, fmt.Errorf("core: entering D-phase with infeasible CP %g > %g", tm.CP, T)
+		return IterStats{}, fmt.Errorf("core: entering D-phase with infeasible CP %g > %g", tm.CP, T)
 	}
 	// Make the slack window the distance to the target, not the current
 	// CP, so the optimizer can trade slack right up to T.
 	slackToTarget := T - tm.CP
 
 	// D-phase (1): delay-balance the augmented DAG.
-	cfg, err := balance.Balance(aug.G, d, tm, balance.ALAP)
+	cfg, err := sc.balancer.Balance(d, tm, balance.ALAP)
 	if err != nil {
-		return nil, nil, err
+		return IterStats{}, err
 	}
 	// The sink collects all slack to the target: path potentials may
 	// grow by up to slackToTarget beyond CP. Model it by adding the
@@ -327,9 +345,9 @@ func iterate(p *dag.Problem, aug *dag.Augmented, sc *iterScratch, x []float64, T
 	// D-phase (2): area sensitivities C_i (eq. 7).
 	budgets := sc.budgets
 	copy(budgets, d[:n])
-	C, err := lin.Sensitivities(p.Coeffs, x, budgets, p.AreaW)
-	if err != nil {
-		return nil, nil, err
+	C := sc.sens
+	if err := sc.lin.SensitivitiesInto(C, x, budgets, p.AreaW); err != nil {
+		return IterStats{}, err
 	}
 
 	// D-phase (3)-(5): window constraints, causality, min-cost-flow
@@ -337,6 +355,7 @@ func iterate(p *dag.Problem, aug *dag.Augmented, sc *iterScratch, x []float64, T
 	// build-once system.
 	sys := sc.sys
 	minD := sc.minD
+	csr := p.CSR()
 	for i := 0; i < n; i++ {
 		se := aug.SelfEdge[i]
 		selfF := cfg.FSDU[se]
@@ -345,7 +364,7 @@ func iterate(p *dag.Problem, aug *dag.Augmented, sc *iterScratch, x []float64, T
 		if maxD < selfF {
 			maxD = selfF // keep r = 0 feasible
 		}
-		floor := p.Coeffs[i].FloorAt(x, p.MaxSize)
+		floor := csr.FloorAt(i, x, p.MaxSize)
 		lo := floor - d[i] // most the budget may shrink and stay attainable
 		if w := -window * d[i]; w > lo {
 			lo = w
@@ -365,7 +384,7 @@ func iterate(p *dag.Problem, aug *dag.Augmented, sc *iterScratch, x []float64, T
 	}
 	sol, err := sys.Solve(dcs.Options{CostScale: opt.CostScale, SupplyScale: opt.SupplyScale})
 	if err != nil {
-		return nil, nil, fmt.Errorf("core: D-phase: %w", err)
+		return IterStats{}, fmt.Errorf("core: D-phase: %w", err)
 	}
 
 	// New budgets: ΔD_i = FSDU_r(i→Dmy(i)).
@@ -377,32 +396,32 @@ func iterate(p *dag.Problem, aug *dag.Augmented, sc *iterScratch, x []float64, T
 		}
 		newBudget[i] = d[i] + dd
 		// Never let a budget drop to (or below) the intrinsic delay.
-		if min := p.Coeffs[i].Self * (1 + 1e-9); newBudget[i] <= min {
+		if min := csr.Self[i] * (1 + 1e-9); newBudget[i] <= min {
 			newBudget[i] = min + 1e-12
 		}
 	}
 
 	// W-phase: minimum-area sizes for the new budgets.
-	w, err := smp.Solve(p.Coeffs, newBudget, p.MinSize, p.MaxSize, smp.Options{})
+	w, err := sc.smp.SolveInto(sc.newX, newBudget, p.MinSize, p.MaxSize, smp.Options{})
 	if err != nil {
-		return nil, nil, fmt.Errorf("core: W-phase: %w", err)
+		return IterStats{}, fmt.Errorf("core: W-phase: %w", err)
 	}
 	newX := w.X
 
 	// Re-time incrementally; repair with TILOS if MaxSize clamping broke
 	// the target.
-	st := &IterStats{Objective: sol.Objective, Clamped: len(w.Clamped), NetBuilds: sys.Builds()}
+	st := IterStats{Objective: sol.Objective, Clamped: len(w.Clamped), NetBuilds: sys.Builds()}
 	cp := sc.retime(p, newX)
 	if cp > T*(1+1e-9) {
 		tr, rerr := tilos.Size(p, T, newX, opt.Tilos)
 		if rerr != nil {
-			return nil, nil, fmt.Errorf("core: repair failed: %w", rerr)
+			return IterStats{}, fmt.Errorf("core: repair failed: %w", rerr)
 		}
-		newX = tr.X
-		cp = sc.retime(p, newX)
+		copy(sc.newX, tr.X)
+		cp = sc.retime(p, sc.newX)
 		st.Repaired = true
 	}
-	st.Area = p.Area(newX)
+	st.Area = p.Area(sc.newX)
 	st.CP = cp
-	return newX, st, nil
+	return st, nil
 }

@@ -47,7 +47,8 @@ type Problem struct {
 	MinSize, MaxSize float64
 	Labels           []string
 
-	topo []int // cached topological order of G
+	topo []int      // cached topological order of G
+	csr  *delay.CSR // build-once flattened coupling structure
 }
 
 // GateLevel builds the gate-sizing problem for a circuit: one sizable
@@ -133,11 +134,19 @@ func GateLevel(c *circuit.Circuit, m *delay.Model) (*Problem, error) {
 	if p.topo, err = g.TopoOrder(); err != nil {
 		return nil, fmt.Errorf("dag: %w", err)
 	}
+	p.csr = delay.NewCSR(p.Coeffs)
 	return p, nil
 }
 
 // Topo returns the cached topological order of G.
 func (p *Problem) Topo() []int { return p.topo }
+
+// CSR returns the flattened coupling structure shared by every solver
+// operating on the problem (delay evaluation, the W-phase SMP, the
+// D-phase sensitivity solves, TILOS's incremental retiming).  It is
+// built once at construction and read-only thereafter, so concurrent
+// optimizer runs over one Problem remain race-free.
+func (p *Problem) CSR() *delay.CSR { return p.csr }
 
 // InitialSizes returns the all-minimum size vector.
 func (p *Problem) InitialSizes() []float64 {
@@ -157,9 +166,7 @@ func (p *Problem) Delays(x []float64) []float64 {
 // DelaysInto fills d (length G.N()) with the per-vertex delays at sizes
 // x and returns it — the allocation-free variant for iteration loops.
 func (p *Problem) DelaysInto(d, x []float64) []float64 {
-	for i := 0; i < p.NumSizable; i++ {
-		d[i] = p.Coeffs[i].Delay(x[i], x)
-	}
+	p.csr.DelaysInto(d, x)
 	for i := p.NumSizable; i < len(d); i++ {
 		d[i] = 0
 	}
@@ -270,9 +277,7 @@ func (a *Augmented) Delays(x []float64) []float64 {
 // sizes x and returns it — the allocation-free variant for iteration
 // loops.
 func (a *Augmented) DelaysInto(d, x []float64) []float64 {
-	for i := 0; i < a.Base.NumSizable; i++ {
-		d[i] = a.Base.Coeffs[i].Delay(x[i], x)
-	}
+	a.Base.csr.DelaysInto(d, x)
 	for i := a.Base.NumSizable; i < len(d); i++ {
 		d[i] = 0
 	}

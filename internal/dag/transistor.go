@@ -310,6 +310,7 @@ func TransistorLevel(c *circuit.Circuit, m *delay.Model) (*Problem, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
+	p.csr = delay.NewCSR(p.Coeffs)
 	return p, nil
 }
 

@@ -196,5 +196,6 @@ func GateLevelWithWires(c *circuit.Circuit, m *delay.Model, wp WireParams) (*Wir
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
+	p.csr = delay.NewCSR(p.Coeffs)
 	return &WiredProblem{Problem: p, NumGates: nG, WireLabel: wireLabels}, nil
 }

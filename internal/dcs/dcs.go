@@ -72,6 +72,10 @@ type System struct {
 	topoVersion  int
 	builtVersion int
 	builds       int
+
+	// sol is the reused Solution storage: Solve rewrites it in place so
+	// steady-state re-solves allocate nothing.
+	sol Solution
 }
 
 // NewSystem creates a system over n variables r(0..n-1).
@@ -218,7 +222,8 @@ func (s *System) ensureFlow() *mcmf.Solver {
 // optimality certificates, and returns the optimal r.  Repeated calls
 // reuse the cached network (updating costs, capacities and supplies in
 // place) as long as no constraints, objectives or pins were added in
-// between.
+// between.  The returned Solution is owned by the System and rewritten
+// by the next Solve; callers needing a snapshot must copy it.
 func (s *System) Solve(opt Options) (*Solution, error) {
 	opt = opt.withDefaults()
 	ground := s.n
@@ -235,7 +240,8 @@ func (s *System) Solve(opt Options) (*Solution, error) {
 		if err != nil {
 			return nil, err
 		}
-		return &Solution{R: r}, nil
+		s.sol = Solution{R: r}
+		return &s.sol, nil
 	}
 
 	f := s.ensureFlow()
@@ -286,7 +292,10 @@ func (s *System) Solve(opt Options) (*Solution, error) {
 
 	// r(v) = −(pot(v) − pot(ground)) / CostScale.
 	base := f.Potential(ground)
-	r := make([]float64, s.n)
+	if cap(s.sol.R) < s.n {
+		s.sol.R = make([]float64, s.n)
+	}
+	r := s.sol.R[:s.n]
 	for v := 0; v < s.n; v++ {
 		r[v] = -float64(f.Potential(v)-base) / opt.CostScale
 	}
@@ -297,7 +306,8 @@ func (s *System) Solve(opt Options) (*Solution, error) {
 		return nil, fmt.Errorf("dcs: recovered solution infeasible: %w", err)
 	}
 
-	sol := &Solution{
+	sol := &s.sol
+	*sol = Solution{
 		R:        r,
 		FlowCost: f.TotalCost(),
 		Arcs:     len(s.cons) + 2*len(s.pinned),

@@ -644,6 +644,81 @@ func C7552() *circuit.Circuit {
 // C432 builds the c432 stand-in (27-channel interrupt controller).
 func C432() *circuit.Circuit { return InterruptController(27) }
 
+// Mesh builds a rows×cols grid of NAND2 gates: gate (r,c) is driven by
+// its upper neighbour (r−1,c) and left neighbour (r,c−1), with primary
+// inputs feeding the top row and left column; the right column and
+// bottom row are primary outputs.  The mesh is the deep, regular,
+// locally-coupled scaling workload (depth rows+cols, every interior
+// gate fanning out twice): Mesh(175,175) is ~30k gates, Mesh(320,320)
+// is ~102k — the §3 run-time-growth claim well beyond ISCAS85 sizes.
+func Mesh(rows, cols int) *circuit.Circuit {
+	if rows < 1 || cols < 1 {
+		panic("gen: mesh needs positive dimensions")
+	}
+	c := circuit.New(fmt.Sprintf("mesh%dx%d", rows, cols))
+	x := &builder{c: c}
+	top := make([]circuit.Ref, cols)
+	for j := range top {
+		top[j] = c.AddPI(fmt.Sprintf("t%d", j))
+	}
+	left := make([]circuit.Ref, rows)
+	for i := range left {
+		left[i] = c.AddPI(fmt.Sprintf("l%d", i))
+	}
+	prevRow := make([]circuit.Ref, cols)
+	row := make([]circuit.Ref, cols)
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			up := top[j]
+			if i > 0 {
+				up = prevRow[j]
+			}
+			lf := left[i]
+			if j > 0 {
+				lf = row[j-1]
+			}
+			row[j] = x.gate(cell.Nand2, up, lf)
+		}
+		if i == rows-1 {
+			for j := 0; j < cols; j++ {
+				c.MarkPO(row[j])
+			}
+		} else {
+			c.MarkPO(row[cols-1])
+		}
+		prevRow, row = row, prevRow
+	}
+	return c
+}
+
+// BalancedTree builds a complete binary NAND tree over `leaves` primary
+// inputs (leaves−1 gates, depth ⌈log2 leaves⌉) — the wide, shallow
+// counterpart of Mesh for the scaling suite: BalancedTree(32768) is
+// ~33k gates at depth 15, BalancedTree(1<<17) is ~131k.
+func BalancedTree(leaves int) *circuit.Circuit {
+	if leaves < 2 {
+		panic("gen: tree needs at least two leaves")
+	}
+	c := circuit.New(fmt.Sprintf("tree%d", leaves))
+	x := &builder{c: c}
+	level := make([]circuit.Ref, leaves)
+	for i := range level {
+		level[i] = c.AddPI(fmt.Sprintf("i%d", i))
+	}
+	for len(level) > 1 {
+		var next []circuit.Ref
+		for i := 0; i+1 < len(level); i += 2 {
+			next = append(next, x.gate(cell.Nand2, level[i], level[i+1]))
+		}
+		if len(level)%2 == 1 {
+			next = append(next, level[len(level)-1])
+		}
+		level = next
+	}
+	c.MarkPO(level[0])
+	return c
+}
+
 // RandomLogic builds a pseudo-random DAG of small cells for property
 // tests: nPIs inputs, nGates gates, every gate's inputs drawn from
 // earlier signals, all sinks marked as POs.

@@ -383,3 +383,88 @@ func TestC7552AdderLanesFunctional(t *testing.T) {
 		}
 	}
 }
+
+func TestMeshShape(t *testing.T) {
+	for _, tc := range []struct{ r, c int }{{1, 1}, {3, 5}, {20, 20}} {
+		m := Mesh(tc.r, tc.c)
+		if err := m.Validate(); err != nil {
+			t.Fatalf("mesh %dx%d: %v", tc.r, tc.c, err)
+		}
+		st, err := m.ComputeStats()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Gates != tc.r*tc.c {
+			t.Fatalf("mesh %dx%d: %d gates", tc.r, tc.c, st.Gates)
+		}
+		if st.PIs != tc.r+tc.c {
+			t.Fatalf("mesh %dx%d: %d PIs, want %d", tc.r, tc.c, st.PIs, tc.r+tc.c)
+		}
+		// Depth: the longest up/left chain touches every row and column.
+		if st.Levels != tc.r+tc.c-1 {
+			t.Fatalf("mesh %dx%d: depth %d, want %d", tc.r, tc.c, st.Levels, tc.r+tc.c-1)
+		}
+	}
+}
+
+func TestMeshFunctional(t *testing.T) {
+	// 2x2 NAND mesh, hand-evaluated.
+	m := Mesh(2, 2)
+	// PIs: t0,t1 (top), l0,l1 (left).
+	nand := func(a, b bool) bool { return !(a && b) }
+	for bits := 0; bits < 16; bits++ {
+		t0 := bits&1 == 1
+		t1 := bits&2 == 2
+		l0 := bits&4 == 4
+		l1 := bits&8 == 8
+		// Gate (i,j) = NAND(up, left): up is top[j] / the gate above,
+		// left is left[i] / the gate to the left.
+		g00 := nand(t0, l0)
+		g01 := nand(t1, g00)
+		g10 := nand(g00, l1)
+		g11 := nand(g01, g10)
+		out, err := m.Evaluate([]bool{t0, t1, l0, l1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// POs: row0 right col (g01), then bottom row g10, g11.
+		want := []bool{g01, g10, g11}
+		for i := range want {
+			if out[i] != want[i] {
+				t.Fatalf("mesh2x2 bits=%04b: PO %d = %v, want %v", bits, i, out[i], want[i])
+			}
+		}
+	}
+}
+
+func TestBalancedTreeShape(t *testing.T) {
+	for _, leaves := range []int{2, 3, 8, 100, 1024} {
+		c := BalancedTree(leaves)
+		if err := c.Validate(); err != nil {
+			t.Fatalf("tree %d: %v", leaves, err)
+		}
+		st, err := c.ComputeStats()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Gates != leaves-1 {
+			t.Fatalf("tree %d: %d gates, want %d", leaves, st.Gates, leaves-1)
+		}
+		if st.POs != 1 {
+			t.Fatalf("tree %d: %d POs", leaves, st.POs)
+		}
+	}
+}
+
+func TestScalingGeneratorsReachTargetSizes(t *testing.T) {
+	// The scaling suite must reach 30k and 100k+ gates.
+	if st, _ := Mesh(175, 175).ComputeStats(); st.Gates < 30000 {
+		t.Fatalf("Mesh(175,175) only %d gates", st.Gates)
+	}
+	if st, _ := Mesh(320, 320).ComputeStats(); st.Gates < 100000 {
+		t.Fatalf("Mesh(320,320) only %d gates", st.Gates)
+	}
+	if st, _ := BalancedTree(1 << 15).ComputeStats(); st.Gates < 30000 {
+		t.Fatalf("BalancedTree(32768) only %d gates", st.Gates)
+	}
+}

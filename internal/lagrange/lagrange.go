@@ -87,6 +87,9 @@ func Size(p *dag.Problem, T float64, opt Options) (*Result, error) {
 	}
 	n := p.NumSizable
 	g := p.G
+	// One persistent W-phase solver over the problem's cached coupling
+	// structure for the per-iteration feasibility projections.
+	wSolver := smp.NewSolver(p.CSR())
 
 	// Edge multipliers, indexed by edge ID; sinkMu plays the PO-arc role.
 	lambda := make([]float64, g.M())
@@ -196,7 +199,7 @@ func Size(p *dag.Problem, T float64, opt Options) (*Result, error) {
 		// least-fixed-point then recovers the cheapest sizes realizing
 		// that profile.  This yields a feasible candidate per iteration.
 		if tm.CP > T {
-			if xf, ok := projectFeasible(p, d, T, tm.CP); ok {
+			if xf, ok := projectFeasible(p, wSolver, d, T, tm.CP); ok {
 				df := p.Delays(xf)
 				tf, err := sta.Analyze(g, df)
 				if err == nil && tf.CP <= T*(1+1e-9) {
@@ -254,7 +257,7 @@ func Size(p *dag.Problem, T float64, opt Options) (*Result, error) {
 // solves the W-phase SMP for the cheapest sizes meeting it.  Budgets
 // are floored above each vertex's intrinsic delay; flooring can break
 // the path-sum guarantee, so the caller re-times the result.
-func projectFeasible(p *dag.Problem, d []float64, T, cp float64) ([]float64, bool) {
+func projectFeasible(p *dag.Problem, ws *smp.Solver, d []float64, T, cp float64) ([]float64, bool) {
 	n := p.NumSizable
 	scale := T / cp
 	budgets := make([]float64, n)
@@ -265,7 +268,7 @@ func projectFeasible(p *dag.Problem, d []float64, T, cp float64) ([]float64, boo
 		}
 		budgets[i] = b
 	}
-	w, err := smp.Solve(p.Coeffs, budgets, p.MinSize, p.MaxSize, smp.Options{})
+	w, err := ws.SolveInto(make([]float64, n), budgets, p.MinSize, p.MaxSize, smp.Options{})
 	if err != nil {
 		return nil, false
 	}

@@ -1,0 +1,318 @@
+package lin
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"minflo/internal/delay"
+	"minflo/internal/graph"
+)
+
+// This file keeps the pre-CSR solvers — per-call incoming lists, a
+// per-block position map and [][]float64 Gaussian elimination — as the
+// oracle for the equivalence tests.  The persistent CSR Solver must
+// reproduce them bit for bit on random gate- and transistor-shaped
+// instances.
+
+type refInc struct {
+	i int
+	a float64
+}
+
+func refDepGraph(coeffs []delay.Coeffs) *graph.Digraph {
+	g := graph.New(len(coeffs))
+	for i := range coeffs {
+		for _, t := range coeffs[i].Terms {
+			if t.A != 0 && t.J != i {
+				g.AddEdge(i, t.J)
+			}
+		}
+	}
+	return g
+}
+
+func refGauss(M [][]float64, b []float64) ([]float64, bool) {
+	n := len(M)
+	for col := 0; col < n; col++ {
+		p := col
+		for r := col + 1; r < n; r++ {
+			if math.Abs(M[r][col]) > math.Abs(M[p][col]) {
+				p = r
+			}
+		}
+		if math.Abs(M[p][col]) < 1e-300 {
+			return nil, false
+		}
+		M[col], M[p] = M[p], M[col]
+		b[col], b[p] = b[p], b[col]
+		inv := 1 / M[col][col]
+		for r := col + 1; r < n; r++ {
+			f := M[r][col] * inv
+			if f == 0 {
+				continue
+			}
+			for c := col; c < n; c++ {
+				M[r][c] -= f * M[col][c]
+			}
+			b[r] -= f * b[col]
+		}
+	}
+	x := make([]float64, n)
+	for r := n - 1; r >= 0; r-- {
+		s := b[r]
+		for c := r + 1; c < n; c++ {
+			s -= M[r][c] * x[c]
+		}
+		x[r] = s / M[r][r]
+	}
+	return x, true
+}
+
+func refSolveTranspose(coeffs []delay.Coeffs, d, w []float64) ([]float64, bool) {
+	n := len(coeffs)
+	incoming := make([][]refInc, n)
+	for i := range coeffs {
+		for _, t := range coeffs[i].Terms {
+			if t.J == i || t.A == 0 {
+				continue
+			}
+			incoming[t.J] = append(incoming[t.J], refInc{i, t.A})
+		}
+	}
+	diag := make([]float64, n)
+	for j := range coeffs {
+		diag[j] = d[j] - coeffs[j].Self
+		if diag[j] <= 0 || math.IsNaN(diag[j]) {
+			return nil, false
+		}
+	}
+	groups := refDepGraph(coeffs).CondensationOrder()
+	y := make([]float64, n)
+	for _, grp := range groups {
+		if len(grp) == 1 {
+			j := grp[0]
+			rhs := w[j]
+			for _, in := range incoming[j] {
+				rhs += in.a * y[in.i]
+			}
+			y[j] = rhs / diag[j]
+			continue
+		}
+		m := len(grp)
+		pos := make(map[int]int, m)
+		for k, j := range grp {
+			pos[j] = k
+		}
+		M := make([][]float64, m)
+		rhs := make([]float64, m)
+		for k, j := range grp {
+			M[k] = make([]float64, m)
+			M[k][k] = diag[j]
+			rhs[k] = w[j]
+			for _, in := range incoming[j] {
+				if kk, inBlock := pos[in.i]; inBlock {
+					M[k][kk] -= in.a
+				} else {
+					rhs[k] += in.a * y[in.i]
+				}
+			}
+		}
+		sol, ok := refGauss(M, rhs)
+		if !ok {
+			return nil, false
+		}
+		for k, j := range grp {
+			y[j] = sol[k]
+		}
+	}
+	return y, true
+}
+
+func refSolveForward(coeffs []delay.Coeffs, d, b []float64) ([]float64, bool) {
+	n := len(coeffs)
+	diag := make([]float64, n)
+	for j := range coeffs {
+		diag[j] = d[j] - coeffs[j].Self
+		if diag[j] <= 0 {
+			return nil, false
+		}
+	}
+	groups := refDepGraph(coeffs).CondensationOrder()
+	x := make([]float64, n)
+	for gi := len(groups) - 1; gi >= 0; gi-- {
+		grp := groups[gi]
+		if len(grp) == 1 {
+			i := grp[0]
+			rhs := b[i]
+			for _, t := range coeffs[i].Terms {
+				if t.J == i {
+					continue
+				}
+				rhs += t.A * x[t.J]
+			}
+			x[i] = rhs / diag[i]
+			continue
+		}
+		m := len(grp)
+		pos := make(map[int]int, m)
+		for k, j := range grp {
+			pos[j] = k
+		}
+		M := make([][]float64, m)
+		rhs := make([]float64, m)
+		for k, i := range grp {
+			M[k] = make([]float64, m)
+			M[k][k] = diag[i]
+			rhs[k] = b[i]
+			for _, t := range coeffs[i].Terms {
+				if t.J == i {
+					continue
+				}
+				if kk, in := pos[t.J]; in {
+					M[k][kk] -= t.A
+				} else {
+					rhs[k] += t.A * x[t.J]
+				}
+			}
+		}
+		sol, ok := refGauss(M, rhs)
+		if !ok {
+			return nil, false
+		}
+		for k, i := range grp {
+			x[i] = sol[k]
+		}
+	}
+	return x, true
+}
+
+// mkLinInstance builds a random coefficient set with optional SCC
+// blocks plus budgets, weights and right-hand sides.
+func mkLinInstance(rng *rand.Rand, blocks bool) (ks []delay.Coeffs, d, w []float64) {
+	n := 2 + rng.Intn(24)
+	ks = make([]delay.Coeffs, n)
+	base := 0
+	for base < n {
+		size := 1
+		if blocks && rng.Intn(3) == 0 {
+			size = 2 + rng.Intn(2)
+			if base+size > n {
+				size = n - base
+			}
+		}
+		for i := 0; i < size; i++ {
+			ks[base+i].Self = rng.Float64()
+			ks[base+i].Const = rng.Float64()
+			for j := 0; j < size; j++ {
+				if i != j && rng.Intn(2) == 0 {
+					ks[base+i].Terms = append(ks[base+i].Terms,
+						delay.Term{J: base + j, A: 0.2 * rng.Float64()})
+				}
+			}
+			for j := base + size; j < n; j++ {
+				if rng.Intn(4) == 0 {
+					ks[base+i].Terms = append(ks[base+i].Terms,
+						delay.Term{J: j, A: rng.Float64() * 2})
+				}
+			}
+		}
+		base += size
+	}
+	d = make([]float64, n)
+	w = make([]float64, n)
+	for i := range d {
+		d[i] = ks[i].Self + 0.5 + rng.Float64()*5
+		w[i] = 0.5 + rng.Float64()*5
+	}
+	return ks, d, w
+}
+
+// TestCSRLinMatchesReferenceBitwise runs ~100 random instances through
+// the persistent CSR solver and the pre-refactor reference path and
+// demands bit-identical transpose and forward solutions.
+func TestCSRLinMatchesReferenceBitwise(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 110; trial++ {
+		blocks := trial%2 == 1
+		ks, d, w := mkLinInstance(rng, blocks)
+		n := len(ks)
+		s := NewSolver(delay.NewCSR(ks))
+
+		wantY, okY := refSolveTranspose(ks, d, w)
+		y := make([]float64, n)
+		// Two passes: the second reuses all scratch and must still match.
+		for pass := 0; pass < 2; pass++ {
+			err := s.SolveTransposeInto(y, d, w)
+			if (err == nil) != okY {
+				t.Fatalf("trial %d pass %d: transpose err %v, reference ok=%v", trial, pass, err, okY)
+			}
+			if err != nil {
+				break
+			}
+			for i := range wantY {
+				if y[i] != wantY[i] {
+					t.Fatalf("trial %d pass %d: y[%d] = %v, reference %v (diff %g)",
+						trial, pass, i, y[i], wantY[i], y[i]-wantY[i])
+				}
+			}
+		}
+
+		wantX, okX := refSolveForward(ks, d, w)
+		x := make([]float64, n)
+		for pass := 0; pass < 2; pass++ {
+			err := s.SolveForwardInto(x, d, w)
+			if (err == nil) != okX {
+				t.Fatalf("trial %d pass %d: forward err %v, reference ok=%v", trial, pass, err, okX)
+			}
+			if err != nil {
+				break
+			}
+			for i := range wantX {
+				if x[i] != wantX[i] {
+					t.Fatalf("trial %d pass %d: x[%d] = %v, reference %v (diff %g)",
+						trial, pass, i, x[i], wantX[i], x[i]-wantX[i])
+				}
+			}
+		}
+	}
+}
+
+// TestSolveIntoZeroAllocLin asserts the persistent-solver contract at
+// the lin layer, including the dense-block LU path.
+func TestSolveIntoZeroAllocLin(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	var ks []delay.Coeffs
+	var d, w []float64
+	for {
+		ks, d, w = mkLinInstance(rng, true)
+		if delay.NewCSR(ks).MaxBlock() >= 2 {
+			break
+		}
+	}
+	s := NewSolver(delay.NewCSR(ks))
+	n := len(ks)
+	y := make([]float64, n)
+	c := make([]float64, n)
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = 1 + rng.Float64()
+	}
+	if err := s.SolveTransposeInto(y, d, w); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(20, func() {
+		if err := s.SolveTransposeInto(y, d, w); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.SolveForwardInto(x, d, w); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.SensitivitiesInto(c, x, d, w); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("lin *Into solvers allocate %.1f objects per call, want 0", allocs)
+	}
+}

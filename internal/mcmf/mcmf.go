@@ -88,6 +88,7 @@ type Solver struct {
 	excess  []int64
 	sources []int32
 	h       heap4
+	net     []int64 // Verify scratch (net outflow per node)
 }
 
 // New returns a solver over n nodes with no arcs and zero supplies.
@@ -500,7 +501,13 @@ func (s *Solver) Verify() error {
 	if !s.solved {
 		return errors.New("mcmf: Verify before Solve")
 	}
-	net := make([]int64, s.n)
+	if cap(s.net) < s.n {
+		s.net = make([]int64, s.n)
+	}
+	net := s.net[:s.n]
+	for i := range net {
+		net[i] = 0
+	}
 	for id := range s.orig {
 		f := s.Flow(id)
 		if f < 0 || f > s.orig[id] {

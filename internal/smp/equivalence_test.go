@@ -1,0 +1,172 @@
+package smp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"minflo/internal/delay"
+	"minflo/internal/graph"
+)
+
+// referenceSolve is the pre-CSR W-phase solver, kept verbatim (modulo
+// naming) as the oracle for the equivalence tests: it rebuilds the
+// dependency graph and sweep order per call and collects clamped
+// vertices into a fresh slice.  The CSR-based Solver must reproduce its
+// results bit for bit.
+func referenceSolve(coeffs []delay.Coeffs, d []float64, lo, hi float64, opt Options) (*Result, error) {
+	n := len(coeffs)
+	if opt.Tol == 0 {
+		opt.Tol = 1e-9
+	}
+	if opt.MaxSweeps == 0 {
+		opt.MaxSweeps = 4*n + 64
+	}
+	denom := make([]float64, n)
+	for i := range coeffs {
+		denom[i] = d[i] - coeffs[i].Self
+		if denom[i] <= 0 || math.IsNaN(denom[i]) {
+			return nil, ErrNoConvergence // signal only; exact error text untested
+		}
+	}
+	dep := graph.New(n)
+	for i := range coeffs {
+		for _, t := range coeffs[i].Terms {
+			if t.J != i && t.A != 0 {
+				dep.AddEdge(i, t.J)
+			}
+		}
+	}
+	groups := dep.CondensationOrder()
+	order := make([]int, 0, n)
+	for gi := len(groups) - 1; gi >= 0; gi-- {
+		order = append(order, groups[gi]...)
+	}
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = lo
+	}
+	res := &Result{X: x}
+	for sweep := 0; sweep < opt.MaxSweeps; sweep++ {
+		res.Sweeps = sweep + 1
+		maxDelta := 0.0
+		for _, i := range order {
+			need := coeffs[i].LoadAt(x) / denom[i]
+			nx := need
+			if nx < lo {
+				nx = lo
+			}
+			if nx > hi {
+				nx = hi
+			}
+			if nx > x[i] {
+				if nx-x[i] > maxDelta {
+					maxDelta = nx - x[i]
+				}
+				x[i] = nx
+			}
+		}
+		if maxDelta <= opt.Tol {
+			for i := range coeffs {
+				if need := coeffs[i].LoadAt(x) / denom[i]; need > hi*(1+1e-12) {
+					res.Clamped = append(res.Clamped, i)
+				}
+			}
+			return res, nil
+		}
+	}
+	return nil, ErrNoConvergence
+}
+
+// mkEquivInstance builds a random coefficient set: mostly acyclic
+// (gate-level shape) with optional small mutually-coupled blocks
+// (transistor-level shape), plus budgets guaranteed above intrinsic.
+func mkEquivInstance(rng *rand.Rand, blocks bool) ([]delay.Coeffs, []float64) {
+	n := 2 + rng.Intn(24)
+	ks := make([]delay.Coeffs, n)
+	for i := 0; i < n; i++ {
+		ks[i].Self = rng.Float64() * 2
+		ks[i].Const = rng.Float64() * 10
+		for j := i + 1; j < n; j++ {
+			if rng.Intn(3) == 0 {
+				ks[i].Terms = append(ks[i].Terms, delay.Term{J: j, A: rng.Float64() * 3})
+			}
+		}
+		// Small backward couplings create 2–3 vertex SCC blocks; keep
+		// them weakly coupled so the fixed point stays contractive.
+		if blocks && i > 0 && rng.Intn(4) == 0 {
+			ks[i].Terms = append(ks[i].Terms, delay.Term{J: i - 1, A: 0.2 * rng.Float64()})
+		}
+	}
+	d := make([]float64, n)
+	for i := range d {
+		d[i] = ks[i].Self + 0.5 + rng.Float64()*8
+	}
+	return ks, d
+}
+
+// TestCSRSolverMatchesReferenceBitwise runs ~100 random gate- and
+// transistor-shaped instances through the persistent CSR solver and the
+// pre-refactor reference and demands bit-identical output: same X,
+// same clamp set, same sweep count.
+func TestCSRSolverMatchesReferenceBitwise(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 110; trial++ {
+		blocks := trial%2 == 1
+		ks, d := mkEquivInstance(rng, blocks)
+		lo, hi := 1.0, 4+rng.Float64()*60
+
+		want, wantErr := referenceSolve(ks, d, lo, hi, Options{})
+
+		s := NewSolver(delay.NewCSR(ks))
+		x := make([]float64, len(ks))
+		// Solve twice through the same solver: the second call reuses all
+		// scratch and must still match.
+		for pass := 0; pass < 2; pass++ {
+			got, gotErr := s.SolveInto(x, d, lo, hi, Options{})
+			if (gotErr == nil) != (wantErr == nil) {
+				t.Fatalf("trial %d pass %d: err %v, reference err %v", trial, pass, gotErr, wantErr)
+			}
+			if gotErr != nil {
+				break
+			}
+			if got.Sweeps != want.Sweeps {
+				t.Fatalf("trial %d pass %d: %d sweeps, reference %d", trial, pass, got.Sweeps, want.Sweeps)
+			}
+			for i := range want.X {
+				if got.X[i] != want.X[i] {
+					t.Fatalf("trial %d pass %d: x[%d] = %v, reference %v (diff %g)",
+						trial, pass, i, got.X[i], want.X[i], got.X[i]-want.X[i])
+				}
+			}
+			if len(got.Clamped) != len(want.Clamped) {
+				t.Fatalf("trial %d pass %d: clamp set %v, reference %v", trial, pass, got.Clamped, want.Clamped)
+			}
+			for k := range want.Clamped {
+				if got.Clamped[k] != want.Clamped[k] {
+					t.Fatalf("trial %d pass %d: clamp set %v, reference %v", trial, pass, got.Clamped, want.Clamped)
+				}
+			}
+		}
+	}
+}
+
+// TestSolveIntoZeroAlloc asserts the persistent-solver contract
+// directly at the smp layer.
+func TestSolveIntoZeroAlloc(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	ks, d := mkEquivInstance(rng, true)
+	s := NewSolver(delay.NewCSR(ks))
+	x := make([]float64, len(ks))
+	if _, err := s.SolveInto(x, d, 1, 100, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(20, func() {
+		if _, err := s.SolveInto(x, d, 1, 100, Options{}); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("SolveInto allocates %.1f objects per call, want 0", allocs)
+	}
+}

@@ -186,6 +186,13 @@ func (a *Arrivals) enqueue(v int) {
 // CriticalPathInc extracts one critical path using the maintained
 // arrival times (source to the vertex attaining CP).
 func (a *Arrivals) CriticalPathInc() []int {
+	return a.AppendCriticalPath(nil)
+}
+
+// AppendCriticalPath appends one critical path (source to the vertex
+// attaining CP) to dst and returns it — the allocation-free variant for
+// callers that extract a path per move (TILOS) and can reuse a buffer.
+func (a *Arrivals) AppendCriticalPath(dst []int) []int {
 	cp := a.CP()
 	end := -1
 	for v := 0; v < a.g.N(); v++ {
@@ -195,9 +202,10 @@ func (a *Arrivals) CriticalPathInc() []int {
 		}
 	}
 	if end == -1 {
-		return nil
+		return dst
 	}
-	var rev []int
+	base := len(dst)
+	rev := dst
 	v := end
 	for {
 		rev = append(rev, v)
@@ -217,7 +225,7 @@ func (a *Arrivals) CriticalPathInc() []int {
 		}
 		v = next
 	}
-	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+	for i, j := base, len(rev)-1; i < j; i, j = i+1, j-1 {
 		rev[i], rev[j] = rev[j], rev[i]
 	}
 	return rev

@@ -14,6 +14,7 @@ import (
 	"fmt"
 
 	"minflo/internal/dag"
+	"minflo/internal/delay"
 	"minflo/internal/sta"
 )
 
@@ -54,18 +55,12 @@ func Size(p *dag.Problem, t float64, x0 []float64, opt Options) (*Result, error)
 		x = append([]float64(nil), x0...)
 	}
 
-	// affected[v] lists the vertices whose delay mentions x_v (the
-	// coefficient coupling, NOT graph adjacency: at transistor level
-	// pull-up and pull-down roots load each other through the output
-	// node without sharing an edge).
-	affected := make([][]int, p.NumSizable)
-	for u := 0; u < p.NumSizable; u++ {
-		for _, tm := range p.Coeffs[u].Terms {
-			if tm.J != u {
-				affected[tm.J] = append(affected[tm.J], u)
-			}
-		}
-	}
+	// The CSR transpose gives, per vertex v, the vertices whose delay
+	// mentions x_v (the coefficient coupling, NOT graph adjacency: at
+	// transistor level pull-up and pull-down roots load each other
+	// through the output node without sharing an edge) — no per-call
+	// affected-list construction needed.
+	csr := p.CSR()
 
 	arr, err := sta.NewArrivals(p.G, p.Delays(x))
 	if err != nil {
@@ -73,6 +68,7 @@ func Size(p *dag.Problem, t float64, x0 []float64, opt Options) (*Result, error)
 	}
 	changed := make([]int, 0, 8)
 	newDelays := make([]float64, 0, 8)
+	var path []int // reused across moves
 
 	moves := 0
 	for {
@@ -83,7 +79,7 @@ func Size(p *dag.Problem, t float64, x0 []float64, opt Options) (*Result, error)
 		if moves >= opt.MaxMoves {
 			return nil, fmt.Errorf("%w: move budget exhausted at CP %g (target %g)", ErrInfeasible, cp, t)
 		}
-		path := arr.CriticalPathInc()
+		path = arr.AppendCriticalPath(path[:0])
 		best, bestSens := -1, 0.0
 		for pi, v := range path {
 			if v >= p.NumSizable || x[v] >= p.MaxSize {
@@ -98,10 +94,10 @@ func Size(p *dag.Problem, t float64, x0 []float64, opt Options) (*Result, error)
 			// load).  As in TILOS, off-path fanins are ignored — the
 			// next iteration's timing pass accounts for any new critical
 			// path.
-			delta := deltaOwn(p, x, v, nx)
+			delta := deltaOwn(csr, x, v, nx)
 			if pi > 0 {
 				if u := path[pi-1]; u < p.NumSizable {
-					delta += deltaLoad(p, x, u, v, nx)
+					delta += deltaLoad(csr, x, u, v, nx)
 				}
 			}
 			dArea := p.AreaW[v] * (nx - x[v])
@@ -126,30 +122,30 @@ func Size(p *dag.Problem, t float64, x0 []float64, opt Options) (*Result, error)
 		// Incremental re-timing: the bump changes best's own delay and
 		// the delay of every vertex whose load mentions x_best.
 		changed = append(changed[:0], best)
-		newDelays = append(newDelays[:0], p.Coeffs[best].Delay(x[best], x))
-		for _, u := range affected[best] {
-			changed = append(changed, u)
-			newDelays = append(newDelays, p.Coeffs[u].Delay(x[u], x))
+		newDelays = append(newDelays[:0], csr.Delay(best, x[best], x))
+		rows, _ := csr.Incoming(best)
+		for _, u := range rows {
+			changed = append(changed, int(u))
+			newDelays = append(newDelays, csr.Delay(int(u), x[u], x))
 		}
 		arr.SetDelays(changed, newDelays)
 	}
 }
 
 // deltaOwn returns delay(v) at size nx minus delay(v) at x[v].
-func deltaOwn(p *dag.Problem, x []float64, v int, nx float64) float64 {
-	c := &p.Coeffs[v]
-	load := c.LoadAt(x)
+func deltaOwn(csr *delay.CSR, x []float64, v int, nx float64) float64 {
+	load := csr.LoadAt(v, x)
 	return load/nx - load/x[v]
 }
 
 // deltaLoad returns the change in delay(u) when vertex v (a fanout of
 // u) grows from x[v] to nx.
-func deltaLoad(p *dag.Problem, x []float64, u, v int, nx float64) float64 {
-	c := &p.Coeffs[u]
+func deltaLoad(csr *delay.CSR, x []float64, u, v int, nx float64) float64 {
+	cols, vals := csr.Row(u)
 	var a float64
-	for _, tm := range c.Terms {
-		if tm.J == v {
-			a += tm.A
+	for k := range cols {
+		if int(cols[k]) == v {
+			a += vals[k]
 		}
 	}
 	return a * (nx - x[v]) / x[u]

@@ -104,6 +104,10 @@ var (
 	ArrayMultiplier = gen.ArrayMultiplier
 	// Fork is the paper's Example 1 circuit.
 	Fork = gen.Fork
+	// Mesh builds a rows×cols NAND grid (deep scaling workload).
+	Mesh = gen.Mesh
+	// BalancedTree builds a binary NAND tree (shallow scaling workload).
+	BalancedTree = gen.BalancedTree
 	// Suite returns the full Table 1 benchmark list.
 	Suite = gen.Suite
 	// RandomLogic builds a random DAG (property-test workload).

@@ -128,6 +128,39 @@ func (s *Sizer) RunTableRow(c *Circuit, spec float64) (*TableRow, error) {
 	}, nil
 }
 
+// TableJob names one row of a multi-circuit table sweep: a circuit and
+// its delay spec as a fraction of Dmin.
+type TableJob struct {
+	Circuit *Circuit
+	Spec    float64
+}
+
+// RunTable runs one RunTableRow per job, with the jobs distributed
+// across GOMAXPROCS workers the way Sweep parallelizes Figure 7 points
+// (each job's problem instance is private, so rows are independent).
+// rows[i] and errs[i] report job i: exactly one of them is non-nil.
+// Note the per-row CPU-time columns are wall-clock and stretch under
+// contention; use serial RunTableRow calls when timing fidelity
+// matters more than throughput.
+func (s *Sizer) RunTable(jobs []TableJob) (rows []*TableRow, errs []error) {
+	rows = make([]*TableRow, len(jobs))
+	errs = make([]error, len(jobs))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	for i, job := range jobs {
+		i, job := i, job
+		wg.Add(1)
+		sem <- struct{}{}
+		go func() {
+			defer wg.Done()
+			defer func() { <-sem }()
+			rows[i], errs[i] = s.RunTableRow(job.Circuit, job.Spec)
+		}()
+	}
+	wg.Wait()
+	return rows, errs
+}
+
 // DeviceSizing is the outcome of transistor-level optimization: one
 // entry per transistor.
 type DeviceSizing struct {
