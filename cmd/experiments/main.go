@@ -6,6 +6,14 @@
 //	experiments -scaling           # §3 run-time growth across adder widths
 //	experiments -iterations        # §3 iteration-count claim
 //	experiments -all
+//	experiments -benchdir ./iscas85 -spec 0.5   # Table-1 sweep over real .bench netlists
+//
+// -benchdir replaces the synthetic stand-in circuits with a directory
+// of real ISCAS85 .bench files (parsed by internal/bench): every
+// *.bench file in the directory becomes one table row at -spec·Dmin.
+//
+// -engine selects the D-phase flow backend (auto, ssp, dial,
+// costscaling) for every mode.
 //
 // Table 1 runs the full 12-circuit suite and takes a few minutes.
 package main
@@ -14,6 +22,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
+	"sort"
+	"strings"
 	"time"
 
 	"minflo"
@@ -21,25 +32,31 @@ import (
 
 func main() {
 	var (
-		table1  = flag.Bool("table1", false, "reproduce Table 1")
-		fig7    = flag.Bool("fig7", false, "reproduce Figure 7 (c432 and c6288 curves)")
-		scaling = flag.Bool("scaling", false, "run-time scaling across adder sizes (§3)")
-		iters   = flag.Bool("iterations", false, "iteration counts across the suite (§3)")
-		lagr    = flag.Bool("lagrangian", false, "compare against the reference-[8] Lagrangian sizer")
-		all     = flag.Bool("all", false, "run everything")
-		quick   = flag.Bool("quick", false, "restrict Table 1 to the small circuits")
+		table1   = flag.Bool("table1", false, "reproduce Table 1")
+		fig7     = flag.Bool("fig7", false, "reproduce Figure 7 (c432 and c6288 curves)")
+		scaling  = flag.Bool("scaling", false, "run-time scaling across adder sizes (§3)")
+		iters    = flag.Bool("iterations", false, "iteration counts across the suite (§3)")
+		lagr     = flag.Bool("lagrangian", false, "compare against the reference-[8] Lagrangian sizer")
+		all      = flag.Bool("all", false, "run everything")
+		quick    = flag.Bool("quick", false, "restrict Table 1 to the small circuits")
+		engine   = flag.String("engine", "auto", "D-phase flow engine: auto, ssp, dial or costscaling")
+		benchdir = flag.String("benchdir", "", "directory of .bench netlists: run a table sweep over every *.bench file in it")
+		spec     = flag.Float64("spec", 0.5, "delay spec (fraction of Dmin) for -benchdir rows")
 	)
 	flag.Parse()
 	if *all {
 		*table1, *fig7, *scaling, *iters, *lagr = true, true, true, true, true
 	}
-	if !*table1 && !*fig7 && !*scaling && !*iters && !*lagr {
+	if !*table1 && !*fig7 && !*scaling && !*iters && !*lagr && *benchdir == "" {
 		flag.Usage()
 		os.Exit(2)
 	}
-	sz, err := minflo.NewSizer(nil)
+	sz, err := minflo.NewSizer(&minflo.Config{FlowEngine: *engine})
 	if err != nil {
 		fail(err)
+	}
+	if *benchdir != "" {
+		runBenchDir(sz, *benchdir, *spec)
 	}
 	if *table1 {
 		runTable1(sz, *quick)
@@ -89,6 +106,51 @@ func runLagrangian(sz *minflo.Sizer) {
 func fail(err error) {
 	fmt.Fprintln(os.Stderr, "experiments:", err)
 	os.Exit(1)
+}
+
+// runBenchDir is the real-suite mode (ROADMAP "ISCAS85 ingestion"):
+// every *.bench netlist in dir becomes one Table-1-style row at
+// spec·Dmin, parsed with the internal/bench reader and run through the
+// same parallel RunTable harness as the synthetic suite.
+func runBenchDir(sz *minflo.Sizer, dir string, spec float64) {
+	paths, err := filepath.Glob(filepath.Join(dir, "*.bench"))
+	if err != nil {
+		fail(err)
+	}
+	if len(paths) == 0 {
+		fail(fmt.Errorf("no *.bench files in %s", dir))
+	}
+	sort.Strings(paths)
+	fmt.Printf("== %d netlists from %s at %.2f·Dmin ==\n", len(paths), dir, spec)
+	var jobs []minflo.TableJob
+	var names []string
+	for _, path := range paths {
+		f, err := os.Open(path)
+		if err != nil {
+			fail(err)
+		}
+		name := strings.TrimSuffix(filepath.Base(path), ".bench")
+		ckt, perr := minflo.ParseBench(f, name)
+		f.Close()
+		if perr != nil {
+			// A malformed netlist skips its row, not the whole suite.
+			fmt.Printf("%-12s parse error: %v\n", name, perr)
+			continue
+		}
+		jobs = append(jobs, minflo.TableJob{Circuit: ckt, Spec: spec})
+		names = append(names, name)
+	}
+	rows, errs := sz.RunTable(jobs)
+	var ok []*minflo.TableRow
+	for i := range rows {
+		if errs[i] != nil {
+			fmt.Printf("%-12s %v\n", names[i], errs[i])
+			continue
+		}
+		ok = append(ok, rows[i])
+	}
+	minflo.WriteTable(os.Stdout, ok)
+	fmt.Println()
 }
 
 func runTable1(sz *minflo.Sizer, quick bool) {

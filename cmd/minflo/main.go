@@ -8,6 +8,7 @@
 //	minflo -circuit adder32 -spec 0.5 -algo tilos
 //	minflo -circuit c17 -spec 0.6 -mode transistor
 //	minflo -circuit c17 -spec 0.6 -sizes             # dump per-gate sizes
+//	minflo -circuit c6288 -spec 0.5 -engine dial     # pick the D-phase flow backend
 package main
 
 import (
@@ -24,19 +25,20 @@ func main() {
 		benchFile   = flag.String("bench", "", "ISCAS85 .bench netlist file")
 		spec        = flag.Float64("spec", 0.5, "delay target as a fraction of Dmin")
 		algo        = flag.String("algo", "minflo", "sizing algorithm: minflo, tilos or lagrange")
+		engine      = flag.String("engine", "auto", "D-phase flow engine: auto, ssp, dial or costscaling")
 		mode        = flag.String("mode", "gate", "sizing mode: gate or transistor")
 		dumpSizes   = flag.Bool("sizes", false, "print the per-element sizes")
 		report      = flag.Bool("report", false, "print a timing report after sizing")
 		sweep       = flag.Bool("sweep", false, "print the TILOS-vs-MINFLO area-delay curve instead of one point")
 	)
 	flag.Parse()
-	if err := run(*circuitName, *benchFile, *spec, *algo, *mode, *dumpSizes, *report, *sweep); err != nil {
+	if err := run(*circuitName, *benchFile, *spec, *algo, *engine, *mode, *dumpSizes, *report, *sweep); err != nil {
 		fmt.Fprintln(os.Stderr, "minflo:", err)
 		os.Exit(1)
 	}
 }
 
-func run(circuitName, benchFile string, spec float64, algo, mode string, dumpSizes, report, sweep bool) error {
+func run(circuitName, benchFile string, spec float64, algo, engine, mode string, dumpSizes, report, sweep bool) error {
 	var ckt *minflo.Circuit
 	var err error
 	switch {
@@ -62,7 +64,7 @@ func run(circuitName, benchFile string, spec float64, algo, mode string, dumpSiz
 		return fmt.Errorf("-spec %g must be in (0, 1]", spec)
 	}
 
-	sz, err := minflo.NewSizer(nil)
+	sz, err := minflo.NewSizer(&minflo.Config{FlowEngine: engine})
 	if err != nil {
 		return err
 	}

@@ -16,8 +16,11 @@
 // between two snapshots and exits non-zero when any benchmark regressed
 // — more than -threshold percent on ns/op, or more than the fixed
 // benchsnap.AllocThresholdPct on the hardware-independent allocs/op
-// (0 allocs/op guarantees are protected at any threshold).  This is
-// the CI regression gate.
+// (0 allocs/op guarantees are protected at any threshold).  A baseline
+// benchmark missing from the new snapshot is reported as a
+// per-benchmark error and fails the gate too (pass -allow-missing when
+// diffing intentionally disjoint snapshots).  This is the CI
+// regression gate.
 package main
 
 import (
@@ -45,13 +48,14 @@ func main() {
 	note := flag.String("note", "", "free-form note stored in the snapshot")
 	compare := flag.Bool("compare", false, "compare two snapshots: mkbench -compare old.json new.json")
 	threshold := flag.Float64("threshold", 15, "ns/op regression threshold in percent for -compare (allocs/op uses a fixed tight threshold)")
+	allowMissing := flag.Bool("allow-missing", false, "tolerate baseline benchmarks absent from the new snapshot (default: each is a per-benchmark error)")
 	flag.Parse()
 
 	if *compare {
 		if flag.NArg() != 2 {
 			fail(fmt.Errorf("-compare needs exactly two snapshot paths, got %d", flag.NArg()))
 		}
-		regressions, err := compareSnapshots(flag.Arg(0), flag.Arg(1), *threshold)
+		regressions, err := compareSnapshots(flag.Arg(0), flag.Arg(1), *threshold, *allowMissing)
 		if err != nil {
 			fail(err)
 		}
@@ -137,8 +141,10 @@ func writeSnapshot(benchRe, benchtime, pkg, out, note string) error {
 }
 
 // compareSnapshots diffs two snapshot files and prints the delta table;
-// the returned count is the number of >threshold% regressions.
-func compareSnapshots(oldPath, newPath string, threshold float64) (int, error) {
+// the returned count is the number of failures (>threshold%
+// regressions, plus baseline benchmarks missing from the new snapshot
+// unless -allow-missing).
+func compareSnapshots(oldPath, newPath string, threshold float64, allowMissing bool) (int, error) {
 	readSnap := func(path string) (*benchsnap.Snapshot, error) {
 		f, err := os.Open(path)
 		if err != nil {
@@ -157,7 +163,7 @@ func compareSnapshots(oldPath, newPath string, threshold float64) (int, error) {
 	}
 	fmt.Printf("comparing %s (%s) -> %s (%s), threshold %.0f%%\n",
 		oldPath, oldSnap.Date, newPath, newSnap.Date, threshold)
-	regressions := benchsnap.WriteComparison(os.Stdout, oldSnap, newSnap, threshold)
+	regressions := benchsnap.WriteComparison(os.Stdout, oldSnap, newSnap, threshold, allowMissing)
 	fmt.Printf("geomean ns/op ratio: %.3f\n", benchsnap.GeoMeanNsRatio(oldSnap, newSnap))
 	return regressions, nil
 }

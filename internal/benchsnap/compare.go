@@ -84,18 +84,24 @@ func (d *Delta) Regressed(nsThresholdPct float64) bool {
 }
 
 // WriteComparison prints a per-benchmark delta table to w and returns
-// the number of regressions beyond thresholdPct.
-func WriteComparison(w io.Writer, old, new *Snapshot, thresholdPct float64) int {
+// the number of failures: regressions beyond thresholdPct, plus —
+// unless allowMissing — one per baseline benchmark absent from the
+// new snapshot.  A missing benchmark is an error, not an omission: a
+// renamed or deleted benchmark silently skipping the gate is exactly
+// how a regression ships, so each one is reported on its own line.
+// allowMissing exists for intentionally disjoint snapshots (e.g.
+// diffing a micro-benchmark run against a full-suite baseline).
+func WriteComparison(w io.Writer, old, new *Snapshot, thresholdPct float64, allowMissing bool) int {
 	deltas, onlyOld, onlyNew := Compare(old, new)
 	fmt.Fprintf(w, "%-44s %14s %14s %8s %10s %8s\n",
 		"benchmark", "old ns/op", "new ns/op", "Δns", "allocs", "Δallocs")
-	regressions := 0
+	failures := 0
 	for i := range deltas {
 		d := &deltas[i]
 		mark := ""
 		if d.Regressed(thresholdPct) {
 			mark = "  << REGRESSION"
-			regressions++
+			failures++
 		}
 		allocs := "-"
 		dAllocs := "-"
@@ -107,16 +113,21 @@ func WriteComparison(w io.Writer, old, new *Snapshot, thresholdPct float64) int 
 			d.Name, d.OldNs, d.NewNs, d.NsPct, allocs, dAllocs, mark)
 	}
 	for _, n := range onlyOld {
-		fmt.Fprintf(w, "%-44s only in old snapshot\n", n)
+		if allowMissing {
+			fmt.Fprintf(w, "%-44s only in old snapshot (ignored: -allow-missing)\n", n)
+			continue
+		}
+		fmt.Fprintf(w, "%-44s MISSING from new snapshot  << ERROR\n", n)
+		failures++
 	}
 	for _, n := range onlyNew {
 		fmt.Fprintf(w, "%-44s only in new snapshot\n", n)
 	}
-	if regressions > 0 {
-		fmt.Fprintf(w, "%d benchmark(s) regressed (>%.0f%% ns/op or >%d%% allocs/op)\n",
-			regressions, thresholdPct, AllocThresholdPct)
+	if failures > 0 {
+		fmt.Fprintf(w, "%d benchmark(s) failed the gate (>%.0f%% ns/op, >%d%% allocs/op, or missing from the new snapshot)\n",
+			failures, thresholdPct, AllocThresholdPct)
 	}
-	return regressions
+	return failures
 }
 
 // GeoMeanNsRatio returns the geometric-mean new/old ns/op ratio over

@@ -70,11 +70,47 @@ func TestWriteComparisonCountsRegressions(t *testing.T) {
 		BenchResult{Name: "BenchmarkSlow", NsPerOp: 200, AllocsPerOp: 4},
 	)
 	var sb strings.Builder
-	if got := WriteComparison(&sb, old, new, 15); got != 1 {
+	if got := WriteComparison(&sb, old, new, 15, false); got != 1 {
 		t.Fatalf("regressions = %d, want 1; output:\n%s", got, sb.String())
 	}
 	if !strings.Contains(sb.String(), "REGRESSION") {
 		t.Fatalf("missing regression marker:\n%s", sb.String())
+	}
+}
+
+// TestWriteComparisonMissingBenchmarkFails: a benchmark present in the
+// baseline but absent from the new snapshot is a per-benchmark error
+// that fails the gate — a renamed or deleted benchmark must not slip
+// through silently.  -allow-missing downgrades it to a note.
+func TestWriteComparisonMissingBenchmarkFails(t *testing.T) {
+	old := snap(
+		BenchResult{Name: "BenchmarkKept", NsPerOp: 100, AllocsPerOp: 4},
+		BenchResult{Name: "BenchmarkGone", NsPerOp: 100, AllocsPerOp: 4},
+		BenchResult{Name: "BenchmarkAlsoGone", NsPerOp: 50, AllocsPerOp: 0},
+	)
+	new := snap(
+		BenchResult{Name: "BenchmarkKept", NsPerOp: 100, AllocsPerOp: 4},
+	)
+	var sb strings.Builder
+	if got := WriteComparison(&sb, old, new, 15, false); got != 2 {
+		t.Fatalf("failures = %d, want 2 (one per missing benchmark); output:\n%s", got, sb.String())
+	}
+	out := sb.String()
+	for _, name := range []string{"BenchmarkGone", "BenchmarkAlsoGone"} {
+		if !strings.Contains(out, name) {
+			t.Fatalf("missing per-benchmark error for %s:\n%s", name, out)
+		}
+	}
+	if !strings.Contains(out, "MISSING from new snapshot") {
+		t.Fatalf("missing error marker:\n%s", out)
+	}
+
+	sb.Reset()
+	if got := WriteComparison(&sb, old, new, 15, true); got != 0 {
+		t.Fatalf("failures with allow-missing = %d, want 0; output:\n%s", got, sb.String())
+	}
+	if !strings.Contains(sb.String(), "ignored: -allow-missing") {
+		t.Fatalf("missing allow-missing note:\n%s", sb.String())
 	}
 }
 

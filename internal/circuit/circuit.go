@@ -197,6 +197,65 @@ func (c *Circuit) Fanouts() (fan [][]int, poCount []int) {
 	return fan, poCount
 }
 
+// FanoutCounts returns, in one pass and two allocations, the number of
+// driven gate pins and primary outputs per gate — the degrees-only
+// companion of FanoutsCSR for callers that never walk the fanout lists
+// (e.g. the drives-nothing validation in dag.GateLevel).
+func (c *Circuit) FanoutCounts() (fanCount, poCount []int32) {
+	fanCount = make([]int32, len(c.Gates))
+	poCount = make([]int32, len(c.Gates))
+	for gi := range c.Gates {
+		for _, in := range c.Gates[gi].Ins {
+			if in.Kind == RefGate {
+				fanCount[in.Index]++
+			}
+		}
+	}
+	for _, po := range c.POs {
+		if po.Kind == RefGate {
+			poCount[po.Index]++
+		}
+	}
+	return fanCount, poCount
+}
+
+// FanoutsCSR is the flat-array variant of Fanouts for construction hot
+// paths: the gates driven by gate g (with multiplicity, one entry per
+// driven pin) are fanIdx[fanPtr[g]:fanPtr[g+1]], and poCount[g] counts
+// the primary outputs g drives.  Three allocations total, against
+// Fanouts' one-growing-slice-per-gate.
+func (c *Circuit) FanoutsCSR() (fanPtr, fanIdx []int32, poCount []int32) {
+	n := len(c.Gates)
+	fanPtr = make([]int32, n+1)
+	poCount = make([]int32, n)
+	for gi := range c.Gates {
+		for _, in := range c.Gates[gi].Ins {
+			if in.Kind == RefGate {
+				fanPtr[in.Index+1]++
+			}
+		}
+	}
+	for g := 0; g < n; g++ {
+		fanPtr[g+1] += fanPtr[g]
+	}
+	fanIdx = make([]int32, fanPtr[n])
+	cursor := append([]int32(nil), fanPtr[:n]...)
+	for gi := range c.Gates {
+		for _, in := range c.Gates[gi].Ins {
+			if in.Kind == RefGate {
+				fanIdx[cursor[in.Index]] = int32(gi)
+				cursor[in.Index]++
+			}
+		}
+	}
+	for _, po := range c.POs {
+		if po.Kind == RefGate {
+			poCount[po.Index]++
+		}
+	}
+	return fanPtr, fanIdx, poCount
+}
+
 // Validate checks structural well-formedness: valid refs, correct cell
 // arity, at least one PO, no combinational cycles, every gate reachable
 // from some PI or constant-free, and every PO driven.

@@ -26,10 +26,40 @@ import (
 	"minflo/internal/dag"
 	"minflo/internal/dcs"
 	"minflo/internal/lin"
+	"minflo/internal/mcmf"
 	"minflo/internal/smp"
 	"minflo/internal/sta"
 	"minflo/internal/tilos"
 )
+
+// dialAutoNodes is the auto-heuristic crossover: problems whose base
+// DAG has at least this many vertices run the D-phase on the "dial"
+// bucket-queue engine, smaller ones on the plain heap "ssp".
+// Measured (EXPERIMENTS.md "Engine crossover"): dial is 1.3–2.6×
+// faster from ISCAS-sized circuits (c432, 184 vertices) through the
+// 33k-gate scaling trees, and its adaptive heap fallback holds it to
+// parity on the workloads the buckets cannot help (deep adder
+// chains), so only trivially small instances — where the fixed ring
+// flush outweighs any queueing — keep the plain heap.
+const dialAutoNodes = 128
+
+// ResolveFlowEngine maps an Options.FlowEngine value to a concrete
+// mcmf backend name: "" and "auto" pick by problem size (n = vertex
+// count of the base DAG), anything else must be a registered engine.
+func ResolveFlowEngine(name string, n int) (string, error) {
+	switch name {
+	case "", "auto":
+		if n >= dialAutoNodes {
+			return "dial", nil
+		}
+		return "ssp", nil
+	default:
+		if !mcmf.ValidEngine(name) {
+			return "", fmt.Errorf("core: unknown flow engine %q (have auto, %v)", name, mcmf.EngineNames())
+		}
+		return name, nil
+	}
+}
 
 // ErrInfeasible is returned when no sizing meets the delay target.
 var ErrInfeasible = errors.New("core: delay target unreachable")
@@ -59,6 +89,13 @@ type Options struct {
 	// CostScale / SupplyScale integerize the D-phase flow (paper's
 	// power-of-10 scaling). Defaults 1e6 / 1e4.
 	CostScale, SupplyScale float64
+	// FlowEngine selects the D-phase min-cost-flow backend by mcmf
+	// registry name ("ssp", "dial", "costscaling").  Empty or "auto"
+	// picks per problem size: "dial" — whose bucket-queue Dijkstra
+	// exploits the near-zero reduced costs of warm-started re-solves —
+	// on everything but trivially small instances (measured crossover
+	// in EXPERIMENTS.md).
+	FlowEngine string
 	// Tilos configures the initial-guess run.
 	Tilos tilos.Options
 	// SkipTilos starts from minimum sizes when the target is already met
@@ -81,6 +118,14 @@ type IterStats struct {
 	// constructions so far — 1 on every iteration when the build-once
 	// reuse path is working (asserted by tests).
 	NetBuilds int
+	// FlowEngine is the mcmf backend the D-phase ran on this problem.
+	FlowEngine string
+	// FlowResolves is the cumulative number of D-phase solves served by
+	// the incremental re-flow (mcmf ResolveChanged repairing the
+	// previous optimum) rather than a from-scratch solve — every
+	// iteration after the first when the delta path is working
+	// (asserted by tests).
+	FlowResolves int
 }
 
 // Result is the final sizing.
@@ -132,10 +177,11 @@ type iterScratch struct {
 	lin      *lin.Solver       // sensitivity engine over p.CSR()
 
 	sys    *dcs.System
-	loID   []int // constraint r_i − r_dm ≤ …, per sizable vertex
-	hiID   []int // constraint r_dm − r_i ≤ …, per sizable vertex
-	objID  []int // objective term per sizable vertex
-	edgeID []int // constraint per augmented edge (-1 for self edges)
+	engine string // resolved mcmf backend name for the D-phase
+	loID   []int  // constraint r_i − r_dm ≤ …, per sizable vertex
+	hiID   []int  // constraint r_dm − r_i ≤ …, per sizable vertex
+	objID  []int  // objective term per sizable vertex
+	edgeID []int  // constraint per augmented edge (-1 for self edges)
 
 	selfEdge []bool // per augmented edge: is it i→Dmy(i)?
 
@@ -151,9 +197,10 @@ type iterScratch struct {
 // newIterScratch builds the constraint-network topology once and
 // preallocates the iteration buffers.  x0 seeds the incremental
 // arrival engine.
-func newIterScratch(p *dag.Problem, aug *dag.Augmented, x0 []float64) (*iterScratch, error) {
+func newIterScratch(p *dag.Problem, aug *dag.Augmented, x0 []float64, engine string) (*iterScratch, error) {
 	n := p.NumSizable
 	sc := &iterScratch{
+		engine:    engine,
 		balancer:  balance.NewBalancer(aug.G),
 		smp:       smp.NewSolver(p.CSR()),
 		lin:       lin.NewSolver(p.CSR()),
@@ -250,8 +297,12 @@ func Size(p *dag.Problem, T float64, opt Options) (*Result, error) {
 		res.TilosCP = tr.CP
 	}
 
+	engine, err := ResolveFlowEngine(opt.FlowEngine, p.G.N())
+	if err != nil {
+		return nil, err
+	}
 	aug := p.Augment()
-	sc, err := newIterScratch(p, aug, x)
+	sc, err := newIterScratch(p, aug, x, engine)
 	if err != nil {
 		return nil, err
 	}
@@ -382,7 +433,7 @@ func iterate(p *dag.Problem, aug *dag.Augmented, sc *iterScratch, x []float64, T
 			sys.SetWeight(id, cfg.FSDU[e.ID])
 		}
 	}
-	sol, err := sys.Solve(dcs.Options{CostScale: opt.CostScale, SupplyScale: opt.SupplyScale})
+	sol, err := sys.Solve(dcs.Options{CostScale: opt.CostScale, SupplyScale: opt.SupplyScale, Engine: sc.engine})
 	if err != nil {
 		return IterStats{}, fmt.Errorf("core: D-phase: %w", err)
 	}
@@ -410,7 +461,13 @@ func iterate(p *dag.Problem, aug *dag.Augmented, sc *iterScratch, x []float64, T
 
 	// Re-time incrementally; repair with TILOS if MaxSize clamping broke
 	// the target.
-	st := IterStats{Objective: sol.Objective, Clamped: len(w.Clamped), NetBuilds: sys.Builds()}
+	st := IterStats{
+		Objective:    sol.Objective,
+		Clamped:      len(w.Clamped),
+		NetBuilds:    sys.Builds(),
+		FlowEngine:   sys.FlowEngineName(),
+		FlowResolves: sys.FlowEngineStats().Resolves,
+	}
 	cp := sc.retime(p, newX)
 	if cp > T*(1+1e-9) {
 		tr, rerr := tilos.Size(p, T, newX, opt.Tilos)

@@ -8,6 +8,7 @@ package dag
 
 import (
 	"fmt"
+	"sync"
 
 	"minflo/internal/cell"
 	"minflo/internal/circuit"
@@ -51,8 +52,41 @@ type Problem struct {
 	csr  *delay.CSR // build-once flattened coupling structure
 }
 
+// buildScratch holds the reusable construction buffers of GateLevel —
+// per-source dedup stamps and degree-bound counters — pooled so repeat
+// table sweeps reuse them instead of reallocating per problem.
+type buildScratch struct {
+	lastTarget []int32 // dedup: lastTarget[u] == current target marker
+	outDeg     []int32
+	inDeg      []int32
+}
+
+var buildPool = sync.Pool{New: func() any { return new(buildScratch) }}
+
+func (sc *buildScratch) sized(n int) (lastTarget, outDeg, inDeg []int32) {
+	if cap(sc.lastTarget) < n {
+		sc.lastTarget = make([]int32, n)
+		sc.outDeg = make([]int32, n)
+		sc.inDeg = make([]int32, n)
+	}
+	lastTarget = sc.lastTarget[:n]
+	outDeg = sc.outDeg[:n]
+	inDeg = sc.inDeg[:n]
+	for i := 0; i < n; i++ {
+		lastTarget[i] = -1
+		outDeg[i] = 0
+		inDeg[i] = 0
+	}
+	return lastTarget, outDeg, inDeg
+}
+
 // GateLevel builds the gate-sizing problem for a circuit: one sizable
 // vertex per gate with equivalent-inverter Elmore coefficients.
+//
+// Construction is arena-based: adjacency is reserved up front from
+// degree bounds, edge dedup runs on pooled stamp arrays instead of a
+// map, and the coefficient terms share one backing slice (see
+// delay.GateCoeffs) — repeat RunTable sweeps reuse the pooled scratch.
 func GateLevel(c *circuit.Circuit, m *delay.Model) (*Problem, error) {
 	if err := c.Validate(); err != nil {
 		return nil, err
@@ -60,9 +94,9 @@ func GateLevel(c *circuit.Circuit, m *delay.Model) (*Problem, error) {
 	// A gate driving nothing has no x-dependent delay (its budget would
 	// equal its intrinsic delay exactly, making eq. 6 singular); such
 	// netlists are malformed for sizing purposes.
-	fan, po := c.Fanouts()
+	fan, po := c.FanoutCounts()
 	for gi := range c.Gates {
-		if len(fan[gi])+po[gi] == 0 {
+		if fan[gi]+po[gi] == 0 {
 			return nil, fmt.Errorf("dag: gate %q drives neither a gate nor a PO", c.Gates[gi].Name)
 		}
 	}
@@ -89,30 +123,47 @@ func GateLevel(c *circuit.Circuit, m *delay.Model) (*Problem, error) {
 	kind[sink] = KindSink
 	labels[sink] = "$O"
 
-	seen := make(map[[2]int]bool)
-	addEdge := func(u, v int) {
-		key := [2]int{u, v}
-		if !seen[key] {
-			seen[key] = true
-			g.AddEdge(u, v)
+	// Dedup (u, target) pairs with a stamp per source vertex: the edge
+	// loops below visit one target at a time, so lastTarget[u] == the
+	// target's marker means u→target was already added.  Two passes:
+	// the first counts deduped degrees so the adjacency is reserved
+	// exactly, the second inserts.
+	sc := buildPool.Get().(*buildScratch)
+	lastTarget, outDeg, inDeg := sc.sized(g.N())
+	src := func(ref circuit.Ref) int32 {
+		if ref.Kind == circuit.RefPI {
+			return int32(n + ref.Index)
 		}
+		return int32(ref.Index)
 	}
-	for gi := range c.Gates {
-		for _, in := range c.Gates[gi].Ins {
-			if in.Kind == circuit.RefPI {
-				addEdge(n+in.Index, gi)
-			} else {
-				addEdge(in.Index, gi)
+	edges := 0
+	forEachEdge := func(add func(u int32, target int)) {
+		for gi := range c.Gates {
+			for _, in := range c.Gates[gi].Ins {
+				if u := src(in); lastTarget[u] != int32(gi) {
+					lastTarget[u] = int32(gi)
+					add(u, gi)
+				}
+			}
+		}
+		for _, po := range c.POs {
+			if u := src(po); lastTarget[u] != int32(sink) {
+				lastTarget[u] = int32(sink)
+				add(u, sink)
 			}
 		}
 	}
-	for _, po := range c.POs {
-		if po.Kind == circuit.RefPI {
-			addEdge(n+po.Index, sink)
-		} else {
-			addEdge(po.Index, sink)
-		}
+	forEachEdge(func(u int32, target int) {
+		outDeg[u]++
+		inDeg[target]++
+		edges++
+	})
+	g.Reserve(outDeg, inDeg, edges)
+	for i := range lastTarget {
+		lastTarget[i] = -1
 	}
+	forEachEdge(func(u int32, target int) { g.AddEdge(int(u), target) })
+	buildPool.Put(sc)
 
 	areaW := make([]float64, n)
 	for gi := range c.Gates {
@@ -242,7 +293,11 @@ type Augmented struct {
 	SelfEdge []int
 }
 
-// Augment constructs the dummy-augmented graph.
+// Augment constructs the dummy-augmented graph.  The augmented
+// adjacency is reserved exactly (the degree of every vertex is known
+// from the base graph), so construction is a handful of allocations
+// instead of per-edge slice growth — Augment was the dominant
+// allocator of a problem build before.
 func (p *Problem) Augment() *Augmented {
 	n := p.G.N()
 	g := graph.New(n + p.NumSizable)
@@ -254,6 +309,22 @@ func (p *Problem) Augment() *Augmented {
 		dmy[i] = n + i
 		kind[n+i] = KindDummy
 	}
+	// Exact augmented degrees: sizable i keeps in-degree plus the new
+	// self edge out; its former out-edges move to Dmy(i).
+	outDeg := make([]int32, g.N())
+	inDeg := make([]int32, g.N())
+	for i := 0; i < p.NumSizable; i++ {
+		outDeg[i] = 1 // i → Dmy(i)
+		inDeg[dmy[i]] = 1
+		outDeg[dmy[i]] = int32(p.G.OutDegree(i))
+	}
+	for v := p.NumSizable; v < n; v++ {
+		outDeg[v] = int32(p.G.OutDegree(v))
+	}
+	for v := 0; v < n; v++ {
+		inDeg[v] += int32(p.G.InDegree(v))
+	}
+	g.Reserve(outDeg, inDeg, p.NumSizable+p.G.M())
 	for i := 0; i < p.NumSizable; i++ {
 		self[i] = g.AddEdge(i, dmy[i])
 	}

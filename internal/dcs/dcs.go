@@ -23,6 +23,16 @@
 // the same network dozens of times without reconstructing it — each
 // re-solve also warm-starts the flow solver from the previous duals.
 //
+// Re-solves are incremental: Solve diffs every constraint's integerized
+// cost against the value currently priced into the flow network and
+// hands exactly the changed-arc set to mcmf's ResolveChanged, which
+// repairs the previous optimal flow (drain-and-reroute) instead of
+// rerouting every supply.  Supply deltas are diffed inside mcmf, and
+// arc capacities use a stable doubling bound (capBound) so they only
+// count as changed when the bound actually grows.  Options.Engine
+// selects the flow backend ("ssp", "dial", "costscaling"); engines can
+// change between Solve calls without losing the cached network.
+//
 // Costs and supplies are integerized by scaling (the paper's
 // "multiply by a power of 10 and round" step); Options selects the
 // scales.
@@ -72,6 +82,15 @@ type System struct {
 	topoVersion  int
 	builtVersion int
 	builds       int
+
+	// Incremental-re-solve state: the integerized cost currently priced
+	// into the flow network per constraint (valid when priced), the
+	// stable capacity bound on the uncapacitated arcs, and the reused
+	// changed-arc buffer handed to ResolveChanged.
+	lastCost []int64
+	priced   bool
+	capBound int64
+	changed  []int32
 
 	// sol is the reused Solution storage: Solve rewrites it in place so
 	// steady-state re-solves allocate nothing.
@@ -160,7 +179,8 @@ func (s *System) Pin(v int) {
 	s.topoVersion++
 }
 
-// Options controls integerization. Zero values select the defaults.
+// Options controls integerization and the flow backend. Zero values
+// select the defaults.
 type Options struct {
 	// CostScale multiplies constraint weights before rounding to int64.
 	// Default 1e6 (the paper: "by choosing appropriate powers of 10
@@ -169,6 +189,11 @@ type Options struct {
 	// SupplyScale multiplies objective coefficients before rounding.
 	// Default 1e4.
 	SupplyScale float64
+	// Engine selects the min-cost-flow backend by mcmf registry name
+	// ("ssp", "dial", "costscaling").  Empty keeps the solver's current
+	// engine (the mcmf default on a fresh network).  Switching engines
+	// between Solve calls keeps the cached network and its warm state.
+	Engine string
 }
 
 func (o Options) withDefaults() Options {
@@ -191,11 +216,10 @@ type Solution struct {
 
 // ensureFlow returns the cached flow network, rebuilding it only when
 // the topology changed since the last build.  Costs, capacities and
-// supplies are set by Solve on every call, so the returned network only
-// needs correct arcs.
+// supplies are diffed in by Solve on every call, so the returned
+// network only needs correct arcs.
 func (s *System) ensureFlow() *mcmf.Solver {
 	if s.flow != nil && s.builtVersion == s.topoVersion {
-		s.flow.Reset()
 		return s.flow
 	}
 	ground := s.n
@@ -215,7 +239,34 @@ func (s *System) ensureFlow() *mcmf.Solver {
 	s.flow = f
 	s.builtVersion = s.topoVersion
 	s.builds++
+	// Fresh network: nothing is priced yet, everything below starts
+	// from the full-solve path.
+	s.priced = false
+	s.capBound = 0
+	if cap(s.lastCost) < len(s.cons) {
+		s.lastCost = make([]int64, len(s.cons))
+	}
+	s.lastCost = s.lastCost[:len(s.cons)]
 	return f
+}
+
+// FlowEngineName reports the mcmf backend the cached network uses
+// ("" before the first Solve).
+func (s *System) FlowEngineName() string {
+	if s.flow == nil {
+		return ""
+	}
+	return s.flow.EngineName()
+}
+
+// FlowEngineStats reports the cached network's engine counters — the
+// observable record of how many Solve calls ran incrementally
+// (Stats.Resolves) versus from scratch.
+func (s *System) FlowEngineStats() mcmf.Stats {
+	if s.flow == nil {
+		return mcmf.Stats{}
+	}
+	return s.flow.EngineStats()
 }
 
 // Solve maps the system to its min-cost-flow dual, solves it, verifies
@@ -245,8 +296,14 @@ func (s *System) Solve(opt Options) (*Solution, error) {
 	}
 
 	f := s.ensureFlow()
+	if opt.Engine != "" {
+		if err := f.SetEngine(opt.Engine); err != nil {
+			return nil, err
+		}
+	}
 
-	// Supplies: zero, then accumulate the integerized objective terms.
+	// Supplies: zero, then accumulate the integerized objective terms
+	// (mcmf diffs them against the last routed configuration itself).
 	for v := 0; v <= s.n; v++ {
 		f.SetSupply(v, 0)
 	}
@@ -259,33 +316,93 @@ func (s *System) Solve(opt Options) (*Solution, error) {
 		f.AddSupply(t.minus, -c)
 	}
 
-	// Uncapacitated arcs: cap at total supply (an optimal flow needs no
-	// more on any arc when no negative cycles exist).
-	capAll := totalSupply
+	// Uncapacitated arcs: cap at a stable doubling bound ≥ total supply
+	// (an optimal flow needs no more on any arc when no negative cycles
+	// exist).  Keeping the bound fixed while the supply wobbles between
+	// iterations keeps capacities out of the changed set.
+	changed := s.changed[:0]
+	if totalSupply > s.capBound {
+		s.capBound = 1024
+		for s.capBound < totalSupply {
+			s.capBound *= 2
+		}
+		for _, a := range s.consArc {
+			f.UpdateCapacity(a, s.capBound)
+			changed = append(changed, int32(a))
+		}
+		for _, pa := range s.pinArc {
+			f.UpdateCapacity(pa[0], s.capBound)
+			f.UpdateCapacity(pa[1], s.capBound)
+			changed = append(changed, int32(pa[0]), int32(pa[1]))
+		}
+	}
 	for i, c := range s.cons {
 		// Floor (not round) the scaled weight: the integerized feasible
 		// region is then a subset of the real one, so the recovered r
 		// satisfies every original constraint exactly.  This keeps the
 		// D-phase causality constraints (edge slack ≥ 0) safe.
-		f.SetCost(s.consArc[i], int64(math.Floor(c.w*opt.CostScale)))
-		f.SetCapacity(s.consArc[i], capAll)
-	}
-	for _, pa := range s.pinArc {
-		f.SetCapacity(pa[0], capAll)
-		f.SetCapacity(pa[1], capAll)
-	}
-
-	if _, err := f.Solve(); err != nil {
-		switch {
-		case errors.Is(err, mcmf.ErrNegativeCycle):
-			return nil, ErrInfeasible
-		case errors.Is(err, mcmf.ErrInfeasible):
-			// Dual infeasible == primal unbounded.
-			return nil, ErrUnbounded
-		default:
-			return nil, err
+		ic := int64(math.Floor(c.w * opt.CostScale))
+		if !s.priced || ic != s.lastCost[i] {
+			f.SetCost(s.consArc[i], ic)
+			s.lastCost[i] = ic
+			changed = append(changed, int32(s.consArc[i]))
 		}
 	}
+	s.changed = changed // retain grown capacity
+	s.priced = true
+
+	// Incremental re-flow with the exact changed-arc set; the first
+	// solve on a fresh network (or after a failed one) falls back to a
+	// full solve inside the engine.
+	if _, err := f.ResolveChanged(changed); err != nil {
+		return nil, mapFlowErr(err)
+	}
+	sol, err := s.recover(f, opt, ground)
+	if err == nil {
+		return sol, nil
+	}
+	if !errors.Is(err, errRecoveredInfeasible) {
+		// Certificate or strong-duality failures are genuine solver
+		// defects — propagate them rather than masking them behind a
+		// silent (and permanently slower) full re-solve.
+		return nil, err
+	}
+	// An infeasible recovered r means the constraint system itself is
+	// infeasible: the incremental re-flow prices configured negative
+	// cycles away instead of detecting them (see mcmf resolve.go), so
+	// the cycle surfaces here rather than as mcmf.ErrNegativeCycle.
+	// Re-solve from clean residuals, which restores the detection
+	// contract (a truly infeasible system now returns ErrInfeasible).
+	f.Reset()
+	if _, ferr := f.Solve(); ferr != nil {
+		return nil, mapFlowErr(ferr)
+	}
+	return s.recover(f, opt, ground)
+}
+
+// errRecoveredInfeasible tags a recovered r that violates a
+// constraint — the one recover() failure the warm-resolve path is
+// allowed to retry from clean residuals (it is how an infeasible
+// system manifests after an incremental re-flow).
+var errRecoveredInfeasible = errors.New("dcs: recovered solution infeasible")
+
+// mapFlowErr translates mcmf solve errors to the dcs sentinels.
+func mapFlowErr(err error) error {
+	switch {
+	case errors.Is(err, mcmf.ErrNegativeCycle):
+		return ErrInfeasible
+	case errors.Is(err, mcmf.ErrInfeasible):
+		// Dual infeasible == primal unbounded.
+		return ErrUnbounded
+	default:
+		return err
+	}
+}
+
+// recover extracts and certifies the solution from a solved flow
+// network: optimality certificate, r from the potentials, primal
+// feasibility, and strong duality.
+func (s *System) recover(f *mcmf.Solver, opt Options, ground int) (*Solution, error) {
 	if err := f.Verify(); err != nil {
 		return nil, fmt.Errorf("dcs: flow certificate failed: %w", err)
 	}
@@ -303,7 +420,7 @@ func (s *System) Solve(opt Options) (*Solution, error) {
 		r[v] = 0 // exact (tied to ground)
 	}
 	if err := s.checkFeasible(r); err != nil {
-		return nil, fmt.Errorf("dcs: recovered solution infeasible: %w", err)
+		return nil, fmt.Errorf("%w: %v", errRecoveredInfeasible, err)
 	}
 
 	sol := &s.sol

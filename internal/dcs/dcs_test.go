@@ -1,6 +1,7 @@
 package dcs
 
 import (
+	"errors"
 	"math"
 	"math/rand"
 	"testing"
@@ -379,5 +380,111 @@ func TestQuickAlwaysFeasible(t *testing.T) {
 	cfg := &quick.Config{MaxCount: 250}
 	if err := quick.Check(f, cfg); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestIncrementalResolvePath asserts the delta-tracking Update path:
+// re-solves on a cached network must go through mcmf's incremental
+// ResolveChanged (not a from-scratch solve), for every selectable
+// engine, and unchanged weights must produce an empty changed set
+// (observable as a resolve that does no augmentation work).
+func TestIncrementalResolvePath(t *testing.T) {
+	for _, engine := range []string{"", "ssp", "dial"} {
+		engine := engine
+		t.Run("engine="+engine, func(t *testing.T) {
+			s := NewSystem(4)
+			s.Pin(0)
+			w01 := s.AddConstraint(1, 0, 5)
+			s.AddConstraint(0, 1, 5)
+			s.AddConstraint(2, 1, 3)
+			s.AddConstraint(1, 2, 3)
+			s.AddConstraint(3, 2, 2)
+			s.AddConstraint(2, 3, 2)
+			s.AddObjective(1, 3, 1.5)
+			s.AddObjective(3, 0, 0.5)
+			opt := Options{Engine: engine}
+			if _, err := s.Solve(opt); err != nil {
+				t.Fatal(err)
+			}
+			if engine != "" && s.FlowEngineName() != engine {
+				t.Fatalf("engine = %q, want %q", s.FlowEngineName(), engine)
+			}
+			base := s.FlowEngineStats()
+			// Weight updates: the re-solve must run incrementally.
+			s.SetWeight(w01, 4)
+			sol, err := s.Solve(opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			st := s.FlowEngineStats()
+			if st.Resolves != base.Resolves+1 {
+				t.Fatalf("stats after weight update: %+v (base %+v), want one more resolve", st, base)
+			}
+			if st.Solves != base.Solves {
+				t.Fatalf("weight update triggered a full solve: %+v", st)
+			}
+			if s.Builds() != 1 {
+				t.Fatalf("network rebuilt: %d builds", s.Builds())
+			}
+			// Cross-check against a fresh system with the same data.
+			f := NewSystem(4)
+			f.Pin(0)
+			f.AddConstraint(1, 0, 4)
+			f.AddConstraint(0, 1, 5)
+			f.AddConstraint(2, 1, 3)
+			f.AddConstraint(1, 2, 3)
+			f.AddConstraint(3, 2, 2)
+			f.AddConstraint(2, 3, 2)
+			f.AddObjective(1, 3, 1.5)
+			f.AddObjective(3, 0, 0.5)
+			want, err := f.Solve(Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if sol.Objective != want.Objective {
+				t.Fatalf("incremental objective %v != fresh %v", sol.Objective, want.Objective)
+			}
+			for v := range sol.R {
+				if sol.R[v] != want.R[v] {
+					t.Fatalf("r[%d]: incremental %v != fresh %v", v, sol.R[v], want.R[v])
+				}
+			}
+			// No-op re-solve: nothing changed, still a (trivial) resolve.
+			aug := s.FlowEngineStats().Augmentations
+			if _, err := s.Solve(opt); err != nil {
+				t.Fatal(err)
+			}
+			st = s.FlowEngineStats()
+			if st.Resolves != base.Resolves+2 || st.Augmentations != aug {
+				t.Fatalf("no-op re-solve: %+v (augmentations were %d), want trivial resolve", st, aug)
+			}
+		})
+	}
+}
+
+// TestInfeasibleAfterWarmResolve pins the ErrInfeasible contract on
+// the incremental path: a constraint system made infeasible *between*
+// solves (the re-flow prices negative cycles away instead of
+// detecting them) must still return the documented sentinel, via the
+// clean-residual retry.
+func TestInfeasibleAfterWarmResolve(t *testing.T) {
+	s := NewSystem(2)
+	s.Pin(0)
+	w01 := s.AddConstraint(0, 1, 5)
+	s.AddConstraint(1, 0, 5)
+	s.AddObjective(0, 1, 1)
+	if _, err := s.Solve(Options{}); err != nil {
+		t.Fatal(err)
+	}
+	// r0 − r1 ≤ −6 together with r1 − r0 ≤ 5 is a negative cycle.
+	s.SetWeight(w01, -6)
+	_, err := s.Solve(Options{})
+	if !errors.Is(err, ErrInfeasible) {
+		t.Fatalf("warm re-solve on infeasible system: err = %v, want ErrInfeasible", err)
+	}
+	// And a repaired system must solve again.
+	s.SetWeight(w01, 5)
+	if _, err := s.Solve(Options{}); err != nil {
+		t.Fatalf("repaired system: %v", err)
 	}
 }

@@ -122,8 +122,18 @@ func NewCSR(coeffs []Coeffs) *CSR {
 	}
 
 	// Dependency topology via the same digraph smp and lin used to
-	// build per call.
+	// build per call.  Degrees are known (counts is the transpose
+	// histogram), so the adjacency is reserved exactly.
 	dep := graph.New(n)
+	depOut := make([]int32, n)
+	for i := range coeffs {
+		for _, t := range coeffs[i].Terms {
+			if t.J != i && t.A != 0 {
+				depOut[i]++
+			}
+		}
+	}
+	dep.Reserve(depOut, counts, coupled)
 	for i := range coeffs {
 		for _, t := range coeffs[i].Terms {
 			if t.J != i && t.A != 0 {

@@ -14,6 +14,7 @@ package delay
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"minflo/internal/cell"
 	"minflo/internal/circuit"
@@ -85,44 +86,87 @@ func NewModel(p tech.Params) *Model {
 	return &Model{Tech: p, POLoad: 8 * p.CGate}
 }
 
+// coeffScratch is the reusable multiplicity scratch of GateCoeffs,
+// pooled so repeated problem construction (table sweeps, benchmark
+// loops) reuses the buffers instead of reallocating per gate.
+// Invariant: mult is all zeros between gates and between GateCoeffs
+// calls — the emission loop re-zeroes every entry it counted — so a
+// pooled scratch needs no clearing.  stamp[h] == gi (with fresh
+// scratch forced to -1) marks mult[h] as already counted for the gate
+// currently being processed; it is belt-and-braces over that
+// invariant, not a substitute for it.
+type coeffScratch struct {
+	mult  []int32 // driven-pin count per fanout gate of the current gate
+	stamp []int32 // stamp[h] == current gate index marks mult[h] live
+}
+
+var coeffPool = sync.Pool{New: func() any { return new(coeffScratch) }}
+
 // GateCoeffs derives the equivalent-inverter Elmore coefficients for
 // every gate (gate sizing: one sizing variable per gate; paper §3 runs
 // all experiments in this mode).
 //
 //	delay(g) = ρ_g·R·Cd·p_g  +  ρ_g·R·(Σ_fanout Cg·g_h·x_h + Cwire·k + POLoad·m)/x_g
+//
+// The coupling terms of all gates share one arena slice, and the
+// per-gate multiplicity count runs on pooled stamp arrays instead of a
+// map per gate, so construction costs O(1) allocations per circuit
+// rather than O(gates).
 func (m *Model) GateCoeffs(c *circuit.Circuit) ([]Coeffs, error) {
 	if err := m.Tech.Validate(); err != nil {
 		return nil, err
 	}
-	fan, poCount := c.Fanouts()
-	out := make([]Coeffs, c.NumGates())
+	fanPtr, fanIdx, poCount := c.FanoutsCSR()
+	n := c.NumGates()
+	out := make([]Coeffs, n)
+	arena := make([]Term, 0, len(fanIdx)) // distinct terms ≤ driven pins
+	sc := coeffPool.Get().(*coeffScratch)
+	if cap(sc.mult) < n {
+		sc.mult = make([]int32, n)
+		sc.stamp = make([]int32, n)
+	}
+	mult, stamp := sc.mult[:n], sc.stamp[:n]
+	if len(stamp) > 0 && stamp[0] == 0 {
+		// A fresh (or smaller-capacity) scratch: force all stamps stale.
+		for i := range stamp {
+			stamp[i] = -1
+		}
+	}
 	for gi := range c.Gates {
 		g := &c.Gates[gi]
 		cc := cell.Get(g.Kind)
 		r := m.Tech.RUnit * cc.Drive
+		fo := fanIdx[fanPtr[gi]:fanPtr[gi+1]]
 		k := Coeffs{
 			Self:  r * m.Tech.CDiff * cc.Parasitic,
-			Const: r * (m.Tech.CWire*float64(len(fan[gi])+poCount[gi]) + m.POLoad*float64(poCount[gi])),
+			Const: r * (m.Tech.CWire*float64(len(fo)+int(poCount[gi])) + m.POLoad*float64(poCount[gi])),
 		}
 		// Couplings: one term per fanout gate, weighted by how many of
 		// its pins this gate drives.
-		mult := make(map[int]int)
-		for _, h := range fan[gi] {
+		for _, h := range fo {
+			if stamp[h] != int32(gi) {
+				stamp[h] = int32(gi)
+				mult[h] = 0
+			}
 			mult[h]++
 		}
-		for _, h := range fan[gi] {
+		base := len(arena)
+		for _, h := range fo {
 			if mult[h] == 0 {
 				continue // already emitted
 			}
 			hc := cell.Get(c.Gates[h].Kind)
-			k.Terms = append(k.Terms, Term{J: h, A: r * m.Tech.CGate * hc.InputCap * float64(mult[h])})
+			arena = append(arena, Term{J: int(h), A: r * m.Tech.CGate * hc.InputCap * float64(mult[h])})
 			mult[h] = 0
 		}
+		k.Terms = arena[base:len(arena):len(arena)]
 		if err := k.Validate(); err != nil {
+			coeffPool.Put(sc)
 			return nil, fmt.Errorf("gate %q: %w", g.Name, err)
 		}
 		out[gi] = k
 	}
+	coeffPool.Put(sc)
 	return out, nil
 }
 

@@ -52,6 +52,39 @@ func (g *Digraph) AddVertex() int {
 	return len(g.out) - 1
 }
 
+// Reserve preallocates adjacency storage for a graph that will receive
+// at most m edges, with outDeg/inDeg per-vertex upper bounds (entries
+// beyond the bound still work — that vertex's list just reallocates).
+// The per-vertex lists are carved out of two shared backing arrays, so
+// bulk construction performs O(1) allocations instead of O(n)
+// slice-growth reallocations — the hot path of building sizing DAGs
+// and their D-phase augmentations (see internal/dag).
+func (g *Digraph) Reserve(outDeg, inDeg []int32, m int) {
+	if len(outDeg) != len(g.out) || len(inDeg) != len(g.in) {
+		panic(fmt.Sprintf("graph: Reserve degree slices (%d,%d) != vertex count %d",
+			len(outDeg), len(inDeg), len(g.out)))
+	}
+	if cap(g.edges) < m {
+		edges := make([]Edge, len(g.edges), m)
+		copy(edges, g.edges)
+		g.edges = edges
+	}
+	var totOut, totIn int32
+	for v := range outDeg {
+		totOut += outDeg[v]
+		totIn += inDeg[v]
+	}
+	outBack := make([]int, totOut)
+	inBack := make([]int, totIn)
+	var po, pi int32
+	for v := range g.out {
+		no, ni := po+outDeg[v], pi+inDeg[v]
+		g.out[v] = append(outBack[po:po:no], g.out[v]...)
+		g.in[v] = append(inBack[pi:pi:ni], g.in[v]...)
+		po, pi = no, ni
+	}
+}
+
 // AddEdge inserts the edge u -> v and returns its ID.
 // Parallel edges and self-loops are permitted at this layer; DAG users
 // reject self-loops via Validate or TopoOrder.

@@ -14,10 +14,38 @@ package mcmf
 
 import "math"
 
+// costScalingEngine adapts the cost-scaling solve to the Engine
+// interface.  It has no incremental path: push-relabel refinement
+// starts every solve from the unsolved residual configuration, so
+// Resolve falls back to a full Solve (counted in Stats.FullFallbacks).
+type costScalingEngine struct {
+	st Stats
+}
+
+func (e *costScalingEngine) Name() string { return "costscaling" }
+
+func (e *costScalingEngine) Stats() Stats { return e.st }
+
+func (e *costScalingEngine) Solve(s *Solver) (float64, error) {
+	cost, err := s.SolveCostScaling()
+	if err == nil {
+		e.st.Solves++
+	}
+	return cost, err
+}
+
+func (e *costScalingEngine) Resolve(s *Solver, changed []int32) (float64, error) {
+	e.st.FullFallbacks++
+	return e.Solve(s)
+}
+
 // SolveCostScaling computes a minimum-cost feasible flow with the
 // cost-scaling push-relabel method.  It is interchangeable with Solve:
 // same inputs, same optimality guarantees (Verify certifies the result;
-// potentials are rescaled back to cost units).
+// potentials are rescaled back to cost units).  It always runs the
+// cost-scaling algorithm regardless of the engine configured with
+// SetEngine (the "costscaling" engine is this method behind the
+// Engine interface).
 func (s *Solver) SolveCostScaling() (float64, error) {
 	var sum int64
 	for _, b := range s.supply {
@@ -49,6 +77,7 @@ func (s *Solver) SolveCostScaling() (float64, error) {
 	// mutate it from here on.
 	s.resetResiduals()
 	s.flowDirty = true
+	s.repairable = false
 	pot := make([]int64, n) // scaled potentials
 	excess := append([]int64(nil), s.supply...)
 
@@ -173,7 +202,7 @@ func (s *Solver) SolveCostScaling() (float64, error) {
 	if err := s.bellmanFord(); err != nil {
 		return 0, err
 	}
-	s.solved = true
+	s.markSolved()
 	return s.TotalCost(), nil
 }
 

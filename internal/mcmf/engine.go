@@ -1,0 +1,146 @@
+// Engine architecture: the Solver struct (mcmf.go) is the shared
+// residual-network state core — arc storage in forward/backward pairs,
+// supplies, the CSR adjacency index, node potentials and the
+// epoch-stamped scratch — while the algorithms that drive it to
+// optimality live behind the Engine interface.  Three backends are
+// registered:
+//
+//	"ssp"         successive shortest paths, heap Dijkstra (the default)
+//	"dial"        successive shortest paths, Dial bucket-queue Dijkstra
+//	              (exploits the small reduced costs of warm-started
+//	              D-phase instances; falls back to the heap per
+//	              augmentation when distances outgrow the bucket ring)
+//	"costscaling" Goldberg–Tarjan cost-scaling push-relabel
+//
+// Engines are cheap per-Solver objects: a factory from the registry
+// owns only algorithm-local scratch (the dial bucket ring, the heap)
+// and counters, so switching engines mid-life keeps all network state
+// — flow, potentials, warm-start validity — intact.
+//
+// Solve computes a minimum-cost flow from the configured instance
+// state.  Resolve is the incremental path: given the set of arc IDs
+// whose cost or capacity changed since the last successful solve, it
+// repairs the existing optimal flow (drain-and-reroute on the residual
+// graph, see resolve.go) instead of rerouting every supply from
+// scratch.  Engines that cannot re-flow incrementally (cost-scaling)
+// fall back to a full Solve and say so in their Stats.
+package mcmf
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Stats counts the work an engine performed over its lifetime.  All
+// counters are cumulative; Solver.EngineStats exposes them.
+type Stats struct {
+	// Solves and Resolves count successful full and incremental runs.
+	Solves   int
+	Resolves int
+	// Augmentations counts shortest-path augmentations (SSP engines).
+	Augmentations int64
+	// BellmanFords counts potential (re)builds — zero on a pure
+	// warm-start trajectory.
+	BellmanFords int
+	// DialFallbacks counts augmentations the dial engine handed to the
+	// heap because a reduced cost outgrew the bucket ring.
+	DialFallbacks int64
+	// FullFallbacks counts Resolve calls that ran a full Solve instead
+	// (no prior flow, topology changed, or the engine cannot re-flow).
+	FullFallbacks int
+}
+
+// Engine is a min-cost-flow algorithm over a Solver's network state.
+// Implementations keep only algorithm-local scratch: all instance
+// state (arcs, residuals, supplies, potentials) lives on the Solver,
+// so engines are interchangeable mid-life.
+type Engine interface {
+	// Name returns the registry name of the backend.
+	Name() string
+	// Solve computes a minimum-cost feasible flow from the instance
+	// state, routing every supply.  Same contract as Solver.Solve.
+	Solve(s *Solver) (float64, error)
+	// Resolve incrementally repairs the previous optimal flow after
+	// the listed arcs changed cost and/or capacity (and supplies moved
+	// arbitrarily).  The changed set must include every arc whose cost
+	// or capacity was mutated since the last successful Solve/Resolve;
+	// supplies are diffed automatically.  Falls back to Solve when no
+	// reusable flow exists.
+	Resolve(s *Solver, changed []int32) (float64, error)
+	// Stats reports cumulative work counters.
+	Stats() Stats
+}
+
+// engineFactories is the backend registry.
+var engineFactories = map[string]func() Engine{}
+
+// Register adds an engine factory under name.  Registering a duplicate
+// name panics — backends are package-level singleton names.
+func Register(name string, factory func() Engine) {
+	if _, dup := engineFactories[name]; dup {
+		panic(fmt.Sprintf("mcmf: engine %q registered twice", name))
+	}
+	engineFactories[name] = factory
+}
+
+// NewEngine instantiates a registered backend by name.
+func NewEngine(name string) (Engine, error) {
+	f, ok := engineFactories[name]
+	if !ok {
+		return nil, fmt.Errorf("mcmf: unknown engine %q (have %v)", name, EngineNames())
+	}
+	return f(), nil
+}
+
+// EngineNames lists the registered backends in sorted order.
+func EngineNames() []string {
+	names := make([]string, 0, len(engineFactories))
+	for n := range engineFactories {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// ValidEngine reports whether name is a registered backend.
+func ValidEngine(name string) bool {
+	_, ok := engineFactories[name]
+	return ok
+}
+
+func init() {
+	Register("ssp", func() Engine { return &sspEngine{} })
+	Register("dial", func() Engine { return &dialEngine{} })
+	Register("costscaling", func() Engine { return &costScalingEngine{} })
+}
+
+// SetEngine switches the solver to the named backend.  Network state
+// (flow, potentials, warm-start validity) is untouched, so engines can
+// be swapped between solves; only algorithm scratch is re-created.
+// Switching to the name already in use is a no-op.
+func (s *Solver) SetEngine(name string) error {
+	if s.eng != nil && s.eng.Name() == name {
+		return nil
+	}
+	e, err := NewEngine(name)
+	if err != nil {
+		return err
+	}
+	s.eng = e
+	return nil
+}
+
+// EngineName returns the name of the active backend ("ssp" until
+// SetEngine is called).
+func (s *Solver) EngineName() string { return s.engine().Name() }
+
+// EngineStats returns the active backend's cumulative work counters.
+func (s *Solver) EngineStats() Stats { return s.engine().Stats() }
+
+// engine returns the active backend, lazily defaulting to "ssp".
+func (s *Solver) engine() Engine {
+	if s.eng == nil {
+		s.eng = &sspEngine{}
+	}
+	return s.eng
+}

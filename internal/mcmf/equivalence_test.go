@@ -58,36 +58,45 @@ func buildRandomFeasible(rng *rand.Rand, negativeCosts bool) *Solver {
 	return s
 }
 
-// TestEnginesAgreeRandom is the cross-engine equivalence gate promised
-// by the costscaling doc comment: on ≥100 randomized D-phase-shaped
-// instances, Solve (successive shortest paths) and SolveCostScaling
-// (Goldberg–Tarjan) must find the same optimal cost and both must pass
-// the self-certifying Verify.
+// TestEnginesAgreeRandom is the cross-engine equivalence gate: on
+// ≥100 randomized D-phase-shaped instances, every registered backend
+// ("ssp" successive shortest paths, "dial" bucket-queue SSP,
+// "costscaling" Goldberg–Tarjan) must find the same optimal cost on
+// an identical twin instance, and each must pass the self-certifying
+// Verify.
 func TestEnginesAgreeRandom(t *testing.T) {
+	engines := EngineNames()
+	if len(engines) < 3 {
+		t.Fatalf("expected ≥3 registered engines, have %v", engines)
+	}
 	count := 0
 	for seed := int64(0); seed < 110; seed++ {
-		rng := rand.New(rand.NewSource(seed))
 		negative := seed%3 == 0
-		a := buildRandomFeasible(rng, negative)
-		rng = rand.New(rand.NewSource(seed)) // identical twin
-		b := buildRandomFeasible(rng, negative)
-
-		costSSP, err := a.Solve()
-		if err != nil {
-			t.Fatalf("seed %d: ssp: %v", seed, err)
+		costs := make(map[string]float64, len(engines))
+		for _, name := range engines {
+			rng := rand.New(rand.NewSource(seed)) // identical twin per engine
+			inst := buildRandomFeasible(rng, negative)
+			if err := inst.SetEngine(name); err != nil {
+				t.Fatal(err)
+			}
+			cost, err := inst.Solve()
+			if err != nil {
+				t.Fatalf("seed %d: %s: %v", seed, name, err)
+			}
+			if err := inst.Verify(); err != nil {
+				t.Fatalf("seed %d: %s certificate: %v", seed, name, err)
+			}
+			if st := inst.EngineStats(); st.Solves != 1 {
+				t.Fatalf("seed %d: %s reports %d solves, want 1", seed, name, st.Solves)
+			}
+			costs[name] = cost
 		}
-		if err := a.Verify(); err != nil {
-			t.Fatalf("seed %d: ssp certificate: %v", seed, err)
-		}
-		costCS, err := b.SolveCostScaling()
-		if err != nil {
-			t.Fatalf("seed %d: cost-scaling: %v", seed, err)
-		}
-		if err := b.Verify(); err != nil {
-			t.Fatalf("seed %d: cost-scaling certificate: %v", seed, err)
-		}
-		if costSSP != costCS {
-			t.Fatalf("seed %d: optimal costs disagree: ssp %v vs cost-scaling %v", seed, costSSP, costCS)
+		ref := costs[engines[0]]
+		for _, name := range engines[1:] {
+			if costs[name] != ref {
+				t.Fatalf("seed %d: optimal costs disagree: %s %v vs %s %v",
+					seed, engines[0], ref, name, costs[name])
+			}
 		}
 		count++
 	}
@@ -96,30 +105,30 @@ func TestEnginesAgreeRandom(t *testing.T) {
 	}
 }
 
-// TestEnginesAgreeGrid cross-checks the engines on the exact layered
-// instances the benchmarks use.
+// TestEnginesAgreeGrid cross-checks all backends on the exact layered
+// D-phase grid instances the benchmarks use.
 func TestEnginesAgreeGrid(t *testing.T) {
 	for seed := int64(1); seed <= 8; seed++ {
 		layers := 6 + int(seed)
 		width := 4 + int(seed)%5
-		a := NewGridInstance(layers, width, seed)
-		b := NewGridInstance(layers, width, seed)
-		costSSP, err := a.Solve()
-		if err != nil {
-			t.Fatalf("seed %d: ssp: %v", seed, err)
-		}
-		costCS, err := b.SolveCostScaling()
-		if err != nil {
-			t.Fatalf("seed %d: cost-scaling: %v", seed, err)
-		}
-		if costSSP != costCS {
-			t.Fatalf("seed %d: %v != %v", seed, costSSP, costCS)
-		}
-		if err := a.Verify(); err != nil {
-			t.Fatal(err)
-		}
-		if err := b.Verify(); err != nil {
-			t.Fatal(err)
+		var ref float64
+		for i, name := range EngineNames() {
+			inst := NewGridInstance(layers, width, seed)
+			if err := inst.SetEngine(name); err != nil {
+				t.Fatal(err)
+			}
+			cost, err := inst.Solve()
+			if err != nil {
+				t.Fatalf("seed %d: %s: %v", seed, name, err)
+			}
+			if err := inst.Verify(); err != nil {
+				t.Fatalf("seed %d: %s certificate: %v", seed, name, err)
+			}
+			if i == 0 {
+				ref = cost
+			} else if cost != ref {
+				t.Fatalf("seed %d: %s cost %v != %v", seed, name, cost, ref)
+			}
 		}
 	}
 }
@@ -145,29 +154,46 @@ func TestOneSolverBothEngines(t *testing.T) {
 	}
 }
 
-// BenchmarkFlowEngines compares the two engines on D-phase-shaped
-// instances of growing size (the comparison the costscaling doc comment
-// promises; recorded in BENCH_*.json via cmd/mkbench -snapshot).
+// BenchmarkFlowEngines compares every registered backend on identical
+// D-phase-shaped instances of growing size — "fresh" builds and solves
+// (the per-problem cost), "warm" re-solves one network through the
+// Reset warm-start path (the per-iteration cost).  Recorded in
+// BENCH_*.json via cmd/mkbench -snapshot; the measured crossover
+// points are documented in EXPERIMENTS.md.
 func BenchmarkFlowEngines(b *testing.B) {
-	for _, size := range []struct{ layers, width int }{{10, 10}, {40, 25}} {
+	for _, size := range []struct{ layers, width int }{{10, 10}, {40, 25}, {80, 50}} {
 		name := fmt.Sprintf("%dx%d", size.layers, size.width)
-		b.Run("ssp/"+name, func(b *testing.B) {
-			b.ReportAllocs()
-			for i := 0; i < b.N; i++ {
+		for _, engine := range EngineNames() {
+			engine := engine
+			b.Run(engine+"/"+name+"/fresh", func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					s := NewGridInstance(size.layers, size.width, 7)
+					if err := s.SetEngine(engine); err != nil {
+						b.Fatal(err)
+					}
+					if _, err := s.Solve(); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+			b.Run(engine+"/"+name+"/warm", func(b *testing.B) {
 				s := NewGridInstance(size.layers, size.width, 7)
+				if err := s.SetEngine(engine); err != nil {
+					b.Fatal(err)
+				}
 				if _, err := s.Solve(); err != nil {
 					b.Fatal(err)
 				}
-			}
-		})
-		b.Run("costscaling/"+name, func(b *testing.B) {
-			b.ReportAllocs()
-			for i := 0; i < b.N; i++ {
-				s := NewGridInstance(size.layers, size.width, 7)
-				if _, err := s.SolveCostScaling(); err != nil {
-					b.Fatal(err)
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					s.Reset()
+					if _, err := s.Solve(); err != nil {
+						b.Fatal(err)
+					}
 				}
-			}
-		})
+			})
+		}
 	}
 }

@@ -29,6 +29,16 @@
 //
 // After the first Solve on a topology, re-solves allocate nothing.
 //
+// The Solver struct itself is only the residual-network state core.
+// The algorithms that drive it live behind the Engine interface
+// (engine.go) with three registered backends — "ssp" (successive
+// shortest paths, heap Dijkstra; the default), "dial" (SSP with a
+// Dial bucket-queue Dijkstra) and "costscaling" (Goldberg–Tarjan) —
+// selectable per instance with SetEngine.  Beyond full solves, every
+// engine offers ResolveChanged: an incremental re-flow that repairs
+// the previous optimal flow after a set of arcs changed cost or
+// capacity, instead of rerouting every supply (resolve.go).
+//
 // The solver is self-certifying: Verify re-checks conservation, bounds
 // and reduced-cost optimality after every Solve.
 package mcmf
@@ -67,7 +77,16 @@ type Solver struct {
 	supply []int64
 	pot    []int64 // node potentials (valid after Solve)
 	orig   []int64 // original capacity per public arc (index = arcID)
+	routed []int64 // supplies routed by the last successful solve
 	solved bool
+	// repairable reports that the residual arrays hold exactly the flow
+	// of the last successful solve (routing the supplies snapshotted in
+	// routed) — the precondition of the incremental ResolveChanged
+	// repair.  Unlike solved it survives cost/capacity/supply
+	// mutations; it is cleared by Reset, by legacy SetCapacity (which
+	// discards an arc's flow) and while a solve is mutating residuals.
+	repairable bool
+	eng        Engine // active backend; nil means the "ssp" default
 
 	// CSR-style adjacency: arc indices of node u are
 	// csrArc[csrStart[u]:csrStart[u+1]].  Rebuilt lazily when arcs or
@@ -175,6 +194,26 @@ func (s *Solver) SetCapacity(arcID int, capacity int64) {
 	s.arcs[2*arcID].cap = capacity
 	s.arcs[2*arcID+1].cap = 0
 	s.solved = false
+	s.repairable = false // the arc's routed flow was just discarded
+}
+
+// UpdateCapacity changes the configured capacity of an existing arc
+// without touching its residual state — the mutation path for the
+// incremental ResolveChanged re-flow, which must receive the arc in
+// its changed set and reconciles the residuals itself (drain and
+// restore).  A full Solve reconciles too (it resets every residual),
+// so staged capacities are never lost; the one invalid sequence is
+// mutating capacities with UpdateCapacity and then reading Flow
+// without an intervening solve.
+func (s *Solver) UpdateCapacity(arcID int, capacity int64) {
+	if capacity < 0 {
+		panic("mcmf: negative capacity")
+	}
+	s.orig[arcID] = capacity
+	// Residuals no longer reflect the configuration: a full Solve must
+	// reset them (ResolveChanged reconciles the changed arcs itself).
+	s.flowDirty = true
+	s.solved = false
 }
 
 // Capacity returns the configured capacity of the arc with the given ID.
@@ -193,6 +232,7 @@ func (s *Solver) Reset() {
 	s.resetResiduals()
 	s.flowDirty = false
 	s.solved = false
+	s.repairable = false
 }
 
 // resetResiduals restores residual capacities to the original
@@ -344,8 +384,9 @@ func (s *Solver) touch(v int32) {
 	s.visited = append(s.visited, v)
 }
 
-// Solve computes a minimum-cost feasible flow. It returns the total cost
-// (as float64; see TotalCost) or an error if the instance is unbalanced,
+// Solve computes a minimum-cost feasible flow with the active engine
+// (SetEngine; "ssp" by default). It returns the total cost (as
+// float64; see TotalCost) or an error if the instance is unbalanced,
 // infeasible, or contains a negative-cost cycle of positive capacity.
 //
 // Solve always prices the instance as configured: a previous solve's
@@ -353,12 +394,34 @@ func (s *Solver) touch(v int32) {
 // needs no explicit reset.  After the first solve on a topology the
 // inner loop is allocation-free.
 func (s *Solver) Solve() (float64, error) {
+	return s.engine().Solve(s)
+}
+
+// ResolveChanged incrementally repairs the previous optimal flow with
+// the active engine after the listed arcs changed cost and/or
+// capacity: the changed arcs' flow is drained back to their endpoints
+// and only the resulting imbalance (plus any supply deltas, which are
+// detected automatically) is rerouted on the residual graph, instead
+// of rerouting every supply from scratch.  changed must include every
+// arc mutated with SetCost/UpdateCapacity since the last successful
+// solve; listing unchanged arcs is allowed (they are drained and
+// rerouted too, just wastefully).  Without a reusable previous flow —
+// first solve, topology change, or an engine that cannot re-flow —
+// it falls back to a full Solve.
+func (s *Solver) ResolveChanged(changed []int32) (float64, error) {
+	return s.engine().Resolve(s, changed)
+}
+
+// beginSolve is the shared full-solve preamble: balance check, index
+// and scratch preparation, residual reset after a prior solve, and
+// potential validation (warm-start scan with Bellman–Ford fallback).
+func (s *Solver) beginSolve(st *Stats) error {
 	var sum int64
 	for _, b := range s.supply {
 		sum += b
 	}
 	if sum != 0 {
-		return 0, ErrUnbalanced
+		return ErrUnbalanced
 	}
 	s.prepare()
 	if s.flowDirty {
@@ -366,128 +429,24 @@ func (s *Solver) Solve() (float64, error) {
 		s.flowDirty = false
 	}
 	if !s.potentialsValid() {
+		st.BellmanFords++
 		if err := s.bellmanFord(); err != nil {
-			return 0, err
+			return err
 		}
 	}
+	return nil
+}
 
-	excess := s.excess[:s.n]
-	copy(excess, s.supply)
-	srcs := s.sources[:0]
-	for v := 0; v < s.n; v++ {
-		if excess[v] > 0 {
-			srcs = append(srcs, int32(v))
-		}
-	}
-	s.sources = srcs // retain grown capacity for the next solve
-
-	// Augmentations mutate the residuals from here on; mark them dirty
-	// up front so even an infeasible early return is cleaned up by the
-	// next Solve.
-	s.flowDirty = true
-	for {
-		// Pick any node with positive excess.
-		src := int32(-1)
-		for len(srcs) > 0 {
-			v := srcs[len(srcs)-1]
-			if excess[v] > 0 {
-				src = v
-				break
-			}
-			srcs = srcs[:len(srcs)-1]
-		}
-		if src == -1 {
-			break // all supplies routed
-		}
-
-		// Dijkstra on reduced costs from src to the nearest node with
-		// negative excess.
-		s.epoch++
-		if s.epoch == 0 { // uint32 wraparound: invalidate all stamps
-			for i := range s.stamp {
-				s.stamp[i] = 0
-			}
-			s.epoch = 1
-		}
-		s.visited = s.visited[:0]
-		s.h.reset()
-		s.touch(src)
-		s.dist[src] = 0
-		s.h.push(0, src)
-		target := int32(-1)
-		var dt int64
-		for !s.h.empty() {
-			d, u := s.h.pop()
-			if d > s.dist[u] {
-				continue // stale heap entry (lazy deletion)
-			}
-			if excess[u] < 0 {
-				target = u
-				dt = d
-				// Settling nodes at equal distance is unnecessary;
-				// stop at the first deficit node for speed.
-				break
-			}
-			pu := s.pot[u]
-			for _, ai := range s.arcsOf(int(u)) {
-				a := &s.arcs[ai]
-				if a.cap <= 0 {
-					continue
-				}
-				v := a.to
-				rc := a.cost + pu - s.pot[v]
-				if rc < 0 {
-					// Should not happen with valid potentials; clamp
-					// defensively (can arise from ties after early exit).
-					rc = 0
-				}
-				if s.stamp[v] != s.epoch {
-					s.touch(v)
-				}
-				if nd := d + rc; nd < s.dist[v] {
-					s.dist[v] = nd
-					s.prevArc[v] = ai
-					s.h.push(nd, v)
-				}
-			}
-		}
-		if target == -1 {
-			return 0, ErrInfeasible
-		}
-		// Update potentials on settled nodes only: pot += dist − dt
-		// (equivalent to the classic pot += min(dist, dt) up to a
-		// uniform −dt shift, which leaves every reduced cost
-		// unchanged).  Unvisited and unsettled nodes keep their
-		// potentials, so the update is O(visited), not O(n).
-		for _, v := range s.visited {
-			if d := s.dist[v]; d < dt {
-				s.pot[v] += d - dt
-			}
-		}
-		// Bottleneck along the path.
-		bott := excess[src]
-		if -excess[target] < bott {
-			bott = -excess[target]
-		}
-		for v := target; v != src; {
-			ai := s.prevArc[v]
-			if s.arcs[ai].cap < bott {
-				bott = s.arcs[ai].cap
-			}
-			v = s.arcs[ai^1].to
-		}
-		// Augment.
-		for v := target; v != src; {
-			ai := s.prevArc[v]
-			s.arcs[ai].cap -= bott
-			s.arcs[ai^1].cap += bott
-			v = s.arcs[ai^1].to
-		}
-		excess[src] -= bott
-		excess[target] += bott
-	}
+// markSolved records a successful solve: the optimality flag and the
+// routed-supply snapshot ResolveChanged diffs against.
+func (s *Solver) markSolved() {
 	s.solved = true
-	return s.TotalCost(), nil
+	s.repairable = true
+	if cap(s.routed) < s.n {
+		s.routed = make([]int64, s.n)
+	}
+	s.routed = s.routed[:s.n]
+	copy(s.routed, s.supply)
 }
 
 // Verify re-derives the optimality conditions from scratch:

@@ -1,0 +1,125 @@
+// Incremental re-flow (drain-and-reroute), shared by the SSP engines.
+//
+// The D-phase solves the same network dozens of times with small cost
+// and supply deltas between solves.  A warm full solve already skips
+// Bellman–Ford, but it still resets every residual and reroutes the
+// entire supply.  Resolve exploits the previous optimum instead:
+//
+//  1. the flow carried by each changed arc is drained back to its
+//     endpoints (creating a local excess/deficit pair) and the arc's
+//     residuals are restored to its configured capacity;
+//  2. supply deltas against the last solved configuration are added to
+//     the excess vector (so supply changes need no explicit
+//     notification);
+//  3. changed arcs whose new reduced cost is negative are saturated —
+//     their full capacity is pushed, removing them from the residual
+//     graph (their reverse arcs price positively by construction).
+//     Unchanged arcs still satisfy reduced-cost optimality by the
+//     previous certificate, so after this step the old potentials are
+//     valid on the entire residual graph with no Bellman–Ford repair;
+//  4. the resulting imbalance (typically a tiny fraction of the total
+//     supply) is rerouted with ordinary shortest-path augmentations on
+//     the residual graph — which may use reverse arcs, i.e. undo
+//     earlier routing, so the repaired flow is exactly optimal for the
+//     new configuration, not an approximation (certified by Verify,
+//     asserted bit-equal to fresh solves by
+//     TestResolveMatchesFreshRandom).
+//
+// One semantic difference from a full Solve: saturation prices
+// negative-cost structures away instead of detecting them, so a
+// configuration whose *configured* arcs close a negative-cost cycle of
+// positive capacity re-flows to the true (finite, capacity-bounded)
+// optimum rather than returning ErrNegativeCycle.  D-phase instances
+// never contain such cycles (r = 0 is always feasible); callers that
+// rely on the detection behaviour use Solve.
+package mcmf
+
+// resolveSSP implements Engine.Resolve for the SSP family.  full is
+// the engine's own Solve, used when no repairable flow exists.
+func resolveSSP(s *Solver, changed []int32, pf pathFinder, st *Stats, full func(*Solver) (float64, error)) (float64, error) {
+	if !s.repairable || s.topoDirty {
+		st.FullFallbacks++
+		return full(s)
+	}
+	var sum int64
+	for _, b := range s.supply {
+		sum += b
+	}
+	if sum != 0 {
+		return 0, ErrUnbalanced
+	}
+	// Work estimate: every drained flow-carrying arc, re-priced
+	// negative arc and shifted supply seeds one excess/deficit pair,
+	// i.e. roughly one shortest-path augmentation.  Arc repairs are
+	// local — the drain leaves a deficit right at the arc's head — so
+	// they cost about as much as one source in a warm full solve, but
+	// supply deltas pair arbitrary nodes and their augmentations can
+	// cross the whole network — measured ~40× the cost of a local
+	// repair on wide/shallow DAGs — so they carry a heavy weight.  When the
+	// estimated repair exceeds what the full solve needs (one
+	// augmentation per source), hand over before touching any
+	// residuals; iterations whose deltas quiesce come back to the
+	// incremental path on their own.
+	const supplyDeltaWeight = 64
+	work, srcs := 0, 0
+	for v := 0; v < s.n; v++ {
+		if s.supply[v] > 0 {
+			srcs++
+		}
+		if s.supply[v] != s.routed[v] {
+			work += supplyDeltaWeight
+		}
+	}
+	for _, id := range changed {
+		fwd, rev := &s.arcs[2*id], &s.arcs[2*id+1]
+		if rev.cap > 0 {
+			work++
+		} else if s.orig[id] > 0 && fwd.cost+s.pot[rev.to]-s.pot[fwd.to] < 0 {
+			work++ // will saturate
+		}
+	}
+	if work > srcs {
+		st.FullFallbacks++
+		return full(s)
+	}
+	// Supply deltas against the routed snapshot.
+	excess := s.excess[:s.n]
+	for v := 0; v < s.n; v++ {
+		excess[v] = s.supply[v] - s.routed[v]
+	}
+	// The drain below and the augmentations after it mutate residuals:
+	// until markSolved re-certifies them, the flow is neither optimal
+	// nor repairable (a failed resolve leaves partial routing behind,
+	// which the next solve resets and the next resolve must not trust).
+	s.solved = false
+	s.repairable = false
+	// Drain the changed arcs and restore their configured capacity
+	// (reconciling any staged UpdateCapacity), then re-price: an arc
+	// whose new reduced cost is negative is saturated so it leaves the
+	// residual graph.  Draining twice is harmless, so duplicate IDs in
+	// changed are allowed (the saturation is skipped the second time
+	// because the forward residual is already empty only when the arc
+	// re-prices negative, and re-running it is idempotent).
+	for _, id := range changed {
+		fwd, rev := &s.arcs[2*id], &s.arcs[2*id+1]
+		u, v := rev.to, fwd.to
+		if f := rev.cap; f > 0 {
+			excess[u] += f
+			excess[v] -= f
+		}
+		fwd.cap = s.orig[id]
+		rev.cap = 0
+		if fwd.cap > 0 && fwd.cost+s.pot[u]-s.pot[v] < 0 {
+			excess[u] -= fwd.cap
+			excess[v] += fwd.cap
+			rev.cap = fwd.cap
+			fwd.cap = 0
+		}
+	}
+	if err := s.augmentAll(excess, pf, st); err != nil {
+		return 0, err
+	}
+	s.markSolved()
+	st.Resolves++
+	return s.TotalCost(), nil
+}

@@ -1,0 +1,365 @@
+package mcmf
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// freshTwin builds a new solver with s's current configuration (arcs,
+// configured capacities, costs, supplies) — the reference a resolved
+// instance must match.
+func freshTwin(s *Solver) *Solver {
+	f := New(s.N())
+	for v := 0; v < s.N(); v++ {
+		f.SetSupply(v, s.Supply(v))
+	}
+	for id := 0; id < s.NumArcs(); id++ {
+		u := int(s.arcs[2*id+1].to)
+		v := int(s.arcs[2*id].to)
+		f.AddArc(u, v, s.Capacity(id), s.Cost(id))
+	}
+	return f
+}
+
+// mutateRandom applies one random batch of arc-cost, arc-capacity and
+// supply deltas to s and returns the changed arc IDs.
+func mutateRandom(rng *rand.Rand, s *Solver, allowNegativeCosts bool) []int32 {
+	var changed []int32
+	narcs := s.NumArcs()
+	for k := 0; k < 1+rng.Intn(6); k++ {
+		id := rng.Intn(narcs)
+		switch rng.Intn(3) {
+		case 0:
+			lo := 0
+			if allowNegativeCosts {
+				lo = -5
+			}
+			s.SetCost(id, int64(lo+rng.Intn(60)))
+		case 1:
+			s.UpdateCapacity(id, int64(rng.Intn(300)))
+		default: // zero-capacity degenerate arc
+			s.UpdateCapacity(id, 0)
+		}
+		changed = append(changed, int32(id))
+	}
+	// Supply deltas in balanced pairs (sometimes routing through the
+	// same node, a no-op pair).
+	for k := 0; k < rng.Intn(3); k++ {
+		a, b := rng.Intn(s.N()), rng.Intn(s.N())
+		amt := int64(rng.Intn(20))
+		s.AddSupply(a, amt)
+		s.AddSupply(b, -amt)
+	}
+	return changed
+}
+
+// TestResolveMatchesFreshRandom is the incremental-re-flow property
+// gate: random arc-delta sequences applied through ResolveChanged must
+// reach exactly the optimal cost of a fresh solve on the mutated
+// configuration — including degenerate rounds where capacities drop to
+// zero and the instance goes infeasible (both paths must agree on the
+// error too).  Exercised for both SSP-family engines.
+func TestResolveMatchesFreshRandom(t *testing.T) {
+	for _, engine := range []string{"ssp", "dial"} {
+		engine := engine
+		t.Run(engine, func(t *testing.T) {
+			for seed := int64(0); seed < 60; seed++ {
+				rng := rand.New(rand.NewSource(seed))
+				negative := seed%4 == 0
+				s := buildRandomFeasible(rng, negative)
+				if err := s.SetEngine(engine); err != nil {
+					t.Fatal(err)
+				}
+				if _, err := s.Solve(); err != nil {
+					t.Fatalf("seed %d: initial solve: %v", seed, err)
+				}
+				for round := 0; round < 8; round++ {
+					// Keep the configured graph negative-cycle-free: new
+					// negative costs only on instances whose arcs are all
+					// DAG-oriented (see buildRandomFeasible).
+					changed := mutateRandom(rng, s, negative)
+					gotCost, gotErr := s.ResolveChanged(changed)
+					wantCost, wantErr := freshTwin(s).Solve()
+					if (gotErr == nil) != (wantErr == nil) {
+						t.Fatalf("seed %d round %d: resolve err %v, fresh err %v",
+							seed, round, gotErr, wantErr)
+					}
+					if gotErr != nil {
+						continue // infeasible round: next resolve falls back
+					}
+					if gotCost != wantCost {
+						t.Fatalf("seed %d round %d: resolve cost %v != fresh cost %v",
+							seed, round, gotCost, wantCost)
+					}
+					if err := s.Verify(); err != nil {
+						t.Fatalf("seed %d round %d: resolve certificate: %v", seed, round, err)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestResolveDisconnectedSupply covers the degenerate network the
+// property test can't hit reliably: supply on a node with no arcs at
+// all.  Resolve and fresh solve must both report infeasibility, and a
+// later repair through Resolve must succeed again.
+func TestResolveDisconnectedSupply(t *testing.T) {
+	s := New(4) // node 3 is isolated
+	a01 := s.AddArc(0, 1, 10, 2)
+	s.AddArc(1, 2, 10, 2)
+	s.SetSupply(0, 3)
+	s.SetSupply(2, -3)
+	if _, err := s.Solve(); err != nil {
+		t.Fatal(err)
+	}
+	// Shift the demand onto the isolated node: infeasible.
+	s.SetSupply(2, 0)
+	s.SetSupply(3, -3)
+	if _, err := s.ResolveChanged(nil); err != ErrInfeasible {
+		t.Fatalf("resolve on disconnected demand: err=%v, want ErrInfeasible", err)
+	}
+	if _, err := freshTwin(s).Solve(); err != ErrInfeasible {
+		t.Fatalf("fresh on disconnected demand: err=%v, want ErrInfeasible", err)
+	}
+	// Repair the supplies; the next Resolve falls back to a full solve
+	// (the failed attempt invalidated the flow) and must succeed.
+	s.SetSupply(2, -3)
+	s.SetSupply(3, 0)
+	cost, err := s.ResolveChanged(nil)
+	if err != nil || cost != 12 {
+		t.Fatalf("repaired resolve: cost=%v err=%v, want 12", cost, err)
+	}
+	if err := s.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	if st := s.EngineStats(); st.FullFallbacks == 0 {
+		t.Fatal("expected the post-failure resolve to fall back to a full solve")
+	}
+	_ = a01
+}
+
+// TestResolveZeroCapacityReroute pins the drain-and-reroute behaviour:
+// cutting the capacity of a flow-carrying arc to zero must reroute its
+// flow over the remaining (more expensive) path.
+func TestResolveZeroCapacityReroute(t *testing.T) {
+	s := New(3)
+	cheapA := s.AddArc(0, 1, 10, 1)
+	cheapB := s.AddArc(1, 2, 10, 1)
+	direct := s.AddArc(0, 2, 10, 9)
+	s.SetSupply(0, 4)
+	s.SetSupply(2, -4)
+	if cost, err := s.Solve(); err != nil || cost != 8 {
+		t.Fatalf("initial: cost=%v err=%v, want 8", cost, err)
+	}
+	s.UpdateCapacity(cheapB, 0)
+	cost, err := s.ResolveChanged([]int32{int32(cheapB)})
+	if err != nil || cost != 36 {
+		t.Fatalf("after cut: cost=%v err=%v, want 36", cost, err)
+	}
+	if s.Flow(direct) != 4 || s.Flow(cheapA) != 0 || s.Flow(cheapB) != 0 {
+		t.Fatalf("flows %d/%d/%d, want 0/0/4 rerouted onto the direct arc",
+			s.Flow(cheapA), s.Flow(cheapB), s.Flow(direct))
+	}
+	if err := s.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	if st := s.EngineStats(); st.Resolves != 1 {
+		t.Fatalf("stats report %d resolves, want 1 (no fallback)", st.Resolves)
+	}
+}
+
+// FuzzResolveDeltas drives ResolveChanged with fuzzer-chosen delta
+// sequences over a fixed feasible base instance; every step must match
+// a fresh solve on the mutated configuration exactly.
+func FuzzResolveDeltas(f *testing.F) {
+	f.Add([]byte{0x01, 0x20, 0x13}, int64(1))
+	f.Add([]byte{0xff, 0x00, 0x7a, 0x31, 0x02, 0x9c}, int64(7))
+	f.Add([]byte{0x10, 0x11, 0x12, 0x13, 0x14, 0x15, 0x16, 0x17}, int64(42))
+	f.Fuzz(func(t *testing.T, deltas []byte, seed int64) {
+		rng := rand.New(rand.NewSource(seed))
+		s := buildRandomFeasible(rng, false)
+		if err := s.SetEngine("dial"); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.Solve(); err != nil {
+			t.Fatal(err)
+		}
+		var changed []int32
+		narcs := s.NumArcs()
+		for i := 0; i+2 < len(deltas); i += 3 {
+			id := int(deltas[i]) % narcs
+			switch deltas[i+1] % 3 {
+			case 0:
+				s.SetCost(id, int64(deltas[i+2]))
+			case 1:
+				s.UpdateCapacity(id, int64(deltas[i+2])*4)
+			default:
+				s.UpdateCapacity(id, 0)
+			}
+			changed = append(changed, int32(id))
+		}
+		gotCost, gotErr := s.ResolveChanged(changed)
+		wantCost, wantErr := freshTwin(s).Solve()
+		if (gotErr == nil) != (wantErr == nil) {
+			t.Fatalf("resolve err %v, fresh err %v", gotErr, wantErr)
+		}
+		if gotErr == nil && gotCost != wantCost {
+			t.Fatalf("resolve cost %v != fresh cost %v", gotCost, wantCost)
+		}
+		if gotErr == nil {
+			if err := s.Verify(); err != nil {
+				t.Fatalf("certificate: %v", err)
+			}
+		}
+	})
+}
+
+// BenchmarkDPhaseResolve measures the acceptance criterion of the
+// incremental re-flow: a steady-state D-phase-shaped loop that mutates
+// a small batch of arc costs per iteration, re-solved three ways —
+// "warmfull" (Reset + full Solve from warm potentials, the previous
+// best path), and "resolve" via the incremental drain-and-reroute on
+// both SSP engines.
+func BenchmarkDPhaseResolve(b *testing.B) {
+	const batch = 24
+	mkSchedule := func(s *Solver) ([]int32, []int64) {
+		rng := rand.New(rand.NewSource(11))
+		ids := make([]int32, 256*batch)
+		costs := make([]int64, len(ids))
+		for i := range ids {
+			ids[i] = int32(rng.Intn(s.NumArcs()))
+			costs[i] = int64(rng.Intn(1000))
+		}
+		return ids, costs
+	}
+	b.Run("warmfull", func(b *testing.B) {
+		s := NewGridInstance(40, 25, 7)
+		ids, costs := mkSchedule(s)
+		if _, err := s.Solve(); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			off := (i % 256) * batch
+			for k := 0; k < batch; k++ {
+				s.SetCost(int(ids[off+k]), costs[off+k])
+			}
+			s.Reset()
+			if _, err := s.Solve(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	for _, engine := range []string{"ssp", "dial"} {
+		engine := engine
+		b.Run("resolve/"+engine, func(b *testing.B) {
+			s := NewGridInstance(40, 25, 7)
+			ids, costs := mkSchedule(s)
+			if err := s.SetEngine(engine); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := s.Solve(); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				off := (i % 256) * batch
+				for k := 0; k < batch; k++ {
+					s.SetCost(int(ids[off+k]), costs[off+k])
+				}
+				if _, err := s.ResolveChanged(ids[off : off+batch]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// TestDialOverflowHorizon pins the dial engine's overflow discipline
+// (regression: an unsettled node whose tentative distance equals the
+// scan position at a rebase was dropped as settled, making a feasible
+// instance report ErrInfeasible).  Arc costs sit exactly at and just
+// below the bucket-ring horizon so the only route to the deficit goes
+// through an overflow entry.
+func TestDialOverflowHorizon(t *testing.T) {
+	build := func() *Solver {
+		s := New(4)
+		s.AddArc(0, 1, 10, dialRing-1) // dead end keeps the ring busy up to the horizon
+		s.AddArc(0, 2, 10, dialRing)   // the real route overflows the ring
+		s.AddArc(2, 3, 10, 0)
+		s.SetSupply(0, 1)
+		s.SetSupply(3, -1)
+		return s
+	}
+	want, err := build().Solve() // ssp reference
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := build()
+	if err := d.SetEngine("dial"); err != nil {
+		t.Fatal(err)
+	}
+	got, err := d.Solve()
+	if err != nil {
+		t.Fatalf("dial on feasible horizon instance: %v", err)
+	}
+	if got != want {
+		t.Fatalf("dial cost %v != ssp cost %v", got, want)
+	}
+	if err := d.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDialHugeCostsMatchSSP drives the overflow/merge machinery hard:
+// random feasible instances with costs scaled far beyond the bucket
+// ring must solve to exactly the ssp optimum (the D-phase integerizes
+// at 1e6, so megascale reduced costs are the production shape).
+func TestDialHugeCostsMatchSSP(t *testing.T) {
+	for seed := int64(0); seed < 40; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		a := buildRandomFeasible(rng, false)
+		scale := int64(1 + rng.Intn(5000))
+		for id := 0; id < a.NumArcs(); id++ {
+			a.SetCost(id, a.Cost(id)*scale)
+		}
+		b := freshTwin(a)
+		if err := b.SetEngine("dial"); err != nil {
+			t.Fatal(err)
+		}
+		want, err1 := a.Solve()
+		got, err2 := b.Solve()
+		if err1 != nil || err2 != nil {
+			t.Fatalf("seed %d: ssp err %v, dial err %v", seed, err1, err2)
+		}
+		if got != want {
+			t.Fatalf("seed %d (scale %d): dial cost %v != ssp cost %v", seed, scale, got, want)
+		}
+		if err := b.Verify(); err != nil {
+			t.Fatalf("seed %d: dial certificate: %v", seed, err)
+		}
+		// And again through the incremental path after a delta batch.
+		changed := mutateRandom(rng, b, false)
+		for _, id := range changed {
+			b.SetCost(int(id), b.Cost(int(id))*scale)
+		}
+		for i := 0; i < a.NumArcs(); i++ {
+			a.SetCost(i, b.Cost(i))
+			a.UpdateCapacity(i, b.Capacity(i))
+		}
+		for v := 0; v < a.N(); v++ {
+			a.SetSupply(v, b.Supply(v))
+		}
+		gotR, err2 := b.ResolveChanged(changed)
+		wantR, err1 := a.Solve()
+		if (err1 == nil) != (err2 == nil) {
+			t.Fatalf("seed %d: resolve err %v, fresh err %v", seed, err2, err1)
+		}
+		if err1 == nil && gotR != wantR {
+			t.Fatalf("seed %d: dial resolve cost %v != ssp cost %v", seed, gotR, wantR)
+		}
+	}
+}

@@ -1,0 +1,178 @@
+// Successive-shortest-paths machinery shared by the "ssp" and "dial"
+// engines: the source-selection/augmentation loop is common, and the
+// per-augmentation shortest-path search is pluggable (heap Dijkstra
+// here, Dial bucket Dijkstra in dial.go).
+package mcmf
+
+// pathFinder runs one shortest-path search on reduced costs from src,
+// filling s.dist/s.prevArc/s.visited for the settled region, and
+// returns the first node with negative excess together with its
+// distance, or target −1 when no deficit node is reachable.
+type pathFinder interface {
+	shortestPath(s *Solver, src int32, excess []int64) (target int32, dt int64)
+}
+
+// heapFinder is Dijkstra on the inline 4-ary heap — the classic SSP
+// inner loop, and the fallback the dial engine reaches for when a
+// reduced cost outgrows its bucket ring.
+type heapFinder struct{}
+
+func (heapFinder) shortestPath(s *Solver, src int32, excess []int64) (int32, int64) {
+	s.beginEpoch()
+	s.touch(src)
+	s.dist[src] = 0
+	s.h.reset()
+	s.h.push(0, src)
+	for !s.h.empty() {
+		d, u := s.h.pop()
+		if d > s.dist[u] {
+			continue // stale heap entry (lazy deletion)
+		}
+		if excess[u] < 0 {
+			// Settling nodes at equal distance is unnecessary;
+			// stop at the first deficit node for speed.
+			return u, d
+		}
+		pu := s.pot[u]
+		for _, ai := range s.arcsOf(int(u)) {
+			a := &s.arcs[ai]
+			if a.cap <= 0 {
+				continue
+			}
+			v := a.to
+			rc := a.cost + pu - s.pot[v]
+			if rc < 0 {
+				// Should not happen with valid potentials; clamp
+				// defensively (can arise from ties after early exit).
+				rc = 0
+			}
+			if s.stamp[v] != s.epoch {
+				s.touch(v)
+			}
+			if nd := d + rc; nd < s.dist[v] {
+				s.dist[v] = nd
+				s.prevArc[v] = ai
+				s.h.push(nd, v)
+			}
+		}
+	}
+	return -1, 0
+}
+
+// beginEpoch starts a fresh epoch for the stamped Dijkstra scratch.
+func (s *Solver) beginEpoch() {
+	s.epoch++
+	if s.epoch == 0 { // uint32 wraparound: invalidate all stamps
+		for i := range s.stamp {
+			s.stamp[i] = 0
+		}
+		s.epoch = 1
+	}
+	s.visited = s.visited[:0]
+}
+
+// augmentAll routes every positive excess to a deficit node along
+// reduced-cost shortest paths, updating potentials after each
+// augmentation.  excess must be balanced (sums to zero); residuals are
+// mutated in place.
+func (s *Solver) augmentAll(excess []int64, pf pathFinder, st *Stats) error {
+	srcs := s.sources[:0]
+	for v := 0; v < s.n; v++ {
+		if excess[v] > 0 {
+			srcs = append(srcs, int32(v))
+		}
+	}
+	s.sources = srcs // retain grown capacity for the next solve
+	for {
+		// Pick any node with positive excess.
+		src := int32(-1)
+		for len(srcs) > 0 {
+			v := srcs[len(srcs)-1]
+			if excess[v] > 0 {
+				src = v
+				break
+			}
+			srcs = srcs[:len(srcs)-1]
+		}
+		if src == -1 {
+			break // all supplies routed
+		}
+		target, dt := pf.shortestPath(s, src, excess)
+		if target == -1 {
+			return ErrInfeasible
+		}
+		st.Augmentations++
+		// Update potentials on settled nodes only: pot += dist − dt
+		// (equivalent to the classic pot += min(dist, dt) up to a
+		// uniform −dt shift, which leaves every reduced cost
+		// unchanged).  Unvisited and unsettled nodes keep their
+		// potentials, so the update is O(visited), not O(n).
+		for _, v := range s.visited {
+			if d := s.dist[v]; d < dt {
+				s.pot[v] += d - dt
+			}
+		}
+		// Bottleneck along the path.
+		bott := excess[src]
+		if -excess[target] < bott {
+			bott = -excess[target]
+		}
+		for v := target; v != src; {
+			ai := s.prevArc[v]
+			if s.arcs[ai].cap < bott {
+				bott = s.arcs[ai].cap
+			}
+			v = s.arcs[ai^1].to
+		}
+		// Augment.
+		for v := target; v != src; {
+			ai := s.prevArc[v]
+			s.arcs[ai].cap -= bott
+			s.arcs[ai^1].cap += bott
+			v = s.arcs[ai^1].to
+		}
+		excess[src] -= bott
+		excess[target] += bott
+	}
+	return nil
+}
+
+// sspEngine is successive shortest paths with the heap Dijkstra — the
+// default backend, bit-identical to the pre-engine Solver.Solve.
+type sspEngine struct {
+	st Stats
+}
+
+func (e *sspEngine) Name() string { return "ssp" }
+
+func (e *sspEngine) Stats() Stats { return e.st }
+
+func (e *sspEngine) Solve(s *Solver) (float64, error) {
+	return solveSSPFull(s, heapFinder{}, &e.st)
+}
+
+// solveSSPFull is the full solve shared by the SSP-family engines
+// ("ssp" and "dial" differ only in their path finder): preamble,
+// supply routing, and the solved-state bookkeeping.
+func solveSSPFull(s *Solver, pf pathFinder, st *Stats) (float64, error) {
+	if err := s.beginSolve(st); err != nil {
+		return 0, err
+	}
+	excess := s.excess[:s.n]
+	copy(excess, s.supply)
+	// Augmentations mutate the residuals from here on; mark them dirty
+	// up front so even an infeasible early return is cleaned up by the
+	// next Solve, and unrepairable until markSolved certifies them.
+	s.flowDirty = true
+	s.repairable = false
+	if err := s.augmentAll(excess, pf, st); err != nil {
+		return 0, err
+	}
+	s.markSolved()
+	st.Solves++
+	return s.TotalCost(), nil
+}
+
+func (e *sspEngine) Resolve(s *Solver, changed []int32) (float64, error) {
+	return resolveSSP(s, changed, heapFinder{}, &e.st, e.Solve)
+}

@@ -21,9 +21,11 @@ type Arrivals struct {
 	finish []float64 // at + d
 	pos    []int     // topological position per vertex
 
-	// Flattened adjacency (avoids edge-struct copies on the hot path).
-	preds [][]int32
-	succs [][]int32
+	// Flattened CSR adjacency (avoids edge-struct copies on the hot
+	// path and per-vertex slice growth at construction): the fanins of
+	// v are predIdx[predPtr[v]:predPtr[v+1]], fanouts likewise.
+	predPtr, predIdx []int32
+	succPtr, succIdx []int32
 
 	// worklist state
 	pq     workHeap
@@ -45,13 +47,33 @@ func NewArrivals(g *graph.Digraph, d []float64) (*Arrivals, error) {
 		at:     make([]float64, g.N()),
 		finish: make([]float64, g.N()),
 		pos:    make([]int, g.N()),
-		preds:  make([][]int32, g.N()),
-		succs:  make([][]int32, g.N()),
 		inWork: make([]bool, g.N()),
 	}
-	for _, e := range g.Edges() {
-		a.preds[e.To] = append(a.preds[e.To], int32(e.From))
-		a.succs[e.From] = append(a.succs[e.From], int32(e.To))
+	// CSR adjacency by counting sort over the edge list; iterating
+	// edges in insertion order lands each vertex's neighbours in the
+	// same per-vertex order the slice-of-slices construction produced.
+	n := g.N()
+	edges := g.Edges()
+	a.predPtr = make([]int32, n+1)
+	a.succPtr = make([]int32, n+1)
+	for i := range edges {
+		a.predPtr[edges[i].To+1]++
+		a.succPtr[edges[i].From+1]++
+	}
+	for v := 0; v < n; v++ {
+		a.predPtr[v+1] += a.predPtr[v]
+		a.succPtr[v+1] += a.succPtr[v]
+	}
+	a.predIdx = make([]int32, len(edges))
+	a.succIdx = make([]int32, len(edges))
+	pc := append([]int32(nil), a.predPtr[:n]...)
+	sc := append([]int32(nil), a.succPtr[:n]...)
+	for i := range edges {
+		e := &edges[i]
+		a.predIdx[pc[e.To]] = int32(e.From)
+		pc[e.To]++
+		a.succIdx[sc[e.From]] = int32(e.To)
+		sc[e.From]++
 	}
 	for i, v := range order {
 		a.pos[v] = i
@@ -88,7 +110,7 @@ func (a *Arrivals) CP() float64 {
 // recomputeAT refreshes at/finish for v from its fanins.
 func (a *Arrivals) recomputeAT(v int) {
 	at := 0.0
-	for _, u := range a.preds[v] {
+	for _, u := range a.predIdx[a.predPtr[v]:a.predPtr[v+1]] {
 		if f := a.finish[u]; f > at {
 			at = f
 		}
@@ -161,7 +183,7 @@ func (a *Arrivals) SetDelays(vs []int, newD []float64) {
 		a.inWork[v] = false
 		oldFinish := a.finish[v]
 		at := 0.0
-		for _, u := range a.preds[v] {
+		for _, u := range a.predIdx[a.predPtr[v]:a.predPtr[v+1]] {
 			if f := a.finish[u]; f > at {
 				at = f
 			}
@@ -169,7 +191,7 @@ func (a *Arrivals) SetDelays(vs []int, newD []float64) {
 		a.at[v] = at
 		a.finish[v] = at + a.d[v]
 		if a.finish[v] != oldFinish {
-			for _, w := range a.succs[v] {
+			for _, w := range a.succIdx[a.succPtr[v]:a.succPtr[v+1]] {
 				a.enqueue(int(w))
 			}
 		}

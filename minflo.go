@@ -30,6 +30,7 @@ import (
 	"minflo/internal/dag"
 	"minflo/internal/delay"
 	"minflo/internal/gen"
+	"minflo/internal/mcmf"
 	"minflo/internal/sta"
 	"minflo/internal/tech"
 	"minflo/internal/tilos"
@@ -133,7 +134,18 @@ type Config struct {
 	MaxIters int
 	// CostScale integerizes D-phase arc costs (default 1e6).
 	CostScale float64
+	// FlowEngine selects the D-phase min-cost-flow backend: "ssp"
+	// (successive shortest paths, heap Dijkstra), "dial" (SSP with a
+	// bucket-queue Dijkstra), "costscaling" (Goldberg–Tarjan), or
+	// ""/"auto" to pick per problem size (see FlowEngines and
+	// EXPERIMENTS.md for the measured crossover).  Applies to every
+	// optimization the Sizer runs: Minflotransit, Sweep, RunTable and
+	// the transistor/wire variants.
+	FlowEngine string
 }
+
+// FlowEngines lists the selectable D-phase flow backends.
+func FlowEngines() []string { return mcmf.EngineNames() }
 
 // Sizer runs the optimizers over circuits with fixed technology
 // parameters.
@@ -160,6 +172,11 @@ func NewSizer(cfg *Config) (*Sizer, error) {
 	}
 	if c.TilosBump == 0 {
 		c.TilosBump = 1.1
+	}
+	// Reject unknown engine names here rather than deep inside the
+	// first optimization run.
+	if _, err := core.ResolveFlowEngine(c.FlowEngine, 0); err != nil {
+		return nil, err
 	}
 	return &Sizer{cfg: c, model: m}, nil
 }
@@ -269,9 +286,10 @@ func (s *Sizer) Minflotransit(c *Circuit, T float64) (*Sizing, error) {
 
 func (s *Sizer) coreOptions() core.Options {
 	return core.Options{
-		Window:    s.cfg.Window,
-		MaxIters:  s.cfg.MaxIters,
-		CostScale: s.cfg.CostScale,
-		Tilos:     tilos.Options{Bump: s.cfg.TilosBump},
+		Window:     s.cfg.Window,
+		MaxIters:   s.cfg.MaxIters,
+		CostScale:  s.cfg.CostScale,
+		FlowEngine: s.cfg.FlowEngine,
+		Tilos:      tilos.Options{Bump: s.cfg.TilosBump},
 	}
 }
