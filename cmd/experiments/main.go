@@ -13,7 +13,8 @@
 // *.bench file in the directory becomes one table row at -spec·Dmin.
 //
 // -engine selects the D-phase flow backend (auto, ssp, dial,
-// costscaling) for every mode.
+// parallel, costscaling) and -j the intra-run worker budget for
+// every mode.
 //
 // Table 1 runs the full 12-circuit suite and takes a few minutes.
 package main
@@ -21,6 +22,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"sort"
@@ -39,7 +41,8 @@ func main() {
 		lagr     = flag.Bool("lagrangian", false, "compare against the reference-[8] Lagrangian sizer")
 		all      = flag.Bool("all", false, "run everything")
 		quick    = flag.Bool("quick", false, "restrict Table 1 to the small circuits")
-		engine   = flag.String("engine", "auto", "D-phase flow engine: auto, ssp, dial or costscaling")
+		engine   = flag.String("engine", "auto", "D-phase flow engine: auto, ssp, dial, parallel or costscaling")
+		jobs     = flag.Int("j", 0, "intra-run parallelism: worker budget per sizing run (0 = GOMAXPROCS, 1 = serial; results are identical at any setting)")
 		benchdir = flag.String("benchdir", "", "directory of .bench netlists: run a table sweep over every *.bench file in it")
 		spec     = flag.Float64("spec", 0.5, "delay spec (fraction of Dmin) for -benchdir rows")
 	)
@@ -51,7 +54,7 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	sz, err := minflo.NewSizer(&minflo.Config{FlowEngine: *engine})
+	sz, err := minflo.NewSizer(&minflo.Config{FlowEngine: *engine, Parallelism: *jobs})
 	if err != nil {
 		fail(err)
 	}
@@ -113,28 +116,40 @@ func fail(err error) {
 // spec·Dmin, parsed with the internal/bench reader and run through the
 // same parallel RunTable harness as the synthetic suite.
 func runBenchDir(sz *minflo.Sizer, dir string, spec float64) {
-	paths, err := filepath.Glob(filepath.Join(dir, "*.bench"))
-	if err != nil {
+	if _, err := benchDirTable(sz, dir, spec, os.Stdout); err != nil {
 		fail(err)
 	}
+}
+
+// benchDirTable is the testable core of -benchdir: it parses every
+// *.bench file in dir (alphabetical), runs the table sweep at
+// spec·Dmin, writes progress and the formatted table to w, and
+// returns the successful rows in suite order (TestBenchDirGolden
+// checks them against a checked-in golden table).  Malformed netlists
+// and infeasible rows are reported to w and skipped, not fatal.
+func benchDirTable(sz *minflo.Sizer, dir string, spec float64, w io.Writer) ([]*minflo.TableRow, error) {
+	paths, err := filepath.Glob(filepath.Join(dir, "*.bench"))
+	if err != nil {
+		return nil, err
+	}
 	if len(paths) == 0 {
-		fail(fmt.Errorf("no *.bench files in %s", dir))
+		return nil, fmt.Errorf("no *.bench files in %s", dir)
 	}
 	sort.Strings(paths)
-	fmt.Printf("== %d netlists from %s at %.2f·Dmin ==\n", len(paths), dir, spec)
+	fmt.Fprintf(w, "== %d netlists from %s at %.2f·Dmin ==\n", len(paths), dir, spec)
 	var jobs []minflo.TableJob
 	var names []string
 	for _, path := range paths {
 		f, err := os.Open(path)
 		if err != nil {
-			fail(err)
+			return nil, err
 		}
 		name := strings.TrimSuffix(filepath.Base(path), ".bench")
 		ckt, perr := minflo.ParseBench(f, name)
 		f.Close()
 		if perr != nil {
 			// A malformed netlist skips its row, not the whole suite.
-			fmt.Printf("%-12s parse error: %v\n", name, perr)
+			fmt.Fprintf(w, "%-12s parse error: %v\n", name, perr)
 			continue
 		}
 		jobs = append(jobs, minflo.TableJob{Circuit: ckt, Spec: spec})
@@ -144,13 +159,14 @@ func runBenchDir(sz *minflo.Sizer, dir string, spec float64) {
 	var ok []*minflo.TableRow
 	for i := range rows {
 		if errs[i] != nil {
-			fmt.Printf("%-12s %v\n", names[i], errs[i])
+			fmt.Fprintf(w, "%-12s %v\n", names[i], errs[i])
 			continue
 		}
 		ok = append(ok, rows[i])
 	}
-	minflo.WriteTable(os.Stdout, ok)
-	fmt.Println()
+	minflo.WriteTable(w, ok)
+	fmt.Fprintln(w)
+	return ok, nil
 }
 
 func runTable1(sz *minflo.Sizer, quick bool) {

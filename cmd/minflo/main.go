@@ -25,20 +25,21 @@ func main() {
 		benchFile   = flag.String("bench", "", "ISCAS85 .bench netlist file")
 		spec        = flag.Float64("spec", 0.5, "delay target as a fraction of Dmin")
 		algo        = flag.String("algo", "minflo", "sizing algorithm: minflo, tilos or lagrange")
-		engine      = flag.String("engine", "auto", "D-phase flow engine: auto, ssp, dial or costscaling")
+		engine      = flag.String("engine", "auto", "D-phase flow engine: auto, ssp, dial, parallel or costscaling")
+		jobs        = flag.Int("j", 0, "intra-run parallelism: worker budget for one sizing run (0 = GOMAXPROCS, 1 = serial; results are identical at any setting)")
 		mode        = flag.String("mode", "gate", "sizing mode: gate or transistor")
 		dumpSizes   = flag.Bool("sizes", false, "print the per-element sizes")
 		report      = flag.Bool("report", false, "print a timing report after sizing")
 		sweep       = flag.Bool("sweep", false, "print the TILOS-vs-MINFLO area-delay curve instead of one point")
 	)
 	flag.Parse()
-	if err := run(*circuitName, *benchFile, *spec, *algo, *engine, *mode, *dumpSizes, *report, *sweep); err != nil {
+	if err := run(*circuitName, *benchFile, *spec, *algo, *engine, *jobs, *mode, *dumpSizes, *report, *sweep); err != nil {
 		fmt.Fprintln(os.Stderr, "minflo:", err)
 		os.Exit(1)
 	}
 }
 
-func run(circuitName, benchFile string, spec float64, algo, engine, mode string, dumpSizes, report, sweep bool) error {
+func run(circuitName, benchFile string, spec float64, algo, engine string, jobs int, mode string, dumpSizes, report, sweep bool) error {
 	var ckt *minflo.Circuit
 	var err error
 	switch {
@@ -64,7 +65,7 @@ func run(circuitName, benchFile string, spec float64, algo, engine, mode string,
 		return fmt.Errorf("-spec %g must be in (0, 1]", spec)
 	}
 
-	sz, err := minflo.NewSizer(&minflo.Config{FlowEngine: engine})
+	sz, err := minflo.NewSizer(&minflo.Config{FlowEngine: engine, Parallelism: jobs})
 	if err != nil {
 		return err
 	}

@@ -21,12 +21,14 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"runtime"
 
 	"minflo/internal/balance"
 	"minflo/internal/dag"
 	"minflo/internal/dcs"
 	"minflo/internal/lin"
 	"minflo/internal/mcmf"
+	"minflo/internal/par"
 	"minflo/internal/smp"
 	"minflo/internal/sta"
 	"minflo/internal/tilos"
@@ -46,7 +48,17 @@ const dialAutoNodes = 128
 // ResolveFlowEngine maps an Options.FlowEngine value to a concrete
 // mcmf backend name: "" and "auto" pick by problem size (n = vertex
 // count of the base DAG), anything else must be a registered engine.
-func ResolveFlowEngine(name string, n int) (string, error) {
+//
+// auto never selects the speculative "parallel" backend, whatever the
+// worker budget par: measured on D-phase workloads, warm SSP searches
+// are so short and so potential-coupled that only ~8% of speculative
+// searches survive their predecessors' commits (EXPERIMENTS.md
+// "Intra-run parallelism"), so the serial dial engine remains the
+// expected winner and "parallel" is an explicit opt-in.  The par
+// parameter is accepted so the heuristic can revisit that choice when
+// multi-core measurements justify it.
+func ResolveFlowEngine(name string, n, par int) (string, error) {
+	_ = par
 	switch name {
 	case "", "auto":
 		if n >= dialAutoNodes {
@@ -90,12 +102,22 @@ type Options struct {
 	// power-of-10 scaling). Defaults 1e6 / 1e4.
 	CostScale, SupplyScale float64
 	// FlowEngine selects the D-phase min-cost-flow backend by mcmf
-	// registry name ("ssp", "dial", "costscaling").  Empty or "auto"
-	// picks per problem size: "dial" — whose bucket-queue Dijkstra
-	// exploits the near-zero reduced costs of warm-started re-solves —
-	// on everything but trivially small instances (measured crossover
-	// in EXPERIMENTS.md).
+	// registry name ("ssp", "dial", "costscaling", "parallel").
+	// Empty or "auto" picks per problem size: "dial" — whose
+	// bucket-queue Dijkstra exploits the near-zero reduced costs of
+	// warm-started re-solves — on everything but trivially small
+	// instances (measured crossover in EXPERIMENTS.md; the
+	// speculative "parallel" backend is opt-in, see
+	// ResolveFlowEngine).
 	FlowEngine string
+	// Parallelism is the intra-run worker budget: the W-phase level
+	// sweeps, the sensitivity solves and the "parallel" flow backend
+	// all draw from it.  0 defaults to GOMAXPROCS; 1 forces a fully
+	// serial run.  Results are bit-identical at every setting — the
+	// parallel paths are pinned to their serial twins by the
+	// determinism suite — and small problems fall back to serial
+	// below measured size floors regardless.
+	Parallelism int
 	// Tilos configures the initial-guess run.
 	Tilos tilos.Options
 	// SkipTilos starts from minimum sizes when the target is already met
@@ -177,11 +199,13 @@ type iterScratch struct {
 	lin      *lin.Solver       // sensitivity engine over p.CSR()
 
 	sys    *dcs.System
-	engine string // resolved mcmf backend name for the D-phase
-	loID   []int  // constraint r_i − r_dm ≤ …, per sizable vertex
-	hiID   []int  // constraint r_dm − r_i ≤ …, per sizable vertex
-	objID  []int  // objective term per sizable vertex
-	edgeID []int  // constraint per augmented edge (-1 for self edges)
+	engine string    // resolved mcmf backend name for the D-phase
+	par    int       // intra-run worker budget (≥1, resolved)
+	pool   *par.Pool // W-phase/sensitivity worker pool (nil when par == 1)
+	loID   []int     // constraint r_i − r_dm ≤ …, per sizable vertex
+	hiID   []int     // constraint r_dm − r_i ≤ …, per sizable vertex
+	objID  []int     // objective term per sizable vertex
+	edgeID []int     // constraint per augmented edge (-1 for self edges)
 
 	selfEdge []bool // per augmented edge: is it i→Dmy(i)?
 
@@ -197,10 +221,14 @@ type iterScratch struct {
 // newIterScratch builds the constraint-network topology once and
 // preallocates the iteration buffers.  x0 seeds the incremental
 // arrival engine.
-func newIterScratch(p *dag.Problem, aug *dag.Augmented, x0 []float64, engine string) (*iterScratch, error) {
+func newIterScratch(p *dag.Problem, aug *dag.Augmented, x0 []float64, engine string, parallelism int) (*iterScratch, error) {
+	if parallelism < 1 {
+		parallelism = 1
+	}
 	n := p.NumSizable
 	sc := &iterScratch{
 		engine:    engine,
+		par:       parallelism,
 		balancer:  balance.NewBalancer(aug.G),
 		smp:       smp.NewSolver(p.CSR()),
 		lin:       lin.NewSolver(p.CSR()),
@@ -250,8 +278,20 @@ func newIterScratch(p *dag.Problem, aug *dag.Augmented, x0 []float64, engine str
 		sc.edgeID[e.ID] = sys.AddConstraint(e.From, e.To, 0)
 	}
 	sc.sys = sys
+	if sc.par > 1 {
+		// One pool serves both level-parallel solvers.  Created last —
+		// after every fallible step — so error returns above never
+		// leak its parked worker goroutines; Size closes it (sc.close)
+		// when the run finishes.
+		sc.pool = par.New(sc.par)
+		sc.smp.SetParallel(sc.pool)
+		sc.lin.SetParallel(sc.pool)
+	}
 	return sc, nil
 }
+
+// close releases the scratch's worker pool (no-op for serial runs).
+func (sc *iterScratch) close() { sc.pool.Close() }
 
 // retime updates the incremental arrival engine to sizes x and returns
 // the critical path.
@@ -297,15 +337,20 @@ func Size(p *dag.Problem, T float64, opt Options) (*Result, error) {
 		res.TilosCP = tr.CP
 	}
 
-	engine, err := ResolveFlowEngine(opt.FlowEngine, p.G.N())
+	parallelism := opt.Parallelism
+	if parallelism == 0 {
+		parallelism = runtime.GOMAXPROCS(0)
+	}
+	engine, err := ResolveFlowEngine(opt.FlowEngine, p.G.N(), parallelism)
 	if err != nil {
 		return nil, err
 	}
 	aug := p.Augment()
-	sc, err := newIterScratch(p, aug, x, engine)
+	sc, err := newIterScratch(p, aug, x, engine, parallelism)
 	if err != nil {
 		return nil, err
 	}
+	defer sc.close()
 	bestX := append([]float64(nil), x...)
 	bestArea := p.Area(x)
 	noImprove := 0
@@ -433,7 +478,7 @@ func iterate(p *dag.Problem, aug *dag.Augmented, sc *iterScratch, x []float64, T
 			sys.SetWeight(id, cfg.FSDU[e.ID])
 		}
 	}
-	sol, err := sys.Solve(dcs.Options{CostScale: opt.CostScale, SupplyScale: opt.SupplyScale, Engine: sc.engine})
+	sol, err := sys.Solve(dcs.Options{CostScale: opt.CostScale, SupplyScale: opt.SupplyScale, Engine: sc.engine, Parallelism: sc.par})
 	if err != nil {
 		return IterStats{}, fmt.Errorf("core: D-phase: %w", err)
 	}

@@ -190,10 +190,15 @@ type Options struct {
 	// Default 1e4.
 	SupplyScale float64
 	// Engine selects the min-cost-flow backend by mcmf registry name
-	// ("ssp", "dial", "costscaling").  Empty keeps the solver's current
-	// engine (the mcmf default on a fresh network).  Switching engines
-	// between Solve calls keeps the cached network and its warm state.
+	// ("ssp", "dial", "costscaling", "parallel").  Empty keeps the
+	// solver's current engine (the mcmf default on a fresh network).
+	// Switching engines between Solve calls keeps the cached network
+	// and its warm state.
 	Engine string
+	// Parallelism is the worker budget handed to parallelism-aware
+	// flow engines (0 = GOMAXPROCS at solve time).  It never changes
+	// results — the parallel backend is bit-identical to serial.
+	Parallelism int
 }
 
 func (o Options) withDefaults() Options {
@@ -301,6 +306,7 @@ func (s *System) Solve(opt Options) (*Solution, error) {
 			return nil, err
 		}
 	}
+	f.SetParallelism(opt.Parallelism)
 
 	// Supplies: zero, then accumulate the integerized objective terms
 	// (mcmf diffs them against the last routed configuration itself).

@@ -1,0 +1,95 @@
+package lin
+
+import (
+	"math/rand"
+	"testing"
+
+	"minflo/internal/delay"
+	"minflo/internal/par"
+)
+
+// mkWideInstance mirrors the smp parallel-test generator: a layered
+// coefficient set wide enough to cross the level-parallel floor, with
+// optional 2-vertex SCC blocks (dense-block path).
+func mkWideInstance(rng *rand.Rand, layers, width int, blocks bool) ([]delay.Coeffs, []float64, []float64) {
+	n := layers * width
+	ks := make([]delay.Coeffs, n)
+	for v := 0; v < n; v++ {
+		ks[v].Self = rng.Float64() * 2
+		ks[v].Const = rng.Float64() * 10
+		l := v / width
+		if l+1 < layers {
+			for k := 0; k < 1+rng.Intn(3); k++ {
+				j := (l+1)*width + rng.Intn(width)
+				ks[v].Terms = append(ks[v].Terms, delay.Term{J: j, A: rng.Float64() * 2})
+			}
+		}
+		if blocks && v%width%2 == 0 && v+1 < (l+1)*width {
+			ks[v].Terms = append(ks[v].Terms, delay.Term{J: v + 1, A: 0.15 * rng.Float64()})
+			ks[v+1].Terms = append(ks[v+1].Terms, delay.Term{J: v, A: 0.15 * rng.Float64()})
+		}
+	}
+	d := make([]float64, n)
+	w := make([]float64, n)
+	for i := range d {
+		d[i] = ks[i].Self + 1 + rng.Float64()*8
+		w[i] = 0.5 + rng.Float64()*3
+	}
+	return ks, d, w
+}
+
+// TestParallelTransposeMatchesSerialBitwise is the sensitivity-solve
+// determinism gate: the level-parallel transpose solve (and the
+// sensitivities derived from it) at worker counts 2, 4 and 8 must be
+// bit-identical to the serial solve.
+func TestParallelTransposeMatchesSerialBitwise(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 30; trial++ {
+		blocks := trial%2 == 1
+		ks, d, w := mkWideInstance(rng, 3+rng.Intn(4), 2*delay.LevelParallelFloor+rng.Intn(200), blocks)
+		csr := delay.NewCSR(ks)
+		if csr.MaxLevelWidth() < delay.LevelParallelFloor {
+			t.Fatalf("trial %d: max level width %d below the parallel floor — bad generator", trial, csr.MaxLevelWidth())
+		}
+		n := len(ks)
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = 1 + rng.Float64()*5
+		}
+
+		serial := NewSolver(csr)
+		wantY := make([]float64, n)
+		if err := serial.SolveTransposeInto(wantY, d, w); err != nil {
+			t.Fatalf("trial %d: serial transpose: %v", trial, err)
+		}
+		wantC := make([]float64, n)
+		if err := serial.SensitivitiesInto(wantC, x, d, w); err != nil {
+			t.Fatalf("trial %d: serial sensitivities: %v", trial, err)
+		}
+
+		for _, workers := range []int{2, 4, 8} {
+			pool := par.New(workers)
+			ps := NewSolver(csr)
+			ps.SetParallel(pool)
+			gotY := make([]float64, n)
+			if err := ps.SolveTransposeInto(gotY, d, w); err != nil {
+				t.Fatalf("trial %d workers %d: %v", trial, workers, err)
+			}
+			for i := range wantY {
+				if gotY[i] != wantY[i] {
+					t.Fatalf("trial %d workers %d: y[%d] = %v, serial %v", trial, workers, i, gotY[i], wantY[i])
+				}
+			}
+			gotC := make([]float64, n)
+			if err := ps.SensitivitiesInto(gotC, x, d, w); err != nil {
+				t.Fatalf("trial %d workers %d: sensitivities: %v", trial, workers, err)
+			}
+			for i := range wantC {
+				if gotC[i] != wantC[i] {
+					t.Fatalf("trial %d workers %d: c[%d] = %v, serial %v", trial, workers, i, gotC[i], wantC[i])
+				}
+			}
+			pool.Close()
+		}
+	}
+}

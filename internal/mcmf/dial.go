@@ -132,9 +132,9 @@ func (f *dialFinder) shortestPath(s *Solver, src int32, excess []int64) (int32, 
 // is ever settled at a distance above an unsettled tentative one, so
 // overflow entries can never be orphaned behind the scan position.
 func (f *dialFinder) dialSearch(s *Solver, src int32, excess []int64) (target int32, dt int64, ok bool) {
-	s.beginEpoch()
-	s.touch(src)
-	s.dist[src] = 0
+	s.ss.begin()
+	s.ss.touch(src)
+	s.ss.dist[src] = 0
 	f.push(0, src)
 	f.ovMin = inf
 	d := int64(0)
@@ -174,7 +174,7 @@ func (f *dialFinder) dialSearch(s *Solver, src int32, excess []int64) (target in
 		for k := 0; k < len(*b); k++ {
 			u := (*b)[k]
 			f.pending--
-			if s.dist[u] != d {
+			if s.ss.dist[u] != d {
 				continue // stale entry (node improved to a smaller distance)
 			}
 			if excess[u] < 0 {
@@ -192,12 +192,12 @@ func (f *dialFinder) dialSearch(s *Solver, src int32, excess []int64) (target in
 				if rc < 0 {
 					rc = 0 // see heapFinder: tie artifacts after early exit
 				}
-				if s.stamp[v] != s.epoch {
-					s.touch(v)
+				if s.ss.stamp[v] != s.ss.epoch {
+					s.ss.touch(v)
 				}
-				if nd := d + rc; nd < s.dist[v] {
-					s.dist[v] = nd
-					s.prevArc[v] = ai
+				if nd := d + rc; nd < s.ss.dist[v] {
+					s.ss.dist[v] = nd
+					s.ss.prevArc[v] = ai
 					if nd-d < dialRing {
 						f.push(nd, v)
 					} else {
@@ -227,7 +227,7 @@ func (f *dialFinder) mergeOverflow(s *Solver, base int64) int64 {
 	kept := f.overflow[:0]
 	f.ovMin = inf
 	for _, e := range f.overflow {
-		if s.dist[e.v] != e.d {
+		if s.ss.dist[e.v] != e.d {
 			continue // stale: the node improved into the ring meanwhile
 		}
 		if e.d-base < dialRing {

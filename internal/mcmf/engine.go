@@ -11,6 +11,10 @@
 //	              D-phase instances; falls back to the heap per
 //	              augmentation when distances outgrow the bucket ring)
 //	"costscaling" Goldberg–Tarjan cost-scaling push-relabel
+//	"parallel"    successive shortest paths with speculative concurrent
+//	              searches committed in serial order — bit-identical to
+//	              "ssp" at every Solver.SetParallelism worker count
+//	              (parallel.go)
 //
 // Engines are cheap per-Solver objects: a factory from the registry
 // owns only algorithm-local scratch (the dial bucket ring, the heap)
@@ -48,6 +52,16 @@ type Stats struct {
 	// FullFallbacks counts Resolve calls that ran a full Solve instead
 	// (no prior flow, topology changed, or the engine cannot re-flow).
 	FullFallbacks int
+	// Visited counts the nodes touched by shortest-path searches
+	// (SSP engines) — the work measure behind the EWMA resolve gate.
+	Visited int64
+	// SpecCommits / SpecWasted count speculative searches the parallel
+	// engine committed as-is versus discarded because an earlier commit
+	// in the same round invalidated their read set.  Unlike the
+	// counters above these depend on the worker budget (more workers =
+	// bigger speculation rounds), never on the result.
+	SpecCommits int64
+	SpecWasted  int64
 }
 
 // Engine is a min-cost-flow algorithm over a Solver's network state.
@@ -112,6 +126,7 @@ func init() {
 	Register("ssp", func() Engine { return &sspEngine{} })
 	Register("dial", func() Engine { return &dialEngine{} })
 	Register("costscaling", func() Engine { return &costScalingEngine{} })
+	Register("parallel", func() Engine { return &parEngine{} })
 }
 
 // SetEngine switches the solver to the named backend.  Network state

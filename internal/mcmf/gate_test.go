@@ -1,0 +1,94 @@
+package mcmf
+
+import "testing"
+
+// chainInstance builds a 10-node chain with three supply sources and a
+// single sink — small enough to reason about the gate arithmetic
+// exactly: srcs = 3, so the static heuristic (supply deltas weighted
+// 64×) always hands supply-delta rounds to the full solve, while the
+// measured gate prices them at one full-solve augmentation each.
+func chainInstance() *Solver {
+	s := New(10)
+	for v := 0; v+1 < 10; v++ {
+		s.AddArc(v, v+1, 1_000, 1)
+	}
+	s.SetSupply(0, 5)
+	s.SetSupply(1, 7)
+	s.SetSupply(2, 3)
+	s.SetSupply(9, -15)
+	return s
+}
+
+// TestResolveGateFallback pins the two regimes of the work-estimate
+// gate.  Unseeded (no incremental run measured yet), the static
+// heuristic applies: a supply-delta round estimates 64× per delta,
+// exceeds the source count, and falls back to a warm full solve.
+// Once an arc-repair round has seeded the measured average, the same
+// supply-delta shape re-prices to ~one full-solve augmentation per
+// delta — below the full solve's one-per-source — and goes
+// incremental (the ROADMAP "smarter resolve gating" win).
+func TestResolveGateFallback(t *testing.T) {
+	s := chainInstance()
+	if _, err := s.Solve(); err != nil {
+		t.Fatal(err)
+	}
+	if s.ewmaFullVisits <= 0 {
+		t.Fatalf("full solve did not seed the full-cost average: %v", s.ewmaFullVisits)
+	}
+	if s.ewmaResolveVisits != 0 {
+		t.Fatalf("resolve average seeded without a resolve: %v", s.ewmaResolveVisits)
+	}
+
+	// Round 1: pure supply delta, unseeded measured gate.  Static
+	// estimate: 2 deltas × 64 = 128 > 3 sources → full fallback.
+	s.AddSupply(0, -2)
+	s.AddSupply(1, 2)
+	if _, err := s.ResolveChanged(nil); err != nil {
+		t.Fatal(err)
+	}
+	st := s.EngineStats()
+	if st.FullFallbacks != 1 || st.Resolves != 0 {
+		t.Fatalf("unseeded supply-delta round: %+v, want a full fallback and no resolve", st)
+	}
+
+	// Round 2: pure arc repair.  Static estimate: 1 ≤ 3 → incremental,
+	// which seeds the measured resolve average.
+	s.SetCost(4, 3)
+	if _, err := s.ResolveChanged([]int32{4}); err != nil {
+		t.Fatal(err)
+	}
+	st = s.EngineStats()
+	if st.Resolves != 1 {
+		t.Fatalf("arc-repair round: %+v, want one incremental resolve", st)
+	}
+	if s.ewmaResolveVisits <= 0 {
+		t.Fatalf("incremental run did not seed the resolve average")
+	}
+
+	// Round 3: the same supply-delta shape as round 1, now with both
+	// averages seeded.  Measured estimate: 2 deltas × fullVisits ≤
+	// 3 sources × fullVisits → incremental, no fallback.
+	s.AddSupply(0, 1)
+	s.AddSupply(2, -1)
+	if _, err := s.ResolveChanged(nil); err != nil {
+		t.Fatal(err)
+	}
+	st = s.EngineStats()
+	if st.Resolves != 2 || st.FullFallbacks != 1 {
+		t.Fatalf("seeded supply-delta round: %+v, want it incremental (2 resolves, still 1 fallback)", st)
+	}
+	if err := s.Verify(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The repaired flow must equal a fresh solve of the final
+	// configuration (the gate only chooses a path, never a result).
+	want, err := freshTwin(s).Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := s.TotalCost()
+	if got != want {
+		t.Fatalf("final cost %v != fresh %v", got, want)
+	}
+}

@@ -96,18 +96,25 @@ type Solver struct {
 	topoDirty bool
 	flowDirty bool // residuals carry a previous solve's flow
 
-	// Epoch-stamped Dijkstra scratch: dist/prevArc entries are valid
-	// only when stamp matches epoch, so per-augmentation reset is O(1)
-	// plus the nodes actually visited (tracked in visited).
-	dist    []int64
-	prevArc []int32
-	stamp   []uint32
-	epoch   uint32
-	visited []int32
+	// ss is the solver's own epoch-stamped Dijkstra scratch (the
+	// serial search path; see search.go).  The parallel engine adds
+	// private scratches of the same shape for speculative searches.
+	ss      searchScratch
 	excess  []int64
 	sources []int32
-	h       heap4
 	net     []int64 // Verify scratch (net outflow per node)
+
+	// par is the worker budget for parallelism-aware engines
+	// (SetParallelism); 0 means GOMAXPROCS at solve time.
+	par int
+
+	// Measured augmentation-cost averages feeding the ResolveChanged
+	// work-estimate gate (resolve.go): exponential moving averages of
+	// visited nodes per augmentation, kept separately for full solves
+	// and incremental repairs.  Zero until the first run of each kind
+	// seeds them (the gate falls back to a static estimate until then).
+	ewmaFullVisits    float64
+	ewmaResolveVisits float64
 }
 
 // New returns a solver over n nodes with no arcs and zero supplies.
@@ -310,12 +317,9 @@ func (s *Solver) prepare() {
 		copy(pot, s.pot)
 		s.pot = pot
 	}
-	if len(s.dist) < n {
-		s.dist = make([]int64, n)
-		s.prevArc = make([]int32, n)
-		s.stamp = make([]uint32, n)
+	s.ss.ensure(n)
+	if len(s.excess) < n {
 		s.excess = make([]int64, n)
-		s.epoch = 0
 	}
 	s.topoDirty = false
 }
@@ -376,13 +380,20 @@ func (s *Solver) bellmanFord() error {
 	return ErrNegativeCycle
 }
 
-// touch stamps node v into the current Dijkstra epoch.
-func (s *Solver) touch(v int32) {
-	s.stamp[v] = s.epoch
-	s.dist[v] = inf
-	s.prevArc[v] = -1
-	s.visited = append(s.visited, v)
+// SetParallelism sets the worker budget for parallelism-aware engines
+// (the "parallel" backend): k workers, or GOMAXPROCS at solve time
+// when k is 0.  Serial engines ignore it.  The setting never changes
+// results — the parallel engine is bit-identical to "ssp" at every
+// worker count — only how much concurrent speculation backs them.
+func (s *Solver) SetParallelism(k int) {
+	if k < 0 {
+		k = 0
+	}
+	s.par = k
 }
+
+// Parallelism returns the configured worker budget (0 = GOMAXPROCS).
+func (s *Solver) Parallelism() int { return s.par }
 
 // Solve computes a minimum-cost feasible flow with the active engine
 // (SetEngine; "ssp" by default). It returns the total cost (as

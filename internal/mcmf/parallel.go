@@ -1,0 +1,327 @@
+// The "parallel" engine: successive shortest paths with speculative
+// concurrent searches committed in the exact serial ("ssp") order —
+// bit-identical to the serial backend at every worker budget.
+//
+// SSP augmentations look inherently sequential — every augmentation
+// rewrites residuals and potentials that the next search reads — but
+// the D-phase instances this package serves route many supplies whose
+// shortest-path searches settle small neighbourhoods (warm-start
+// potentials concentrate reduced costs near zero, and every search
+// stops at the first deficit node).  That makes optimistic concurrency
+// the natural shape:
+//
+//  1. Speculate: the next K pending sources (in the exact order the
+//     serial loop would drain them) are searched concurrently by a
+//     worker pool.  During this phase nothing mutates the network —
+//     each worker owns a private searchScratch and reads the shared
+//     residual arcs, potentials and excess vector.
+//  2. Commit: the main goroutine replays the serial drain order.  A
+//     speculative result whose read footprint is untouched by the
+//     commits before it is applied as-is through the same
+//     applyAugmentation path the serial loop uses; an invalidated one
+//     is recomputed serially on the spot.  Extra augmentations for a
+//     source that is not drained by its first one run serially too.
+//
+// Validation is sign-precise, not footprint-precise: a search never
+// reads residual capacity magnitudes (the bottleneck is recomputed
+// from live capacities at commit time), so a commit invalidates a
+// speculation only where it changed what a search can actually
+// observe — a potential, a residual arc appearing or vanishing, or a
+// deficit being fully served.
+//
+// Because commits happen in the serial order with the serial commit
+// code against live state, the engine's flows, potentials, costs,
+// augmentation and visited counts are bit-identical to "ssp" at every
+// worker budget (asserted by TestParallelEngineMatchesSSPExact and
+// the core determinism suite).  Worker count, round size and
+// scheduling affect only the SpecCommits/SpecWasted counters, never
+// the result.
+//
+// The serial commit order is also the engine's measured limit: warm
+// D-phase searches are short *because* each commit's potential
+// updates prepare its successor's search, and that information flow
+// caps how many speculations survive (see EXPERIMENTS.md "Intra-run
+// parallelism" for measured hit rates; a de-clustered commit order
+// was tried and lifts the hit rate to ~96% — while inflating total
+// search work ~50×, which is why bit-compatibility with the serial
+// order is also the right performance choice).
+//
+// Below parMinSources pending sources (or a worker budget of 1) the
+// engine runs the plain serial loop: speculation costs one goroutine
+// barrier per round, which only pays for itself when there is real
+// fan-out to hide.
+package mcmf
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// parMinSources is the speculation floor: augmentation runs with
+// fewer pending sources run the plain serial loop.
+const parMinSources = 8
+
+// parMaxSlots caps the speculation round size.  Each slot owns a full
+// searchScratch (16 bytes per network node), so the cap bounds
+// scratch memory at parMaxSlots·16·n bytes while still letting small
+// worker budgets speculate a few rounds ahead.
+const parMaxSlots = 32
+
+type parEngine struct {
+	st Stats
+
+	slots []*searchScratch // speculation scratches, slot i ↔ batch[i]
+	res   []specResult     // search results per slot
+
+	// Epoch-stamped commit write-set: dirty[v] == dirtyEp when a
+	// commit in the current speculation round changed something a
+	// search could observe at v.
+	dirty   []uint32
+	dirtyEp uint32
+
+	batch []int32 // sources of the in-flight speculation round
+}
+
+type specResult struct {
+	target int32
+	dt     int64
+}
+
+func (e *parEngine) Name() string { return "parallel" }
+
+func (e *parEngine) Stats() Stats { return e.st }
+
+func (e *parEngine) Solve(s *Solver) (float64, error) {
+	if err := s.beginSolve(&e.st); err != nil {
+		return 0, err
+	}
+	excess := s.excess[:s.n]
+	copy(excess, s.supply)
+	// See solveSSPFull: residuals are dirty and unrepairable from the
+	// first augmentation until markSolved re-certifies them.
+	s.flowDirty = true
+	s.repairable = false
+	mark := e.st
+	if err := e.augment(s, excess); err != nil {
+		return 0, err
+	}
+	s.markSolved()
+	e.st.Solves++
+	s.noteFullRun(mark, e.st)
+	return s.TotalCost(), nil
+}
+
+func (e *parEngine) Resolve(s *Solver, changed []int32) (float64, error) {
+	excess, fallback, err := s.resolvePrep(changed)
+	if err != nil {
+		return 0, err
+	}
+	if fallback {
+		e.st.FullFallbacks++
+		return e.Solve(s)
+	}
+	mark := e.st
+	if err := e.augment(s, excess); err != nil {
+		return 0, err
+	}
+	s.markSolved()
+	e.st.Resolves++
+	s.noteResolveRun(mark, e.st)
+	return s.TotalCost(), nil
+}
+
+// workers resolves the effective worker budget for this solve.
+func (e *parEngine) workers(s *Solver) int {
+	if s.par > 0 {
+		return s.par
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// augment routes every positive excess to a deficit node, committing
+// augmentations in exactly the serial augmentAll order.
+func (e *parEngine) augment(s *Solver, excess []int64) error {
+	workers := e.workers(s)
+	// Collect sources exactly like the serial loop (ascending v).
+	srcs := s.sources[:0]
+	for v := 0; v < s.n; v++ {
+		if excess[v] > 0 {
+			srcs = append(srcs, int32(v))
+		}
+	}
+	s.sources = srcs
+	if workers <= 1 || len(srcs) < parMinSources {
+		// Serial floor: identical to ssp by construction.
+		return s.augmentAll(excess, heapFinder{}, &e.st)
+	}
+
+	n := s.n
+	slots := 4 * workers
+	if slots > parMaxSlots {
+		slots = parMaxSlots
+	}
+	for len(e.slots) < slots {
+		e.slots = append(e.slots, &searchScratch{})
+	}
+	for _, sc := range e.slots[:slots] {
+		sc.ensure(n)
+	}
+	if len(e.res) < slots {
+		e.res = make([]specResult, slots)
+	}
+	if len(e.dirty) < n {
+		e.dirty = make([]uint32, n)
+		e.dirtyEp = 0
+	}
+
+	// Helper pool for the speculation phases, one spawn per augment
+	// call: helpers park on kick between rounds and exit when it
+	// closes.  Per-call spawning is deliberate — engines have no
+	// Close hook, so persistent helpers would leak with their Solver;
+	// the cost (workers−1 goroutine starts and one channel per
+	// D-phase solve, microseconds against a millisecond-scale solve)
+	// is pinned by the CI parallel gate's allocation budgets.  The
+	// commit goroutine participates in every round, so helpers beyond
+	// slots-1 would never find work.
+	helpers := workers - 1
+	if helpers > slots-1 {
+		helpers = slots - 1
+	}
+	var (
+		wg   sync.WaitGroup
+		next atomic.Int32
+		kick = make(chan struct{})
+	)
+	for i := 0; i < helpers; i++ {
+		go func() {
+			for range kick {
+				e.specWork(s, excess, &next)
+				wg.Done()
+			}
+		}()
+	}
+	defer close(kick)
+
+	stack := srcs
+	for {
+		// Trim drained sources off the top (a source's excess only
+		// ever shrinks through its own commits, so a pending source
+		// stays positive until its turn — the trim only removes
+		// sources this loop drained itself).
+		for len(stack) > 0 && excess[stack[len(stack)-1]] <= 0 {
+			stack = stack[:len(stack)-1]
+		}
+		if len(stack) == 0 {
+			return nil // all supplies routed
+		}
+
+		k := slots
+		if k > len(stack) {
+			k = len(stack)
+		}
+		batch := stack[len(stack)-k:]
+
+		// Speculation phase: slot i searches batch[i].  The network is
+		// frozen — workers write only their own scratch and result slot.
+		e.batch = batch
+		next.Store(0)
+		launch := helpers
+		if launch > k-1 {
+			launch = k - 1
+		}
+		wg.Add(launch)
+		for i := 0; i < launch; i++ {
+			kick <- struct{}{}
+		}
+		e.specWork(s, excess, &next)
+		wg.Wait()
+
+		// Commit phase: replay the serial order (stack top first).
+		e.dirtyEp++
+		if e.dirtyEp == 0 { // uint32 wraparound: invalidate all stamps
+			for i := range e.dirty {
+				e.dirty[i] = 0
+			}
+			e.dirtyEp = 1
+		}
+		for i := k - 1; i >= 0; i-- {
+			src := batch[i]
+			specFresh := true
+			for excess[src] > 0 {
+				sc := &s.ss
+				var target int32
+				var dt int64
+				if specFresh && e.specValid(e.slots[i]) {
+					sc = e.slots[i]
+					target, dt = e.res[i].target, e.res[i].dt
+					e.st.SpecCommits++
+				} else {
+					if specFresh {
+						e.st.SpecWasted++
+					}
+					target, dt = dijkstraHeap(s, sc, src, excess)
+				}
+				specFresh = false
+				if target == -1 {
+					return ErrInfeasible
+				}
+				e.st.Augmentations++
+				e.st.Visited += int64(len(sc.visited))
+				bott := s.applyAugmentation(sc, src, target, dt, excess)
+				// Stamp only what the commit changed as a search sees
+				// it (see the package comment): potentials of settled
+				// nodes below dt; path arcs whose residual membership
+				// flipped — forward capacity exhausted, or a reverse
+				// residual springing into existence the first time
+				// flow uses the arc; and the target when its deficit
+				// was fully served.  Capacity changes that stay
+				// positive and the source's shrinking excess are
+				// invisible to searches and stay unstamped.
+				for _, v := range sc.visited {
+					if sc.dist[v] < dt {
+						e.dirty[v] = e.dirtyEp
+					}
+				}
+				if excess[target] == 0 {
+					e.dirty[target] = e.dirtyEp
+				}
+				for v := target; v != src; {
+					ai := sc.prevArc[v]
+					u := s.arcs[ai^1].to
+					if s.arcs[ai].cap == 0 || s.arcs[ai^1].cap == bott {
+						e.dirty[v] = e.dirtyEp
+						e.dirty[u] = e.dirtyEp
+					}
+					v = u
+				}
+			}
+		}
+		stack = stack[:len(stack)-k]
+	}
+}
+
+// specWork drains speculation tasks: each task i searches e.batch[i]
+// into slot i.  Shared solver state is read-only here.
+func (e *parEngine) specWork(s *Solver, excess []int64, next *atomic.Int32) {
+	for {
+		i := int(next.Add(1)) - 1
+		if i >= len(e.batch) {
+			return
+		}
+		t, dt := dijkstraHeap(s, e.slots[i], e.batch[i], excess)
+		e.res[i] = specResult{target: t, dt: dt}
+	}
+}
+
+// specValid reports whether a speculative search is still exact: no
+// node it touched was observably written by a commit earlier in this
+// round.
+func (e *parEngine) specValid(sc *searchScratch) bool {
+	for _, v := range sc.visited {
+		if e.dirty[v] == e.dirtyEp {
+			return false
+		}
+	}
+	return true
+}

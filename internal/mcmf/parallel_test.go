@@ -1,0 +1,229 @@
+package mcmf
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// snapshotState captures everything a solve writes: per-arc flows, the
+// node potentials and the optimal cost.
+type flowState struct {
+	cost  float64
+	flows []int64
+	pots  []int64
+}
+
+func captureState(s *Solver, cost float64) flowState {
+	st := flowState{cost: cost}
+	for id := 0; id < s.NumArcs(); id++ {
+		st.flows = append(st.flows, s.Flow(id))
+	}
+	for v := 0; v < s.N(); v++ {
+		st.pots = append(st.pots, s.Potential(v))
+	}
+	return st
+}
+
+func diffState(t *testing.T, tag string, want, got flowState) {
+	t.Helper()
+	if want.cost != got.cost {
+		t.Fatalf("%s: cost %v != serial %v", tag, got.cost, want.cost)
+	}
+	for i := range want.flows {
+		if want.flows[i] != got.flows[i] {
+			t.Fatalf("%s: arc %d flow %d != serial %d", tag, i, got.flows[i], want.flows[i])
+		}
+	}
+	for v := range want.pots {
+		if want.pots[v] != got.pots[v] {
+			t.Fatalf("%s: node %d potential %d != serial %d", tag, v, got.pots[v], want.pots[v])
+		}
+	}
+}
+
+// TestParallelEngineMatchesSSPExact is the engine-level bit-equality
+// gate of the parallel backend: on grid and random instances large
+// enough to engage real speculation, the "parallel" engine at worker
+// budgets 1, 2, 4 and 8 must reproduce the "ssp" engine exactly —
+// same cost, same per-arc flows, same node potentials, same
+// augmentation and visited counts — through a fresh solve and a
+// sequence of incremental ResolveChanged rounds.
+func TestParallelEngineMatchesSSPExact(t *testing.T) {
+	for seed := int64(1); seed <= 10; seed++ {
+		ref := NewGridInstance(12, 24, seed)
+		refCost, err := ref.Solve()
+		if err != nil {
+			t.Fatalf("seed %d: ssp solve: %v", seed, err)
+		}
+		want := captureState(ref, refCost)
+		refStats := ref.EngineStats()
+
+		for _, par := range []int{1, 2, 4, 8} {
+			inst := NewGridInstance(12, 24, seed)
+			inst.SetParallelism(par)
+			if err := inst.SetEngine("parallel"); err != nil {
+				t.Fatal(err)
+			}
+			cost, err := inst.Solve()
+			if err != nil {
+				t.Fatalf("seed %d par %d: %v", seed, par, err)
+			}
+			diffState(t, "solve", want, captureState(inst, cost))
+			if err := inst.Verify(); err != nil {
+				t.Fatalf("seed %d par %d: certificate: %v", seed, par, err)
+			}
+			st := inst.EngineStats()
+			if st.Augmentations != refStats.Augmentations || st.Visited != refStats.Visited {
+				t.Fatalf("seed %d par %d: work counters (aug %d, visited %d) != ssp (aug %d, visited %d)",
+					seed, par, st.Augmentations, st.Visited, refStats.Augmentations, refStats.Visited)
+			}
+			if par > 1 && st.SpecCommits == 0 {
+				t.Fatalf("seed %d par %d: no speculative commits — the parallel path never engaged", seed, par)
+			}
+		}
+	}
+}
+
+// TestParallelEngineResolveMatchesSSP drives both engines through the
+// same random mutation rounds via ResolveChanged and requires exact
+// state agreement after every round — the incremental path of the
+// parallel engine must replay ssp's repairs bit-for-bit, including
+// the work-estimate gate decisions (both solvers learn the same EWMA
+// averages because they measure identical runs).
+func TestParallelEngineResolveMatchesSSP(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		a := buildRandomFeasible(rand.New(rand.NewSource(seed)), false)
+		b := buildRandomFeasible(rand.New(rand.NewSource(seed)), false)
+		b.SetParallelism(4)
+		if err := b.SetEngine("parallel"); err != nil {
+			t.Fatal(err)
+		}
+		costA, errA := a.Solve()
+		costB, errB := b.Solve()
+		if errA != nil || errB != nil {
+			t.Fatalf("seed %d: ssp err %v, parallel err %v", seed, errA, errB)
+		}
+		diffState(t, "initial", captureState(a, costA), captureState(b, costB))
+
+		mrng := rand.New(rand.NewSource(seed + 1000))
+		for round := 0; round < 6; round++ {
+			changed := mutateRandom(mrng, a, false)
+			// Mirror the exact mutations onto b.
+			for id := 0; id < a.NumArcs(); id++ {
+				b.SetCost(id, a.Cost(id))
+				b.UpdateCapacity(id, a.Capacity(id))
+			}
+			for v := 0; v < a.N(); v++ {
+				b.SetSupply(v, a.Supply(v))
+			}
+			costA, errA = a.ResolveChanged(changed)
+			costB, errB = b.ResolveChanged(changed)
+			if (errA == nil) != (errB == nil) {
+				t.Fatalf("seed %d round %d: ssp err %v, parallel err %v", seed, round, errA, errB)
+			}
+			if errA != nil {
+				continue
+			}
+			diffState(t, "resolve", captureState(a, costA), captureState(b, costB))
+			sa, sb := a.EngineStats(), b.EngineStats()
+			if sa.Resolves != sb.Resolves || sa.FullFallbacks != sb.FullFallbacks {
+				t.Fatalf("seed %d round %d: gate paths diverged: ssp %+v vs parallel %+v",
+					seed, round, sa, sb)
+			}
+		}
+	}
+}
+
+// TestParallelDeterministicAcrossWorkers pins the determinism
+// contract directly: the same instance solved at different worker
+// budgets (and therefore different speculation round sizes and
+// schedules) must produce byte-identical flows and potentials.
+func TestParallelDeterministicAcrossWorkers(t *testing.T) {
+	var ref flowState
+	var refStats Stats
+	for i, par := range []int{1, 2, 3, 4, 8, 16} {
+		inst := NewGridInstance(20, 32, 99)
+		inst.SetParallelism(par)
+		if err := inst.SetEngine("parallel"); err != nil {
+			t.Fatal(err)
+		}
+		cost, err := inst.Solve()
+		if err != nil {
+			t.Fatalf("par %d: %v", par, err)
+		}
+		got := captureState(inst, cost)
+		st := inst.EngineStats()
+		if i == 0 {
+			ref, refStats = got, st
+			continue
+		}
+		diffState(t, "workers", ref, got)
+		if st.Augmentations != refStats.Augmentations || st.Visited != refStats.Visited {
+			t.Fatalf("par %d: work counters (aug %d, visited %d) != par 1 (aug %d, visited %d)",
+				par, st.Augmentations, st.Visited, refStats.Augmentations, refStats.Visited)
+		}
+	}
+}
+
+// FuzzParallelSize drives the parallel engine with fuzzer-chosen
+// mutation sequences over feasible base instances — including the
+// degenerate shapes from the resolve suite (capacities cut to zero,
+// supply shifted onto a disconnected node) — and cross-checks every
+// step against a fresh serial solve of the same configuration.
+func FuzzParallelSize(f *testing.F) {
+	// Seeds covering the resolve_test degenerates: zero-capacity cuts
+	// (op byte 2) and supply shifts onto the isolated node (op 3).
+	f.Add([]byte{0x01, 0x20, 0x13}, int64(1), uint8(4))
+	f.Add([]byte{0x02, 0x02, 0x00, 0x05, 0x02, 0x01}, int64(3), uint8(2)) // zero-capacity rounds
+	f.Add([]byte{0x03, 0x00, 0x07, 0x03, 0x01, 0x02}, int64(5), uint8(8)) // disconnected-supply rounds
+	f.Add([]byte{0x10, 0x11, 0x12, 0x13, 0x14, 0x15, 0x16, 0x17}, int64(42), uint8(3))
+	f.Fuzz(func(t *testing.T, deltas []byte, seed int64, par uint8) {
+		rng := rand.New(rand.NewSource(seed))
+		s := buildRandomFeasible(rng, false)
+		iso := s.AddNode() // disconnected: no arcs ever touch it
+		s.SetParallelism(int(par%9) + 1)
+		if err := s.SetEngine("parallel"); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.Solve(); err != nil {
+			t.Fatal(err)
+		}
+		narcs := s.NumArcs()
+		var changed []int32
+		for i := 0; i+2 < len(deltas); i += 3 {
+			id := int(deltas[i]) % narcs
+			switch deltas[i+1] % 4 {
+			case 0:
+				s.SetCost(id, int64(deltas[i+2]))
+				changed = append(changed, int32(id))
+			case 1:
+				s.UpdateCapacity(id, int64(deltas[i+2])*4)
+				changed = append(changed, int32(id))
+			case 2: // zero-capacity degenerate
+				s.UpdateCapacity(id, 0)
+				changed = append(changed, int32(id))
+			default: // shift supply onto the disconnected node
+				amt := int64(deltas[i+2] % 8)
+				v := int(deltas[i+2]) % s.N()
+				if v == iso {
+					v = 0
+				}
+				s.AddSupply(iso, amt)
+				s.AddSupply(v, -amt)
+			}
+		}
+		gotCost, gotErr := s.ResolveChanged(changed)
+		wantCost, wantErr := freshTwin(s).Solve()
+		if (gotErr == nil) != (wantErr == nil) {
+			t.Fatalf("parallel resolve err %v, fresh err %v", gotErr, wantErr)
+		}
+		if gotErr == nil {
+			if gotCost != wantCost {
+				t.Fatalf("parallel resolve cost %v != fresh cost %v", gotCost, wantCost)
+			}
+			if err := s.Verify(); err != nil {
+				t.Fatalf("certificate: %v", err)
+			}
+		}
+	})
+}

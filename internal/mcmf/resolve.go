@@ -32,58 +32,126 @@
 // optimum rather than returning ErrNegativeCycle.  D-phase instances
 // never contain such cycles (r = 0 is always feasible); callers that
 // rely on the detection behaviour use Solve.
+//
+// # The work-estimate gate
+//
+// Re-flowing is not always cheaper: an iteration that moves many
+// supplies (every D-phase round rewrites the objective coefficients)
+// can cost more to repair than to re-solve warm.  The gate estimates
+// both sides in "visited nodes" — the unit shortest-path searches are
+// actually billed in — and hands over to the full solve when the
+// repair estimate is larger.  Per-problem cost coefficients are
+// learned online: every full run and every incremental run updates an
+// exponential moving average of visited-nodes-per-augmentation on its
+// side (Solver.ewmaFullVisits / ewmaResolveVisits), so the gate
+// adapts to the network's real topology instead of a hardwired
+// constant.  Until both averages are seeded the gate falls back to
+// the static PR-3 heuristic (supply deltas weighted 64×, arc repairs
+// 1×, against one augmentation per source) — pinned by
+// TestResolveGateFallback.
 package mcmf
 
-// resolveSSP implements Engine.Resolve for the SSP family.  full is
-// the engine's own Solve, used when no repairable flow exists.
-func resolveSSP(s *Solver, changed []int32, pf pathFinder, st *Stats, full func(*Solver) (float64, error)) (float64, error) {
+// ewmaAlpha is the smoothing factor of the per-problem augmentation
+// cost averages: a quarter of each run's fresh measurement, three
+// quarters history — fast enough to track a mid-run regime change
+// (e.g. the budget window collapsing), slow enough that one outlier
+// round cannot flip the gate.
+const ewmaAlpha = 0.25
+
+// supplyDeltaWeight is the static gate's weight for a shifted supply:
+// supply deltas pair arbitrary nodes and their augmentations can cross
+// the whole network — measured ~40× the cost of a local arc repair on
+// wide/shallow DAGs — so they carry a heavy weight until measured
+// averages replace the estimate.
+const supplyDeltaWeight = 64
+
+// noteFullRun updates the full-solve cost average from one completed
+// run: mark is the engine's counters before the run, now after.
+func (s *Solver) noteFullRun(mark, now Stats) {
+	s.ewmaFullVisits = ewmaUpdate(s.ewmaFullVisits, mark, now)
+}
+
+// noteResolveRun updates the incremental-repair cost average.
+func (s *Solver) noteResolveRun(mark, now Stats) {
+	s.ewmaResolveVisits = ewmaUpdate(s.ewmaResolveVisits, mark, now)
+}
+
+func ewmaUpdate(prev float64, mark, now Stats) float64 {
+	augs := now.Augmentations - mark.Augmentations
+	if augs <= 0 {
+		return prev // nothing measured this run
+	}
+	sample := float64(now.Visited-mark.Visited) / float64(augs)
+	if prev == 0 {
+		return sample
+	}
+	return prev + ewmaAlpha*(sample-prev)
+}
+
+// resolveGate decides whether the incremental repair is worth running:
+// it estimates the repair (one augmentation per drained flow-carrying
+// arc, re-priced negative arc and shifted supply) against the warm
+// full solve (one augmentation per source).  With seeded per-problem
+// averages both sides are priced in measured visited nodes; otherwise
+// the static heuristic applies.  Returns true to run incrementally.
+func (s *Solver) resolveGate(changed []int32) bool {
+	arcRepairs, supplyDeltas, srcs := 0, 0, 0
+	for v := 0; v < s.n; v++ {
+		if s.supply[v] > 0 {
+			srcs++
+		}
+		if s.supply[v] != s.routed[v] {
+			supplyDeltas++
+		}
+	}
+	for _, id := range changed {
+		fwd, rev := &s.arcs[2*id], &s.arcs[2*id+1]
+		if rev.cap > 0 {
+			arcRepairs++
+		} else if s.orig[id] > 0 && fwd.cost+s.pot[rev.to]-s.pot[fwd.to] < 0 {
+			arcRepairs++ // will saturate
+		}
+	}
+	if s.ewmaFullVisits > 0 && s.ewmaResolveVisits > 0 {
+		// Measured gate: arc repairs are local (the drain leaves the
+		// deficit right at the arc's head) and bill at the measured
+		// incremental rate; supply deltas pair arbitrary nodes, so
+		// their reroutes look like full-solve augmentations.
+		repair := float64(arcRepairs)*s.ewmaResolveVisits +
+			float64(supplyDeltas)*s.ewmaFullVisits
+		full := float64(srcs) * s.ewmaFullVisits
+		return repair <= full
+	}
+	// Static fallback (the pre-measurement heuristic).
+	return arcRepairs+supplyDeltaWeight*supplyDeltas <= srcs
+}
+
+// resolvePrep is the shared Resolve preamble: repairability and
+// balance checks, the work-estimate gate, the supply diff and the
+// drain-and-reprice of the changed arcs.  On success it returns the
+// excess vector ready for augmentation; fallback=true means the
+// caller must run its full Solve instead (counting the fallback).
+// resolvePrep allocates nothing, preserving the warm zero-alloc
+// guarantee of the serial engines.
+func (s *Solver) resolvePrep(changed []int32) (excess []int64, fallback bool, err error) {
 	if !s.repairable || s.topoDirty {
-		st.FullFallbacks++
-		return full(s)
+		return nil, true, nil
 	}
 	var sum int64
 	for _, b := range s.supply {
 		sum += b
 	}
 	if sum != 0 {
-		return 0, ErrUnbalanced
+		return nil, false, ErrUnbalanced
 	}
-	// Work estimate: every drained flow-carrying arc, re-priced
-	// negative arc and shifted supply seeds one excess/deficit pair,
-	// i.e. roughly one shortest-path augmentation.  Arc repairs are
-	// local — the drain leaves a deficit right at the arc's head — so
-	// they cost about as much as one source in a warm full solve, but
-	// supply deltas pair arbitrary nodes and their augmentations can
-	// cross the whole network — measured ~40× the cost of a local
-	// repair on wide/shallow DAGs — so they carry a heavy weight.  When the
-	// estimated repair exceeds what the full solve needs (one
-	// augmentation per source), hand over before touching any
-	// residuals; iterations whose deltas quiesce come back to the
-	// incremental path on their own.
-	const supplyDeltaWeight = 64
-	work, srcs := 0, 0
-	for v := 0; v < s.n; v++ {
-		if s.supply[v] > 0 {
-			srcs++
-		}
-		if s.supply[v] != s.routed[v] {
-			work += supplyDeltaWeight
-		}
-	}
-	for _, id := range changed {
-		fwd, rev := &s.arcs[2*id], &s.arcs[2*id+1]
-		if rev.cap > 0 {
-			work++
-		} else if s.orig[id] > 0 && fwd.cost+s.pot[rev.to]-s.pot[fwd.to] < 0 {
-			work++ // will saturate
-		}
-	}
-	if work > srcs {
-		st.FullFallbacks++
-		return full(s)
+	// Hand over before touching any residuals when the estimated
+	// repair exceeds the warm full solve; iterations whose deltas
+	// quiesce come back to the incremental path on their own.
+	if !s.resolveGate(changed) {
+		return nil, true, nil
 	}
 	// Supply deltas against the routed snapshot.
-	excess := s.excess[:s.n]
+	excess = s.excess[:s.n]
 	for v := 0; v < s.n; v++ {
 		excess[v] = s.supply[v] - s.routed[v]
 	}
@@ -116,10 +184,26 @@ func resolveSSP(s *Solver, changed []int32, pf pathFinder, st *Stats, full func(
 			fwd.cap = 0
 		}
 	}
+	return excess, false, nil
+}
+
+// resolveSSP implements Engine.Resolve for the SSP family.  full is
+// the engine's own Solve, used when no repairable flow exists.
+func resolveSSP(s *Solver, changed []int32, pf pathFinder, st *Stats, full func(*Solver) (float64, error)) (float64, error) {
+	excess, fallback, err := s.resolvePrep(changed)
+	if err != nil {
+		return 0, err
+	}
+	if fallback {
+		st.FullFallbacks++
+		return full(s)
+	}
+	mark := *st
 	if err := s.augmentAll(excess, pf, st); err != nil {
 		return 0, err
 	}
 	s.markSolved()
 	st.Resolves++
+	s.noteResolveRun(mark, *st)
 	return s.TotalCost(), nil
 }

@@ -1,0 +1,149 @@
+// Per-search Dijkstra state, factored out of the Solver so that one
+// network can be searched by several workers at once: the residual
+// arcs, potentials and excess vector are shared read-only during a
+// search, while everything a search writes — tentative distances, the
+// shortest-path tree, the epoch stamps and the heap — lives in a
+// searchScratch.  The Solver owns one (its serial scratch, s.ss); the
+// "parallel" engine keeps a pool of additional scratches for its
+// speculative searches (parallel.go).
+package mcmf
+
+// searchScratch is the write-side state of one shortest-path search:
+// epoch-stamped dist/prevArc entries (valid only when stamp matches
+// epoch, so per-search reset is O(1) plus the nodes actually visited)
+// and the inline 4-ary heap.
+type searchScratch struct {
+	dist    []int64
+	prevArc []int32
+	stamp   []uint32
+	epoch   uint32
+	visited []int32
+	h       heap4
+}
+
+// ensure sizes the scratch for an n-node network, keeping existing
+// stamps when already large enough.
+func (sc *searchScratch) ensure(n int) {
+	if len(sc.dist) < n {
+		sc.dist = make([]int64, n)
+		sc.prevArc = make([]int32, n)
+		sc.stamp = make([]uint32, n)
+		sc.epoch = 0
+	}
+}
+
+// begin starts a fresh epoch for the stamped scratch.
+func (sc *searchScratch) begin() {
+	sc.epoch++
+	if sc.epoch == 0 { // uint32 wraparound: invalidate all stamps
+		for i := range sc.stamp {
+			sc.stamp[i] = 0
+		}
+		sc.epoch = 1
+	}
+	sc.visited = sc.visited[:0]
+}
+
+// touch stamps node v into the current epoch.
+func (sc *searchScratch) touch(v int32) {
+	sc.stamp[v] = sc.epoch
+	sc.dist[v] = inf
+	sc.prevArc[v] = -1
+	sc.visited = append(sc.visited, v)
+}
+
+// dijkstraHeap runs one shortest-path search on reduced costs from src
+// into sc — the classic SSP inner loop on the inline 4-ary heap.  It
+// reads (and never writes) the solver's residual arcs, potentials and
+// the excess vector, so concurrent searches with distinct scratches
+// are safe as long as nobody mutates the network.  It fills
+// sc.dist/sc.prevArc/sc.visited for the settled region and returns the
+// first node with negative excess together with its distance, or
+// target −1 when no deficit node is reachable.
+func dijkstraHeap(s *Solver, sc *searchScratch, src int32, excess []int64) (int32, int64) {
+	sc.begin()
+	sc.touch(src)
+	sc.dist[src] = 0
+	sc.h.reset()
+	sc.h.push(0, src)
+	for !sc.h.empty() {
+		d, u := sc.h.pop()
+		if d > sc.dist[u] {
+			continue // stale heap entry (lazy deletion)
+		}
+		if excess[u] < 0 {
+			// Settling nodes at equal distance is unnecessary;
+			// stop at the first deficit node for speed.
+			return u, d
+		}
+		pu := s.pot[u]
+		for _, ai := range s.arcsOf(int(u)) {
+			a := &s.arcs[ai]
+			if a.cap <= 0 {
+				continue
+			}
+			v := a.to
+			rc := a.cost + pu - s.pot[v]
+			if rc < 0 {
+				// Should not happen with valid potentials; clamp
+				// defensively (can arise from ties after early exit).
+				rc = 0
+			}
+			if sc.stamp[v] != sc.epoch {
+				sc.touch(v)
+			}
+			if nd := d + rc; nd < sc.dist[v] {
+				sc.dist[v] = nd
+				sc.prevArc[v] = ai
+				sc.h.push(nd, v)
+			}
+		}
+	}
+	return -1, 0
+}
+
+// applyAugmentation commits the augmentation described by a completed
+// search (in sc) from src to target at shortest distance dt: the
+// settled-only potential update, the bottleneck computation, the
+// residual push, and the excess transfer.  It returns the bottleneck
+// pushed.  This is the single commit path shared by the serial
+// augmentation loop and the parallel engine, so a committed
+// speculative search is bit-identical to a serially computed one.
+// Note the bottleneck reads live residual capacities at commit time —
+// a search result only pins the tree (prevArc), distances and the
+// target, which is what makes speculative results commutable with
+// capacity changes that never cross zero.
+func (s *Solver) applyAugmentation(sc *searchScratch, src, target int32, dt int64, excess []int64) int64 {
+	// Update potentials on settled nodes only: pot += dist − dt
+	// (equivalent to the classic pot += min(dist, dt) up to a
+	// uniform −dt shift, which leaves every reduced cost
+	// unchanged).  Unvisited and unsettled nodes keep their
+	// potentials, so the update is O(visited), not O(n).
+	for _, v := range sc.visited {
+		if d := sc.dist[v]; d < dt {
+			s.pot[v] += d - dt
+		}
+	}
+	// Bottleneck along the path.
+	bott := excess[src]
+	if -excess[target] < bott {
+		bott = -excess[target]
+	}
+	for v := target; v != src; {
+		ai := sc.prevArc[v]
+		if s.arcs[ai].cap < bott {
+			bott = s.arcs[ai].cap
+		}
+		v = s.arcs[ai^1].to
+	}
+	// Augment.
+	for v := target; v != src; {
+		ai := sc.prevArc[v]
+		s.arcs[ai].cap -= bott
+		s.arcs[ai^1].cap += bott
+		v = s.arcs[ai^1].to
+	}
+	excess[src] -= bott
+	excess[target] += bott
+	return bott
+}

@@ -1,11 +1,12 @@
-// Successive-shortest-paths machinery shared by the "ssp" and "dial"
-// engines: the source-selection/augmentation loop is common, and the
-// per-augmentation shortest-path search is pluggable (heap Dijkstra
-// here, Dial bucket Dijkstra in dial.go).
+// Successive-shortest-paths machinery shared by the "ssp", "dial" and
+// "parallel" engines: the source-selection/augmentation loop is
+// common, and the per-augmentation shortest-path search is pluggable
+// (heap Dijkstra in search.go, Dial bucket Dijkstra in dial.go,
+// speculative concurrent heap searches in parallel.go).
 package mcmf
 
 // pathFinder runs one shortest-path search on reduced costs from src,
-// filling s.dist/s.prevArc/s.visited for the settled region, and
+// filling the solver's own scratch (s.ss) for the settled region, and
 // returns the first node with negative excess together with its
 // distance, or target −1 when no deficit node is reachable.
 type pathFinder interface {
@@ -18,57 +19,7 @@ type pathFinder interface {
 type heapFinder struct{}
 
 func (heapFinder) shortestPath(s *Solver, src int32, excess []int64) (int32, int64) {
-	s.beginEpoch()
-	s.touch(src)
-	s.dist[src] = 0
-	s.h.reset()
-	s.h.push(0, src)
-	for !s.h.empty() {
-		d, u := s.h.pop()
-		if d > s.dist[u] {
-			continue // stale heap entry (lazy deletion)
-		}
-		if excess[u] < 0 {
-			// Settling nodes at equal distance is unnecessary;
-			// stop at the first deficit node for speed.
-			return u, d
-		}
-		pu := s.pot[u]
-		for _, ai := range s.arcsOf(int(u)) {
-			a := &s.arcs[ai]
-			if a.cap <= 0 {
-				continue
-			}
-			v := a.to
-			rc := a.cost + pu - s.pot[v]
-			if rc < 0 {
-				// Should not happen with valid potentials; clamp
-				// defensively (can arise from ties after early exit).
-				rc = 0
-			}
-			if s.stamp[v] != s.epoch {
-				s.touch(v)
-			}
-			if nd := d + rc; nd < s.dist[v] {
-				s.dist[v] = nd
-				s.prevArc[v] = ai
-				s.h.push(nd, v)
-			}
-		}
-	}
-	return -1, 0
-}
-
-// beginEpoch starts a fresh epoch for the stamped Dijkstra scratch.
-func (s *Solver) beginEpoch() {
-	s.epoch++
-	if s.epoch == 0 { // uint32 wraparound: invalidate all stamps
-		for i := range s.stamp {
-			s.stamp[i] = 0
-		}
-		s.epoch = 1
-	}
-	s.visited = s.visited[:0]
+	return dijkstraHeap(s, &s.ss, src, excess)
 }
 
 // augmentAll routes every positive excess to a deficit node along
@@ -102,37 +53,8 @@ func (s *Solver) augmentAll(excess []int64, pf pathFinder, st *Stats) error {
 			return ErrInfeasible
 		}
 		st.Augmentations++
-		// Update potentials on settled nodes only: pot += dist − dt
-		// (equivalent to the classic pot += min(dist, dt) up to a
-		// uniform −dt shift, which leaves every reduced cost
-		// unchanged).  Unvisited and unsettled nodes keep their
-		// potentials, so the update is O(visited), not O(n).
-		for _, v := range s.visited {
-			if d := s.dist[v]; d < dt {
-				s.pot[v] += d - dt
-			}
-		}
-		// Bottleneck along the path.
-		bott := excess[src]
-		if -excess[target] < bott {
-			bott = -excess[target]
-		}
-		for v := target; v != src; {
-			ai := s.prevArc[v]
-			if s.arcs[ai].cap < bott {
-				bott = s.arcs[ai].cap
-			}
-			v = s.arcs[ai^1].to
-		}
-		// Augment.
-		for v := target; v != src; {
-			ai := s.prevArc[v]
-			s.arcs[ai].cap -= bott
-			s.arcs[ai^1].cap += bott
-			v = s.arcs[ai^1].to
-		}
-		excess[src] -= bott
-		excess[target] += bott
+		st.Visited += int64(len(s.ss.visited))
+		s.applyAugmentation(&s.ss, src, target, dt, excess)
 	}
 	return nil
 }
@@ -165,11 +87,13 @@ func solveSSPFull(s *Solver, pf pathFinder, st *Stats) (float64, error) {
 	// next Solve, and unrepairable until markSolved certifies them.
 	s.flowDirty = true
 	s.repairable = false
+	mark := *st
 	if err := s.augmentAll(excess, pf, st); err != nil {
 		return 0, err
 	}
 	s.markSolved()
 	st.Solves++
+	s.noteFullRun(mark, *st)
 	return s.TotalCost(), nil
 }
 

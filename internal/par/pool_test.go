@@ -1,0 +1,52 @@
+package par
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestPoolForEachCoversAllParts(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, 8} {
+		p := New(workers)
+		var mask atomic.Int64
+		var count atomic.Int32
+		p.ForEach(func(part int) {
+			if part < 0 || part >= workers {
+				t.Errorf("workers %d: part %d out of range", workers, part)
+			}
+			mask.Or(1 << part)
+			count.Add(1)
+		})
+		if int(count.Load()) != workers {
+			t.Fatalf("workers %d: %d invocations", workers, count.Load())
+		}
+		if mask.Load() != (1<<workers)-1 {
+			t.Fatalf("workers %d: parts covered %b", workers, mask.Load())
+		}
+		// Reusable across calls, and the barrier orders writes.
+		sum := make([]int, workers)
+		for round := 0; round < 100; round++ {
+			p.ForEach(func(part int) { sum[part]++ })
+		}
+		for part, v := range sum {
+			if v != 100 {
+				t.Fatalf("workers %d part %d ran %d rounds, want 100", workers, part, v)
+			}
+		}
+		p.Close()
+		p.Close() // idempotent
+	}
+}
+
+func TestNilPoolIsSerial(t *testing.T) {
+	var p *Pool
+	if p.Workers() != 1 {
+		t.Fatalf("nil pool workers = %d", p.Workers())
+	}
+	ran := false
+	p.ForEach(func(part int) { ran = part == 0 })
+	if !ran {
+		t.Fatal("nil pool did not run part 0 inline")
+	}
+	p.Close()
+}

@@ -1,0 +1,142 @@
+package smp
+
+import (
+	"math/rand"
+	"testing"
+
+	"minflo/internal/delay"
+	"minflo/internal/par"
+)
+
+// mkWideInstance builds a layered coefficient set wide enough to cross
+// the level-parallel floor: `layers`×`width` vertices, each coupling
+// to a few vertices of the next layer, plus (optionally) mutually
+// coupled same-layer pairs forming 2-vertex SCC blocks — the
+// transistor-level shape.
+func mkWideInstance(rng *rand.Rand, layers, width int, blocks bool) ([]delay.Coeffs, []float64) {
+	n := layers * width
+	ks := make([]delay.Coeffs, n)
+	for v := 0; v < n; v++ {
+		ks[v].Self = rng.Float64() * 2
+		ks[v].Const = rng.Float64() * 10
+		l := v / width
+		if l+1 < layers {
+			for k := 0; k < 1+rng.Intn(3); k++ {
+				j := (l+1)*width + rng.Intn(width)
+				ks[v].Terms = append(ks[v].Terms, delay.Term{J: j, A: rng.Float64() * 2})
+			}
+		}
+		// Weak mutual coupling with the in-layer neighbour: v and v+1
+		// become one SCC block (contractive, so the fixed point exists).
+		if blocks && v%width%2 == 0 && v+1 < (l+1)*width {
+			ks[v].Terms = append(ks[v].Terms, delay.Term{J: v + 1, A: 0.15 * rng.Float64()})
+			ks[v+1].Terms = append(ks[v+1].Terms, delay.Term{J: v, A: 0.15 * rng.Float64()})
+		}
+	}
+	d := make([]float64, n)
+	for i := range d {
+		d[i] = ks[i].Self + 1 + rng.Float64()*8
+	}
+	return ks, d
+}
+
+// TestParallelSweepMatchesSerialBitwise is the W-phase determinism
+// gate: the level-parallel sweep at worker counts 2, 4 and 8 must
+// reproduce the serial sweep bit for bit — same X, same sweep count,
+// same clamp set — on instances wide enough that the parallel path
+// actually engages (asserted via the CSR level width).
+func TestParallelSweepMatchesSerialBitwise(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 30; trial++ {
+		blocks := trial%2 == 1
+		ks, d := mkWideInstance(rng, 3+rng.Intn(4), 2*delay.LevelParallelFloor+rng.Intn(200), blocks)
+		csr := delay.NewCSR(ks)
+		if csr.MaxLevelWidth() < delay.LevelParallelFloor {
+			t.Fatalf("trial %d: max level width %d below the parallel floor — bad generator", trial, csr.MaxLevelWidth())
+		}
+		lo, hi := 1.0, 4+rng.Float64()*60
+
+		serial := NewSolver(csr)
+		xs := make([]float64, len(ks))
+		want, wantErr := serial.SolveInto(xs, d, lo, hi, Options{})
+		if wantErr != nil {
+			t.Fatalf("trial %d: serial: %v", trial, wantErr)
+		}
+
+		for _, workers := range []int{2, 4, 8} {
+			pool := par.New(workers)
+			ps := NewSolver(csr)
+			ps.SetParallel(pool)
+			xp := make([]float64, len(ks))
+			got, err := ps.SolveInto(xp, d, lo, hi, Options{})
+			if err != nil {
+				t.Fatalf("trial %d workers %d: %v", trial, workers, err)
+			}
+			if got.Sweeps != want.Sweeps {
+				t.Fatalf("trial %d workers %d: %d sweeps, serial %d", trial, workers, got.Sweeps, want.Sweeps)
+			}
+			for i := range want.X {
+				if got.X[i] != want.X[i] {
+					t.Fatalf("trial %d workers %d: x[%d] = %v, serial %v", trial, workers, i, got.X[i], want.X[i])
+				}
+			}
+			if len(got.Clamped) != len(want.Clamped) {
+				t.Fatalf("trial %d workers %d: clamp set %v, serial %v", trial, workers, got.Clamped, want.Clamped)
+			}
+			for k := range want.Clamped {
+				if got.Clamped[k] != want.Clamped[k] {
+					t.Fatalf("trial %d workers %d: clamp set %v, serial %v", trial, workers, got.Clamped, want.Clamped)
+				}
+			}
+			pool.Close()
+		}
+	}
+}
+
+// TestParallelSweepZeroCouplingHazard pins the LevelParallelSafe
+// guard: a zero-coefficient cross-block term whose endpoints violate
+// the level order carries no dependency (the level partition ignores
+// it) but is still read by LoadAt, so the parallel sweep must fall
+// back to serial — same results, no data race (this test runs under
+// the CI -race job).
+func TestParallelSweepZeroCouplingHazard(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	ks, d := mkWideInstance(rng, 4, 2*delay.LevelParallelFloor, false)
+	// Zero term from a vertex in the last layer back to one in the
+	// first: blockOf(src) > blockOf(dst) in dependency terms is not
+	// guaranteed, but levels certainly do not strictly increase for a
+	// backward reference, so the CSR must flag the hazard.
+	n := len(ks)
+	ks[n-1].Terms = append(ks[n-1].Terms, delay.Term{J: 0, A: 0})
+	csr := delay.NewCSR(ks)
+	if csr.LevelParallelSafe() {
+		t.Fatal("hazardous zero coupling not detected")
+	}
+	if csr.MaxLevelWidth() < delay.LevelParallelFloor {
+		t.Fatalf("instance too narrow (%d) to prove the fallback", csr.MaxLevelWidth())
+	}
+
+	serial := NewSolver(csr)
+	xs := make([]float64, n)
+	want, err := serial.SolveInto(xs, d, 1, 50, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := par.New(4)
+	defer pool.Close()
+	ps := NewSolver(csr)
+	ps.SetParallel(pool)
+	xp := make([]float64, n)
+	got, err := ps.SolveInto(xp, d, 1, 50, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Sweeps != want.Sweeps {
+		t.Fatalf("%d sweeps, serial %d", got.Sweeps, want.Sweeps)
+	}
+	for i := range want.X {
+		if got.X[i] != want.X[i] {
+			t.Fatalf("x[%d] = %v, serial %v", i, got.X[i], want.X[i])
+		}
+	}
+}

@@ -136,12 +136,26 @@ type Config struct {
 	CostScale float64
 	// FlowEngine selects the D-phase min-cost-flow backend: "ssp"
 	// (successive shortest paths, heap Dijkstra), "dial" (SSP with a
-	// bucket-queue Dijkstra), "costscaling" (Goldberg–Tarjan), or
+	// bucket-queue Dijkstra), "costscaling" (Goldberg–Tarjan),
+	// "parallel" (speculative concurrent SSP, bit-identical to "ssp";
+	// opt-in, see EXPERIMENTS.md "Intra-run parallelism"), or
 	// ""/"auto" to pick per problem size (see FlowEngines and
 	// EXPERIMENTS.md for the measured crossover).  Applies to every
 	// optimization the Sizer runs: Minflotransit, Sweep, RunTable and
 	// the transistor/wire variants.
 	FlowEngine string
+	// Parallelism is the intra-run worker budget of a single
+	// optimization: concurrent W-phase level sweeps, parallel
+	// sensitivity solves, and the "parallel" flow backend when the
+	// engine choice allows it.  0 defaults to GOMAXPROCS, 1 forces
+	// serial runs.  Results are bit-identical at every setting (the
+	// determinism suite pins parallel runs to their serial twins), so
+	// this is purely a throughput knob.  Sweep and RunTable
+	// parallelize across runs instead: their concurrent jobs run
+	// serially inside when Parallelism is left at the default (the
+	// job fan-out already saturates the machine), and honor an
+	// explicit setting per job.
+	Parallelism int
 }
 
 // FlowEngines lists the selectable D-phase flow backends.
@@ -175,8 +189,11 @@ func NewSizer(cfg *Config) (*Sizer, error) {
 	}
 	// Reject unknown engine names here rather than deep inside the
 	// first optimization run.
-	if _, err := core.ResolveFlowEngine(c.FlowEngine, 0); err != nil {
+	if _, err := core.ResolveFlowEngine(c.FlowEngine, 0, 1); err != nil {
 		return nil, err
+	}
+	if c.Parallelism < 0 {
+		return nil, fmt.Errorf("minflo: negative Parallelism %d", c.Parallelism)
 	}
 	return &Sizer{cfg: c, model: m}, nil
 }
@@ -286,10 +303,11 @@ func (s *Sizer) Minflotransit(c *Circuit, T float64) (*Sizing, error) {
 
 func (s *Sizer) coreOptions() core.Options {
 	return core.Options{
-		Window:     s.cfg.Window,
-		MaxIters:   s.cfg.MaxIters,
-		CostScale:  s.cfg.CostScale,
-		FlowEngine: s.cfg.FlowEngine,
-		Tilos:      tilos.Options{Bump: s.cfg.TilosBump},
+		Window:      s.cfg.Window,
+		MaxIters:    s.cfg.MaxIters,
+		CostScale:   s.cfg.CostScale,
+		FlowEngine:  s.cfg.FlowEngine,
+		Parallelism: s.cfg.Parallelism,
+		Tilos:       tilos.Options{Bump: s.cfg.TilosBump},
 	}
 }
