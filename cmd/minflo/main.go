@@ -8,7 +8,7 @@
 //	minflo -circuit adder32 -spec 0.5 -algo tilos
 //	minflo -circuit c17 -spec 0.6 -mode transistor
 //	minflo -circuit c17 -spec 0.6 -sizes             # dump per-gate sizes
-//	minflo -circuit c6288 -spec 0.5 -engine dial     # pick the D-phase flow backend
+//	minflo -circuit c6288 -spec 0.5 -engine cspar    # pin the D-phase flow backend
 package main
 
 import (
@@ -25,7 +25,7 @@ func main() {
 		benchFile   = flag.String("bench", "", "ISCAS85 .bench netlist file")
 		spec        = flag.Float64("spec", 0.5, "delay target as a fraction of Dmin")
 		algo        = flag.String("algo", "minflo", "sizing algorithm: minflo, tilos or lagrange")
-		engine      = flag.String("engine", "auto", "D-phase flow engine: auto, ssp, dial, parallel or costscaling")
+		engine      = flag.String("engine", "auto", "D-phase flow engine: auto (calibrated per problem), ssp, dial, parallel, costscaling or cspar")
 		jobs        = flag.Int("j", 0, "intra-run parallelism: worker budget for one sizing run (0 = GOMAXPROCS, 1 = serial; results are identical at any setting)")
 		mode        = flag.String("mode", "gate", "sizing mode: gate or transistor")
 		dumpSizes   = flag.Bool("sizes", false, "print the per-element sizes")

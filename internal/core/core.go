@@ -34,37 +34,36 @@ import (
 	"minflo/internal/tilos"
 )
 
-// dialAutoNodes is the auto-heuristic crossover: problems whose base
-// DAG has at least this many vertices run the D-phase on the "dial"
-// bucket-queue engine, smaller ones on the plain heap "ssp".
-// Measured (EXPERIMENTS.md "Engine crossover"): dial is 1.3–2.6×
-// faster from ISCAS-sized circuits (c432, 184 vertices) through the
-// 33k-gate scaling trees, and its adaptive heap fallback holds it to
-// parity on the workloads the buckets cannot help (deep adder
-// chains), so only trivially small instances — where the fixed ring
-// flush outweighs any queueing — keep the plain heap.
-const dialAutoNodes = 128
+// calibrationEngines are the candidates the "auto" policy probes on a
+// problem's first D-phase solve (dcs hands them to
+// mcmf.CalibrateEngines; ties break toward earlier entries, so the
+// previously measured serial winner "dial" leads).  The speculative
+// "parallel" backend stays opt-in — its measured ~8% warm speculation
+// survival (EXPERIMENTS.md "Intra-run parallelism") makes it a poor
+// default probe — while "cspar", whose bulk-synchronous phases are
+// order-insensitive, competes in the probe at whatever worker budget
+// the run configured.
+var calibrationEngines = []string{"dial", "ssp", "cspar"}
+
+// CalibrationEngines returns the engines the auto policy probes
+// (a copy; the order encodes the tie-break prior).
+func CalibrationEngines() []string {
+	return append([]string(nil), calibrationEngines...)
+}
 
 // ResolveFlowEngine maps an Options.FlowEngine value to a concrete
-// mcmf backend name: "" and "auto" pick by problem size (n = vertex
-// count of the base DAG), anything else must be a registered engine.
-//
-// auto never selects the speculative "parallel" backend, whatever the
-// worker budget par: measured on D-phase workloads, warm SSP searches
-// are so short and so potential-coupled that only ~8% of speculative
-// searches survive their predecessors' commits (EXPERIMENTS.md
-// "Intra-run parallelism"), so the serial dial engine remains the
-// expected winner and "parallel" is an explicit opt-in.  The par
-// parameter is accepted so the heuristic can revisit that choice when
-// multi-core measurements justify it.
+// mcmf backend name.  "" and "auto" return "" — the caller runs the
+// startup calibration probe (CalibrationEngines timed on the first
+// D-phase solve, winner kept per problem) instead of the PR-3 era
+// hardwired 128-vertex dial floor; anything else must be a registered
+// engine and is pinned for the whole run.  n and par are accepted so
+// the policy can consult problem size and worker budget again if
+// measurements ever justify a static shortcut.
 func ResolveFlowEngine(name string, n, par int) (string, error) {
-	_ = par
+	_, _ = n, par
 	switch name {
 	case "", "auto":
-		if n >= dialAutoNodes {
-			return "dial", nil
-		}
-		return "ssp", nil
+		return "", nil
 	default:
 		if !mcmf.ValidEngine(name) {
 			return "", fmt.Errorf("core: unknown flow engine %q (have auto, %v)", name, mcmf.EngineNames())
@@ -102,13 +101,15 @@ type Options struct {
 	// power-of-10 scaling). Defaults 1e6 / 1e4.
 	CostScale, SupplyScale float64
 	// FlowEngine selects the D-phase min-cost-flow backend by mcmf
-	// registry name ("ssp", "dial", "costscaling", "parallel").
-	// Empty or "auto" picks per problem size: "dial" — whose
-	// bucket-queue Dijkstra exploits the near-zero reduced costs of
-	// warm-started re-solves — on everything but trivially small
-	// instances (measured crossover in EXPERIMENTS.md; the
-	// speculative "parallel" backend is opt-in, see
-	// ResolveFlowEngine).
+	// registry name ("ssp", "dial", "costscaling", "cspar",
+	// "parallel").  Empty or "auto" runs the startup calibration
+	// probe instead: the first D-phase solve times one cold solve per
+	// candidate (CalibrationEngines) and keeps the per-problem winner
+	// — IterStats.FlowEngine reports it.  The probe decides on wall
+	// time, so auto runs on a noisy host may keep different (equally
+	// optimal) backends across repetitions; pin an engine when the
+	// exact solution trajectory must be reproducible (the speculative
+	// "parallel" backend is opt-in, see ResolveFlowEngine).
 	FlowEngine string
 	// Parallelism is the intra-run worker budget: the W-phase level
 	// sweeps, the sensitivity solves and the "parallel" flow backend
@@ -142,12 +143,20 @@ type IterStats struct {
 	NetBuilds int
 	// FlowEngine is the mcmf backend the D-phase ran on this problem.
 	FlowEngine string
+	// FlowCalibrated reports whether that backend was chosen by the
+	// startup calibration probe (Options.FlowEngine empty or "auto")
+	// rather than pinned by the caller.
+	FlowCalibrated bool
 	// FlowResolves is the cumulative number of D-phase solves served by
 	// the incremental re-flow (mcmf ResolveChanged repairing the
 	// previous optimum) rather than a from-scratch solve — every
 	// iteration after the first when the delta path is working
 	// (asserted by tests).
 	FlowResolves int
+	// FlowFallbacks is the cumulative number of D-phase ResolveChanged
+	// calls the engine served with a full solve instead (work-estimate
+	// gate, missing prior flow, or price-range refusal).
+	FlowFallbacks int
 }
 
 // Result is the final sizing.
@@ -199,7 +208,8 @@ type iterScratch struct {
 	lin      *lin.Solver       // sensitivity engine over p.CSR()
 
 	sys    *dcs.System
-	engine string    // resolved mcmf backend name for the D-phase
+	engine string    // resolved mcmf backend name ("" = calibrate)
+	calib  []string  // calibration candidates when engine == ""
 	par    int       // intra-run worker budget (≥1, resolved)
 	pool   *par.Pool // W-phase/sensitivity worker pool (nil when par == 1)
 	loID   []int     // constraint r_i − r_dm ≤ …, per sizable vertex
@@ -248,6 +258,11 @@ func newIterScratch(p *dag.Problem, aug *dag.Augmented, x0 []float64, engine str
 	}
 	for v := range sc.allV {
 		sc.allV[v] = v
+	}
+	if engine == "" {
+		// Auto policy: the first D-phase solve runs the calibration
+		// probe and keeps the per-problem winner.
+		sc.calib = calibrationEngines
 	}
 	var err error
 	if sc.analyzer, err = sta.NewAnalyzer(aug.G); err != nil {
@@ -478,7 +493,7 @@ func iterate(p *dag.Problem, aug *dag.Augmented, sc *iterScratch, x []float64, T
 			sys.SetWeight(id, cfg.FSDU[e.ID])
 		}
 	}
-	sol, err := sys.Solve(dcs.Options{CostScale: opt.CostScale, SupplyScale: opt.SupplyScale, Engine: sc.engine, Parallelism: sc.par})
+	sol, err := sys.Solve(dcs.Options{CostScale: opt.CostScale, SupplyScale: opt.SupplyScale, Engine: sc.engine, Calibrate: sc.calib, Parallelism: sc.par})
 	if err != nil {
 		return IterStats{}, fmt.Errorf("core: D-phase: %w", err)
 	}
@@ -507,11 +522,13 @@ func iterate(p *dag.Problem, aug *dag.Augmented, sc *iterScratch, x []float64, T
 	// Re-time incrementally; repair with TILOS if MaxSize clamping broke
 	// the target.
 	st := IterStats{
-		Objective:    sol.Objective,
-		Clamped:      len(w.Clamped),
-		NetBuilds:    sys.Builds(),
-		FlowEngine:   sys.FlowEngineName(),
-		FlowResolves: sys.FlowEngineStats().Resolves,
+		Objective:      sol.Objective,
+		Clamped:        len(w.Clamped),
+		NetBuilds:      sys.Builds(),
+		FlowEngine:     sys.FlowEngineName(),
+		FlowCalibrated: len(sc.calib) > 0,
+		FlowResolves:   sys.FlowEngineStats().Resolves,
+		FlowFallbacks:  sys.FlowEngineStats().FullFallbacks,
 	}
 	cp := sc.retime(p, newX)
 	if cp > T*(1+1e-9) {

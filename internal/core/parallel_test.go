@@ -8,6 +8,7 @@ import (
 	"minflo/internal/dag"
 	"minflo/internal/delay"
 	"minflo/internal/gen"
+	"minflo/internal/mcmf"
 	"minflo/internal/sta"
 	"minflo/internal/tech"
 )
@@ -124,27 +125,45 @@ func TestParallelMatchesSerialLarge(t *testing.T) {
 	}
 }
 
-// TestResolveFlowEngineAuto pins the auto heuristic with the worker
-// budget in play: dial/ssp by size, never the opt-in "parallel"
-// backend (see ResolveFlowEngine), and explicit names pass through.
+// TestResolveFlowEngineAuto pins the auto policy: ""/"auto" defer to
+// the startup calibration probe (empty name, CalibrationEngines as
+// candidates — which never include the opt-in "parallel" backend),
+// explicit names pass through, and unknown names are rejected.
 func TestResolveFlowEngineAuto(t *testing.T) {
-	cases := []struct {
-		n, par int
-		want   string
-	}{
-		{64, 1, "ssp"},
-		{64, 8, "ssp"},
-		{1024, 1, "dial"},
-		{1024, 8, "dial"},
-		{200_000, 8, "dial"},
-	}
-	for _, tc := range cases {
-		got, err := ResolveFlowEngine("auto", tc.n, tc.par)
-		if err != nil {
-			t.Fatal(err)
+	for _, name := range []string{"", "auto"} {
+		for _, tc := range []struct{ n, par int }{{64, 1}, {1024, 8}, {200_000, 8}} {
+			got, err := ResolveFlowEngine(name, tc.n, tc.par)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != "" {
+				t.Errorf("ResolveFlowEngine(%q, n=%d, par=%d) = %q, want \"\" (calibrate)", name, tc.n, tc.par, got)
+			}
 		}
-		if got != tc.want {
-			t.Errorf("auto(n=%d, par=%d) = %q, want %q", tc.n, tc.par, got, tc.want)
+	}
+	cands := CalibrationEngines()
+	if len(cands) < 2 {
+		t.Fatalf("calibration candidates %v, want at least dial and cspar", cands)
+	}
+	hasCspar := false
+	for _, c := range cands {
+		if c == "parallel" {
+			t.Fatalf("calibration candidates %v include the opt-in parallel backend", cands)
+		}
+		if !mcmf.ValidEngine(c) {
+			t.Fatalf("calibration candidate %q is not a registered engine", c)
+		}
+		if c == "cspar" {
+			hasCspar = true
+		}
+	}
+	if !hasCspar {
+		t.Fatalf("calibration candidates %v do not include cspar", cands)
+	}
+	for _, name := range []string{"ssp", "dial", "cspar", "costscaling", "parallel"} {
+		got, err := ResolveFlowEngine(name, 10, 1)
+		if err != nil || got != name {
+			t.Fatalf("explicit %q: got %q, err %v", name, got, err)
 		}
 	}
 	if _, err := ResolveFlowEngine("nope", 10, 1); err == nil {

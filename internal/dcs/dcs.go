@@ -30,8 +30,10 @@
 // rerouting every supply.  Supply deltas are diffed inside mcmf, and
 // arc capacities use a stable doubling bound (capBound) so they only
 // count as changed when the bound actually grows.  Options.Engine
-// selects the flow backend ("ssp", "dial", "costscaling"); engines can
-// change between Solve calls without losing the cached network.
+// selects the flow backend ("ssp", "dial", "costscaling", "cspar",
+// "parallel"), or Options.Calibrate probes a candidate list on the
+// first solve and keeps the fastest; engines can change between Solve
+// calls without losing the cached network.
 //
 // Costs and supplies are integerized by scaling (the paper's
 // "multiply by a power of 10 and round" step); Options selects the
@@ -91,6 +93,9 @@ type System struct {
 	priced   bool
 	capBound int64
 	changed  []int32
+	// calibrated records that the cached network's engine was chosen
+	// by the Options.Calibrate startup probe (reset on rebuild).
+	calibrated bool
 
 	// sol is the reused Solution storage: Solve rewrites it in place so
 	// steady-state re-solves allocate nothing.
@@ -190,11 +195,20 @@ type Options struct {
 	// Default 1e4.
 	SupplyScale float64
 	// Engine selects the min-cost-flow backend by mcmf registry name
-	// ("ssp", "dial", "costscaling", "parallel").  Empty keeps the
-	// solver's current engine (the mcmf default on a fresh network).
-	// Switching engines between Solve calls keeps the cached network
-	// and its warm state.
+	// ("ssp", "dial", "costscaling", "cspar", "parallel").  Empty
+	// keeps the solver's current engine (the mcmf default on a fresh
+	// network).  Switching engines between Solve calls keeps the
+	// cached network and its warm state.
 	Engine string
+	// Calibrate, when non-empty, replaces the fixed Engine choice with
+	// a startup probe: the first Solve on a freshly built network times
+	// one cold solve per listed candidate (mcmf.CalibrateEngines) and
+	// keeps the fastest; subsequent Solves reuse the winner (Engine is
+	// ignored while Calibrate is set).  FlowEngineName reports the
+	// winner.  The probe picks on wall time, so repeated runs may keep
+	// different — equally optimal — backends; pin Engine instead when
+	// the exact solution trajectory must be reproducible.
+	Calibrate []string
 	// Parallelism is the worker budget handed to parallelism-aware
 	// flow engines (0 = GOMAXPROCS at solve time).  It never changes
 	// results — the parallel backend is bit-identical to serial.
@@ -245,8 +259,10 @@ func (s *System) ensureFlow() *mcmf.Solver {
 	s.builtVersion = s.topoVersion
 	s.builds++
 	// Fresh network: nothing is priced yet, everything below starts
-	// from the full-solve path.
+	// from the full-solve path (and a calibrated engine choice must be
+	// re-probed on the new topology).
 	s.priced = false
+	s.calibrated = false
 	s.capBound = 0
 	if cap(s.lastCost) < len(s.cons) {
 		s.lastCost = make([]int64, len(s.cons))
@@ -301,7 +317,7 @@ func (s *System) Solve(opt Options) (*Solution, error) {
 	}
 
 	f := s.ensureFlow()
-	if opt.Engine != "" {
+	if len(opt.Calibrate) == 0 && opt.Engine != "" {
 		if err := f.SetEngine(opt.Engine); err != nil {
 			return nil, err
 		}
@@ -359,8 +375,16 @@ func (s *System) Solve(opt Options) (*Solution, error) {
 
 	// Incremental re-flow with the exact changed-arc set; the first
 	// solve on a fresh network (or after a failed one) falls back to a
-	// full solve inside the engine.
-	if _, err := f.ResolveChanged(changed); err != nil {
+	// full solve inside the engine.  When calibrated engine selection
+	// is requested, that first solve is the calibration probe instead:
+	// every candidate gets a timed cold solve on the just-priced
+	// instance and the winner stays installed for the re-solves.
+	if len(opt.Calibrate) > 0 && !s.calibrated {
+		if _, err := f.CalibrateEngines(opt.Calibrate); err != nil {
+			return nil, mapFlowErr(err)
+		}
+		s.calibrated = true
+	} else if _, err := f.ResolveChanged(changed); err != nil {
 		return nil, mapFlowErr(err)
 	}
 	sol, err := s.recover(f, opt, ground)

@@ -1,0 +1,115 @@
+// Startup engine calibration: instead of predicting which backend
+// wins on a given problem from a hardwired size floor, time one
+// representative solve per candidate on the instance itself and keep
+// the fastest.  The D/W iteration re-solves the same network dozens
+// of times, so a few extra cold solves up front amortize immediately;
+// internal/dcs runs the probe once per freshly built network when the
+// caller asks for calibrated engine selection (core's "auto" policy).
+package mcmf
+
+import (
+	"errors"
+	"time"
+)
+
+// errProbeBudget aborts a calibration probe solve whose wall-clock
+// budget expired: the candidate has already proven slower than the
+// incumbent, so finishing its solve would only make the probe cost
+// unbounded (a cold cost-scaling solve can be minutes where dial
+// takes milliseconds).  Never escapes CalibrateEngines.
+var errProbeBudget = errors.New("mcmf: calibration probe budget exhausted")
+
+// probeExpired reports whether the current probe's deadline has
+// passed.  Engine inner loops poll it; the time sample is taken every
+// 1024th call so the check stays out of the hot path.
+func (s *Solver) probeExpired() bool {
+	if s.probeDeadline.IsZero() {
+		return false
+	}
+	s.probeTick++
+	if s.probeTick&1023 != 0 {
+		return false
+	}
+	return time.Now().After(s.probeDeadline)
+}
+
+// CalibrateEngines probes the candidate backends on the configured
+// instance — each gets a cold solve (reset residuals, zeroed
+// potentials) and is timed — then installs the fastest backend,
+// leaving the solver in that winner's solved state, and returns its
+// name.  Ties break toward the earlier candidate, so the candidate
+// order encodes the caller's prior.  The first candidate runs to
+// completion; every later one gets a wall-clock budget of about twice
+// the best time so far and is abandoned mid-solve when it cannot win
+// — the probe's total cost is therefore a small multiple of the
+// winning engine's solve time, not the sum of all candidates'.
+//
+// A candidate whose solve fails or exceeds its budget is skipped
+// (e.g. a scaling engine refusing with ErrPriceRange on an oversized
+// instance); if every candidate fails, the first error is returned.
+// Unknown candidate names are configuration errors and fail
+// immediately.
+//
+// The winner is chosen on wall time, so repeated runs on a noisy host
+// may pick different — equally optimal — backends; callers that need
+// reproducible trajectories should pin an engine instead.
+func (s *Solver) CalibrateEngines(candidates []string) (string, error) {
+	if len(candidates) == 0 {
+		return "", errors.New("mcmf: CalibrateEngines needs at least one candidate")
+	}
+	defer func() { s.probeDeadline = time.Time{} }()
+	// Probe solves must not leak their work measurements into the
+	// resolve gate: Visited units are engine-family currency (Dijkstra
+	// node visits vs cost-scaling discharges), so letting every
+	// candidate update ewmaFullVisits would price the winner's later
+	// gate decisions in a loser's units.  Snapshot, probe, restore,
+	// and let only the winner's final solve seed the averages.
+	ewmaFull, ewmaResolve := s.ewmaFullVisits, s.ewmaResolveVisits
+	best := -1
+	var bestD time.Duration
+	var firstErr error
+	for i, name := range candidates {
+		if err := s.SetEngine(name); err != nil {
+			return "", err
+		}
+		s.Reset()
+		for v := range s.pot {
+			s.pot[v] = 0
+		}
+		t0 := time.Now()
+		if best >= 0 {
+			s.probeDeadline = t0.Add(2*bestD + time.Millisecond)
+		}
+		_, err := s.Solve()
+		s.probeDeadline = time.Time{}
+		d := time.Since(t0)
+		if err != nil {
+			if firstErr == nil && err != errProbeBudget {
+				firstErr = err
+			}
+			continue
+		}
+		if best < 0 || d < bestD {
+			best, bestD = i, d
+		}
+	}
+	if best < 0 {
+		return "", firstErr
+	}
+	// Re-establish the winner's solved state — always, so the caller
+	// reads flows/potentials produced by the installed backend and the
+	// restored averages are seeded by the winner's own run.
+	winner := candidates[best]
+	s.ewmaFullVisits, s.ewmaResolveVisits = ewmaFull, ewmaResolve
+	if err := s.SetEngine(winner); err != nil {
+		return "", err
+	}
+	s.Reset()
+	for v := range s.pot {
+		s.pot[v] = 0
+	}
+	if _, err := s.Solve(); err != nil {
+		return "", err
+	}
+	return winner, nil
+}

@@ -1,216 +1,137 @@
-// Cost-scaling minimum-cost flow (Goldberg–Tarjan).  The paper's
+// Serial cost-scaling driver (Goldberg–Tarjan).  The paper's
 // complexity claim for the D-phase — O(|V|·|E|·log log |V|) — comes
-// from the scaling family of algorithms [9]; this file provides one so
-// the flow engines can be compared on D-phase-shaped instances
-// (BenchmarkFlowEngines in equivalence_test.go) and cross-checked for
-// equal optimal cost (TestEnginesAgreeRandom).
+// from the scaling family of algorithms [9]; this engine provides the
+// classic sequential variant so the flow engines can be compared on
+// D-phase-shaped instances (BenchmarkFlowEngines) and cross-checked
+// for equal optimal cost (the conformance suite).
 //
-// The algorithm maintains an ε-optimal pseudoflow: costs are scaled by
-// (n+1) so that 1-optimality implies exact optimality for integer
-// costs; each refine phase halves ε, saturates every negative-reduced-
-// cost arc, and discharges active (positive-excess) vertices with
-// push/relabel operations.
+// The ε-scaling machinery (scaled costs, admissibility, price
+// refinement, the phase schedule, the warm-start resolve) lives in
+// scalingcore.go and is shared with the bulk-synchronous "cspar"
+// driver; this file contributes only the discharge strategy — the
+// textbook sequential loop: a LIFO stack of active vertices, each
+// discharged fully (push along admissible current arcs, relabel when
+// the arc list is exhausted) before the next is popped.
 package mcmf
 
-import "math"
-
-// costScalingEngine adapts the cost-scaling solve to the Engine
-// interface.  It has no incremental path: push-relabel refinement
-// starts every solve from the unsolved residual configuration, so
-// Resolve falls back to a full Solve (counted in Stats.FullFallbacks).
+// costScalingEngine adapts the serial cost-scaling driver to the
+// Engine interface.
 type costScalingEngine struct {
-	st Stats
+	engineCore
+	sc scalingState
 }
 
 func (e *costScalingEngine) Name() string { return "costscaling" }
 
-func (e *costScalingEngine) Stats() Stats { return e.st }
-
 func (e *costScalingEngine) Solve(s *Solver) (float64, error) {
-	cost, err := s.SolveCostScaling()
+	mark := e.st
+	cost, err := solveScalingFull(s, &e.sc, &e.st, func(excess []int64) error {
+		return refineSerial(s, &e.sc, excess, &e.st)
+	})
 	if err == nil {
 		e.st.Solves++
+		s.noteFullRun(mark, e.st)
 	}
 	return cost, err
 }
 
+// Resolve repairs the previous optimal flow incrementally: the exact
+// potentials finishScaling recovered double as warm duals, so the
+// shared SSP drain-and-reroute serves the repair (see scalingcore.go
+// on why a refinement-pass repair was measured and rejected), and a
+// full cost-scaling solve backs it up when the work-estimate gate
+// prefers one.
 func (e *costScalingEngine) Resolve(s *Solver, changed []int32) (float64, error) {
-	e.st.FullFallbacks++
-	return e.Solve(s)
+	return resolveSSP(s, changed, heapFinder{}, &e.st, e.Solve)
 }
 
 // SolveCostScaling computes a minimum-cost feasible flow with the
-// cost-scaling push-relabel method.  It is interchangeable with Solve:
-// same inputs, same optimality guarantees (Verify certifies the result;
-// potentials are rescaled back to cost units).  It always runs the
-// cost-scaling algorithm regardless of the engine configured with
-// SetEngine (the "costscaling" engine is this method behind the
-// Engine interface).
+// serial cost-scaling push-relabel method.  It is interchangeable with
+// Solve: same inputs, same optimality guarantees (Verify certifies the
+// result; potentials are rescaled back to cost units).  It always runs
+// the serial cost-scaling algorithm regardless of the engine
+// configured with SetEngine (the "costscaling" engine is this
+// algorithm behind the Engine interface).
 func (s *Solver) SolveCostScaling() (float64, error) {
-	var sum int64
-	for _, b := range s.supply {
-		sum += b
-	}
-	if sum != 0 {
-		return 0, ErrUnbalanced
-	}
-	s.prepare()
-	n := s.n
-	// Feasibility (capacity) check first: run a plain max-flow-style
-	// check by attempting the scaling loop and verifying excesses clear;
-	// negative cycles do not affect termination here (capacities bound
-	// everything), so detect infeasibility at the end.
-
-	// Scale costs by n+1 (ε-optimality with ε<1/(n+1)·scaled ⇒ optimal).
-	alpha := int64(n + 1)
-	cost := make([]int64, len(s.arcs))
-	var maxC int64
-	for i := range s.arcs {
-		cost[i] = s.arcs[i].cost * alpha
-		if c := cost[i]; c > maxC {
-			maxC = c
-		} else if -c > maxC {
-			maxC = -c
-		}
-	}
-	// Start from the unsolved residual configuration; refine phases
-	// mutate it from here on.
-	s.resetResiduals()
-	s.flowDirty = true
-	s.repairable = false
-	pot := make([]int64, n) // scaled potentials
-	excess := append([]int64(nil), s.supply...)
-
-	eps := maxC
-	if eps == 0 {
-		eps = 1
-	}
-	active := make([]int32, 0, n)
-	inActive := make([]bool, n)
-	pushActive := func(v int32) {
-		if !inActive[v] && excess[v] > 0 {
-			inActive[v] = true
-			active = append(active, v)
-		}
-	}
-
-	// Current-arc pointers: absolute cursors into csrArc.
-	cur := make([]int32, n)
-
-	for {
-		// --- refine(ε) ---
-		// Saturate arcs with negative reduced cost.
-		for v := 0; v < n; v++ {
-			for _, ai := range s.arcsOf(v) {
-				a := &s.arcs[ai]
-				if a.cap <= 0 {
-					continue
-				}
-				if cost[ai]+pot[v]-pot[a.to] < 0 {
-					// push full residual
-					excess[v] -= a.cap
-					excess[a.to] += a.cap
-					s.arcs[ai^1].cap += a.cap
-					a.cap = 0
-				}
-			}
-		}
-		active = active[:0]
-		for v := 0; v < n; v++ {
-			inActive[v] = false
-			cur[v] = s.csrStart[v]
-			if excess[v] > 0 {
-				inActive[v] = true
-				active = append(active, int32(v))
-			}
-		}
-		// Discharge loop.
-		guard := 0
-		maxOps := 40 * n * n * (bits64(maxC) + 2) // generous safety bound
-		for len(active) > 0 {
-			guard++
-			if guard > maxOps {
-				return 0, ErrInfeasible
-			}
-			v := active[len(active)-1]
-			active = active[:len(active)-1]
-			inActive[v] = false
-			// Discharge v fully.
-			for excess[v] > 0 {
-				if cur[v] >= s.csrStart[v+1] {
-					// Relabel: lower v's potential just enough to create
-					// one admissible arc.
-					best := int64(math.MinInt64)
-					hasResidual := false
-					for _, ai := range s.arcsOf(int(v)) {
-						a := &s.arcs[ai]
-						if a.cap <= 0 {
-							continue
-						}
-						hasResidual = true
-						if nv := pot[a.to] - cost[ai] - eps; nv > best {
-							best = nv
-						}
-					}
-					if !hasResidual {
-						return 0, ErrInfeasible
-					}
-					pot[v] = best
-					cur[v] = s.csrStart[v]
-					continue
-				}
-				ai := s.csrArc[cur[v]]
-				a := &s.arcs[ai]
-				if a.cap > 0 && cost[ai]+pot[v]-pot[a.to] < 0 {
-					amt := excess[v]
-					if a.cap < amt {
-						amt = a.cap
-					}
-					excess[v] -= amt
-					excess[a.to] += amt
-					a.cap -= amt
-					s.arcs[ai^1].cap += amt
-					pushActive(a.to)
-				} else {
-					cur[v]++
-				}
-			}
-		}
-		if eps == 1 {
-			break
-		}
-		eps /= 2
-		if eps < 1 {
-			eps = 1
-		}
-	}
-
-	// Check all excesses cleared (feasibility).
-	for v := 0; v < n; v++ {
-		if excess[v] != 0 {
-			return 0, ErrInfeasible
-		}
-	}
-	// The scaled potentials certify ε=1 optimality in scaled units,
-	// which implies exact optimality of the flow; recompute exact
-	// potentials in cost units with Bellman–Ford on the residual graph
-	// for the Verify certificate (zero-seeded: the optimal residual
-	// graph has no negative cycles).
-	for i := 0; i < n; i++ {
-		s.pot[i] = 0
-	}
-	if err := s.bellmanFord(); err != nil {
-		return 0, err
-	}
-	s.markSolved()
-	return s.TotalCost(), nil
+	var sc scalingState
+	var st Stats
+	return solveScalingFull(s, &sc, &st, func(excess []int64) error {
+		return refineSerial(s, &sc, excess, &st)
+	})
 }
 
-func bits64(x int64) int {
-	b := 0
-	for x > 0 {
-		x >>= 1
-		b++
+// refineSerial discharges all active vertices at sc.eps with the
+// sequential LIFO strategy: saturate admissible arcs, then pop active
+// vertices off a stack and discharge each fully, walking its
+// current-arc cursor and relabelling (price refinement) when the
+// cursor exhausts the arc list.  One Visited is billed per discharge
+// — the work measure feeding the solver's EWMA resolve gate (see
+// solveScalingFull on the gate's counter units).
+func refineSerial(s *Solver, sc *scalingState, excess []int64, st *Stats) error {
+	n := s.n
+	sc.saturate(s, excess)
+	active := sc.active[:0]
+	for v := 0; v < n; v++ {
+		sc.inActive[v] = false
+		sc.cur[v] = s.csrStart[v]
+		if excess[v] > 0 {
+			sc.inActive[v] = true
+			active = append(active, int32(v))
+		}
 	}
-	return b
+	guard := 0
+	for len(active) > 0 {
+		guard++
+		if guard > sc.maxOps {
+			sc.active = active[:0]
+			return ErrInfeasible
+		}
+		if s.probeExpired() {
+			sc.active = active[:0]
+			return errProbeBudget
+		}
+		v := active[len(active)-1]
+		active = active[:len(active)-1]
+		sc.inActive[v] = false
+		st.Visited++
+		// Discharge v fully.
+		for excess[v] > 0 {
+			if sc.cur[v] >= s.csrStart[v+1] {
+				// Relabel: lower v's price just enough to create one
+				// admissible arc.
+				val, ok := sc.relabelValue(s, v)
+				if !ok {
+					sc.active = active[:0]
+					return ErrInfeasible
+				}
+				if val < priceFloor {
+					sc.active = active[:0]
+					return ErrPriceRange
+				}
+				sc.pot[v] = val
+				sc.cur[v] = s.csrStart[v]
+				continue
+			}
+			ai := s.csrArc[sc.cur[v]]
+			a := &s.arcs[ai]
+			if a.cap > 0 && sc.cost[ai]+sc.pot[v]-sc.pot[a.to] < 0 {
+				amt := excess[v]
+				if a.cap < amt {
+					amt = a.cap
+				}
+				excess[v] -= amt
+				excess[a.to] += amt
+				a.cap -= amt
+				s.arcs[ai^1].cap += amt
+				if to := a.to; !sc.inActive[to] && excess[to] > 0 {
+					sc.inActive[to] = true
+					active = append(active, to)
+				}
+			} else {
+				sc.cur[v]++
+			}
+		}
+	}
+	sc.active = active[:0]
+	return nil
 }

@@ -1,0 +1,451 @@
+// The "cspar" engine: bulk-synchronous parallel cost scaling.
+//
+// PR 4 measured why speculative SSP parallelism stalls on warm D-phase
+// solves: the serial commit order carries potential information, so
+// only ~8% of speculative searches survive (EXPERIMENTS.md "Intra-run
+// parallelism").  Cost scaling sidesteps the coupling structurally —
+// within one ε-phase, push/relabel operations on distinct active
+// vertices read a price function that no concurrent operation needs to
+// update, so the inner loop is naturally parallel and order-
+// insensitive.  This driver exploits that with a bulk-synchronous
+// super-step schedule over the shared ε-scaling core (scalingcore.go):
+//
+//  1. Plan: the active vertices are partitioned by index into
+//     contiguous chunks across the internal/par pool.  Each worker
+//     runs a full local discharge per vertex against the frozen prices
+//     (nothing writes shared prices, residuals or excesses during this
+//     phase): pushes along admissible arcs — consuming residual
+//     capacity in a private per-worker ledger — interleaved with
+//     relabels (price refinement) of the vertex's own working price,
+//     until the vertex's frozen excess is spent or its local residual
+//     arcs are exhausted.  The resulting operation list is the plan.
+//  2. Merge: the main goroutine applies all plans in ascending
+//     vertex-index order, revalidating each operation against live
+//     state: a push applies only while its arc is still admissible
+//     (an earlier relabel of its head in the same merge can retire
+//     it) and clamped to live residual capacity and excess; a relabel
+//     is raised to the floor bound contributed by residual arcs that
+//     earlier pushes in the same merge created at the vertex.  Every
+//     applied operation is therefore a legal sequential push/relabel,
+//     so ε-optimality and termination follow from the serial theory.
+//
+// Plans depend only on the frozen pre-step state and the merge order
+// is fixed, so results are bit-identical at every worker budget —
+// worker count moves plan computation between goroutines, never the
+// outcome (pinned by the conformance suite's worker-budget matrix).
+//
+// Like the other engines, cspar serves ResolveChanged incrementally:
+// the exact potentials a full solve recovers double as warm duals, so
+// the shared drain-and-reroute repair runs on them directly, falling
+// back to a full bulk-synchronous solve when the solver's EWMA
+// work-estimate gate prefers one (scalingcore.go documents why a
+// refinement-pass repair was measured and rejected).
+package mcmf
+
+import (
+	"runtime"
+	"slices"
+
+	"minflo/internal/par"
+)
+
+// csparParFloor is the fan-out floor: super-steps with fewer active
+// vertices plan inline — a pool barrier only pays for itself when
+// there is real per-step work to split.  The threshold affects only
+// where plans are computed, never their content.
+const csparParFloor = 64
+
+// csparPlanOp is one planned operation: a push (ai ≥ 0) of amt along
+// arc ai, or a relabel (ai == -1) of v to price amt (relabelNone when
+// the plan phase saw no residual arc at all).
+type csparPlanOp struct {
+	amt int64
+	v   int32
+	ai  int32
+}
+
+// csparWorker is one plan worker's private scratch: the operation
+// buffer and the epoch-stamped consumed-capacity ledger that lets a
+// local discharge saturate an arc and not re-push it after a relabel
+// rescans the arc list.
+type csparWorker struct {
+	plan     []csparPlanOp
+	consumed []uint32 // stamp per arc: == epoch when locally saturated
+	epoch    uint32
+}
+
+type csparEngine struct {
+	engineCore
+	sc scalingState
+
+	workers []*csparWorker // slot i plans chunk i of the active set
+
+	// floorVal[v] is the relabel floor accumulated during the current
+	// merge: the price-refinement bound contributed by residual arcs
+	// that earlier pushes in this merge created at v.  Epoch-stamped so
+	// per-step reset is O(1).
+	floorVal   []int64
+	floorStamp []uint32
+	floorEp    uint32
+
+	// Active-set double buffer plus the newly activated push targets of
+	// one merge (activeStamp marks membership in the current step).
+	activeBuf   []int32
+	spareBuf    []int32
+	added       []int32
+	activeStamp []uint32
+	activeEp    uint32
+}
+
+func (e *csparEngine) Name() string { return "cspar" }
+
+// budget resolves the effective worker budget for this solve.
+func (e *csparEngine) budget(s *Solver) int {
+	if s.par > 0 {
+		return s.par
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+func (e *csparEngine) Solve(s *Solver) (float64, error) {
+	pool, done := e.acquirePool(s)
+	defer done()
+	return e.solveFull(s, pool)
+}
+
+func (e *csparEngine) solveFull(s *Solver, pool *par.Pool) (float64, error) {
+	mark := e.st
+	cost, err := solveScalingFull(s, &e.sc, &e.st, func(excess []int64) error {
+		return e.refineBSP(s, excess, pool)
+	})
+	if err == nil {
+		e.st.Solves++
+		s.noteFullRun(mark, e.st)
+	}
+	return cost, err
+}
+
+// Resolve repairs the previous optimal flow incrementally: the exact
+// potentials finishScaling recovered double as warm duals, so the
+// shared SSP drain-and-reroute serves the repair — serially, whatever
+// the worker budget, which keeps the budget-independence contract
+// trivially intact (see scalingcore.go on why a refinement-pass
+// repair was measured and rejected).  A full bulk-synchronous solve
+// backs it up when the work-estimate gate prefers one.
+func (e *csparEngine) Resolve(s *Solver, changed []int32) (float64, error) {
+	return resolveSSP(s, changed, heapFinder{}, &e.st, e.Solve)
+}
+
+// acquirePool returns the worker pool for one solve and its release
+// func.  Worker budget 1 runs with a nil pool (par's serial contract)
+// and spawns nothing, preserving the serial path's zero-overhead
+// property.  Per-solve pooling is deliberate — engines have no Close
+// hook, so persistent workers would leak with their Solver; the cost
+// (workers−1 goroutine starts per D-phase solve) matches the
+// "parallel" engine's documented trade-off.
+func (e *csparEngine) acquirePool(s *Solver) (*par.Pool, func()) {
+	w := e.budget(s)
+	if w <= 1 {
+		return nil, func() {}
+	}
+	p := par.New(w)
+	return p, p.Close
+}
+
+// refineBSP discharges all active vertices at sc.eps with the
+// bulk-synchronous super-step schedule described in the package
+// comment.
+func (e *csparEngine) refineBSP(s *Solver, excess []int64, pool *par.Pool) error {
+	sc := &e.sc
+	n := s.n
+	sc.saturate(s, excess)
+	e.ensure(s, pool.Workers())
+	active := e.activeBuf[:0]
+	for v := 0; v < n; v++ {
+		if excess[v] > 0 {
+			active = append(active, int32(v))
+		}
+	}
+	parts := pool.Workers()
+	ops := 0
+	// The active-set double buffer ping-pongs between activeBuf and
+	// spareBuf below, leaving e.activeBuf stale mid-loop; park the
+	// current buffer back on exit — every exit — so the two fields
+	// never alias on a reused engine after an error return.
+	defer func() { e.activeBuf = active[:0] }()
+	for len(active) > 0 {
+		if s.probeExpired() {
+			return errProbeBudget
+		}
+		// Stamp current membership (added-target dedup in the merge).
+		e.activeEp++
+		if e.activeEp == 0 {
+			for i := range e.activeStamp {
+				e.activeStamp[i] = 0
+			}
+			e.activeEp = 1
+		}
+		for _, v := range active {
+			e.activeStamp[v] = e.activeEp
+		}
+
+		// Plan phase: frozen prices/residuals/excesses, chunked by
+		// vertex index.  Chunk boundaries affect only which goroutine
+		// computes a plan, never the plan itself.
+		nchunks := parts
+		if parts == 1 || len(active) < csparParFloor {
+			nchunks = 1
+			e.planChunk(s, excess, active, 0, 1)
+		} else {
+			pool.ForEach(func(part int) {
+				e.planChunk(s, excess, active, part, parts)
+			})
+		}
+		e.st.Visited += int64(len(active))
+
+		// Merge phase: apply plans in ascending vertex-index order.
+		e.added = e.added[:0]
+		planned, err := e.merge(s, excess, nchunks)
+		if err != nil {
+			return err
+		}
+		ops += planned
+		if ops > sc.maxOps {
+			return ErrInfeasible
+		}
+
+		// Next active set: surviving members of the current one (still
+		// ascending) merged with the freshly activated push targets.
+		next := e.spareBuf[:0]
+		slices.Sort(e.added)
+		ai, bi := 0, 0
+		for ai < len(active) || bi < len(e.added) {
+			var v int32
+			switch {
+			case ai == len(active):
+				v = e.added[bi]
+				bi++
+			case bi == len(e.added):
+				v = active[ai]
+				ai++
+			case active[ai] < e.added[bi]:
+				v = active[ai]
+				ai++
+			default:
+				v = e.added[bi]
+				bi++
+			}
+			if excess[v] > 0 {
+				next = append(next, v)
+			}
+		}
+		e.spareBuf = active[:0] // ping-pong: the drained buffer is the next spare
+		active = next
+	}
+	return nil
+}
+
+// ensure sizes the per-solve scratch: worker slots, the relabel floor
+// and the active-set stamps.
+func (e *csparEngine) ensure(s *Solver, parts int) {
+	n := s.n
+	if cap(e.floorVal) < n {
+		e.floorVal = make([]int64, n)
+		e.floorStamp = make([]uint32, n)
+		e.floorEp = 0
+		e.activeStamp = make([]uint32, n)
+		e.activeEp = 0
+	}
+	e.floorVal = e.floorVal[:n]
+	e.floorStamp = e.floorStamp[:n]
+	e.activeStamp = e.activeStamp[:n]
+	for len(e.workers) < parts {
+		e.workers = append(e.workers, &csparWorker{})
+	}
+	for _, w := range e.workers[:parts] {
+		if len(w.consumed) < len(s.arcs) {
+			w.consumed = make([]uint32, len(s.arcs))
+			w.epoch = 0
+		}
+	}
+}
+
+// planChunk plans chunk c of parts over the frozen state: a full local
+// discharge per active vertex in the chunk (see the package comment).
+func (e *csparEngine) planChunk(s *Solver, excess []int64, active []int32, c, parts int) {
+	w := e.workers[c]
+	per := (len(active) + parts - 1) / parts
+	lo := c * per
+	hi := lo + per
+	if lo > len(active) {
+		lo = len(active)
+	}
+	if hi > len(active) {
+		hi = len(active)
+	}
+	buf := w.plan[:0]
+	for _, v := range active[lo:hi] {
+		buf = e.planVertex(s, w, buf, v, excess[v])
+	}
+	w.plan = buf
+}
+
+// planVertex runs one local discharge of v against the frozen state:
+// pushes consume capacity in the worker's private ledger, relabels
+// move only the private working price.  The discharge ends when the
+// frozen excess is spent or no unconsumed residual arc remains (the
+// leftover waits for the next super-step); a vertex with no residual
+// arc at all plans the relabelNone sentinel, which the merge converts
+// to ErrInfeasible unless the floor saved it.
+func (e *csparEngine) planVertex(s *Solver, w *csparWorker, buf []csparPlanOp, v int32, remaining int64) []csparPlanOp {
+	sc := &e.sc
+	w.epoch++
+	if w.epoch == 0 {
+		for i := range w.consumed {
+			w.consumed[i] = 0
+		}
+		w.epoch = 1
+	}
+	p := sc.pot[v]
+	start, end := s.csrStart[v], s.csrStart[v+1]
+	cur := start
+	planned := false
+	for remaining > 0 {
+		if cur >= end {
+			// Relabel against the frozen neighbor prices, over the
+			// locally still-residual arcs.
+			best := int64(relabelNone)
+			has := false
+			for _, ai := range s.csrArc[start:end] {
+				if s.arcs[ai].cap <= 0 || w.consumed[ai] == w.epoch {
+					continue
+				}
+				has = true
+				if nv := sc.pot[s.arcs[ai].to] - sc.cost[ai] - sc.eps; nv > best {
+					best = nv
+				}
+			}
+			if !has {
+				if !planned {
+					buf = append(buf, csparPlanOp{amt: relabelNone, v: v, ai: -1})
+				}
+				return buf // locally exhausted: leftover waits
+			}
+			buf = append(buf, csparPlanOp{amt: best, v: v, ai: -1})
+			planned = true
+			p = best
+			cur = start
+			continue
+		}
+		ai := s.csrArc[cur]
+		a := &s.arcs[ai]
+		if a.cap > 0 && w.consumed[ai] != w.epoch && sc.cost[ai]+p-sc.pot[a.to] < 0 {
+			amt := remaining
+			if a.cap < amt {
+				amt = a.cap
+			}
+			buf = append(buf, csparPlanOp{amt: amt, v: v, ai: ai})
+			planned = true
+			remaining -= amt
+			if amt == a.cap {
+				w.consumed[ai] = w.epoch
+			}
+		} else {
+			cur++
+		}
+	}
+	return buf
+}
+
+// merge applies the planned operations in ascending vertex-index order
+// (chunk order concatenates to the active order), revalidating each
+// against live state.  It returns the number of planned operations
+// (the guard currency) and collects freshly activated push targets in
+// e.added.
+func (e *csparEngine) merge(s *Solver, excess []int64, nchunks int) (int, error) {
+	sc := &e.sc
+	e.floorEp++
+	if e.floorEp == 0 { // uint32 wraparound: invalidate all stamps
+		for i := range e.floorStamp {
+			e.floorStamp[i] = 0
+		}
+		e.floorEp = 1
+	}
+	ep := e.floorEp
+	planned := 0
+	for c := 0; c < nchunks; c++ {
+		plan := e.workers[c].plan
+		planned += len(plan)
+		for _, op := range plan {
+			v := op.v
+			if op.ai >= 0 {
+				// Push: the arc must still be admissible (an earlier
+				// relabel of its head in this merge may have re-priced
+				// it, or a raised floor may have kept v's own price
+				// higher than planned) and is clamped to live capacity
+				// and excess.
+				a := &s.arcs[op.ai]
+				if a.cap <= 0 || excess[v] <= 0 {
+					continue
+				}
+				if sc.cost[op.ai]+sc.pot[v]-sc.pot[a.to] >= 0 {
+					// Retired by an earlier relabel of its head.  The plan
+					// assumed this arc would leave the residual graph, so
+					// v's later planned relabels never priced it; keep
+					// them legal by raising v's floor to this arc's bound.
+					if cand := sc.pot[a.to] - sc.cost[op.ai] - sc.eps; e.floorStamp[v] != ep || cand > e.floorVal[v] {
+						e.floorStamp[v] = ep
+						e.floorVal[v] = cand
+					}
+					continue
+				}
+				amt := op.amt
+				if a.cap < amt {
+					amt = a.cap
+				}
+				if excess[v] < amt {
+					amt = excess[v]
+				}
+				to := a.to
+				if excess[to] <= 0 && excess[to]+amt > 0 && e.activeStamp[to] != e.activeEp {
+					e.added = append(e.added, to)
+					e.activeStamp[to] = e.activeEp
+				}
+				excess[v] -= amt
+				excess[to] += amt
+				a.cap -= amt
+				s.arcs[op.ai^1].cap += amt
+				// The reverse residual arc (to→v, cost −cost[ai]) may be
+				// new: record its price-refinement bound so later
+				// relabels of the head in this same merge stay legal.
+				if cand := sc.pot[v] + sc.cost[op.ai] - sc.eps; e.floorStamp[to] != ep || cand > e.floorVal[to] {
+					e.floorStamp[to] = ep
+					e.floorVal[to] = cand
+				}
+				continue
+			}
+			// Relabel: admissible arcs never appear between the freeze
+			// and v's turn (prices only drop, and residual arcs created
+			// by earlier pushes price positive), so the plan stays
+			// legal; it is only raised to the floor contributed by those
+			// new residual arcs.
+			if excess[v] <= 0 {
+				continue
+			}
+			val := op.amt
+			if e.floorStamp[v] == ep && e.floorVal[v] > val {
+				val = e.floorVal[v]
+			}
+			if val == relabelNone {
+				return planned, ErrInfeasible // no residual arc: excess trapped
+			}
+			if val < priceFloor {
+				return planned, ErrPriceRange
+			}
+			if val < sc.pot[v] {
+				sc.pot[v] = val
+			}
+		}
+	}
+	return planned, nil
+}

@@ -1,0 +1,294 @@
+package mcmf
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// TestCsparMatchesCostScalingFresh is the acceptance pin of the
+// tentpole: on the 110-instance random suite, the bulk-synchronous
+// "cspar" driver must reach exactly the optimal objective of the
+// serial "costscaling" driver on fresh solves (per-arc flows may
+// legitimately differ between the two discharge schedules — min-cost
+// flows are degenerate — so each result is additionally certified by
+// Verify; bit-level identity is pinned within cspar across worker
+// budgets by TestConformanceWorkerBudgets).
+func TestCsparMatchesCostScalingFresh(t *testing.T) {
+	for seed := int64(0); seed < 110; seed++ {
+		negative := seed%3 == 0
+		serial := newEngineInstance(t, "costscaling", seed, negative, 1)
+		want, err := serial.Solve()
+		if err != nil {
+			t.Fatalf("seed %d: costscaling: %v", seed, err)
+		}
+		for _, par := range []int{1, 4} {
+			bsp := newEngineInstance(t, "cspar", seed, negative, par)
+			got, err := bsp.Solve()
+			if err != nil {
+				t.Fatalf("seed %d par %d: cspar: %v", seed, par, err)
+			}
+			if got != want {
+				t.Fatalf("seed %d par %d: cspar cost %v != costscaling %v", seed, par, got, want)
+			}
+			if err := bsp.Verify(); err != nil {
+				t.Fatalf("seed %d par %d: certificate: %v", seed, par, err)
+			}
+		}
+	}
+}
+
+// TestScalingResolveIncremental pins that the scaling engines' new
+// incremental path actually engages on D-phase-shaped rounds (small
+// cost-delta batches must be served by Resolves, not full fallbacks)
+// and repairs to the exact fresh optimum.
+func TestScalingResolveIncremental(t *testing.T) {
+	for _, engine := range []string{"costscaling", "cspar"} {
+		engine := engine
+		t.Run(engine, func(t *testing.T) {
+			s := NewGridInstance(12, 10, 5)
+			if err := s.SetEngine(engine); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := s.Solve(); err != nil {
+				t.Fatal(err)
+			}
+			rng := rand.New(rand.NewSource(9))
+			for round := 0; round < 6; round++ {
+				changed := make([]int32, 0, 4)
+				for k := 0; k < 4; k++ {
+					id := rng.Intn(s.NumArcs())
+					s.SetCost(id, int64(rng.Intn(1000)))
+					changed = append(changed, int32(id))
+				}
+				got, err := s.ResolveChanged(changed)
+				if err != nil {
+					t.Fatalf("round %d: %v", round, err)
+				}
+				want, err := freshTwin(s).Solve()
+				if err != nil {
+					t.Fatalf("round %d: fresh: %v", round, err)
+				}
+				if got != want {
+					t.Fatalf("round %d: resolve cost %v != fresh %v", round, got, want)
+				}
+				if err := s.Verify(); err != nil {
+					t.Fatalf("round %d: certificate: %v", round, err)
+				}
+			}
+			st := s.EngineStats()
+			if st.Resolves == 0 {
+				t.Fatalf("no incremental resolves engaged: %+v", st)
+			}
+		})
+	}
+}
+
+// TestScalingPriceRange pins the overflow guard: an instance whose
+// cost magnitude leaves no headroom for the α-scaled costs must be
+// refused with ErrPriceRange by the scaling engines (instead of
+// silently wrapping int64), while the SSP family still solves it —
+// and the calibration probe must therefore skip the scaling candidate
+// and pick an SSP engine.
+func TestScalingPriceRange(t *testing.T) {
+	build := func() *Solver {
+		s := New(3)
+		s.AddArc(0, 1, 10, int64(inf)/2) // α = 4 here, so α·cost overflows the inf budget
+		s.AddArc(1, 2, 10, 1)
+		s.SetSupply(0, 2)
+		s.SetSupply(2, -2)
+		return s
+	}
+	for _, engine := range []string{"costscaling", "cspar"} {
+		s := build()
+		if err := s.SetEngine(engine); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.Solve(); err != ErrPriceRange {
+			t.Fatalf("%s on megacost instance: err=%v, want ErrPriceRange", engine, err)
+		}
+	}
+	s := build()
+	want, err := s.Solve() // default ssp handles it
+	if err != nil {
+		t.Fatalf("ssp on megacost instance: %v", err)
+	}
+	c := build()
+	winner, err := c.CalibrateEngines([]string{"cspar", "ssp"})
+	if err != nil {
+		t.Fatalf("calibration with a refusing candidate: %v", err)
+	}
+	if winner != "ssp" {
+		t.Fatalf("calibration winner %q, want ssp (cspar must be disqualified)", winner)
+	}
+	if got := c.TotalCost(); got != want {
+		t.Fatalf("calibrated state cost %v != ssp reference %v", got, want)
+	}
+	if err := c.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCsparErrorRecovery pins the engine's state hygiene across a
+// failed solve: a refine that aborts mid-phase (several super-steps
+// in, after the active-set double buffer has ping-ponged) must leave
+// the reused engine able to solve the repaired instance exactly —
+// regression for an aliasing bug where the two active-set buffers
+// ended up sharing one backing array after an error return.
+func TestCsparErrorRecovery(t *testing.T) {
+	s := New(8)
+	for v := 0; v+1 < 7; v++ {
+		s.AddArc(v, v+1, 100, 1)
+	}
+	bott := s.AddArc(6, 7, 3, 1) // bottleneck: excess crosses 6 super-steps, then traps
+	s.SetSupply(0, 50)
+	s.SetSupply(7, -50)
+	s.SetParallelism(4)
+	if err := s.SetEngine("cspar"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Solve(); err == nil {
+		t.Fatal("bottlenecked instance solved; want an error")
+	}
+	s.SetCapacity(bott, 100)
+	cost, err := s.Solve()
+	if err != nil {
+		t.Fatalf("repaired solve on reused engine: %v", err)
+	}
+	want, err := freshTwin(s).Solve()
+	if err != nil || cost != want {
+		t.Fatalf("repaired cost %v (err %v) != fresh %v", cost, err, want)
+	}
+	if err := s.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCalibrateEngines pins the probe contract: a registered winner is
+// returned and installed with a consistent solved state, unknown
+// candidates fail fast, and an infeasible instance propagates the
+// engines' error.
+func TestCalibrateEngines(t *testing.T) {
+	s := NewGridInstance(10, 8, 4)
+	ref, err := freshTwin(s).Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	winner, err := s.CalibrateEngines([]string{"dial", "ssp", "cspar"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ValidEngine(winner) {
+		t.Fatalf("winner %q is not a registered engine", winner)
+	}
+	if s.EngineName() != winner {
+		t.Fatalf("active engine %q != winner %q", s.EngineName(), winner)
+	}
+	if got := s.TotalCost(); got != ref {
+		t.Fatalf("calibrated cost %v != reference %v", got, ref)
+	}
+	if err := s.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	// The winner's state must keep serving warm re-solves.
+	s.SetCost(0, s.Cost(0)+5)
+	if _, err := s.ResolveChanged([]int32{0}); err != nil {
+		t.Fatalf("resolve after calibration: %v", err)
+	}
+
+	if _, err := s.CalibrateEngines([]string{"nope"}); err == nil {
+		t.Fatal("unknown candidate accepted")
+	}
+
+	bad := New(2)
+	bad.SetSupply(0, 5)
+	bad.SetSupply(1, -5)
+	bad.AddArc(0, 1, 1, 1) // insufficient capacity
+	if _, err := bad.CalibrateEngines([]string{"ssp", "dial"}); err != ErrInfeasible {
+		t.Fatalf("infeasible calibration: err=%v, want ErrInfeasible", err)
+	}
+}
+
+// BenchmarkCspar measures the bulk-synchronous scaling driver against
+// its serial twin on the D-phase grid shape: fresh solves, warm
+// re-solves and incremental resolve rounds, each at worker budgets 1
+// and 4 (on a single-core host j4 measures super-step overhead, not
+// speedup).  Recorded in BENCH_<date>_cspar.json and pinned by the
+// cspar CI gate.
+func BenchmarkCspar(b *testing.B) {
+	const batch = 24
+	for _, j := range []int{1, 4} {
+		j := j
+		b.Run(fmt.Sprintf("grid40x25/j%d/fresh", j), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				s := NewGridInstance(40, 25, 7)
+				s.SetParallelism(j)
+				if err := s.SetEngine("cspar"); err != nil {
+					b.Fatal(err)
+				}
+				if _, err := s.Solve(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("grid40x25/j%d/warm", j), func(b *testing.B) {
+			s := NewGridInstance(40, 25, 7)
+			s.SetParallelism(j)
+			if err := s.SetEngine("cspar"); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := s.Solve(); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s.Reset()
+				if _, err := s.Solve(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("grid40x25/j%d/resolve", j), func(b *testing.B) {
+			s := NewGridInstance(40, 25, 7)
+			s.SetParallelism(j)
+			if err := s.SetEngine("cspar"); err != nil {
+				b.Fatal(err)
+			}
+			rng := rand.New(rand.NewSource(11))
+			ids := make([]int32, 256*batch)
+			costs := make([]int64, len(ids))
+			for i := range ids {
+				ids[i] = int32(rng.Intn(s.NumArcs()))
+				costs[i] = int64(rng.Intn(1000))
+			}
+			if _, err := s.Solve(); err != nil {
+				b.Fatal(err)
+			}
+			// Warm the repair path's lazily grown scratch (Dijkstra
+			// heap, visited lists) so allocs/op is iteration-count
+			// independent — the CI gate compares at a different -benchtime.
+			for i := 0; i < 8; i++ {
+				off := (i % 256) * batch
+				for k := 0; k < batch; k++ {
+					s.SetCost(int(ids[off+k]), costs[off+k])
+				}
+				if _, err := s.ResolveChanged(ids[off : off+batch]); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				off := (i % 256) * batch
+				for k := 0; k < batch; k++ {
+					s.SetCost(int(ids[off+k]), costs[off+k])
+				}
+				if _, err := s.ResolveChanged(ids[off : off+batch]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -31,13 +31,11 @@ import "math/bits"
 const dialRing = 4096
 
 type dialEngine struct {
-	st Stats
+	engineCore
 	pf dialFinder
 }
 
 func (e *dialEngine) Name() string { return "dial" }
-
-func (e *dialEngine) Stats() Stats { return e.st }
 
 func (e *dialEngine) Solve(s *Solver) (float64, error) {
 	e.pf.st = &e.st

@@ -10,7 +10,14 @@
 //	              (exploits the small reduced costs of warm-started
 //	              D-phase instances; falls back to the heap per
 //	              augmentation when distances outgrow the bucket ring)
-//	"costscaling" Goldberg–Tarjan cost-scaling push-relabel
+//	"costscaling" Goldberg–Tarjan cost-scaling push-relabel, serial
+//	              LIFO discharge (costscaling.go over scalingcore.go)
+//	"cspar"       cost scaling with a bulk-synchronous parallel
+//	              discharge: per ε-phase super-steps plan push/relabel
+//	              operations against frozen prices across the worker
+//	              pool and apply them in fixed vertex-index order —
+//	              bit-identical at every Solver.SetParallelism worker
+//	              count (cspar.go)
 //	"parallel"    successive shortest paths with speculative concurrent
 //	              searches committed in serial order — bit-identical to
 //	              "ssp" at every Solver.SetParallelism worker count
@@ -63,6 +70,31 @@ type Stats struct {
 	SpecCommits int64
 	SpecWasted  int64
 }
+
+// engineCore is the Stats bookkeeping every built-in engine embeds:
+// the counter storage, its accessor, and the per-problem work-counter
+// reset hooked into Solver.Reset (so back-to-back problems on a reused
+// solver report per-problem numbers for the work counters while the
+// lifetime counters — Solves, Resolves, fallbacks — stay cumulative).
+type engineCore struct {
+	st Stats
+}
+
+func (e *engineCore) Stats() Stats { return e.st }
+
+// ResetWorkCounters zeroes the per-problem work counters
+// (Visited/SpecCommits/SpecWasted).  Solver.Reset calls this on the
+// active engine; lifetime counters are untouched.
+func (e *engineCore) ResetWorkCounters() {
+	e.st.Visited = 0
+	e.st.SpecCommits = 0
+	e.st.SpecWasted = 0
+}
+
+// workCounterResetter is the optional interface Solver.Reset uses to
+// clear per-problem work counters; externally registered engines may
+// implement it too.
+type workCounterResetter interface{ ResetWorkCounters() }
 
 // Engine is a min-cost-flow algorithm over a Solver's network state.
 // Implementations keep only algorithm-local scratch: all instance
@@ -126,6 +158,7 @@ func init() {
 	Register("ssp", func() Engine { return &sspEngine{} })
 	Register("dial", func() Engine { return &dialEngine{} })
 	Register("costscaling", func() Engine { return &costScalingEngine{} })
+	Register("cspar", func() Engine { return &csparEngine{} })
 	Register("parallel", func() Engine { return &parEngine{} })
 }
 

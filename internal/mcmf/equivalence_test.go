@@ -2,108 +2,12 @@ package mcmf
 
 import (
 	"fmt"
-	"math/rand"
 	"testing"
 )
 
-// buildRandomFeasible constructs a random feasible instance: a
-// high-capacity backbone chain 0→1→…→n−1 (bidirectional when all costs
-// are non-negative) guarantees every supply/demand pair can route;
-// random extra arcs (DAG-oriented when negative costs are allowed, so
-// no negative cycles arise) create alternative routes the two engines
-// must price identically.  The backbone occupies the lowest arc IDs:
-// n−1 forward arcs, then n−1 reverse arcs unless negativeCosts (a
-// reverse chain next to negative forward arcs could close a negative
-// cycle, so there supply is always placed upstream of its demand).
-func buildRandomFeasible(rng *rand.Rand, negativeCosts bool) *Solver {
-	n := 4 + rng.Intn(37)
-	s := New(n)
-	for v := 0; v+1 < n; v++ {
-		s.AddArc(v, v+1, 1_000_000, int64(rng.Intn(20)))
-	}
-	if !negativeCosts {
-		for v := 0; v+1 < n; v++ {
-			s.AddArc(v+1, v, 1_000_000, int64(rng.Intn(20)))
-		}
-	}
-	m := n + rng.Intn(4*n)
-	for i := 0; i < m; i++ {
-		u := rng.Intn(n)
-		v := rng.Intn(n)
-		if u == v {
-			continue
-		}
-		lo := 0
-		if negativeCosts {
-			// DAG orientation only: negative arcs cannot close a cycle.
-			if u > v {
-				u, v = v, u
-			}
-			lo = -5
-		}
-		s.AddArc(u, v, int64(1+rng.Intn(200)), int64(lo+rng.Intn(60)))
-	}
-	for k := 0; k < 1+rng.Intn(5); k++ {
-		a, b := rng.Intn(n), rng.Intn(n)
-		if a == b {
-			continue
-		}
-		if negativeCosts && a > b {
-			a, b = b, a // forward-only backbone: route supply downstream
-		}
-		amt := int64(1 + rng.Intn(40))
-		s.AddSupply(a, amt)
-		s.AddSupply(b, -amt)
-	}
-	return s
-}
-
-// TestEnginesAgreeRandom is the cross-engine equivalence gate: on
-// ≥100 randomized D-phase-shaped instances, every registered backend
-// ("ssp" successive shortest paths, "dial" bucket-queue SSP,
-// "costscaling" Goldberg–Tarjan) must find the same optimal cost on
-// an identical twin instance, and each must pass the self-certifying
-// Verify.
-func TestEnginesAgreeRandom(t *testing.T) {
-	engines := EngineNames()
-	if len(engines) < 3 {
-		t.Fatalf("expected ≥3 registered engines, have %v", engines)
-	}
-	count := 0
-	for seed := int64(0); seed < 110; seed++ {
-		negative := seed%3 == 0
-		costs := make(map[string]float64, len(engines))
-		for _, name := range engines {
-			rng := rand.New(rand.NewSource(seed)) // identical twin per engine
-			inst := buildRandomFeasible(rng, negative)
-			if err := inst.SetEngine(name); err != nil {
-				t.Fatal(err)
-			}
-			cost, err := inst.Solve()
-			if err != nil {
-				t.Fatalf("seed %d: %s: %v", seed, name, err)
-			}
-			if err := inst.Verify(); err != nil {
-				t.Fatalf("seed %d: %s certificate: %v", seed, name, err)
-			}
-			if st := inst.EngineStats(); st.Solves != 1 {
-				t.Fatalf("seed %d: %s reports %d solves, want 1", seed, name, st.Solves)
-			}
-			costs[name] = cost
-		}
-		ref := costs[engines[0]]
-		for _, name := range engines[1:] {
-			if costs[name] != ref {
-				t.Fatalf("seed %d: optimal costs disagree: %s %v vs %s %v",
-					seed, engines[0], ref, name, costs[name])
-			}
-		}
-		count++
-	}
-	if count < 100 {
-		t.Fatalf("only %d instances exercised, want >= 100", count)
-	}
-}
+// The cross-engine random equivalence gate and its buildRandomFeasible
+// scaffolding moved to conformance_test.go (TestConformanceRandom),
+// where every registered engine runs the full table-driven suite.
 
 // TestEnginesAgreeGrid cross-checks all backends on the exact layered
 // D-phase grid instances the benchmarks use.

@@ -31,13 +31,19 @@
 //
 // The Solver struct itself is only the residual-network state core.
 // The algorithms that drive it live behind the Engine interface
-// (engine.go) with three registered backends — "ssp" (successive
+// (engine.go) with five registered backends — "ssp" (successive
 // shortest paths, heap Dijkstra; the default), "dial" (SSP with a
-// Dial bucket-queue Dijkstra) and "costscaling" (Goldberg–Tarjan) —
-// selectable per instance with SetEngine.  Beyond full solves, every
-// engine offers ResolveChanged: an incremental re-flow that repairs
-// the previous optimal flow after a set of arcs changed cost or
-// capacity, instead of rerouting every supply (resolve.go).
+// Dial bucket-queue Dijkstra), "parallel" (speculative concurrent
+// SSP, bit-identical to "ssp"), "costscaling" (Goldberg–Tarjan,
+// serial discharge) and "cspar" (cost scaling with a bulk-synchronous
+// parallel discharge, bit-identical at every worker budget) —
+// selectable per instance with SetEngine, or picked by timing one
+// solve per candidate with CalibrateEngines.  Beyond full solves,
+// every engine offers ResolveChanged: an incremental re-flow that
+// repairs the previous optimal flow after a set of arcs changed cost
+// or capacity, instead of rerouting every supply (resolve.go for the
+// SSP family, resolveScaling in scalingcore.go for the scaling
+// family).
 //
 // The solver is self-certifying: Verify re-checks conservation, bounds
 // and reduced-cost optimality after every Solve.
@@ -47,6 +53,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"time"
 )
 
 // Errors returned by Solve.
@@ -115,6 +122,13 @@ type Solver struct {
 	// seeds them (the gate falls back to a static estimate until then).
 	ewmaFullVisits    float64
 	ewmaResolveVisits float64
+
+	// probeDeadline caps one calibration probe solve (calibrate.go):
+	// engine inner loops poll probeExpired and abandon the solve with
+	// errProbeBudget once a candidate has proven slower than the
+	// incumbent.  Zero outside CalibrateEngines.
+	probeDeadline time.Time
+	probeTick     uint32
 }
 
 // New returns a solver over n nodes with no arcs and zero supplies.
@@ -235,11 +249,20 @@ func (s *Solver) Capacity(arcID int) int64 { return s.orig[arcID] }
 // Calling Reset is optional: Solve clears a previous solve's flow by
 // itself.  It exists for callers that want the restored residual state
 // earlier (e.g. to inspect capacities between solves).
+//
+// Reset also zeroes the engine's per-problem work counters
+// (Stats.Visited/SpecCommits/SpecWasted), so back-to-back problems on
+// a reused solver report per-problem work instead of cumulative
+// numbers; the lifetime counters (Solves, Resolves, fallbacks) are
+// untouched.
 func (s *Solver) Reset() {
 	s.resetResiduals()
 	s.flowDirty = false
 	s.solved = false
 	s.repairable = false
+	if r, ok := s.eng.(workCounterResetter); ok {
+		r.ResetWorkCounters()
+	}
 }
 
 // resetResiduals restores residual capacities to the original
@@ -359,6 +382,9 @@ func (s *Solver) potentialsValid() bool {
 func (s *Solver) bellmanFord() error {
 	dist := s.pot
 	for round := 0; round < s.n; round++ {
+		if s.probeExpired() {
+			return errProbeBudget
+		}
 		changed := false
 		for u := 0; u < s.n; u++ {
 			du := dist[u]

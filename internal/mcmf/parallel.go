@@ -69,7 +69,7 @@ const parMinSources = 8
 const parMaxSlots = 32
 
 type parEngine struct {
-	st Stats
+	engineCore
 
 	slots []*searchScratch // speculation scratches, slot i ↔ batch[i]
 	res   []specResult     // search results per slot
@@ -89,8 +89,6 @@ type specResult struct {
 }
 
 func (e *parEngine) Name() string { return "parallel" }
-
-func (e *parEngine) Stats() Stats { return e.st }
 
 func (e *parEngine) Solve(s *Solver) (float64, error) {
 	if err := s.beginSolve(&e.st); err != nil {

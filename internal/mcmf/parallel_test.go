@@ -5,41 +5,9 @@ import (
 	"testing"
 )
 
-// snapshotState captures everything a solve writes: per-arc flows, the
-// node potentials and the optimal cost.
-type flowState struct {
-	cost  float64
-	flows []int64
-	pots  []int64
-}
-
-func captureState(s *Solver, cost float64) flowState {
-	st := flowState{cost: cost}
-	for id := 0; id < s.NumArcs(); id++ {
-		st.flows = append(st.flows, s.Flow(id))
-	}
-	for v := 0; v < s.N(); v++ {
-		st.pots = append(st.pots, s.Potential(v))
-	}
-	return st
-}
-
-func diffState(t *testing.T, tag string, want, got flowState) {
-	t.Helper()
-	if want.cost != got.cost {
-		t.Fatalf("%s: cost %v != serial %v", tag, got.cost, want.cost)
-	}
-	for i := range want.flows {
-		if want.flows[i] != got.flows[i] {
-			t.Fatalf("%s: arc %d flow %d != serial %d", tag, i, got.flows[i], want.flows[i])
-		}
-	}
-	for v := range want.pots {
-		if want.pots[v] != got.pots[v] {
-			t.Fatalf("%s: node %d potential %d != serial %d", tag, v, got.pots[v], want.pots[v])
-		}
-	}
-}
+// The flowState capture/diff scaffolding these tests use moved to
+// conformance_test.go, where it is shared by the whole cross-engine
+// conformance suite.
 
 // TestParallelEngineMatchesSSPExact is the engine-level bit-equality
 // gate of the parallel backend: on grid and random instances large

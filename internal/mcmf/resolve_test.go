@@ -5,100 +5,12 @@ import (
 	"testing"
 )
 
-// freshTwin builds a new solver with s's current configuration (arcs,
-// configured capacities, costs, supplies) — the reference a resolved
-// instance must match.
-func freshTwin(s *Solver) *Solver {
-	f := New(s.N())
-	for v := 0; v < s.N(); v++ {
-		f.SetSupply(v, s.Supply(v))
-	}
-	for id := 0; id < s.NumArcs(); id++ {
-		u := int(s.arcs[2*id+1].to)
-		v := int(s.arcs[2*id].to)
-		f.AddArc(u, v, s.Capacity(id), s.Cost(id))
-	}
-	return f
-}
-
-// mutateRandom applies one random batch of arc-cost, arc-capacity and
-// supply deltas to s and returns the changed arc IDs.
-func mutateRandom(rng *rand.Rand, s *Solver, allowNegativeCosts bool) []int32 {
-	var changed []int32
-	narcs := s.NumArcs()
-	for k := 0; k < 1+rng.Intn(6); k++ {
-		id := rng.Intn(narcs)
-		switch rng.Intn(3) {
-		case 0:
-			lo := 0
-			if allowNegativeCosts {
-				lo = -5
-			}
-			s.SetCost(id, int64(lo+rng.Intn(60)))
-		case 1:
-			s.UpdateCapacity(id, int64(rng.Intn(300)))
-		default: // zero-capacity degenerate arc
-			s.UpdateCapacity(id, 0)
-		}
-		changed = append(changed, int32(id))
-	}
-	// Supply deltas in balanced pairs (sometimes routing through the
-	// same node, a no-op pair).
-	for k := 0; k < rng.Intn(3); k++ {
-		a, b := rng.Intn(s.N()), rng.Intn(s.N())
-		amt := int64(rng.Intn(20))
-		s.AddSupply(a, amt)
-		s.AddSupply(b, -amt)
-	}
-	return changed
-}
-
-// TestResolveMatchesFreshRandom is the incremental-re-flow property
-// gate: random arc-delta sequences applied through ResolveChanged must
-// reach exactly the optimal cost of a fresh solve on the mutated
-// configuration — including degenerate rounds where capacities drop to
-// zero and the instance goes infeasible (both paths must agree on the
-// error too).  Exercised for both SSP-family engines.
-func TestResolveMatchesFreshRandom(t *testing.T) {
-	for _, engine := range []string{"ssp", "dial"} {
-		engine := engine
-		t.Run(engine, func(t *testing.T) {
-			for seed := int64(0); seed < 60; seed++ {
-				rng := rand.New(rand.NewSource(seed))
-				negative := seed%4 == 0
-				s := buildRandomFeasible(rng, negative)
-				if err := s.SetEngine(engine); err != nil {
-					t.Fatal(err)
-				}
-				if _, err := s.Solve(); err != nil {
-					t.Fatalf("seed %d: initial solve: %v", seed, err)
-				}
-				for round := 0; round < 8; round++ {
-					// Keep the configured graph negative-cycle-free: new
-					// negative costs only on instances whose arcs are all
-					// DAG-oriented (see buildRandomFeasible).
-					changed := mutateRandom(rng, s, negative)
-					gotCost, gotErr := s.ResolveChanged(changed)
-					wantCost, wantErr := freshTwin(s).Solve()
-					if (gotErr == nil) != (wantErr == nil) {
-						t.Fatalf("seed %d round %d: resolve err %v, fresh err %v",
-							seed, round, gotErr, wantErr)
-					}
-					if gotErr != nil {
-						continue // infeasible round: next resolve falls back
-					}
-					if gotCost != wantCost {
-						t.Fatalf("seed %d round %d: resolve cost %v != fresh cost %v",
-							seed, round, gotCost, wantCost)
-					}
-					if err := s.Verify(); err != nil {
-						t.Fatalf("seed %d round %d: resolve certificate: %v", seed, round, err)
-					}
-				}
-			}
-		})
-	}
-}
+// The freshTwin/mutateRandom scaffolding and the random
+// resolve-vs-fresh property gate moved to conformance_test.go
+// (TestConformanceResolve), which runs them for every registered
+// engine.  This file keeps the resolve tests that pin engine-specific
+// behaviour: exact fallback/no-fallback gate outcomes and the dial
+// overflow machinery.
 
 // TestResolveDisconnectedSupply covers the degenerate network the
 // property test can't hit reliably: supply on a node with no arcs at

@@ -35,6 +35,9 @@ func (s *Solver) augmentAll(excess []int64, pf pathFinder, st *Stats) error {
 	}
 	s.sources = srcs // retain grown capacity for the next solve
 	for {
+		if s.probeExpired() {
+			return errProbeBudget
+		}
 		// Pick any node with positive excess.
 		src := int32(-1)
 		for len(srcs) > 0 {
@@ -62,12 +65,10 @@ func (s *Solver) augmentAll(excess []int64, pf pathFinder, st *Stats) error {
 // sspEngine is successive shortest paths with the heap Dijkstra — the
 // default backend, bit-identical to the pre-engine Solver.Solve.
 type sspEngine struct {
-	st Stats
+	engineCore
 }
 
 func (e *sspEngine) Name() string { return "ssp" }
-
-func (e *sspEngine) Stats() Stats { return e.st }
 
 func (e *sspEngine) Solve(s *Solver) (float64, error) {
 	return solveSSPFull(s, heapFinder{}, &e.st)

@@ -136,13 +136,19 @@ type Config struct {
 	CostScale float64
 	// FlowEngine selects the D-phase min-cost-flow backend: "ssp"
 	// (successive shortest paths, heap Dijkstra), "dial" (SSP with a
-	// bucket-queue Dijkstra), "costscaling" (Goldberg–Tarjan),
-	// "parallel" (speculative concurrent SSP, bit-identical to "ssp";
-	// opt-in, see EXPERIMENTS.md "Intra-run parallelism"), or
-	// ""/"auto" to pick per problem size (see FlowEngines and
-	// EXPERIMENTS.md for the measured crossover).  Applies to every
-	// optimization the Sizer runs: Minflotransit, Sweep, RunTable and
-	// the transistor/wire variants.
+	// bucket-queue Dijkstra), "costscaling" (Goldberg–Tarjan, serial
+	// discharge), "cspar" (bulk-synchronous parallel cost scaling,
+	// bit-identical at every worker budget), "parallel" (speculative
+	// concurrent SSP, bit-identical to "ssp"; opt-in, see
+	// EXPERIMENTS.md "Intra-run parallelism"), or ""/"auto" to
+	// calibrate per problem: the first D-phase solve times the
+	// candidate engines and keeps the fastest (see FlowEngines and
+	// EXPERIMENTS.md "Engine calibration").  The calibrated choice is
+	// equally optimal whichever engine wins, but reruns on a noisy
+	// host may follow a different — bitwise different — optimal
+	// trajectory; pin an engine for exact reproducibility.  Applies
+	// to every optimization the Sizer runs: Minflotransit, Sweep,
+	// RunTable and the transistor/wire variants.
 	FlowEngine string
 	// Parallelism is the intra-run worker budget of a single
 	// optimization: concurrent W-phase level sweeps, parallel
