@@ -9,12 +9,22 @@
 //	minflo -circuit c17 -spec 0.6 -mode transistor
 //	minflo -circuit c17 -spec 0.6 -sizes             # dump per-gate sizes
 //	minflo -circuit c6288 -spec 0.5 -engine cspar    # pin the D-phase flow backend
+//	minflo -circuit c6288 -spec 0.5 -budget 30s      # bounded run, best-so-far on expiry
+//
+// Ctrl-C cancels a running optimization gracefully: the best sizing
+// reached so far is printed and the process exits with code 130.
+// Exit codes: 0 success, 1 internal error, 3 infeasible target,
+// 4 budget exhausted, 130 canceled.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"time"
 
 	"minflo"
 )
@@ -27,19 +37,42 @@ func main() {
 		algo        = flag.String("algo", "minflo", "sizing algorithm: minflo, tilos or lagrange")
 		engine      = flag.String("engine", "auto", "D-phase flow engine: auto (calibrated per problem), ssp, dial, parallel, costscaling or cspar")
 		jobs        = flag.Int("j", 0, "intra-run parallelism: worker budget for one sizing run (0 = GOMAXPROCS, 1 = serial; results are identical at any setting)")
+		budget      = flag.Duration("budget", 0, "wall-clock budget for the optimization (0 = unlimited); on expiry the best sizing so far is printed and the exit code is 4")
 		mode        = flag.String("mode", "gate", "sizing mode: gate or transistor")
 		dumpSizes   = flag.Bool("sizes", false, "print the per-element sizes")
 		report      = flag.Bool("report", false, "print a timing report after sizing")
 		sweep       = flag.Bool("sweep", false, "print the TILOS-vs-MINFLO area-delay curve instead of one point")
 	)
 	flag.Parse()
-	if err := run(*circuitName, *benchFile, *spec, *algo, *engine, *jobs, *mode, *dumpSizes, *report, *sweep); err != nil {
+	// First interrupt cancels the optimization (the solver unwinds at
+	// its next poll point and reports best-so-far); a second interrupt
+	// kills the process the default way.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	err := run(ctx, *circuitName, *benchFile, *spec, *algo, *engine, *jobs, *budget, *mode, *dumpSizes, *report, *sweep)
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "minflo:", err)
-		os.Exit(1)
+	}
+	os.Exit(exitCode(err))
+}
+
+// exitCode maps the error taxonomy to distinct shell-visible codes.
+func exitCode(err error) int {
+	switch {
+	case err == nil:
+		return 0
+	case errors.Is(err, minflo.ErrCanceled):
+		return 130 // conventional SIGINT exit status
+	case errors.Is(err, minflo.ErrBudgetExhausted):
+		return 4
+	case errors.Is(err, minflo.ErrInfeasible):
+		return 3
+	default:
+		return 1
 	}
 }
 
-func run(circuitName, benchFile string, spec float64, algo, engine string, jobs int, mode string, dumpSizes, report, sweep bool) error {
+func run(ctx context.Context, circuitName, benchFile string, spec float64, algo, engine string, jobs int, budget time.Duration, mode string, dumpSizes, report, sweep bool) error {
 	var ckt *minflo.Circuit
 	var err error
 	switch {
@@ -65,7 +98,7 @@ func run(circuitName, benchFile string, spec float64, algo, engine string, jobs 
 		return fmt.Errorf("-spec %g must be in (0, 1]", spec)
 	}
 
-	sz, err := minflo.NewSizer(&minflo.Config{FlowEngine: engine, Parallelism: jobs})
+	sz, err := minflo.NewSizer(&minflo.Config{FlowEngine: engine, Parallelism: jobs, Budget: budget})
 	if err != nil {
 		return err
 	}
@@ -122,14 +155,37 @@ func run(circuitName, benchFile string, spec float64, algo, engine string, jobs 
 	case "lagrange":
 		sizing, err = sz.LagrangianRelaxation(ckt, target)
 	case "minflo":
-		sizing, err = sz.Minflotransit(ckt, target)
+		sizing, err = sz.MinflotransitCtx(ctx, ckt, target)
 	default:
 		return fmt.Errorf("unknown -algo %q (want minflo, tilos or lagrange)", algo)
 	}
 	if err != nil {
+		if sizing != nil && sizing.Partial {
+			// Cut short but not empty-handed: report the best feasible
+			// sizing reached before the abort, then surface the abort
+			// through the exit code.
+			switch {
+			case errors.Is(err, minflo.ErrCanceled):
+				fmt.Println("interrupted — best sizing so far:")
+			case errors.Is(err, minflo.ErrBudgetExhausted):
+				fmt.Println("budget exhausted — best sizing so far:")
+			}
+			printSizing(ckt, sizing, algo, dumpSizes)
+		}
 		return err
 	}
 
+	printSizing(ckt, sizing, algo, dumpSizes)
+	if report {
+		fmt.Println()
+		if err := sz.TimingReport(os.Stdout, ckt, target); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func printSizing(ckt *minflo.Circuit, sizing *minflo.Sizing, algo string, dumpSizes bool) {
 	fmt.Printf("area      = %.1f (%.2f× minimum)\n", sizing.Area, sizing.Area/sizing.MinArea)
 	fmt.Printf("CP        = %.1f ps\n", sizing.CP)
 	if algo == "minflo" {
@@ -141,11 +197,4 @@ func run(circuitName, benchFile string, spec float64, algo, engine string, jobs 
 			fmt.Printf("  %-24s %7.3f\n", ckt.Gates[gi].Name, ckt.Gates[gi].Size)
 		}
 	}
-	if report {
-		fmt.Println()
-		if err := sz.TimingReport(os.Stdout, ckt, target); err != nil {
-			return err
-		}
-	}
-	return nil
 }

@@ -42,13 +42,32 @@ type rawGate struct {
 	line int
 }
 
-// Parse reads a .bench netlist into a Circuit named name.
-func Parse(r io.Reader, name string) (*circuit.Circuit, error) {
+// Parse reads a .bench netlist into a Circuit named name.  Malformed
+// input of any kind — including inputs that defeat the semantic
+// pre-checks and trip a circuit-builder invariant — returns a
+// *ParseError, never a panic.
+func Parse(r io.Reader, name string) (c *circuit.Circuit, err error) {
+	// The circuit builders (AddPI/AddGate) enforce their invariants by
+	// panicking: right for programmatic construction, wrong for a
+	// parser fed arbitrary bytes.  The duplicate/arity pre-checks above
+	// the builder calls catch everything fuzzing has surfaced so far
+	// except name collisions with decomposition sub-gates emitted for
+	// OTHER gates (uniqueName only protects a gate's own sub-names);
+	// rather than enumerate such corners, convert any builder panic
+	// into a ParseError.
+	defer func() {
+		if r := recover(); r != nil {
+			c, err = nil, &ParseError{0, fmt.Sprintf("invalid netlist: %v", r)}
+		}
+	}()
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 
 	var inputs, outputs []string
 	var gates []rawGate
+	// Map, not a slice scan: fuzzing found the per-line duplicate check
+	// made parsing quadratic in the input count.
+	seenInput := make(map[string]bool)
 	lineNo := 0
 	for sc.Scan() {
 		lineNo++
@@ -62,11 +81,10 @@ func Parse(r io.Reader, name string) (*circuit.Circuit, error) {
 			if err != nil {
 				return nil, &ParseError{lineNo, err.Error()}
 			}
-			for _, prev := range inputs {
-				if prev == sig {
-					return nil, &ParseError{lineNo, fmt.Sprintf("duplicate INPUT(%s)", sig)}
-				}
+			if seenInput[sig] {
+				return nil, &ParseError{lineNo, fmt.Sprintf("duplicate INPUT(%s)", sig)}
 			}
+			seenInput[sig] = true
 			inputs = append(inputs, sig)
 		case strings.HasPrefix(strings.ToUpper(line), "OUTPUT("):
 			sig, err := insideParens(line)
@@ -92,7 +110,7 @@ func Parse(r io.Reader, name string) (*circuit.Circuit, error) {
 		return nil, err
 	}
 
-	c := circuit.New(name)
+	c = circuit.New(name)
 	for _, in := range inputs {
 		c.AddPI(in)
 	}

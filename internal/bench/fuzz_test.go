@@ -2,6 +2,9 @@ package bench
 
 import (
 	"bytes"
+	"os"
+	"path/filepath"
+	"sort"
 	"strings"
 	"testing"
 )
@@ -33,4 +36,76 @@ func FuzzParse(f *testing.F) {
 			t.Fatalf("writer output unparseable: %v\n%s", err, buf.String())
 		}
 	})
+}
+
+// FuzzParseBench feeds arbitrary bytes to the parser, seeded from the
+// bundled ISCAS85-style example netlists.  Two properties: Parse
+// never panics — it must return *ParseError for any malformed input,
+// the hostile-input contract behind minflo.ParseBench — and any input
+// it accepts survives a Parse→Write→Parse round trip with the
+// re-parsed circuit matching shape for shape and the second write
+// emitting exactly the first write's statements (as sets — the
+// levelization may legally order independent gates differently).
+func FuzzParseBench(f *testing.F) {
+	paths, _ := filepath.Glob(filepath.Join("..", "..", "examples", "iscas85", "*.bench"))
+	if len(paths) == 0 {
+		f.Fatal("no example .bench seeds found (examples/iscas85 moved?)")
+	}
+	for _, p := range paths {
+		data, err := os.ReadFile(p)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(data)
+	}
+	// Corners the unit tests know to be tricky: wide fan-ins
+	// (decomposed into trees), out-of-order definitions, and a user
+	// name colliding with the decomposition sub-gate namespace.
+	f.Add([]byte("INPUT(a)\nINPUT(b)\nINPUT(c)\nINPUT(d)\nINPUT(e)\n" +
+		"z = AND(y, a)\ny = NOR(a, b, c, d, e)\nOUTPUT(z)\n"))
+	f.Add([]byte("INPUT(a)\nINPUT(b)\nINPUT(c)\nINPUT(d)\nINPUT(e)\n" +
+		"y$or0_0 = OR(a, b)\ny = NOR(a, b, c, d, e)\nOUTPUT(y)\n"))
+	f.Add([]byte("y = DFF(a)\n"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		c1, err := Parse(bytes.NewReader(data), "fuzz")
+		if err != nil {
+			return // rejecting hostile input is the point
+		}
+		var b1 bytes.Buffer
+		if err := Write(&b1, c1); err != nil {
+			return // cells without .bench operators are fine to reject
+		}
+		c2, err := Parse(bytes.NewReader(b1.Bytes()), "fuzz")
+		if err != nil {
+			t.Fatalf("re-Parse of written netlist: %v\n%s", err, b1.String())
+		}
+		if c1.NumPIs() != c2.NumPIs() || c1.NumGates() != c2.NumGates() || len(c1.POs) != len(c2.POs) {
+			t.Fatalf("round trip changed shape: PIs %d→%d gates %d→%d POs %d→%d",
+				c1.NumPIs(), c2.NumPIs(), c1.NumGates(), c2.NumGates(), len(c1.POs), len(c2.POs))
+		}
+		var b2 bytes.Buffer
+		if err := Write(&b2, c2); err != nil {
+			t.Fatalf("second Write: %v", err)
+		}
+		if s1, s2 := sortedStatements(b1.String()), sortedStatements(b2.String()); s1 != s2 {
+			t.Fatalf("round trip changed statements:\nfirst:\n%s\nsecond:\n%s", s1, s2)
+		}
+	})
+}
+
+// sortedStatements reduces a written netlist to its statement lines
+// (declarations and assignments, comments and blanks dropped) in
+// sorted order, the order-independent form the round-trip compares.
+func sortedStatements(src string) string {
+	var stmts []string
+	for _, line := range strings.Split(src, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		stmts = append(stmts, line)
+	}
+	sort.Strings(stmts)
+	return strings.Join(stmts, "\n")
 }

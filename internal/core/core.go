@@ -18,10 +18,12 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
 	"runtime"
+	"time"
 
 	"minflo/internal/balance"
 	"minflo/internal/dag"
@@ -75,6 +77,28 @@ func ResolveFlowEngine(name string, n, par int) (string, error) {
 // ErrInfeasible is returned when no sizing meets the delay target.
 var ErrInfeasible = errors.New("core: delay target unreachable")
 
+// Abort taxonomy, aliased from the flow layer so errors.Is works
+// across layers: SizeCtx returns these (possibly wrapped) when a run
+// is cut short, always together with a best-so-far partial Result.
+var (
+	// ErrCanceled reports that the SizeCtx context was canceled.
+	ErrCanceled = mcmf.ErrCanceled
+	// ErrBudgetExhausted reports that Options.Budget (wall clock) or
+	// Options.FlowWorkBudget (flow work) ran out.
+	ErrBudgetExhausted = mcmf.ErrBudgetExhausted
+	// ErrEngineFailed wraps a flow-engine panic that could not be
+	// recovered by the ssp fallback chain.
+	ErrEngineFailed = mcmf.ErrEngineFailed
+)
+
+// isAbortErr reports whether err cut the run short on behalf of the
+// caller (cancellation or an exhausted budget, at any layer) — the
+// errors Size answers with a partial best-so-far Result.
+func isAbortErr(err error) bool {
+	return errors.Is(err, ErrCanceled) || errors.Is(err, ErrBudgetExhausted) ||
+		errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
 // Options tune the optimizer. Zero values select defaults.
 type Options struct {
 	// Window is the relative budget window η: each D-phase may move a
@@ -119,6 +143,16 @@ type Options struct {
 	// determinism suite — and small problems fall back to serial
 	// below measured size floors regardless.
 	Parallelism int
+	// Budget, when positive, bounds the wall-clock time of the whole
+	// run: the deadline is sampled between iterations and inside the
+	// flow engines' poll loops, and exceeding it returns the
+	// best-so-far sizing as a partial Result with ErrBudgetExhausted.
+	Budget time.Duration
+	// FlowWorkBudget, when positive, caps the cumulative D-phase flow
+	// work (in mcmf poll operations — augmentations, discharges,
+	// Bellman–Ford rounds) across the run; exceeding it returns a
+	// partial Result with ErrBudgetExhausted.
+	FlowWorkBudget int64
 	// Tilos configures the initial-guess run.
 	Tilos tilos.Options
 	// SkipTilos starts from minimum sizes when the target is already met
@@ -157,6 +191,11 @@ type IterStats struct {
 	// calls the engine served with a full solve instead (work-estimate
 	// gate, missing prior flow, or price-range refusal).
 	FlowFallbacks int
+	// FlowEngineFailures is the cumulative number of flow-engine
+	// failures (panics, price-range refusals) the fallback chain
+	// recovered by degrading to the ssp reference engine (see mcmf
+	// abort.go); 0 on every healthy run.
+	FlowEngineFailures int
 }
 
 // Result is the final sizing.
@@ -171,6 +210,11 @@ type Result struct {
 	TilosArea float64
 	TilosCP   float64
 	Stats     []IterStats
+	// Partial marks a run cut short by cancellation or an exhausted
+	// budget: X/Area/CP describe the best sizing from the last
+	// completed D/W iteration (or the TILOS seed when none completed),
+	// returned alongside the abort error.
+	Partial bool
 }
 
 func (o Options) withDefaults() Options {
@@ -218,6 +262,13 @@ type iterScratch struct {
 	edgeID []int     // constraint per augmented edge (-1 for self edges)
 
 	selfEdge []bool // per augmented edge: is it i→Dmy(i)?
+
+	// Abort plumbing (set by SizeCtx): the cancellation context and
+	// wall-clock deadline threaded into the timing and flow layers,
+	// and the cumulative flow-work budget.  Zero values disarm them.
+	ctx        context.Context
+	deadline   time.Time
+	flowBudget int64
 
 	dAug      []float64 // aug.G delay vector
 	dBase     []float64 // p.G delay vector
@@ -317,7 +368,35 @@ func (sc *iterScratch) retime(p *dag.Problem, x []float64) float64 {
 
 // Size runs MINFLOTRANSIT on problem p with critical-path target T.
 func Size(p *dag.Problem, T float64, opt Options) (*Result, error) {
+	return SizeCtx(context.Background(), p, T, opt)
+}
+
+// SizeCtx is Size with cancellation and budgets: the context and the
+// Options.Budget deadline are polled between iterations and threaded
+// into the timing and flow layers (per-augmentation granularity, see
+// mcmf abort.go).  A run cut short returns the best sizing reached so
+// far — the last completed D/W iteration, or the TILOS seed when none
+// completed — as a Result with Partial set, together with ErrCanceled
+// or ErrBudgetExhausted; only a run aborted before the TILOS seed
+// exists returns a nil Result.
+func SizeCtx(ctx context.Context, p *dag.Problem, T float64, opt Options) (*Result, error) {
 	opt = opt.withDefaults()
+	if ctx != nil && ctx.Done() == nil {
+		ctx = nil // uncancelable: keep the flow layer's unarmed fast path
+	}
+	var deadline time.Time
+	if opt.Budget > 0 {
+		deadline = time.Now().Add(opt.Budget)
+	}
+	checkAbort := func() error {
+		if ctx != nil && ctx.Err() != nil {
+			return ErrCanceled
+		}
+		if !deadline.IsZero() && !time.Now().Before(deadline) {
+			return ErrBudgetExhausted
+		}
+		return nil
+	}
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
@@ -352,6 +431,16 @@ func Size(p *dag.Problem, T float64, opt Options) (*Result, error) {
 		res.TilosCP = tr.CP
 	}
 
+	// An abort between the seed and the first iteration still has a
+	// usable answer: the TILOS sizing itself.
+	if aerr := checkAbort(); aerr != nil {
+		res.X = append([]float64(nil), x...)
+		res.Area = p.Area(x)
+		res.CP = res.TilosCP
+		res.Partial = true
+		return res, aerr
+	}
+
 	parallelism := opt.Parallelism
 	if parallelism == 0 {
 		parallelism = runtime.GOMAXPROCS(0)
@@ -366,10 +455,22 @@ func Size(p *dag.Problem, T float64, opt Options) (*Result, error) {
 		return nil, err
 	}
 	defer sc.close()
+	sc.ctx = ctx
+	sc.deadline = deadline
+	sc.flowBudget = opt.FlowWorkBudget
 	bestX := append([]float64(nil), x...)
 	bestArea := p.Area(x)
 	noImprove := 0
 	window := opt.Window
+
+	// finishPartial answers an abort with the best-so-far sizing.
+	finishPartial := func(aerr error) (*Result, error) {
+		res.X = bestX
+		res.Area = bestArea
+		res.CP = sc.retime(p, bestX)
+		res.Partial = true
+		return res, aerr
+	}
 
 	// Step 2: alternate D-phase and W-phase.  The budget window adapts
 	// like a trust region: halve after an iteration whose first-order
@@ -378,8 +479,18 @@ func Size(p *dag.Problem, T float64, opt Options) (*Result, error) {
 	// stable buffers owned by this loop.
 	x = append([]float64(nil), x...)
 	for it := 1; it <= opt.MaxIters; it++ {
+		if aerr := checkAbort(); aerr != nil {
+			return finishPartial(aerr)
+		}
 		st, err := iterate(p, aug, sc, x, T, window, opt)
 		if err != nil {
+			if isAbortErr(err) {
+				// Cut short mid-iteration (canceled context or an
+				// exhausted wall-clock/flow-work budget surfacing from
+				// the timing or flow layers): answer with the last
+				// completed iteration's best and the typed error.
+				return finishPartial(err)
+			}
 			// A failed iteration is not fatal: the current best solution
 			// stands (this triggers only on numerical corner cases).
 			break
@@ -430,7 +541,7 @@ func Size(p *dag.Problem, T float64, opt Options) (*Result, error) {
 func iterate(p *dag.Problem, aug *dag.Augmented, sc *iterScratch, x []float64, T, window float64, opt Options) (IterStats, error) {
 	n := p.NumSizable
 	d := aug.DelaysInto(sc.dAug, x)
-	tm, err := sc.analyzer.Analyze(d)
+	tm, err := sc.analyzer.AnalyzeCtx(sc.ctx, d)
 	if err != nil {
 		return IterStats{}, err
 	}
@@ -493,7 +604,15 @@ func iterate(p *dag.Problem, aug *dag.Augmented, sc *iterScratch, x []float64, T
 			sys.SetWeight(id, cfg.FSDU[e.ID])
 		}
 	}
-	sol, err := sys.Solve(dcs.Options{CostScale: opt.CostScale, SupplyScale: opt.SupplyScale, Engine: sc.engine, Calibrate: sc.calib, Parallelism: sc.par})
+	sol, err := sys.SolveCtx(sc.ctx, dcs.Options{
+		CostScale: opt.CostScale, SupplyScale: opt.SupplyScale,
+		Engine: sc.engine, Calibrate: sc.calib, Parallelism: sc.par,
+		Deadline: sc.deadline, WorkBudget: sc.flowBudget,
+		// A flow-engine failure (panic, price-range refusal) degrades
+		// to the ssp reference engine instead of killing the run;
+		// IterStats.FlowEngineFailures counts the rescues.
+		EngineFallback: true,
+	})
 	if err != nil {
 		return IterStats{}, fmt.Errorf("core: D-phase: %w", err)
 	}
@@ -530,6 +649,7 @@ func iterate(p *dag.Problem, aug *dag.Augmented, sc *iterScratch, x []float64, T
 		FlowResolves:   sys.FlowEngineStats().Resolves,
 		FlowFallbacks:  sys.FlowEngineStats().FullFallbacks,
 	}
+	st.FlowEngineFailures = sys.FlowEngineFailures()
 	cp := sc.retime(p, newX)
 	if cp > T*(1+1e-9) {
 		tr, rerr := tilos.Size(p, T, newX, opt.Tilos)

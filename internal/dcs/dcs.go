@@ -41,9 +41,11 @@
 package dcs
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
+	"time"
 
 	"minflo/internal/mcmf"
 )
@@ -96,6 +98,11 @@ type System struct {
 	// calibrated records that the cached network's engine was chosen
 	// by the Options.Calibrate startup probe (reset on rebuild).
 	calibrated bool
+	// degraded latches once the flow solver's fallback chain replaced
+	// a failed engine with ssp (see mcmf abort.go): while set, Solve
+	// stops re-pinning Options.Engine, so the failed backend is not
+	// reinstalled on the next iteration.  Reset on rebuild.
+	degraded bool
 
 	// sol is the reused Solution storage: Solve rewrites it in place so
 	// steady-state re-solves allocate nothing.
@@ -213,6 +220,19 @@ type Options struct {
 	// flow engines (0 = GOMAXPROCS at solve time).  It never changes
 	// results — the parallel backend is bit-identical to serial.
 	Parallelism int
+	// Deadline, when non-zero, aborts flow solves running past it with
+	// mcmf.ErrBudgetExhausted (sampled at the engines' poll points).
+	Deadline time.Time
+	// WorkBudget, when positive, caps the cumulative flow work (in
+	// mcmf poll operations) across every solve on the cached network;
+	// exceeding it returns mcmf.ErrBudgetExhausted.
+	WorkBudget int64
+	// EngineFallback enables graceful degradation in the flow solver:
+	// a failed engine (panic, price-range refusal) is replaced by the
+	// ssp reference engine and the solve retried there, recording the
+	// failure (FlowEngineFailures).  internal/core enables this for
+	// the sizing pipeline; direct users opt in.
+	EngineFallback bool
 }
 
 func (o Options) withDefaults() Options {
@@ -263,6 +283,7 @@ func (s *System) ensureFlow() *mcmf.Solver {
 	// re-probed on the new topology).
 	s.priced = false
 	s.calibrated = false
+	s.degraded = false
 	s.capBound = 0
 	if cap(s.lastCost) < len(s.cons) {
 		s.lastCost = make([]int64, len(s.cons))
@@ -290,6 +311,15 @@ func (s *System) FlowEngineStats() mcmf.Stats {
 	return s.flow.EngineStats()
 }
 
+// FlowEngineFailures reports how many times a flow engine failed and
+// the solver degraded to ssp (0 without Options.EngineFallback).
+func (s *System) FlowEngineFailures() int {
+	if s.flow == nil {
+		return 0
+	}
+	return s.flow.EngineFailures()
+}
+
 // Solve maps the system to its min-cost-flow dual, solves it, verifies
 // optimality certificates, and returns the optimal r.  Repeated calls
 // reuse the cached network (updating costs, capacities and supplies in
@@ -297,6 +327,15 @@ func (s *System) FlowEngineStats() mcmf.Stats {
 // between.  The returned Solution is owned by the System and rewritten
 // by the next Solve; callers needing a snapshot must copy it.
 func (s *System) Solve(opt Options) (*Solution, error) {
+	return s.SolveCtx(context.Background(), opt)
+}
+
+// SolveCtx is Solve with cancellation: ctx is polled inside the flow
+// engines' inner loops (and the degenerate feasibility path), so a
+// cancellation mid-solve returns mcmf.ErrCanceled within one poll
+// granule and leaves the cached network reusable — the next SolveCtx
+// behaves as if the canceled call never ran.
+func (s *System) SolveCtx(ctx context.Context, opt Options) (*Solution, error) {
 	opt = opt.withDefaults()
 	ground := s.n
 
@@ -308,7 +347,7 @@ func (s *System) Solve(opt Options) (*Solution, error) {
 		// Degenerate objective: any feasible point is optimal.  Solve the
 		// pure feasibility problem with Bellman–Ford on the constraint
 		// graph (edge v→u of weight w per constraint r_u − r_v ≤ w).
-		r, err := s.feasiblePoint()
+		r, err := s.feasiblePoint(ctx)
 		if err != nil {
 			return nil, err
 		}
@@ -317,12 +356,22 @@ func (s *System) Solve(opt Options) (*Solution, error) {
 	}
 
 	f := s.ensureFlow()
-	if len(opt.Calibrate) == 0 && opt.Engine != "" {
+	if len(opt.Calibrate) == 0 && opt.Engine != "" && !s.degraded {
 		if err := f.SetEngine(opt.Engine); err != nil {
 			return nil, err
 		}
 	}
 	f.SetParallelism(opt.Parallelism)
+	f.SetContext(ctx)
+	f.SetDeadline(opt.Deadline)
+	f.SetWorkBudget(opt.WorkBudget)
+	f.SetEngineFallback(opt.EngineFallback)
+	failures := f.EngineFailures()
+	defer func() {
+		if f.EngineFailures() > failures {
+			s.degraded = true
+		}
+	}()
 
 	// Supplies: zero, then accumulate the integerized objective terms
 	// (mcmf diffs them against the last routed configuration itself).
@@ -479,7 +528,7 @@ func (s *System) recover(f *mcmf.Solver, opt Options, ground int) (*Solution, er
 // ErrInfeasible. Standard difference-constraint solution: shortest
 // distances from a virtual source (plus zero-weight ties between pinned
 // variables), then a shift so pinned entries are exactly zero.
-func (s *System) feasiblePoint() ([]float64, error) {
+func (s *System) feasiblePoint(ctx context.Context) ([]float64, error) {
 	type edge struct {
 		from, to int
 		w        float64
@@ -497,6 +546,9 @@ func (s *System) feasiblePoint() ([]float64, error) {
 	}
 	dist := make([]float64, s.n) // virtual source at distance 0 to all
 	for round := 0; round < s.n; round++ {
+		if ctx != nil && ctx.Err() != nil {
+			return nil, mcmf.ErrCanceled
+		}
 		changed := false
 		for _, e := range edges {
 			if nd := dist[e.from] + e.w; nd < dist[e.to]-1e-12 {

@@ -16,21 +16,15 @@ import (
 // budget expired: the candidate has already proven slower than the
 // incumbent, so finishing its solve would only make the probe cost
 // unbounded (a cold cost-scaling solve can be minutes where dial
-// takes milliseconds).  Never escapes CalibrateEngines.
+// takes milliseconds).  Checked inside the pollAbort funnel
+// (abort.go); never escapes CalibrateEngines.
 var errProbeBudget = errors.New("mcmf: calibration probe budget exhausted")
 
-// probeExpired reports whether the current probe's deadline has
-// passed.  Engine inner loops poll it; the time sample is taken every
-// 1024th call so the check stays out of the hot path.
-func (s *Solver) probeExpired() bool {
-	if s.probeDeadline.IsZero() {
-		return false
-	}
-	s.probeTick++
-	if s.probeTick&1023 != 0 {
-		return false
-	}
-	return time.Now().After(s.probeDeadline)
+// setProbeDeadline installs (or, with the zero time, clears) the
+// calibration probe budget and recaches the poll arming.
+func (s *Solver) setProbeDeadline(t time.Time) {
+	s.probeDeadline = t
+	s.reArm()
 }
 
 // CalibrateEngines probes the candidate backends on the configured
@@ -57,7 +51,13 @@ func (s *Solver) CalibrateEngines(candidates []string) (string, error) {
 	if len(candidates) == 0 {
 		return "", errors.New("mcmf: CalibrateEngines needs at least one candidate")
 	}
-	defer func() { s.probeDeadline = time.Time{} }()
+	defer s.setProbeDeadline(time.Time{})
+	// Probes must observe raw candidate errors: with degradation
+	// active, a failing candidate would silently run (and be timed) as
+	// ssp, distorting both the measurement and the skip-on-failure
+	// policy.  Restore the caller's setting afterwards.
+	defer func(on bool) { s.fallbackOn = on }(s.fallbackOn)
+	s.fallbackOn = false
 	// Probe solves must not leak their work measurements into the
 	// resolve gate: Visited units are engine-family currency (Dijkstra
 	// node visits vs cost-scaling discharges), so letting every
@@ -78,12 +78,18 @@ func (s *Solver) CalibrateEngines(candidates []string) (string, error) {
 		}
 		t0 := time.Now()
 		if best >= 0 {
-			s.probeDeadline = t0.Add(2*bestD + time.Millisecond)
+			s.setProbeDeadline(t0.Add(2*bestD + time.Millisecond))
 		}
 		_, err := s.Solve()
-		s.probeDeadline = time.Time{}
+		s.setProbeDeadline(time.Time{})
 		d := time.Since(t0)
 		if err != nil {
+			// A caller-level abort (canceled context, exhausted
+			// budget) ends the calibration itself, not just this
+			// candidate's probe.
+			if isAbortErr(err) && !errors.Is(err, errProbeBudget) {
+				return "", err
+			}
 			if firstErr == nil && err != errProbeBudget {
 				firstErr = err
 			}

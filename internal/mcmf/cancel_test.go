@@ -1,0 +1,145 @@
+// Cancellation-determinism conformance: canceling a solve at ANY poll
+// point must leave the solver reusable — a subsequent fresh solve has
+// to be bit-identical (flows, potentials, cost) to a twin that was
+// never canceled.  This is the abort-safety contract of the
+// snapshot/restore layer in abort.go, exercised per registered engine
+// at randomized poll points for both full solves and incremental
+// resolves.
+package mcmf
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+// countedRun measures how many times the abort funnel polls during one
+// run of fn on s (the hook is removed afterwards).
+func countedRun(s *Solver, fn func() (float64, error)) (polls int, cost float64, err error) {
+	s.SetPollHook(func() error { polls++; return nil })
+	defer s.SetPollHook(nil)
+	cost, err = fn()
+	return polls, cost, err
+}
+
+// cancelAtPoll runs fn with a context canceled at the nth poll (all
+// abort plumbing is removed afterwards).
+func cancelAtPoll(s *Solver, n int, fn func() (float64, error)) (float64, error) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	s.SetContext(ctx)
+	polls := 0
+	s.SetPollHook(func() error {
+		polls++
+		if polls == n {
+			cancel()
+		}
+		return nil
+	})
+	cost, err := fn()
+	s.SetPollHook(nil)
+	s.SetContext(nil)
+	return cost, err
+}
+
+// cancelPoints picks the poll points to cancel at: always the first
+// and the last, plus a few randomized interior ones.
+func cancelPoints(rng *rand.Rand, polls, extra int) []int {
+	points := []int{1, polls}
+	for k := 0; k < extra; k++ {
+		points = append(points, 1+rng.Intn(polls))
+	}
+	return points
+}
+
+// TestConformanceCancelAtPollPoints is the cancellation-determinism
+// gate: per engine, solves canceled at randomized poll points must
+// return ErrCanceled and leave the solver able to re-solve to a state
+// bit-identical with a never-canceled twin's.
+func TestConformanceCancelAtPollPoints(t *testing.T) {
+	forEachEngine(t, func(t *testing.T, engine string) {
+		for seed := int64(0); seed < 6; seed++ {
+			// Reference: an identical twin solved without interference.
+			ref := newEngineInstance(t, engine, seed, false, 1)
+			polls, cost, err := countedRun(ref, ref.Solve)
+			if err != nil {
+				t.Fatalf("seed %d: reference solve: %v", seed, err)
+			}
+			if polls == 0 {
+				t.Fatalf("seed %d: solve never polled — poll sites missing for %s", seed, engine)
+			}
+			want := captureState(ref, cost)
+
+			rng := rand.New(rand.NewSource(1000 + seed))
+			for _, n := range cancelPoints(rng, polls, 4) {
+				s := newEngineInstance(t, engine, seed, false, 1)
+				cost, err := cancelAtPoll(s, n, s.Solve)
+				if err == nil {
+					// The final poll can precede completion so closely
+					// that the run finishes anyway; then the state must
+					// already be the reference state.
+					diffState(t, "uncanceled completion", want, captureState(s, cost))
+					continue
+				}
+				if !errors.Is(err, ErrCanceled) {
+					t.Fatalf("seed %d cancel@%d/%d: got %v, want ErrCanceled", seed, n, polls, err)
+				}
+				// The abort must have rolled the attempt back: re-solving
+				// the untouched instance is bit-identical to the twin.
+				cost, err = s.Solve()
+				if err != nil {
+					t.Fatalf("seed %d re-solve after cancel@%d: %v", seed, n, err)
+				}
+				diffState(t, "re-solve after cancel", want, captureState(s, cost))
+			}
+		}
+	})
+}
+
+// TestConformanceCancelDuringResolve covers the incremental path: a
+// canceled ResolveChanged must leave the warm state intact so retrying
+// the same resolve matches a twin that was never canceled.
+func TestConformanceCancelDuringResolve(t *testing.T) {
+	forEachEngine(t, func(t *testing.T, engine string) {
+		for seed := int64(0); seed < 4; seed++ {
+			ref := newEngineInstance(t, engine, seed, false, 1)
+			if _, err := ref.Solve(); err != nil {
+				t.Fatalf("seed %d: warm solve: %v", seed, err)
+			}
+			changedRef := mutateRandom(rand.New(rand.NewSource(500+seed)), ref, false)
+			polls, cost, err := countedRun(ref, func() (float64, error) { return ref.ResolveChanged(changedRef) })
+			if err != nil {
+				continue // the mutation batch made the instance infeasible
+			}
+			if polls == 0 {
+				// A batch the engine absorbs without augmentation work
+				// has no poll point to cancel at.
+				continue
+			}
+			want := captureState(ref, cost)
+
+			rng := rand.New(rand.NewSource(2000 + seed))
+			for _, n := range cancelPoints(rng, polls, 3) {
+				s := newEngineInstance(t, engine, seed, false, 1)
+				if _, err := s.Solve(); err != nil {
+					t.Fatalf("seed %d: warm solve: %v", seed, err)
+				}
+				changed := mutateRandom(rand.New(rand.NewSource(500+seed)), s, false)
+				cost, err := cancelAtPoll(s, n, func() (float64, error) { return s.ResolveChanged(changed) })
+				if err == nil {
+					diffState(t, "uncanceled resolve", want, captureState(s, cost))
+					continue
+				}
+				if !errors.Is(err, ErrCanceled) {
+					t.Fatalf("seed %d cancel@%d/%d: got %v, want ErrCanceled", seed, n, polls, err)
+				}
+				cost, err = s.ResolveChanged(changed)
+				if err != nil {
+					t.Fatalf("seed %d re-resolve after cancel@%d: %v", seed, n, err)
+				}
+				diffState(t, "re-resolve after cancel", want, captureState(s, cost))
+			}
+		}
+	})
+}

@@ -86,9 +86,9 @@ func refineSerial(s *Solver, sc *scalingState, excess []int64, st *Stats) error 
 			sc.active = active[:0]
 			return ErrInfeasible
 		}
-		if s.probeExpired() {
+		if err := s.pollAbort(); err != nil {
 			sc.active = active[:0]
-			return errProbeBudget
+			return err
 		}
 		v := active[len(active)-1]
 		active = active[:len(active)-1]

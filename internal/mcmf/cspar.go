@@ -174,8 +174,8 @@ func (e *csparEngine) refineBSP(s *Solver, excess []int64, pool *par.Pool) error
 	// never alias on a reused engine after an error return.
 	defer func() { e.activeBuf = active[:0] }()
 	for len(active) > 0 {
-		if s.probeExpired() {
-			return errProbeBudget
+		if err := s.pollAbort(); err != nil {
+			return err
 		}
 		// Stamp current membership (added-target dedup in the merge).
 		e.activeEp++

@@ -33,9 +33,26 @@ const dialRing = 4096
 type dialEngine struct {
 	engineCore
 	pf dialFinder
+
+	// Saved adaptive back-off for abort rollback (attemptStateKeeper):
+	// an aborted attempt may have advanced skip/skipLen, which decides
+	// heap-vs-bucket searches — and with them tie-breaking — on the
+	// next solve, so bit-identical twins require restoring them.
+	savedSkip    int
+	savedSkipLen int
 }
 
 func (e *dialEngine) Name() string { return "dial" }
+
+// SaveAttemptState / RestoreAttemptState roll the adaptive heap
+// back-off across aborted attempts (see abort.go).
+func (e *dialEngine) SaveAttemptState() {
+	e.savedSkip, e.savedSkipLen = e.pf.skip, e.pf.skipLen
+}
+
+func (e *dialEngine) RestoreAttemptState() {
+	e.pf.skip, e.pf.skipLen = e.savedSkip, e.savedSkipLen
+}
 
 func (e *dialEngine) Solve(s *Solver) (float64, error) {
 	e.pf.st = &e.st

@@ -50,6 +50,7 @@
 package mcmf
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -124,11 +125,26 @@ type Solver struct {
 	ewmaResolveVisits float64
 
 	// probeDeadline caps one calibration probe solve (calibrate.go):
-	// engine inner loops poll probeExpired and abandon the solve with
+	// engine inner loops poll pollAbort and abandon the solve with
 	// errProbeBudget once a candidate has proven slower than the
 	// incumbent.  Zero outside CalibrateEngines.
 	probeDeadline time.Time
 	probeTick     uint32
+
+	// Abort sources and engine-degradation state (abort.go).  armed
+	// caches whether any abort source is installed so the per-operation
+	// pollAbort stays a single branch on the warm path.
+	ctx        context.Context
+	deadline   time.Time
+	workBudget int64
+	workDone   int64
+	pollHook   func() error
+	armed      bool
+	fallbackOn bool
+	att        attemptState
+
+	engineFailures int
+	lastFailure    error
 }
 
 // New returns a solver over n nodes with no arcs and zero supplies.
@@ -382,8 +398,8 @@ func (s *Solver) potentialsValid() bool {
 func (s *Solver) bellmanFord() error {
 	dist := s.pot
 	for round := 0; round < s.n; round++ {
-		if s.probeExpired() {
-			return errProbeBudget
+		if err := s.pollAbort(); err != nil {
+			return err
 		}
 		changed := false
 		for u := 0; u < s.n; u++ {
@@ -430,8 +446,15 @@ func (s *Solver) Parallelism() int { return s.par }
 // flow is cleared automatically (see Reset), so mutate-and-solve-again
 // needs no explicit reset.  After the first solve on a topology the
 // inner loop is allocation-free.
+//
+// With an abort source armed (SetContext, SetDeadline, SetWorkBudget,
+// SetPollHook) the solve can additionally return ErrCanceled or
+// ErrBudgetExhausted; the pre-solve state is restored, so a subsequent
+// solve is bit-identical to one on a never-aborted twin.  Engine
+// panics surface as ErrEngineFailed (or degrade to "ssp" with
+// SetEngineFallback).  See abort.go.
 func (s *Solver) Solve() (float64, error) {
-	return s.engine().Solve(s)
+	return s.runEngine(nil, false)
 }
 
 // ResolveChanged incrementally repairs the previous optimal flow with
@@ -445,8 +468,12 @@ func (s *Solver) Solve() (float64, error) {
 // rerouted too, just wastefully).  Without a reusable previous flow —
 // first solve, topology change, or an engine that cannot re-flow —
 // it falls back to a full Solve.
+//
+// ResolveChanged honors the same abort sources and degradation
+// contract as Solve (see abort.go): an aborted repair restores the
+// pre-call state, including repairability of the previous flow.
 func (s *Solver) ResolveChanged(changed []int32) (float64, error) {
-	return s.engine().Resolve(s, changed)
+	return s.runEngine(changed, true)
 }
 
 // beginSolve is the shared full-solve preamble: balance check, index

@@ -203,6 +203,12 @@ func (e *parEngine) augment(s *Solver, excess []int64) error {
 
 	stack := srcs
 	for {
+		// Abort granularity: one speculation round (the serial floor
+		// above polls per augmentation inside augmentAll instead).
+		// Only this goroutine polls — helpers never touch the funnel.
+		if err := s.pollAbort(); err != nil {
+			return err
+		}
 		// Trim drained sources off the top (a source's excess only
 		// ever shrinks through its own commits, so a pending source
 		// stays positive until its turn — the trim only removes

@@ -1,8 +1,10 @@
 package mcmf
 
 import (
+	"context"
 	"math/rand"
 	"testing"
+	"time"
 )
 
 // The freshTwin/mutateRandom scaffolding and the random
@@ -172,6 +174,55 @@ func BenchmarkDPhaseResolve(b *testing.B) {
 			if err := s.SetEngine(engine); err != nil {
 				b.Fatal(err)
 			}
+			if _, err := s.Solve(); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				off := (i % 256) * batch
+				for k := 0; k < batch; k++ {
+					s.SetCost(int(ids[off+k]), costs[off+k])
+				}
+				if _, err := s.ResolveChanged(ids[off : off+batch]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkDPhaseResolveArmed is the poll-hook overhead gate: the
+// resolve loop of BenchmarkDPhaseResolve with every abort source armed
+// (live context, wall-clock deadline, work budget) but never firing.
+// Comparing its resolve/<engine> rows against BenchmarkDPhaseResolve's
+// measures the full cost of cancellation support on the hot path —
+// the robustness contract requires <2% and zero extra allocations.
+func BenchmarkDPhaseResolveArmed(b *testing.B) {
+	const batch = 24
+	mkSchedule := func(s *Solver) ([]int32, []int64) {
+		rng := rand.New(rand.NewSource(11))
+		ids := make([]int32, 256*batch)
+		costs := make([]int64, len(ids))
+		for i := range ids {
+			ids[i] = int32(rng.Intn(s.NumArcs()))
+			costs[i] = int64(rng.Intn(1000))
+		}
+		return ids, costs
+	}
+	for _, engine := range []string{"ssp", "dial"} {
+		engine := engine
+		b.Run("resolve/"+engine, func(b *testing.B) {
+			s := NewGridInstance(40, 25, 7)
+			ids, costs := mkSchedule(s)
+			if err := s.SetEngine(engine); err != nil {
+				b.Fatal(err)
+			}
+			ctx, cancel := context.WithCancel(context.Background())
+			defer cancel()
+			s.SetContext(ctx)
+			s.SetDeadline(time.Now().Add(24 * time.Hour))
+			s.SetWorkBudget(1 << 60)
 			if _, err := s.Solve(); err != nil {
 				b.Fatal(err)
 			}

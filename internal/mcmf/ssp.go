@@ -35,8 +35,8 @@ func (s *Solver) augmentAll(excess []int64, pf pathFinder, st *Stats) error {
 	}
 	s.sources = srcs // retain grown capacity for the next solve
 	for {
-		if s.probeExpired() {
-			return errProbeBudget
+		if err := s.pollAbort(); err != nil {
+			return err
 		}
 		// Pick any node with positive excess.
 		src := int32(-1)

@@ -4,6 +4,7 @@
 package sta
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -73,6 +74,20 @@ func NewAnalyzer(g *graph.Digraph) (*Analyzer, error) {
 // returned Timing is owned by the Analyzer and overwritten by the next
 // call; callers needing a snapshot must copy it.
 func (a *Analyzer) Analyze(d []float64) (*Timing, error) {
+	return a.AnalyzeCtx(nil, d)
+}
+
+// AnalyzeCtx is Analyze with cancellation: ctx is checked before each
+// of the two passes (each pass is a single O(V+E) sweep, so that is
+// the natural granularity) and a canceled context returns ctx.Err()
+// with the Analyzer reusable.  A nil (or uncancelable) ctx adds no
+// overhead beyond one branch per pass.
+func (a *Analyzer) AnalyzeCtx(ctx context.Context, d []float64) (*Timing, error) {
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("sta: %w", err)
+		}
+	}
 	g := a.g
 	if len(d) != g.N() {
 		return nil, fmt.Errorf("sta: delay vector length %d != %d vertices", len(d), g.N())
@@ -92,6 +107,11 @@ func (a *Analyzer) Analyze(d []float64) (*Timing, error) {
 		t.AT[v] = at
 		if fin := at + d[v]; fin > t.CP {
 			t.CP = fin
+		}
+	}
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("sta: %w", err)
 		}
 	}
 	for i := len(order) - 1; i >= 0; i-- {

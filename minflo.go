@@ -19,9 +19,11 @@
 package minflo
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
+	"time"
 
 	"minflo/internal/bench"
 	"minflo/internal/cell"
@@ -86,8 +88,16 @@ func NewCircuit(name string) *Circuit { return circuit.New(name) }
 // Default013 returns the default 0.13 µm-class technology parameters.
 func Default013() TechParams { return tech.Default013() }
 
-// ParseBench reads an ISCAS85 .bench netlist.
-func ParseBench(r io.Reader, name string) (*Circuit, error) { return bench.Parse(r, name) }
+// ParseBench reads an ISCAS85 .bench netlist.  Malformed input
+// returns a wrapped *bench.ParseError (with line information), never
+// a panic — the parser is fuzzed on arbitrary bytes.
+func ParseBench(r io.Reader, name string) (*Circuit, error) {
+	c, err := bench.Parse(r, name)
+	if err != nil {
+		return nil, fmt.Errorf("minflo: parse %s: %w", name, err)
+	}
+	return c, nil
+}
 
 // WriteBench writes the circuit in .bench format.
 func WriteBench(w io.Writer, c *Circuit) error { return bench.Write(w, c) }
@@ -117,6 +127,21 @@ var (
 
 // ErrInfeasible is returned when no sizing can meet the delay target.
 var ErrInfeasible = errors.New("minflo: delay target unreachable")
+
+// Abort taxonomy for MinflotransitCtx (aliased from the optimizer so
+// errors.Is works at every layer): runs cut short by cancellation or
+// an exhausted budget return these alongside a best-so-far Sizing
+// marked Partial.
+var (
+	// ErrCanceled reports a canceled context.
+	ErrCanceled = core.ErrCanceled
+	// ErrBudgetExhausted reports an exhausted Config.Budget or
+	// Config.FlowWorkBudget.
+	ErrBudgetExhausted = core.ErrBudgetExhausted
+	// ErrEngineFailed wraps a flow-engine failure the ssp fallback
+	// chain could not recover.
+	ErrEngineFailed = core.ErrEngineFailed
+)
 
 // Config parameterizes a Sizer. The zero value (or nil pointer) uses
 // the defaults from the paper's experimental setup.
@@ -162,6 +187,14 @@ type Config struct {
 	// job fan-out already saturates the machine), and honor an
 	// explicit setting per job.
 	Parallelism int
+	// Budget, when positive, bounds the wall clock of each
+	// optimization run: exceeding it returns the best sizing reached
+	// so far as a partial result with ErrBudgetExhausted.
+	Budget time.Duration
+	// FlowWorkBudget, when positive, caps the cumulative D-phase
+	// flow work (mcmf poll operations) of each run; see Budget for
+	// the exhaustion behavior.
+	FlowWorkBudget int64
 }
 
 // FlowEngines lists the selectable D-phase flow backends.
@@ -220,6 +253,10 @@ type Sizing struct {
 	// (MINFLOTRANSIT only).
 	TilosArea float64
 	TilosCP   float64
+	// Partial marks a run cut short by cancellation or an exhausted
+	// budget: Sizes/Area/CP hold the best feasible sizing reached
+	// before the abort (see MinflotransitCtx).
+	Partial bool
 }
 
 // problem builds the gate-sizing problem for the circuit.
@@ -282,12 +319,44 @@ func (s *Sizer) TILOS(c *Circuit, T float64) (*Sizing, error) {
 // Minflotransit sizes the circuit with the full two-phase optimizer to
 // meet target T (ps). The circuit's gate sizes are updated in place.
 func (s *Sizer) Minflotransit(c *Circuit, T float64) (*Sizing, error) {
+	return s.MinflotransitCtx(context.Background(), c, T)
+}
+
+// MinflotransitCtx is Minflotransit with cancellation and budgets:
+// the context (and the Config.Budget deadline) is polled between D/W
+// iterations and inside the flow engines' augmentation loops, so even
+// a solver stuck deep in one min-cost-flow solve stops promptly.  A
+// run cut short still answers usefully when it can: the returned
+// Sizing holds the best feasible sizing reached before the abort (the
+// TILOS seed if no D/W iteration completed), is marked Partial, is
+// applied to the circuit, and comes WITH the non-nil ErrCanceled /
+// ErrBudgetExhausted error — callers must treat (sz != nil, err !=
+// nil) as "partial answer", not success.  An abort before any sizing
+// exists returns (nil, error) and leaves the circuit untouched.
+func (s *Sizer) MinflotransitCtx(ctx context.Context, c *Circuit, T float64) (*Sizing, error) {
 	p, err := s.problem(c)
 	if err != nil {
 		return nil, err
 	}
-	r, err := core.Size(p, T, s.coreOptions())
+	r, err := core.SizeCtx(ctx, p, T, s.coreOptions())
 	if err != nil {
+		if r != nil && r.Partial {
+			// Best-so-far partial result: apply it so the circuit
+			// reflects the answer, and hand both back.
+			if aerr := p.ApplyToCircuit(c, r.X); aerr != nil {
+				return nil, aerr
+			}
+			return &Sizing{
+				Sizes:      r.X,
+				Area:       r.Area,
+				CP:         r.CP,
+				MinArea:    p.MinAreaValue(),
+				Iterations: r.Iterations,
+				TilosArea:  r.TilosArea,
+				TilosCP:    r.TilosCP,
+				Partial:    true,
+			}, err
+		}
 		if errors.Is(err, core.ErrInfeasible) {
 			return nil, fmt.Errorf("%w: %v", ErrInfeasible, err)
 		}
@@ -309,11 +378,13 @@ func (s *Sizer) Minflotransit(c *Circuit, T float64) (*Sizing, error) {
 
 func (s *Sizer) coreOptions() core.Options {
 	return core.Options{
-		Window:      s.cfg.Window,
-		MaxIters:    s.cfg.MaxIters,
-		CostScale:   s.cfg.CostScale,
-		FlowEngine:  s.cfg.FlowEngine,
-		Parallelism: s.cfg.Parallelism,
-		Tilos:       tilos.Options{Bump: s.cfg.TilosBump},
+		Window:         s.cfg.Window,
+		MaxIters:       s.cfg.MaxIters,
+		CostScale:      s.cfg.CostScale,
+		FlowEngine:     s.cfg.FlowEngine,
+		Parallelism:    s.cfg.Parallelism,
+		Budget:         s.cfg.Budget,
+		FlowWorkBudget: s.cfg.FlowWorkBudget,
+		Tilos:          tilos.Options{Bump: s.cfg.TilosBump},
 	}
 }
