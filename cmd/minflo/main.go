@@ -13,8 +13,15 @@
 //
 // Ctrl-C cancels a running optimization gracefully: the best sizing
 // reached so far is printed and the process exits with code 130.
-// Exit codes: 0 success, 1 internal error, 3 infeasible target,
+//
+// Exit codes (the single source of truth is exitCodeHelp below, also
+// printed by -help): 0 success, 1 internal error, 3 infeasible target,
 // 4 budget exhausted, 130 canceled.
+//
+// For repeated queries against the same circuit — sweeping targets,
+// what-if cost changes — the minflod daemon (cmd/minflod) keeps the
+// solver state warm between requests instead of re-solving cold; see
+// its package documentation.
 package main
 
 import (
@@ -43,6 +50,11 @@ func main() {
 		report      = flag.Bool("report", false, "print a timing report after sizing")
 		sweep       = flag.Bool("sweep", false, "print the TILOS-vs-MINFLO area-delay curve instead of one point")
 	)
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: minflo -circuit NAME|-bench FILE [flags]\n\n")
+		flag.PrintDefaults()
+		fmt.Fprint(flag.CommandLine.Output(), exitCodeHelp)
+	}
 	flag.Parse()
 	// First interrupt cancels the optimization (the solver unwinds at
 	// its next poll point and reports best-so-far); a second interrupt
@@ -55,6 +67,21 @@ func main() {
 	}
 	os.Exit(exitCode(err))
 }
+
+// exitCodeHelp is the one place the exit-code contract is written
+// down; exitCode below implements it and the package doc points here.
+const exitCodeHelp = `
+exit codes:
+  0    success
+  1    internal error (bad input, solver failure)
+  3    infeasible delay target (below what any sizing can reach)
+  4    budget exhausted (-budget); best-so-far sizing was printed
+  130  canceled by Ctrl-C; best-so-far sizing was printed
+
+serving: for repeated queries against one circuit (target sweeps,
+what-if cost changes), run the minflod daemon instead — it keeps
+solver state warm between requests.  See cmd/minflod.
+`
 
 // exitCode maps the error taxonomy to distinct shell-visible codes.
 func exitCode(err error) int {

@@ -21,8 +21,6 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"math"
-	"runtime"
 	"time"
 
 	"minflo/internal/balance"
@@ -153,6 +151,14 @@ type Options struct {
 	// Bellman–Ford rounds) across the run; exceeding it returns a
 	// partial Result with ErrBudgetExhausted.
 	FlowWorkBudget int64
+	// NoEngineFallback disables the flow layer's graceful degradation
+	// (retrying a failed engine's solve on the ssp reference backend):
+	// an unrecovered engine failure then surfaces as ErrEngineFailed
+	// with a best-so-far partial Result instead of being absorbed.
+	// Long-lived session owners (internal/serve) use this in fault
+	// drills to exercise their quarantine-and-rebuild path; the
+	// default (false) keeps the PR-6 always-fallback behavior.
+	NoEngineFallback bool
 	// Tilos configures the initial-guess run.
 	Tilos tilos.Options
 	// SkipTilos starts from minimum sizes when the target is already met
@@ -379,159 +385,18 @@ func Size(p *dag.Problem, T float64, opt Options) (*Result, error) {
 // completed — as a Result with Partial set, together with ErrCanceled
 // or ErrBudgetExhausted; only a run aborted before the TILOS seed
 // exists returns a nil Result.
+//
+// SizeCtx is the one-shot form of a warm Session (session.go): it
+// builds the session state, runs a single Resize and tears the state
+// down.  Long-lived callers answering many queries on one problem
+// keep the Session instead.
 func SizeCtx(ctx context.Context, p *dag.Problem, T float64, opt Options) (*Result, error) {
-	opt = opt.withDefaults()
-	if ctx != nil && ctx.Done() == nil {
-		ctx = nil // uncancelable: keep the flow layer's unarmed fast path
-	}
-	var deadline time.Time
-	if opt.Budget > 0 {
-		deadline = time.Now().Add(opt.Budget)
-	}
-	checkAbort := func() error {
-		if ctx != nil && ctx.Err() != nil {
-			return ErrCanceled
-		}
-		if !deadline.IsZero() && !time.Now().Before(deadline) {
-			return ErrBudgetExhausted
-		}
-		return nil
-	}
-	if err := p.Validate(); err != nil {
-		return nil, err
-	}
-
-	// Step 1: size the circuit to meet delay requirements using TILOS.
-	var x []float64
-	res := &Result{}
-	if opt.SkipTilos {
-		x = p.InitialSizes()
-		d := p.Delays(x)
-		tm, err := sta.Analyze(p.G, d)
-		if err != nil {
-			return nil, err
-		}
-		if tm.CP > T {
-			return nil, fmt.Errorf("%w: minimum-size CP %g exceeds target %g (SkipTilos)", ErrInfeasible, tm.CP, T)
-		}
-		res.TilosX = append([]float64(nil), x...)
-		res.TilosArea = p.Area(x)
-		res.TilosCP = tm.CP
-	} else {
-		tr, err := tilos.Size(p, T, nil, opt.Tilos)
-		if err != nil {
-			if errors.Is(err, tilos.ErrInfeasible) {
-				return nil, fmt.Errorf("%w: %v", ErrInfeasible, err)
-			}
-			return nil, err
-		}
-		x = tr.X
-		res.TilosX = append([]float64(nil), x...)
-		res.TilosArea = tr.Area
-		res.TilosCP = tr.CP
-	}
-
-	// An abort between the seed and the first iteration still has a
-	// usable answer: the TILOS sizing itself.
-	if aerr := checkAbort(); aerr != nil {
-		res.X = append([]float64(nil), x...)
-		res.Area = p.Area(x)
-		res.CP = res.TilosCP
-		res.Partial = true
-		return res, aerr
-	}
-
-	parallelism := opt.Parallelism
-	if parallelism == 0 {
-		parallelism = runtime.GOMAXPROCS(0)
-	}
-	engine, err := ResolveFlowEngine(opt.FlowEngine, p.G.N(), parallelism)
+	sess, err := NewSession(p, opt)
 	if err != nil {
 		return nil, err
 	}
-	aug := p.Augment()
-	sc, err := newIterScratch(p, aug, x, engine, parallelism)
-	if err != nil {
-		return nil, err
-	}
-	defer sc.close()
-	sc.ctx = ctx
-	sc.deadline = deadline
-	sc.flowBudget = opt.FlowWorkBudget
-	bestX := append([]float64(nil), x...)
-	bestArea := p.Area(x)
-	noImprove := 0
-	window := opt.Window
-
-	// finishPartial answers an abort with the best-so-far sizing.
-	finishPartial := func(aerr error) (*Result, error) {
-		res.X = bestX
-		res.Area = bestArea
-		res.CP = sc.retime(p, bestX)
-		res.Partial = true
-		return res, aerr
-	}
-
-	// Step 2: alternate D-phase and W-phase.  The budget window adapts
-	// like a trust region: halve after an iteration whose first-order
-	// prediction overshot (area got worse), relax back on success.
-	// iterate leaves the round's sizes in sc.newX; x and bestX are
-	// stable buffers owned by this loop.
-	x = append([]float64(nil), x...)
-	for it := 1; it <= opt.MaxIters; it++ {
-		if aerr := checkAbort(); aerr != nil {
-			return finishPartial(aerr)
-		}
-		st, err := iterate(p, aug, sc, x, T, window, opt)
-		if err != nil {
-			if isAbortErr(err) {
-				// Cut short mid-iteration (canceled context or an
-				// exhausted wall-clock/flow-work budget surfacing from
-				// the timing or flow layers): answer with the last
-				// completed iteration's best and the typed error.
-				return finishPartial(err)
-			}
-			// A failed iteration is not fatal: the current best solution
-			// stands (this triggers only on numerical corner cases).
-			break
-		}
-		st.Iter = it
-		st.Window = window
-		res.Stats = append(res.Stats, st)
-		res.Iterations = it
-		if opt.OnIteration != nil {
-			opt.OnIteration(st)
-		}
-		// Step 3: stop when the area improvement is negligible.
-		if st.Area < bestArea*(1-opt.AreaTol) {
-			bestArea = st.Area
-			copy(bestX, sc.newX)
-			copy(x, sc.newX)
-			noImprove = 0
-			if window < opt.Window {
-				window = math.Min(opt.Window, window*1.5)
-			}
-		} else {
-			if st.Area < bestArea {
-				bestArea = st.Area
-				copy(bestX, sc.newX)
-				copy(x, sc.newX)
-			} else {
-				// Overshoot: back to the best point with a tighter window.
-				copy(x, bestX)
-			}
-			window /= 2
-			noImprove++
-			if noImprove >= opt.Patience || window < opt.MinWindow {
-				break
-			}
-		}
-	}
-
-	res.X = bestX
-	res.Area = bestArea
-	res.CP = sc.retime(p, bestX)
-	return res, nil
+	defer sess.Close()
+	return sess.Resize(ctx, T, Budgets{Budget: opt.Budget, FlowWorkBudget: opt.FlowWorkBudget})
 }
 
 // iterate performs one D-phase + W-phase round from sizes x with the
@@ -610,8 +475,9 @@ func iterate(p *dag.Problem, aug *dag.Augmented, sc *iterScratch, x []float64, T
 		Deadline: sc.deadline, WorkBudget: sc.flowBudget,
 		// A flow-engine failure (panic, price-range refusal) degrades
 		// to the ssp reference engine instead of killing the run;
-		// IterStats.FlowEngineFailures counts the rescues.
-		EngineFallback: true,
+		// IterStats.FlowEngineFailures counts the rescues.  Session
+		// owners may disable the rescue to surface ErrEngineFailed.
+		EngineFallback: !opt.NoEngineFallback,
 	})
 	if err != nil {
 		return IterStats{}, fmt.Errorf("core: D-phase: %w", err)

@@ -1,0 +1,343 @@
+// Warm sizing sessions: the persistent-state form of SizeCtx.
+//
+// A Session pins everything that is expensive to build and reusable
+// across optimization runs of ONE problem — the augmented DAG, the
+// build-once D-phase constraint system with its cached (and
+// warm-started) flow network, the persistent W-phase/sensitivity/
+// timing solvers and every iteration buffer — so a long-lived caller
+// (the minflod server, internal/serve) answers repeated re-sizing
+// queries without paying problem setup again.  The first Resize on a
+// session behaves exactly like SizeCtx (it IS SizeCtx: that function
+// is now a one-shot session); later Resizes reuse the warm state, and
+// their D-phase solves run through mcmf.ResolveChanged against the
+// previous optimum instead of from-scratch solves.
+//
+// Determinism contract: a session's answers are a deterministic
+// function of the query sequence served since its last cold build — a
+// serial twin session replaying the same sequence answers every query
+// bit-identically (TestSessionReplayDeterminism; the server's soak
+// test leans on this per session generation).  Warm answers are NOT
+// bitwise equal to one-shot cold answers of the same query: the
+// incremental re-flow recovers an equally optimal but different dual
+// solution than a fresh solve (the D-phase LP is degenerate), so the
+// trajectory drifts at the last-bits level.  Every answer is feasible
+// and optimal to the same tolerances either way — the test bounds the
+// warm-vs-cold area drift at 1e-3 relative.
+//
+// A Session is single-client: calls must be externally serialized
+// (the server runs one worker goroutine per session).  Distinct
+// Sessions share nothing mutable and run concurrently.
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"runtime"
+	"time"
+
+	"minflo/internal/dag"
+	"minflo/internal/sta"
+	"minflo/internal/tilos"
+)
+
+// Budgets caps one Resize call.  Zero values disarm a cap.  Unlike
+// Options.Budget/FlowWorkBudget — which bound a whole SizeCtx run —
+// these are per-call: each Resize gets its own wall-clock window and
+// its own flow-work allowance on top of the work already spent.
+type Budgets struct {
+	// Budget bounds the wall clock of this call.
+	Budget time.Duration
+	// FlowWorkBudget caps the D-phase flow work (mcmf poll operations)
+	// this call may add.
+	FlowWorkBudget int64
+}
+
+// Session holds the warm optimizer state of one sizing problem.
+type Session struct {
+	p   *dag.Problem
+	aug *dag.Augmented
+	opt Options
+	sc  *iterScratch
+
+	resizes int
+	closed  bool
+}
+
+// NewSession builds the warm state for problem p: augmented DAG,
+// constraint-system topology, solvers and buffers.  The problem is
+// retained by reference — the caller must not mutate it except
+// through the Session (SetAreaWeight).
+func NewSession(p *dag.Problem, opt Options) (*Session, error) {
+	opt = opt.withDefaults()
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	parallelism := opt.Parallelism
+	if parallelism == 0 {
+		parallelism = runtime.GOMAXPROCS(0)
+	}
+	engine, err := ResolveFlowEngine(opt.FlowEngine, p.G.N(), parallelism)
+	if err != nil {
+		return nil, err
+	}
+	aug := p.Augment()
+	sc, err := newIterScratch(p, aug, p.InitialSizes(), engine, parallelism)
+	if err != nil {
+		return nil, err
+	}
+	return &Session{p: p, aug: aug, opt: opt, sc: sc}, nil
+}
+
+// Close releases the session's worker pool.  Idempotent.
+func (s *Session) Close() {
+	if s.closed {
+		return
+	}
+	s.closed = true
+	s.sc.close()
+}
+
+// Resizes reports how many Resize calls the session has served.
+func (s *Session) Resizes() int { return s.resizes }
+
+// NumSizable returns the number of sizable vertices of the problem.
+func (s *Session) NumSizable() int { return s.p.NumSizable }
+
+// AreaWeight returns the area weight of sizable vertex i.
+func (s *Session) AreaWeight(i int) float64 { return s.p.AreaW[i] }
+
+// SetAreaWeight updates the area weight (the objective cost) of
+// sizable vertex i in place — the warm "what-if cost change" path:
+// the next Resize prices the new weight through the same warm
+// constraint system, no rebuild.  The change is sticky; callers
+// wanting a transient what-if restore the old weight afterwards.
+func (s *Session) SetAreaWeight(i int, w float64) error {
+	if i < 0 || i >= s.p.NumSizable {
+		return fmt.Errorf("core: SetAreaWeight(%d) out of range [0,%d)", i, s.p.NumSizable)
+	}
+	if !(w > 0) || math.IsInf(w, 0) {
+		return fmt.Errorf("core: SetAreaWeight(%d, %g): weight must be finite and positive", i, w)
+	}
+	s.p.AreaW[i] = w
+	return nil
+}
+
+// FlowEngineName reports the mcmf backend the session's D-phase runs
+// on ("" before the first solve; stable afterwards — the calibration
+// probe, when configured, runs once per session, not once per query).
+func (s *Session) FlowEngineName() string { return s.sc.sys.FlowEngineName() }
+
+// FlowResolves reports how many D-phase solves the session served
+// incrementally (mcmf ResolveChanged) over its lifetime — the
+// observable warm-path counter the serving tests assert on.
+func (s *Session) FlowResolves() int { return s.sc.sys.FlowEngineStats().Resolves }
+
+// FlowEngineFailures reports the lifetime count of flow-engine
+// failures the fallback chain recovered (see Options.NoEngineFallback
+// for surfacing them instead).
+func (s *Session) FlowEngineFailures() int { return s.sc.sys.FlowEngineFailures() }
+
+// MemoryBytes estimates the resident footprint of the warm state in
+// bytes: the problem's coupling CSR and coefficient arena, both DAGs,
+// the timing/balancing/W-phase solvers, the D-phase constraint system
+// with its cached flow network, and the iteration buffers.  It is an
+// estimate from element counts (within ~2× of measured heap growth on
+// the benchmark circuits, see serve's accounting test), determinstic
+// for a given problem, and cheap — the server's watermark eviction
+// only needs relative, stable numbers.
+func (s *Session) MemoryBytes() int64 {
+	const word = 8
+	n := int64(s.p.G.N())
+	m := int64(s.p.G.M())
+	an := int64(s.aug.G.N())
+	am := int64(s.aug.G.M())
+	var nnz int64
+	for i := range s.p.Coeffs {
+		nnz += int64(len(s.p.Coeffs[i].Terms))
+	}
+	cons := int64(s.sc.sys.NumConstraints())
+	objs := int64(s.sc.sys.NumObjectives())
+	arcs := cons + 2*int64(len(s.p.PIs)+1)
+
+	var b int64
+	b += n*10*word + nnz*3*word // coupling CSR: rows, transpose, block/level maps
+	b += n*4*word + nnz*2*word  // coefficient arena (Self/Const + 12B terms)
+	b += (n+m)*3*word + (an+am)*3*word
+	b += an*8*word + am*2*word    // analyzer + balancer
+	b += n*6*word + m*2*word      // incremental arrivals
+	b += (cons + objs) * 4 * word // dcs constraint/objective tables + cost diff state
+	b += arcs * 16 * word         // flow network: arc pairs, CSR index, attempt snapshots
+	b += an * 14 * word           // iteration buffers, W-phase/sensitivity scratch
+	return b
+}
+
+// Resize runs the full MINFLOTRANSIT optimization to critical-path
+// target T on the session's warm state, under ctx and the per-call
+// budgets.  The contract is SizeCtx's: a run cut short returns the
+// best-so-far sizing as a partial Result together with ErrCanceled /
+// ErrBudgetExhausted; an unrecovered flow-engine failure returns the
+// best-so-far partial Result with ErrEngineFailed (callers holding
+// warm state should treat the session as suspect and rebuild — the
+// server quarantines on it); an abort before any sizing exists
+// returns (nil, error).  The answer is bit-identical to a cold run of
+// the same query on a fresh session.
+func (s *Session) Resize(ctx context.Context, T float64, bud Budgets) (*Result, error) {
+	if s.closed {
+		return nil, errors.New("core: Resize on closed Session")
+	}
+	s.resizes++
+	opt := s.opt
+	p, sc := s.p, s.sc
+	if ctx != nil && ctx.Done() == nil {
+		ctx = nil // uncancelable: keep the flow layer's unarmed fast path
+	}
+	var deadline time.Time
+	if bud.Budget > 0 {
+		deadline = time.Now().Add(bud.Budget)
+	}
+	checkAbort := func() error {
+		if ctx != nil && ctx.Err() != nil {
+			return ErrCanceled
+		}
+		if !deadline.IsZero() && !time.Now().Before(deadline) {
+			return ErrBudgetExhausted
+		}
+		return nil
+	}
+
+	// Step 1: size the circuit to meet delay requirements using TILOS.
+	// Every Resize reseeds from scratch — the warm state accelerates
+	// the answer, it never changes it.
+	var x []float64
+	res := &Result{}
+	if opt.SkipTilos {
+		x = p.InitialSizes()
+		d := p.Delays(x)
+		tm, err := sta.Analyze(p.G, d)
+		if err != nil {
+			return nil, err
+		}
+		if tm.CP > T {
+			return nil, fmt.Errorf("%w: minimum-size CP %g exceeds target %g (SkipTilos)", ErrInfeasible, tm.CP, T)
+		}
+		res.TilosX = append([]float64(nil), x...)
+		res.TilosArea = p.Area(x)
+		res.TilosCP = tm.CP
+	} else {
+		tr, err := tilos.Size(p, T, nil, opt.Tilos)
+		if err != nil {
+			if errors.Is(err, tilos.ErrInfeasible) {
+				return nil, fmt.Errorf("%w: %v", ErrInfeasible, err)
+			}
+			return nil, err
+		}
+		x = tr.X
+		res.TilosX = append([]float64(nil), x...)
+		res.TilosArea = tr.Area
+		res.TilosCP = tr.CP
+	}
+
+	// An abort between the seed and the first iteration still has a
+	// usable answer: the TILOS sizing itself.
+	if aerr := checkAbort(); aerr != nil {
+		res.X = append([]float64(nil), x...)
+		res.Area = p.Area(x)
+		res.CP = res.TilosCP
+		res.Partial = true
+		return res, aerr
+	}
+
+	// Arm the per-call abort sources.  The flow-work budget is spent
+	// from the solver's cumulative counter, so a per-call allowance
+	// sits on top of whatever earlier Resizes already used.
+	sc.ctx = ctx
+	sc.deadline = deadline
+	sc.flowBudget = 0
+	if bud.FlowWorkBudget > 0 {
+		sc.flowBudget = sc.sys.FlowWorkDone() + bud.FlowWorkBudget
+	}
+	bestX := append([]float64(nil), x...)
+	bestArea := p.Area(x)
+	noImprove := 0
+	window := opt.Window
+
+	// finishPartial answers an abort with the best-so-far sizing.
+	finishPartial := func(aerr error) (*Result, error) {
+		res.X = bestX
+		res.Area = bestArea
+		res.CP = sc.retime(p, bestX)
+		res.Partial = true
+		return res, aerr
+	}
+
+	// Step 2: alternate D-phase and W-phase.  The budget window adapts
+	// like a trust region: halve after an iteration whose first-order
+	// prediction overshot (area got worse), relax back on success.
+	// iterate leaves the round's sizes in sc.newX; x and bestX are
+	// stable buffers owned by this loop.
+	x = append([]float64(nil), x...)
+	for it := 1; it <= opt.MaxIters; it++ {
+		if aerr := checkAbort(); aerr != nil {
+			return finishPartial(aerr)
+		}
+		st, err := iterate(p, s.aug, sc, x, T, window, opt)
+		if err != nil {
+			if isAbortErr(err) {
+				// Cut short mid-iteration (canceled context or an
+				// exhausted wall-clock/flow-work budget surfacing from
+				// the timing or flow layers): answer with the last
+				// completed iteration's best and the typed error.
+				return finishPartial(err)
+			}
+			if errors.Is(err, ErrEngineFailed) {
+				// An engine failure the fallback chain did not (or was
+				// configured not to) recover: the warm flow state is
+				// suspect.  Hand back the best-so-far answer with the
+				// typed error so session owners can quarantine and
+				// rebuild instead of trusting this state again.
+				return finishPartial(err)
+			}
+			// A failed iteration is not fatal: the current best solution
+			// stands (this triggers only on numerical corner cases).
+			break
+		}
+		st.Iter = it
+		st.Window = window
+		res.Stats = append(res.Stats, st)
+		res.Iterations = it
+		if opt.OnIteration != nil {
+			opt.OnIteration(st)
+		}
+		// Step 3: stop when the area improvement is negligible.
+		if st.Area < bestArea*(1-opt.AreaTol) {
+			bestArea = st.Area
+			copy(bestX, sc.newX)
+			copy(x, sc.newX)
+			noImprove = 0
+			if window < opt.Window {
+				window = math.Min(opt.Window, window*1.5)
+			}
+		} else {
+			if st.Area < bestArea {
+				bestArea = st.Area
+				copy(bestX, sc.newX)
+				copy(x, sc.newX)
+			} else {
+				// Overshoot: back to the best point with a tighter window.
+				copy(x, bestX)
+			}
+			window /= 2
+			noImprove++
+			if noImprove >= opt.Patience || window < opt.MinWindow {
+				break
+			}
+		}
+	}
+
+	res.X = bestX
+	res.Area = bestArea
+	res.CP = sc.retime(p, bestX)
+	return res, nil
+}

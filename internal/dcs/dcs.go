@@ -311,6 +311,18 @@ func (s *System) FlowEngineStats() mcmf.Stats {
 	return s.flow.EngineStats()
 }
 
+// FlowWorkDone reports the cached network's cumulative armed flow
+// work (mcmf poll operations).  Long-lived callers running many
+// solves with per-call work budgets add this base to their per-call
+// allowance, because Options.WorkBudget caps the solver's cumulative
+// counter, not one call.
+func (s *System) FlowWorkDone() int64 {
+	if s.flow == nil {
+		return 0
+	}
+	return s.flow.WorkDone()
+}
+
 // FlowEngineFailures reports how many times a flow engine failed and
 // the solver degraded to ssp (0 without Options.EngineFallback).
 func (s *System) FlowEngineFailures() int {

@@ -40,6 +40,7 @@ package mcmf
 import (
 	"fmt"
 	"sort"
+	"sync"
 )
 
 // Stats counts the work an engine performed over its lifetime.  All
@@ -117,21 +118,42 @@ type Engine interface {
 	Stats() Stats
 }
 
-// engineFactories is the backend registry.
-var engineFactories = map[string]func() Engine{}
+// engineFactories is the backend registry, guarded by engineMu: the
+// built-in backends register from init, but test binaries register at
+// runtime (internal/fault's "fault" wrapper) while server sessions may
+// be instantiating engines concurrently, so reads and writes must
+// synchronize (TestRegistryConcurrentAccess drives this under -race).
+var (
+	engineMu        sync.RWMutex
+	engineFactories = map[string]func() Engine{}
+)
 
 // Register adds an engine factory under name.  Registering a duplicate
-// name panics — backends are package-level singleton names.
+// name panics — backends are package-level singleton names.  Safe for
+// concurrent use with NewEngine/EngineNames/ValidEngine.
 func Register(name string, factory func() Engine) {
+	engineMu.Lock()
+	defer engineMu.Unlock()
 	if _, dup := engineFactories[name]; dup {
 		panic(fmt.Sprintf("mcmf: engine %q registered twice", name))
 	}
 	engineFactories[name] = factory
 }
 
+// unregister removes a backend from the registry.  Test-only: the race
+// test registers throwaway names and must not leave them behind for
+// the conformance suites (which enumerate EngineNames dynamically).
+func unregister(name string) {
+	engineMu.Lock()
+	defer engineMu.Unlock()
+	delete(engineFactories, name)
+}
+
 // NewEngine instantiates a registered backend by name.
 func NewEngine(name string) (Engine, error) {
+	engineMu.RLock()
 	f, ok := engineFactories[name]
+	engineMu.RUnlock()
 	if !ok {
 		return nil, fmt.Errorf("mcmf: unknown engine %q (have %v)", name, EngineNames())
 	}
@@ -140,16 +162,20 @@ func NewEngine(name string) (Engine, error) {
 
 // EngineNames lists the registered backends in sorted order.
 func EngineNames() []string {
+	engineMu.RLock()
 	names := make([]string, 0, len(engineFactories))
 	for n := range engineFactories {
 		names = append(names, n)
 	}
+	engineMu.RUnlock()
 	sort.Strings(names)
 	return names
 }
 
 // ValidEngine reports whether name is a registered backend.
 func ValidEngine(name string) bool {
+	engineMu.RLock()
+	defer engineMu.RUnlock()
 	_, ok := engineFactories[name]
 	return ok
 }

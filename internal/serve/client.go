@@ -1,0 +1,206 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// Client talks to a minflod server with bounded retries: 429
+// (overloaded) and 503 (draining/starting) responses — plus transport
+// errors — are retried with exponential backoff and jitter, honoring
+// the server's Retry-After hint when one is present.  Terminal
+// answers (2xx, 4xx other than 429, 500) pass straight through.
+type Client struct {
+	base string
+	http *http.Client
+
+	// MaxRetries bounds retry attempts per call (default 6).
+	MaxRetries int
+	// BaseDelay seeds the exponential backoff (default 50ms); each
+	// retry doubles it up to MaxDelay (default 2s) and adds up to 50%
+	// jitter.  A Retry-After header overrides the computed delay when
+	// it is longer.
+	BaseDelay time.Duration
+	MaxDelay  time.Duration
+
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+// NewClient builds a client for the server at base (e.g.
+// "http://127.0.0.1:7317").  hc may be nil for http.DefaultClient.
+func NewClient(base string, hc *http.Client) *Client {
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	return &Client{
+		base:       base,
+		http:       hc,
+		MaxRetries: 6,
+		BaseDelay:  50 * time.Millisecond,
+		MaxDelay:   2 * time.Second,
+		rng:        rand.New(rand.NewSource(time.Now().UnixNano())),
+	}
+}
+
+// APIError is a terminal error answer from the server.
+type APIError struct {
+	Status int
+	Body   ErrorBody
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("serve: %s (%d): %s", e.Body.Code, e.Status, e.Body.Message)
+}
+
+// ErrRetriesExhausted wraps the last retriable failure after
+// MaxRetries attempts.
+var ErrRetriesExhausted = errors.New("serve: retries exhausted")
+
+// Submit creates (or replaces) a session.
+func (c *Client) Submit(ctx context.Context, req *SubmitRequest) (*SubmitResponse, error) {
+	var resp SubmitResponse
+	if err := c.call(ctx, http.MethodPost, "/v1/sessions", req, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Query asks a session for a sizing.  A partial answer (the run was
+// cut short but a best-so-far sizing exists) returns resp.Partial set
+// and resp.Error describing the stop — with a nil Go error.
+func (c *Client) Query(ctx context.Context, id string, req *QueryRequest) (*QueryResponse, error) {
+	var resp QueryResponse
+	path := "/v1/sessions/" + id + "/query"
+	if err := c.call(ctx, http.MethodPost, path, req, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Info fetches session metadata.
+func (c *Client) Info(ctx context.Context, id string) (*SessionInfo, error) {
+	var resp SessionInfo
+	if err := c.call(ctx, http.MethodGet, "/v1/sessions/"+id, nil, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Delete evicts a session.
+func (c *Client) Delete(ctx context.Context, id string) error {
+	return c.call(ctx, http.MethodDelete, "/v1/sessions/"+id, nil, nil)
+}
+
+// Stats fetches server counters.
+func (c *Client) Stats(ctx context.Context) (*StatsResponse, error) {
+	var resp StatsResponse
+	if err := c.call(ctx, http.MethodGet, "/stats", nil, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// call runs one logical request through the retry loop.
+func (c *Client) call(ctx context.Context, method, path string, in, out any) error {
+	var body []byte
+	if in != nil {
+		var err error
+		if body, err = json.Marshal(in); err != nil {
+			return err
+		}
+	}
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		status, hint, err := c.once(ctx, method, path, body, out)
+		if err == nil {
+			return nil
+		}
+		if ctx.Err() != nil {
+			return ctx.Err() // caller gave up; don't spin
+		}
+		if status != 0 && !retriableStatus(status) {
+			return err // terminal answer (404, 422, 500, decode failure)
+		}
+		lastErr = err
+		if attempt >= c.MaxRetries {
+			return fmt.Errorf("%w after %d attempts: %v", ErrRetriesExhausted, attempt+1, lastErr)
+		}
+		d := c.backoff(attempt)
+		if hint > d {
+			d = hint
+		}
+		select {
+		case <-time.After(d):
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+}
+
+// once performs a single HTTP exchange.  For error statuses it decodes
+// the envelope and leaves it in the returned error (via the caller's
+// lastErr); retriable statuses (429/503) return with err set so the
+// loop records the reason.
+func (c *Client) once(ctx context.Context, method, path string, body []byte, out any) (status int, retryAfter time.Duration, err error) {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
+	if err != nil {
+		return 0, 0, err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return 0, 0, err // transport error: retriable
+	}
+	defer resp.Body.Close()
+
+	if h := resp.Header.Get("Retry-After"); h != "" {
+		if secs, perr := strconv.Atoi(h); perr == nil && secs >= 0 {
+			retryAfter = time.Duration(secs) * time.Second
+		}
+	}
+	if resp.StatusCode >= 400 {
+		var eb ErrorBody
+		_ = json.NewDecoder(resp.Body).Decode(&eb)
+		apiErr := &APIError{Status: resp.StatusCode, Body: eb}
+		return resp.StatusCode, retryAfter, apiErr
+	}
+	if out != nil && resp.StatusCode != http.StatusNoContent {
+		if derr := json.NewDecoder(resp.Body).Decode(out); derr != nil {
+			return resp.StatusCode, retryAfter, fmt.Errorf("serve: decode response: %w", derr)
+		}
+	}
+	return resp.StatusCode, retryAfter, nil
+}
+
+func retriableStatus(status int) bool {
+	return status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable || status == 0
+}
+
+// backoff computes attempt n's delay: BaseDelay·2ⁿ capped at
+// MaxDelay, plus up to 50% jitter so synchronized clients desynchronize.
+func (c *Client) backoff(attempt int) time.Duration {
+	d := c.BaseDelay << uint(attempt)
+	if d > c.MaxDelay || d <= 0 {
+		d = c.MaxDelay
+	}
+	c.mu.Lock()
+	j := time.Duration(c.rng.Int63n(int64(d)/2 + 1))
+	c.mu.Unlock()
+	return d + j
+}

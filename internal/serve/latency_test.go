@@ -1,0 +1,110 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"net/http/httptest"
+	"os"
+	"sort"
+	"testing"
+	"time"
+)
+
+// TestServeLatencyReport measures the serving latency distributions
+// quoted in EXPERIMENTS.md ("Serving").  It is a measurement, not an
+// assertion — run it explicitly with:
+//
+//	MINFLOD_LATENCY=1 go test -run TestServeLatencyReport -v ./internal/serve
+//
+// Single client, serial requests (Parallelism 1, MaxInFlight 1): the
+// honest single-core numbers, no pipelining flattery.  The warm and
+// cold columns answer the identical query mix (alternating 0.6/0.55
+// ·Dmin targets) so the comparison isolates what warm state buys.
+func TestServeLatencyReport(t *testing.T) {
+	if os.Getenv("MINFLOD_LATENCY") == "" {
+		t.Skip("set MINFLOD_LATENCY=1 to run the latency measurement")
+	}
+	srv, err := New(Config{MaxInFlight: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := httptest.NewServer(srv.Handler())
+	defer hs.Close()
+	c := NewClient(hs.URL, hs.Client())
+	ctx := context.Background()
+
+	report := func(label string, lat []time.Duration) {
+		sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+		var sum time.Duration
+		for _, d := range lat {
+			sum += d
+		}
+		qps := float64(len(lat)) / sum.Seconds()
+		p := func(q float64) time.Duration { return lat[int(q*float64(len(lat)-1))] }
+		fmt.Printf("%-34s n=%3d  qps=%7.1f  p50=%8.2fms  p99=%8.2fms\n",
+			label, len(lat), qps,
+			float64(p(0.50).Microseconds())/1000, float64(p(0.99).Microseconds())/1000)
+	}
+
+	for _, circuit := range []string{"adder16", "mult8"} {
+		sub, err := c.Submit(ctx, &SubmitRequest{ID: "probe-" + circuit, Circuit: circuit})
+		if err != nil {
+			t.Fatal(err)
+		}
+		specs := [2]float64{0.6, 0.55}
+
+		// Submit only: session creation (parse, problem build, STA) —
+		// the fixed cost a session amortizes over its queries.
+		const nSubmit = 100
+		lat := make([]time.Duration, 0, nSubmit)
+		for i := 0; i < nSubmit; i++ {
+			id := fmt.Sprintf("cold-%d", i)
+			t0 := time.Now()
+			if _, err := c.Submit(ctx, &SubmitRequest{ID: id, Circuit: circuit}); err != nil {
+				t.Fatal(err)
+			}
+			lat = append(lat, time.Since(t0))
+			if err := c.Delete(ctx, id); err != nil {
+				t.Fatal(err)
+			}
+		}
+		report("submit only        ("+circuit+")", lat)
+
+		// Cold submit+query: a fresh session for every ask.
+		const nCold = 40
+		lat = lat[:0]
+		for i := 0; i < nCold; i++ {
+			id := fmt.Sprintf("coldq-%d", i)
+			t0 := time.Now()
+			if _, err := c.Submit(ctx, &SubmitRequest{ID: id, Circuit: circuit}); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := c.Query(ctx, id, &QueryRequest{TargetPS: specs[i%2] * sub.MinDelayPS}); err != nil {
+				t.Fatal(err)
+			}
+			lat = append(lat, time.Since(t0))
+			if err := c.Delete(ctx, id); err != nil {
+				t.Fatal(err)
+			}
+		}
+		report("cold submit+query  ("+circuit+")", lat)
+
+		// Warm queries: one live session, same target mix.
+		for _, s := range specs {
+			if _, err := c.Query(ctx, "probe-"+circuit, &QueryRequest{TargetPS: s * sub.MinDelayPS}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		const nWarm = 40
+		lat = lat[:0]
+		for i := 0; i < nWarm; i++ {
+			t0 := time.Now()
+			q, err := c.Query(ctx, "probe-"+circuit, &QueryRequest{TargetPS: specs[i%2] * sub.MinDelayPS})
+			if err != nil || q.Error != nil {
+				t.Fatalf("warm query %d: %v %+v", i, err, q)
+			}
+			lat = append(lat, time.Since(t0))
+		}
+		report("warm query         ("+circuit+")", lat)
+	}
+}

@@ -1,0 +1,309 @@
+package serve
+
+import (
+	"container/list"
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"minflo/internal/core"
+	"minflo/internal/sta"
+)
+
+// jobKind selects what a session worker does with a queued job.
+type jobKind int
+
+const (
+	jobBuild jobKind = iota // cold-build the solver state (submit path)
+	jobQuery                // answer a sizing query from warm state
+)
+
+// job is one unit of admitted work.  The handler goroutine that
+// enqueued it waits on resp (buffered: the worker never blocks on a
+// client that walked away).
+type job struct {
+	kind jobKind
+	req  QueryRequest
+	ctx  context.Context // request context (client disconnect)
+	resp chan jobReply
+}
+
+type jobReply struct {
+	status int
+	body   any
+}
+
+// session is one warm solving context.  The worker goroutine owns the
+// core.Session exclusively — requests to the same session serialize
+// through the queue, so the solver state never sees concurrent access;
+// distinct sessions run concurrently up to the server's in-flight cap.
+type session struct {
+	id  string
+	srv *Server
+	src SubmitRequest // retained verbatim for quarantine rebuilds
+
+	queue chan *job
+	quit  chan struct{} // closed on delete/evict/replace
+	done  chan struct{} // closed when the worker exits
+
+	// Worker-owned (no locking needed).
+	core     *core.Session
+	numGates int
+	dmin     float64
+	gen      int
+	seq      int
+
+	// Shared with the server, guarded by srv.mu.
+	elem        *list.Element // LRU position
+	memBytes    int64
+	queries     int64
+	queued      int
+	busy        bool
+	deleted     bool
+	quarantined bool
+}
+
+// buildCore constructs the problem and warm solver state from the
+// retained submit request.  Called by the worker on the build job and
+// again on every quarantine rebuild — each build parses the netlist
+// afresh so a rebuilt generation starts from pristine state (sticky
+// what-if weights are per-generation and cleared here).
+func (s *session) buildCore() error {
+	p, err := s.srv.buildProblem(s.src)
+	if err != nil {
+		return err
+	}
+	tm, err := sta.Analyze(p.G, p.Delays(p.InitialSizes()))
+	if err != nil {
+		return err
+	}
+	engine := s.src.FlowEngine
+	if engine == "" {
+		engine = s.srv.cfg.Engine
+	}
+	cs, err := core.NewSession(p, core.Options{
+		FlowEngine:       engine,
+		Parallelism:      s.srv.cfg.Parallelism,
+		NoEngineFallback: s.srv.cfg.NoEngineFallback,
+	})
+	if err != nil {
+		return err
+	}
+	s.core = cs
+	s.numGates = p.NumSizable
+	s.dmin = tm.CP
+	s.seq = 0
+	return nil
+}
+
+// run is the worker loop.  It exits when the session is deleted,
+// evicted, or the server drains; on every exit path it answers all
+// still-queued jobs and closes the solver state.
+func (s *session) run() {
+	defer s.srv.wg.Done()
+	defer close(s.done)
+	for {
+		select {
+		case <-s.quit:
+			s.drainQueue(http.StatusNotFound, CodeNotFound, "session deleted")
+			s.shutdown()
+			return
+		case <-s.srv.drainCh:
+			// Finish everything already admitted — the drain deadline
+			// cancels the base context, so long solves come back fast
+			// with partial answers — then exit.
+			for {
+				select {
+				case j := <-s.queue:
+					s.serve(j)
+				default:
+					s.shutdown()
+					return
+				}
+			}
+		case j := <-s.queue:
+			s.serve(j)
+		}
+	}
+}
+
+func (s *session) shutdown() {
+	if s.core != nil {
+		s.core.Close()
+		s.core = nil
+	}
+}
+
+// drainQueue answers every queued job with a terminal error.
+func (s *session) drainQueue(status int, code, msg string) {
+	for {
+		select {
+		case j := <-s.queue:
+			j.resp <- jobReply{status, &ErrorBody{Code: code, Message: msg}}
+			s.srv.jobDone(s, false)
+		default:
+			return
+		}
+	}
+}
+
+// serve runs one job under the global in-flight cap and the panic
+// barrier, then reports completion to the server (memory accounting,
+// watermark eviction, pending bookkeeping).
+func (s *session) serve(j *job) {
+	s.srv.runSem <- struct{}{}
+	s.srv.mu.Lock()
+	s.busy = true
+	s.queued--
+	s.srv.mu.Unlock()
+
+	rep := s.handle(j)
+	j.resp <- rep
+
+	<-s.srv.runSem
+	s.srv.jobDone(s, true)
+}
+
+// handle dispatches one job.  The deferred recover is the per-session
+// panic barrier: a crash anywhere in the solve quarantines this
+// session (cold rebuild on its next query) and answers 500 — it never
+// takes the process down or poisons other sessions.
+func (s *session) handle(j *job) (rep jobReply) {
+	defer func() {
+		if r := recover(); r != nil {
+			s.setQuarantined(true)
+			rep = jobReply{http.StatusInternalServerError, &ErrorBody{
+				Code:    CodeEngineFailed,
+				Message: fmt.Sprintf("solve crashed (session quarantined, will rebuild cold): %v", r),
+			}}
+		}
+	}()
+	switch j.kind {
+	case jobBuild:
+		return s.handleBuild()
+	default:
+		return s.handleQuery(j)
+	}
+}
+
+func (s *session) handleBuild() jobReply {
+	if err := s.buildCore(); err != nil {
+		return jobReply{statusForBuildErr(err), &ErrorBody{Code: codeForBuildErr(err), Message: err.Error()}}
+	}
+	s.srv.accountMem(s)
+	return jobReply{http.StatusOK, &SubmitResponse{
+		ID:         s.id,
+		Generation: s.gen,
+		NumGates:   s.numGates,
+		MemBytes:   s.core.MemoryBytes(),
+		MinDelayPS: s.dmin,
+	}}
+}
+
+func (s *session) handleQuery(j *job) jobReply {
+	// A quarantined (or never-built) session rebuilds cold first; the
+	// new generation starts a fresh deterministic query sequence.
+	if s.core == nil || s.getQuarantined() {
+		s.shutdown()
+		if err := s.buildCore(); err != nil {
+			return jobReply{http.StatusInternalServerError, &ErrorBody{
+				Code: CodeInternal, Message: "rebuild failed: " + err.Error(),
+			}}
+		}
+		s.gen++
+		s.setQuarantined(false)
+		s.srv.rebuilds.Add(1)
+	}
+
+	req := &j.req
+	for _, aw := range req.AreaWeights {
+		if err := s.core.SetAreaWeight(aw.Gate, aw.Weight); err != nil {
+			return jobReply{http.StatusBadRequest, &ErrorBody{Code: CodeBadRequest, Message: err.Error()}}
+		}
+	}
+
+	// Cancellation funnel: the solve stops on whichever fires first —
+	// client disconnect (request context), server drain deadline (base
+	// context), or the per-request wall-clock budget (inside Resize).
+	ctx, cancel := context.WithCancel(j.ctx)
+	defer cancel()
+	stop := context.AfterFunc(s.srv.baseCtx, cancel)
+	defer stop()
+
+	warm := s.seq > 0
+	s.seq++
+	res, err := s.core.Resize(ctx, req.TargetPS, core.Budgets{
+		Budget:         time.Duration(req.BudgetMS) * time.Millisecond,
+		FlowWorkBudget: req.FlowWorkBudget,
+	})
+	s.srv.accountMem(s)
+
+	resp := &QueryResponse{ID: s.id, Generation: s.gen, Seq: s.seq, Warm: warm}
+	if res != nil {
+		resp.Area = res.Area
+		resp.CPPS = res.CP
+		resp.Iterations = res.Iterations
+		resp.Partial = res.Partial
+		if req.WantSizes {
+			resp.Sizes = res.X
+		}
+	}
+	if err == nil {
+		return jobReply{http.StatusOK, resp}
+	}
+
+	code, status := codeForSolveErr(err)
+	if code == CodeEngineFailed {
+		// The engine died and fallback was off (or exhausted): the warm
+		// state is no longer trustworthy.  Quarantine; the next query
+		// rebuilds cold.
+		s.setQuarantined(true)
+		s.srv.quarantines.Add(1)
+	}
+	if res != nil && res.Partial {
+		// Best-so-far partial answer: 200 with the error attached,
+		// mirroring MinflotransitCtx's (sizing, err) contract.
+		resp.Error = &ErrorBody{Code: code, Message: err.Error()}
+		return jobReply{http.StatusOK, resp}
+	}
+	// No partial to soften it: a bare error envelope (the only body
+	// shape clients see on non-2xx statuses).
+	return jobReply{status, &ErrorBody{Code: code, Message: err.Error()}}
+}
+
+func (s *session) setQuarantined(v bool) {
+	s.srv.mu.Lock()
+	s.quarantined = v
+	s.srv.mu.Unlock()
+}
+
+func (s *session) getQuarantined() bool {
+	s.srv.mu.Lock()
+	defer s.srv.mu.Unlock()
+	return s.quarantined
+}
+
+// codeForSolveErr maps the core error taxonomy onto wire codes and the
+// status used when no partial result softens the failure.
+func codeForSolveErr(err error) (code string, status int) {
+	switch {
+	case errors.Is(err, core.ErrCanceled):
+		return CodeCanceled, http.StatusGatewayTimeout
+	case errors.Is(err, core.ErrBudgetExhausted):
+		return CodeBudgetExhausted, http.StatusGatewayTimeout
+	case errors.Is(err, core.ErrEngineFailed):
+		return CodeEngineFailed, http.StatusInternalServerError
+	case errors.Is(err, core.ErrInfeasible):
+		return CodeInfeasible, http.StatusUnprocessableEntity
+	default:
+		return CodeInternal, http.StatusInternalServerError
+	}
+}
+
+// Build failures — unknown circuit names, parse errors, bad engine
+// names — are all caller mistakes.
+func statusForBuildErr(err error) int { return http.StatusBadRequest }
+
+func codeForBuildErr(err error) string { return CodeBadRequest }

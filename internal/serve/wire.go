@@ -1,0 +1,147 @@
+// Wire types for the minflod HTTP/JSON protocol.
+//
+// Every error response is an ErrorBody envelope; overload (429) and
+// drain (503) responses carry a Retry-After header with a whole-second
+// hint.  A query that aborts mid-run but still has a best-so-far
+// sizing answers 200 with Result.Partial set AND Error describing why
+// it stopped — callers must treat (result, error both present) as
+// "partial answer", mirroring the library's MinflotransitCtx contract.
+package serve
+
+// Error codes carried in ErrorBody.Code.  They refine the HTTP status:
+// a client switching on behavior should use the code, not the status.
+const (
+	// CodeBadRequest: malformed JSON, unknown circuit, bad target.  400.
+	CodeBadRequest = "bad_request"
+	// CodeNotFound: no session with that id (never created, deleted,
+	// or evicted under memory pressure — re-submit to rebuild).  404.
+	CodeNotFound = "not_found"
+	// CodeOverloaded: the per-session queue or the global pending cap
+	// is full.  429 with Retry-After.
+	CodeOverloaded = "overloaded"
+	// CodeDraining: the server is shutting down and admits no new
+	// work.  503 with Retry-After.
+	CodeDraining = "draining"
+	// CodeInfeasible: no sizing can meet the delay target.  422.
+	CodeInfeasible = "infeasible"
+	// CodeCanceled: the run was cut short by cancellation (client
+	// disconnect or drain deadline).  200 when a partial sizing
+	// exists, 504 otherwise.
+	CodeCanceled = "canceled"
+	// CodeBudgetExhausted: the per-request wall-clock or flow-work
+	// budget ran out.  200 when a partial sizing exists, 504 otherwise.
+	CodeBudgetExhausted = "budget_exhausted"
+	// CodeEngineFailed: the flow engine crashed and the failure was
+	// not recovered; the session is quarantined and will be rebuilt
+	// cold on its next query.  500.
+	CodeEngineFailed = "engine_failed"
+	// CodeInternal: any other server-side failure.  500.
+	CodeInternal = "internal"
+)
+
+// ErrorBody is the JSON error envelope.
+type ErrorBody struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+// SubmitRequest creates (or replaces) a session from a netlist.
+// Exactly one of Circuit or Bench must be set.
+type SubmitRequest struct {
+	// ID names the session; empty lets the server assign one.
+	ID string `json:"id,omitempty"`
+	// Circuit is a Table 1 benchmark name (adder32, c432, mult8, ...).
+	Circuit string `json:"circuit,omitempty"`
+	// Bench is an ISCAS85 .bench netlist, inline.
+	Bench string `json:"bench,omitempty"`
+	// Name labels a Bench netlist (diagnostics only).
+	Name string `json:"name,omitempty"`
+	// FlowEngine pins the D-phase backend for this session ("" uses
+	// the server default; "auto" calibrates per problem).
+	FlowEngine string `json:"flow_engine,omitempty"`
+}
+
+// SubmitResponse describes the created session.
+type SubmitResponse struct {
+	ID string `json:"id"`
+	// Generation counts cold builds of this session's solver state; it
+	// starts at 0 and increments on every quarantine rebuild.  Answers
+	// are a deterministic function of the query sequence within one
+	// generation.
+	Generation int   `json:"generation"`
+	NumGates   int   `json:"num_gates"`
+	MemBytes   int64 `json:"mem_bytes"`
+	// MinDelayPS is Dmin, the critical path with every gate at minimum
+	// size — targets below this are infeasible.
+	MinDelayPS float64 `json:"min_delay_ps"`
+}
+
+// AreaWeight is a what-if cost override applied before the query runs
+// and left in place for the rest of the session (resend with weight 1
+// to undo).
+type AreaWeight struct {
+	Gate   int     `json:"gate"`
+	Weight float64 `json:"weight"`
+}
+
+// QueryRequest asks the warm session for a sizing at a new target.
+type QueryRequest struct {
+	// TargetPS is the delay target in picoseconds.
+	TargetPS float64 `json:"target_ps"`
+	// BudgetMS, when positive, bounds this query's wall clock in
+	// milliseconds; exceeding it returns the best-so-far partial.
+	BudgetMS int64 `json:"budget_ms,omitempty"`
+	// FlowWorkBudget, when positive, caps this query's D-phase flow
+	// work in mcmf poll operations.
+	FlowWorkBudget int64 `json:"flow_work_budget,omitempty"`
+	// AreaWeights applies sticky what-if cost overrides first.
+	AreaWeights []AreaWeight `json:"area_weights,omitempty"`
+	// WantSizes includes the per-gate sizes in the response (they can
+	// dwarf the rest of the payload on large circuits).
+	WantSizes bool `json:"want_sizes,omitempty"`
+}
+
+// QueryResponse is the sizing answer.  When Error is non-nil the run
+// stopped early; Partial reports whether Area/CP/Sizes still hold the
+// best sizing reached before the stop.
+type QueryResponse struct {
+	ID         string    `json:"id"`
+	Generation int       `json:"generation"`
+	Seq        int       `json:"seq"` // 1-based query index within the generation
+	Area       float64   `json:"area"`
+	CPPS       float64   `json:"cp_ps"`
+	Iterations int       `json:"iterations"`
+	Partial    bool      `json:"partial,omitempty"`
+	Sizes      []float64 `json:"sizes,omitempty"`
+	// Warm reports whether the answer came from warm solver state
+	// (false on the first query of a generation).
+	Warm  bool       `json:"warm"`
+	Error *ErrorBody `json:"error,omitempty"`
+}
+
+// SessionInfo is the GET /v1/sessions/{id} body.
+type SessionInfo struct {
+	ID          string `json:"id"`
+	Generation  int    `json:"generation"`
+	NumGates    int    `json:"num_gates"`
+	MemBytes    int64  `json:"mem_bytes"`
+	Queries     int64  `json:"queries"`
+	Queued      int    `json:"queued"`
+	Quarantined bool   `json:"quarantined"`
+	FlowEngine  string `json:"flow_engine,omitempty"`
+}
+
+// StatsResponse is the GET /stats body.
+type StatsResponse struct {
+	Sessions    int   `json:"sessions"`
+	MemBytes    int64 `json:"mem_bytes"`
+	MemHigh     int64 `json:"mem_high_bytes"`
+	InFlight    int   `json:"in_flight"`
+	Pending     int64 `json:"pending"`
+	Queries     int64 `json:"queries_total"`
+	Rejected    int64 `json:"rejected_total"`
+	Evictions   int64 `json:"evictions_total"`
+	Quarantines int64 `json:"quarantines_total"`
+	Rebuilds    int64 `json:"rebuilds_total"`
+	Draining    bool  `json:"draining"`
+}

@@ -16,6 +16,17 @@
 //
 // The experiments of the paper (Table 1 and Figure 7) are regenerated
 // by cmd/experiments and the benchmarks in bench_test.go.
+//
+// # Serving
+//
+// For repeated queries against one circuit — target sweeps, what-if
+// cost changes — cmd/minflod runs a hardened HTTP/JSON daemon that
+// keeps solver sessions warm between requests, with admission control
+// (429 + Retry-After), per-request deadline and flow-work budgets,
+// byte-accounted LRU eviction, panic quarantine and graceful drain.
+// internal/serve documents the endpoints, error codes and the
+// replay-determinism contract; a retrying client lives in the same
+// package, and examples/service is a runnable walkthrough.
 package minflo
 
 import (
