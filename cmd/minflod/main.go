@@ -55,15 +55,16 @@ func main() {
 		memHigh     = flag.String("mem-high", "1GiB", "session-cache high watermark (eviction trigger), e.g. 512MiB")
 		memLow      = flag.String("mem-low", "", "eviction target (default 3/4 of -mem-high)")
 		drain       = flag.Duration("drain", 5*time.Second, "shutdown drain deadline; in-flight queries still running at the deadline return best-so-far partial answers")
+		trustRegion = flag.Float64("trust-region", 0.05, "warm-seed queries whose target moved at most this relative amount from the session's previous answer (0 disables; answers become deterministic given session history, see internal/core)")
 	)
 	flag.Parse()
-	if err := run(*addr, *engine, *jobs, *maxInflight, *maxPending, *queueDepth, *memHigh, *memLow, *drain); err != nil {
+	if err := run(*addr, *engine, *jobs, *maxInflight, *maxPending, *queueDepth, *memHigh, *memLow, *drain, *trustRegion); err != nil {
 		fmt.Fprintln(os.Stderr, "minflod:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, engine string, jobs, maxInflight, maxPending, queueDepth int, memHigh, memLow string, drain time.Duration) error {
+func run(addr, engine string, jobs, maxInflight, maxPending, queueDepth int, memHigh, memLow string, drain time.Duration, trustRegion float64) error {
 	high, err := parseBytes(memHigh)
 	if err != nil {
 		return fmt.Errorf("-mem-high: %w", err)
@@ -83,6 +84,7 @@ func run(addr, engine string, jobs, maxInflight, maxPending, queueDepth int, mem
 		MemHighBytes: high,
 		MemLowBytes:  low,
 		DrainTimeout: drain,
+		TrustRegion:  trustRegion,
 	})
 	if err != nil {
 		return err

@@ -159,6 +159,18 @@ type Options struct {
 	// drills to exercise their quarantine-and-rebuild path; the
 	// default (false) keeps the PR-6 always-fallback behavior.
 	NoEngineFallback bool
+	// TrustRegion, when positive, enables warm seeding on Session
+	// Resize: a query whose target moved at most TrustRegion relative
+	// to the previous clean answer (and whose area weights were edited
+	// by at most TrustRegion relative since) starts the D/W loop from
+	// that answer instead of a TILOS restart.  Result.Seed reports the
+	// start point taken; non-convergence (iteration blowout vs the
+	// session's EWMA) falls back to the cold path transparently.  With
+	// seeding on, answers are deterministic given the session's query
+	// history rather than per-query — see the Session docs.  0 (the
+	// default) keeps the per-query cold contract.  One-shot SizeCtx
+	// runs have no history, so the field only matters for Sessions.
+	TrustRegion float64
 	// Tilos configures the initial-guess run.
 	Tilos tilos.Options
 	// SkipTilos starts from minimum sizes when the target is already met
@@ -202,7 +214,20 @@ type IterStats struct {
 	// recovered by degrading to the ssp reference engine (see mcmf
 	// abort.go); 0 on every healthy run.
 	FlowEngineFailures int
+	// Seed is the start-point provenance of the run this iteration
+	// belongs to: SeedTilos or SeedWarm (trust-region seeded).
+	Seed string
 }
+
+// Start-point provenance values for Result.Seed / IterStats.Seed.
+const (
+	// SeedTilos marks a run started from the TILOS sizing (cold path —
+	// the only start point before trust-region seeding existed).
+	SeedTilos = "tilos"
+	// SeedWarm marks a run started from the session's previous
+	// converged sizing under the trust-region policy.
+	SeedWarm = "warm"
+)
 
 // Result is the final sizing.
 type Result struct {
@@ -221,6 +246,16 @@ type Result struct {
 	// completed D/W iteration (or the TILOS seed when none completed),
 	// returned alongside the abort error.
 	Partial bool
+	// Seed reports the start point the run took: SeedTilos for the
+	// cold path, SeedWarm for a trust-region-seeded Session Resize.
+	// For warm runs TilosX/TilosArea/TilosCP describe the (possibly
+	// TILOS-repaired) seed start point rather than a minimum-size
+	// TILOS solution.
+	Seed string
+	// SeedFallback marks a cold run that first attempted a trust-
+	// region seed and abandoned it (repair failure or EWMA iteration
+	// blowout).
+	SeedFallback bool
 }
 
 func (o Options) withDefaults() Options {
@@ -518,7 +553,10 @@ func iterate(p *dag.Problem, aug *dag.Augmented, sc *iterScratch, x []float64, T
 	st.FlowEngineFailures = sys.FlowEngineFailures()
 	cp := sc.retime(p, newX)
 	if cp > T*(1+1e-9) {
-		tr, rerr := tilos.Size(p, T, newX, opt.Tilos)
+		// Repair on the resident arrival engine (retime just left it at
+		// newX's delays; SizeWith's bulk reseed is a no-op rewrite) —
+		// bit-identical to a fresh tilos.Size, minus the engine build.
+		tr, rerr := tilos.SizeWith(p, T, newX, opt.Tilos, sc.arr, sc.dBase)
 		if rerr != nil {
 			return IterStats{}, fmt.Errorf("core: repair failed: %w", rerr)
 		}

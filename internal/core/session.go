@@ -12,17 +12,46 @@
 // their D-phase solves run through mcmf.ResolveChanged against the
 // previous optimum instead of from-scratch solves.
 //
+// Trust-region warm seeding (Options.TrustRegion): by default every
+// Resize re-seeds from TILOS, so warm state accelerates the solve but
+// never changes the trajectory.  With a trust region δ configured, a
+// Resize whose target moved at most δ relative to the previous clean
+// answer (and whose area weights moved at most δ since it) skips the
+// TILOS restart and starts the D/W loop from the previous converged
+// sizing instead: the resident flow network is already priced near
+// the new optimum, so the first D-phase is a local ResolveChanged
+// repair and the loop converges in a few iterations instead of a few
+// tens.  A seeded run also swaps the window schedule: the budget
+// window opens scaled to the actual target move (not the cold-start
+// Options.Window) and decays monotonically — a run that starts at the
+// optimum is all endgame, and the cold schedule's regrow-on-
+// improvement rule would zigzag around the answer for many iterations
+// before settling.  A seeded attempt that misses the new (tighter) target first
+// repairs the seed with TILOS moves *from the prior sizes*
+// (tilos.SizeWith on the session's resident arrival engine); big
+// jumps, weight edits beyond δ, repair failures and iteration
+// blowouts (vs an EWMA of the session's clean iteration counts) all
+// fall back to the cold TILOS path.  Result.Seed records which path
+// answered.
+//
 // Determinism contract: a session's answers are a deterministic
 // function of the query sequence served since its last cold build — a
 // serial twin session replaying the same sequence answers every query
 // bit-identically (TestSessionReplayDeterminism; the server's soak
-// test leans on this per session generation).  Warm answers are NOT
-// bitwise equal to one-shot cold answers of the same query: the
-// incremental re-flow recovers an equally optimal but different dual
-// solution than a fresh solve (the D-phase LP is degenerate), so the
-// trajectory drifts at the last-bits level.  Every answer is feasible
-// and optimal to the same tolerances either way — the test bounds the
-// warm-vs-cold area drift at 1e-3 relative.
+// test leans on this per session generation).  Trust-region seeding
+// deliberately renegotiates the stronger PR-7 property (identical
+// no-matter-the-history warm answers) down to exactly this
+// "deterministic given session history" contract: the seeding
+// decision, the seed point, and the EWMA blowout gate are all pure
+// functions of the served sequence, never of wall time.  Warm answers
+// are NOT bitwise equal to one-shot cold answers of the same query:
+// the incremental re-flow recovers an equally optimal but different
+// dual solution than a fresh solve (the D-phase LP is degenerate), and
+// a seeded resize additionally starts from a different (equally
+// feasible) point, so the trajectory drifts.  Every answer is feasible
+// and optimal to the same tolerances either way — the tests bound the
+// warm-vs-cold area drift at 1e-3 relative with seeding off and at
+// 2e-2 with seeding on.
 //
 // A Session is single-client: calls must be externally serialized
 // (the server runs one worker goroutine per session).  Distinct
@@ -63,6 +92,24 @@ type Session struct {
 
 	resizes int
 	closed  bool
+
+	// Trust-region warm-seed state (Options.TrustRegion): the last
+	// clean converged sizing and the target/weight bookkeeping that
+	// decides whether the next Resize may start from it.  seedX is
+	// preallocated at build time so MemoryBytes stays query-stable.
+	seedX        []float64
+	seedT        float64
+	seedValid    bool
+	seedWPerturb float64 // max relative area-weight change since seedX
+
+	// ewmaIters tracks the session's clean Resize iteration counts
+	// (α=0.25) — the blowout gate abandons a seeded attempt running
+	// past 3× this (floored at seedIterFloor) and falls back to TILOS.
+	ewmaIters  float64
+	ewmaSeeded bool
+
+	seeded        int // Resizes answered from the trust-region seed
+	seedFallbacks int // trust-region attempts that fell back to TILOS
 }
 
 // NewSession builds the warm state for problem p: augmented DAG,
@@ -87,7 +134,7 @@ func NewSession(p *dag.Problem, opt Options) (*Session, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Session{p: p, aug: aug, opt: opt, sc: sc}, nil
+	return &Session{p: p, aug: aug, opt: opt, sc: sc, seedX: make([]float64, p.NumSizable)}, nil
 }
 
 // Close releases the session's worker pool.  Idempotent.
@@ -113,6 +160,9 @@ func (s *Session) AreaWeight(i int) float64 { return s.p.AreaW[i] }
 // the next Resize prices the new weight through the same warm
 // constraint system, no rebuild.  The change is sticky; callers
 // wanting a transient what-if restore the old weight afterwards.
+// Weight edits accumulate against the trust region: once the largest
+// relative change since the last clean answer exceeds
+// Options.TrustRegion, the next Resize re-seeds from TILOS.
 func (s *Session) SetAreaWeight(i int, w float64) error {
 	if i < 0 || i >= s.p.NumSizable {
 		return fmt.Errorf("core: SetAreaWeight(%d) out of range [0,%d)", i, s.p.NumSizable)
@@ -120,9 +170,23 @@ func (s *Session) SetAreaWeight(i int, w float64) error {
 	if !(w > 0) || math.IsInf(w, 0) {
 		return fmt.Errorf("core: SetAreaWeight(%d, %g): weight must be finite and positive", i, w)
 	}
+	old := s.p.AreaW[i]
 	s.p.AreaW[i] = w
+	if rel := math.Abs(w-old) / old; rel > s.seedWPerturb {
+		s.seedWPerturb = rel
+	}
 	return nil
 }
+
+// TrustRegionSeeded reports how many Resize calls were answered from
+// the trust-region warm seed (the previous converged sizing) instead
+// of a TILOS restart.
+func (s *Session) TrustRegionSeeded() int { return s.seeded }
+
+// TrustRegionFallbacks reports how many Resize calls matched the
+// trust region but fell back to the cold TILOS path anyway (seed
+// repair failure or iteration blowout vs the session's EWMA).
+func (s *Session) TrustRegionFallbacks() int { return s.seedFallbacks }
 
 // FlowEngineName reports the mcmf backend the session's D-phase runs
 // on ("" before the first solve; stable afterwards — the calibration
@@ -170,8 +234,38 @@ func (s *Session) MemoryBytes() int64 {
 	b += (cons + objs) * 4 * word // dcs constraint/objective tables + cost diff state
 	b += arcs * 16 * word         // flow network: arc pairs, CSR index, attempt snapshots
 	b += an * 14 * word           // iteration buffers, W-phase/sensitivity scratch
+	// Trust-region warm-seed state: the retained previous sizing vector
+	// plus the target/EWMA bookkeeping (preallocated at build time, so
+	// the estimate is identical before and after the first query).
+	b += int64(len(s.seedX))*word + 8*word
 	return b
 }
+
+// seedIterFloor is the minimum iteration allowance of a trust-region-
+// seeded attempt before the EWMA blowout gate may abandon it.  A
+// package variable so the fallback path is testable without crafting
+// a pathological circuit; production code never changes it.
+var seedIterFloor = 8
+
+// seedIterCap bounds a seeded attempt's iterations: 3× the session's
+// EWMA of clean iteration counts, floored at seedIterFloor, capped at
+// the configured MaxIters (at which point the gate is moot — the cold
+// path would stop there too).
+func seedIterCap(ewma float64, maxIters int) int {
+	c := int(math.Ceil(3 * ewma))
+	if c < seedIterFloor {
+		c = seedIterFloor
+	}
+	if ewma <= 0 || c > maxIters {
+		c = maxIters
+	}
+	return c
+}
+
+// errSeedRejected reports (internally) that a trust-region-seeded
+// attempt was abandoned — seed repair failure, a numerical corner, or
+// the EWMA blowout gate — and the caller should run the cold path.
+var errSeedRejected = errors.New("core: trust-region seed rejected")
 
 // Resize runs the full MINFLOTRANSIT optimization to critical-path
 // target T on the session's warm state, under ctx and the per-call
@@ -181,15 +275,21 @@ func (s *Session) MemoryBytes() int64 {
 // best-so-far partial Result with ErrEngineFailed (callers holding
 // warm state should treat the session as suspect and rebuild — the
 // server quarantines on it); an abort before any sizing exists
-// returns (nil, error).  The answer is bit-identical to a cold run of
-// the same query on a fresh session.
+// returns (nil, error).
+//
+// Without Options.TrustRegion the answer is bit-identical to a cold
+// run of the same query on a fresh session.  With a trust region
+// configured, a query close to the previous clean answer starts from
+// that answer instead of a TILOS restart (Result.Seed reports which),
+// and answers are deterministic given the session's query history —
+// a twin session replaying the same sequence answers bit-identically.
 func (s *Session) Resize(ctx context.Context, T float64, bud Budgets) (*Result, error) {
 	if s.closed {
 		return nil, errors.New("core: Resize on closed Session")
 	}
 	s.resizes++
 	opt := s.opt
-	p, sc := s.p, s.sc
+	sc := s.sc
 	if ctx != nil && ctx.Done() == nil {
 		ctx = nil // uncancelable: keep the flow layer's unarmed fast path
 	}
@@ -207,11 +307,117 @@ func (s *Session) Resize(ctx context.Context, T float64, bud Budgets) (*Result, 
 		return nil
 	}
 
-	// Step 1: size the circuit to meet delay requirements using TILOS.
-	// Every Resize reseeds from scratch — the warm state accelerates
-	// the answer, it never changes it.
+	// Arm the per-call abort sources.  The flow-work budget is spent
+	// from the solver's cumulative counter, so a per-call allowance
+	// sits on top of whatever earlier Resizes already used (including
+	// a seeded attempt this same call later abandons).
+	sc.ctx = ctx
+	sc.deadline = deadline
+	sc.flowBudget = 0
+	if bud.FlowWorkBudget > 0 {
+		sc.flowBudget = sc.sys.FlowWorkDone() + bud.FlowWorkBudget
+	}
+
+	// Trust-region policy: seed from the previous clean answer when
+	// the target moved at most δ relative and no weight edit since
+	// exceeded δ.  Every input here is session history — never wall
+	// time — so a twin replaying the sequence makes the same choice.
+	fellBack := false
+	if opt.TrustRegion > 0 && s.seedValid && s.seedT > 0 &&
+		math.Abs(T-s.seedT) <= opt.TrustRegion*s.seedT &&
+		s.seedWPerturb <= opt.TrustRegion {
+		res, err := s.resizeSeeded(T, checkAbort)
+		if !errors.Is(err, errSeedRejected) {
+			s.seeded++
+			return s.recordSeed(T, res, err)
+		}
+		s.seedFallbacks++
+		fellBack = true
+	}
+	res, err := s.resizeCold(T, checkAbort)
+	if res != nil {
+		res.SeedFallback = fellBack
+	}
+	return s.recordSeed(T, res, err)
+}
+
+// recordSeed finishes a Resize: a clean answer becomes the next
+// trust-region seed and feeds the iteration-count EWMA.
+func (s *Session) recordSeed(T float64, res *Result, err error) (*Result, error) {
+	if err != nil || res == nil {
+		return res, err
+	}
+	copy(s.seedX, res.X)
+	s.seedT = T
+	s.seedValid = true
+	s.seedWPerturb = 0
+	it := float64(res.Iterations)
+	if !s.ewmaSeeded {
+		s.ewmaIters, s.ewmaSeeded = it, true
+	} else {
+		s.ewmaIters += 0.25 * (it - s.ewmaIters)
+	}
+	return res, err
+}
+
+// resizeSeeded is the trust-region warm path: start the D/W loop from
+// the previous converged sizing.  A seed that misses the (tighter) new
+// target is first repaired with TILOS moves from the prior sizes on
+// the session's resident arrival engine — still far cheaper than the
+// minimum-size restart.  Returns errSeedRejected when the cold path
+// should take over.
+func (s *Session) resizeSeeded(T float64, checkAbort func() error) (*Result, error) {
+	p, sc, opt := s.p, s.sc, s.opt
+	res := &Result{Seed: SeedWarm}
+	x := append([]float64(nil), s.seedX...)
+	cp := sc.retime(p, x)
+	if cp > T {
+		tr, err := tilos.SizeWith(p, T, x, opt.Tilos, sc.arr, sc.dBase)
+		if err != nil {
+			// Repair could not reach the target from here; let the cold
+			// path (minimum-size TILOS restart) decide feasibility.
+			return nil, errSeedRejected
+		}
+		x = tr.X
+		cp = tr.CP
+	}
+	res.TilosX = append([]float64(nil), x...)
+	res.TilosArea = p.Area(x)
+	res.TilosCP = cp
+	if aerr := checkAbort(); aerr != nil {
+		res.X = append([]float64(nil), x...)
+		res.Area = res.TilosArea
+		res.CP = cp
+		res.Partial = true
+		return res, aerr
+	}
+	// The seed sits within the trust region of the new optimum, so the
+	// D/W loop's budget window opens at a few times the actual move
+	// instead of the full cold-start Window — starting wide from a
+	// near-optimal point just burns iterations walking the window back
+	// down (measured: 13+ iterations at full Window vs ~5 scaled, same
+	// final area to within the drift bound).  Both inputs are session
+	// history, so twin replays compute the same window.
+	rel := math.Abs(T-s.seedT) / s.seedT
+	if s.seedWPerturb > rel {
+		rel = s.seedWPerturb
+	}
+	w0 := 8 * rel
+	if w0 < 4*opt.MinWindow {
+		w0 = 4 * opt.MinWindow
+	}
+	if w0 > opt.Window {
+		w0 = opt.Window
+	}
+	return s.dwLoop(res, x, T, seedIterCap(s.ewmaIters, opt.MaxIters), w0)
+}
+
+// resizeCold is the PR-7 path: TILOS from minimum sizes, then the D/W
+// loop — byte-for-byte the trajectory a fresh session would produce.
+func (s *Session) resizeCold(T float64, checkAbort func() error) (*Result, error) {
+	p, opt := s.p, s.opt
+	res := &Result{Seed: SeedTilos}
 	var x []float64
-	res := &Result{}
 	if opt.SkipTilos {
 		x = p.InitialSizes()
 		d := p.Delays(x)
@@ -226,7 +432,7 @@ func (s *Session) Resize(ctx context.Context, T float64, bud Budgets) (*Result, 
 		res.TilosArea = p.Area(x)
 		res.TilosCP = tm.CP
 	} else {
-		tr, err := tilos.Size(p, T, nil, opt.Tilos)
+		tr, err := tilos.SizeWith(p, T, nil, opt.Tilos, s.sc.arr, s.sc.dBase)
 		if err != nil {
 			if errors.Is(err, tilos.ErrInfeasible) {
 				return nil, fmt.Errorf("%w: %v", ErrInfeasible, err)
@@ -248,21 +454,40 @@ func (s *Session) Resize(ctx context.Context, T float64, bud Budgets) (*Result, 
 		res.Partial = true
 		return res, aerr
 	}
+	return s.dwLoop(res, x, T, opt.MaxIters, opt.Window)
+}
 
-	// Arm the per-call abort sources.  The flow-work budget is spent
-	// from the solver's cumulative counter, so a per-call allowance
-	// sits on top of whatever earlier Resizes already used.
-	sc.ctx = ctx
-	sc.deadline = deadline
-	sc.flowBudget = 0
-	if bud.FlowWorkBudget > 0 {
-		sc.flowBudget = sc.sys.FlowWorkDone() + bud.FlowWorkBudget
-	}
+// dwLoop alternates D-phase and W-phase from start point x until the
+// area improvement is negligible or capIters is reached.  The budget
+// window starts at window0 (Options.Window for cold runs; scaled to
+// the target move for seeded ones) and adapts like a trust region:
+// halve after an iteration whose first-order prediction overshot
+// (area got worse), relax back on success.  iterate leaves the
+// round's sizes in sc.newX; x and bestX are stable buffers owned by
+// this loop.
+//
+// For seeded runs (res.Seed == SeedWarm) capIters is the EWMA blowout
+// gate: a run still going when it trips returns errSeedRejected so
+// Resize can fall back to the cold path; a non-abort iterate failure
+// does the same.  Cold runs accept both outcomes as-is.
+func (s *Session) dwLoop(res *Result, x []float64, T float64, capIters int, window0 float64) (*Result, error) {
+	p, sc, opt := s.p, s.sc, s.opt
+	seeded := res.Seed == SeedWarm
 	bestX := append([]float64(nil), x...)
 	bestArea := p.Area(x)
 	noImprove := 0
-	window := opt.Window
+	window := window0
+	converged := false
 
+	checkAbort := func() error {
+		if sc.ctx != nil && sc.ctx.Err() != nil {
+			return ErrCanceled
+		}
+		if !sc.deadline.IsZero() && !time.Now().Before(sc.deadline) {
+			return ErrBudgetExhausted
+		}
+		return nil
+	}
 	// finishPartial answers an abort with the best-so-far sizing.
 	finishPartial := func(aerr error) (*Result, error) {
 		res.X = bestX
@@ -272,13 +497,8 @@ func (s *Session) Resize(ctx context.Context, T float64, bud Budgets) (*Result, 
 		return res, aerr
 	}
 
-	// Step 2: alternate D-phase and W-phase.  The budget window adapts
-	// like a trust region: halve after an iteration whose first-order
-	// prediction overshot (area got worse), relax back on success.
-	// iterate leaves the round's sizes in sc.newX; x and bestX are
-	// stable buffers owned by this loop.
 	x = append([]float64(nil), x...)
-	for it := 1; it <= opt.MaxIters; it++ {
+	for it := 1; it <= capIters; it++ {
 		if aerr := checkAbort(); aerr != nil {
 			return finishPartial(aerr)
 		}
@@ -299,24 +519,39 @@ func (s *Session) Resize(ctx context.Context, T float64, bud Budgets) (*Result, 
 				// rebuild instead of trusting this state again.
 				return finishPartial(err)
 			}
+			if seeded {
+				// A numerical corner starting from the warm seed: let
+				// the cold path answer from its own trajectory.
+				return nil, errSeedRejected
+			}
 			// A failed iteration is not fatal: the current best solution
 			// stands (this triggers only on numerical corner cases).
+			converged = true
 			break
 		}
 		st.Iter = it
 		st.Window = window
+		st.Seed = res.Seed
 		res.Stats = append(res.Stats, st)
 		res.Iterations = it
 		if opt.OnIteration != nil {
 			opt.OnIteration(st)
 		}
-		// Step 3: stop when the area improvement is negligible.
+		// Stop when the area improvement is negligible.
 		if st.Area < bestArea*(1-opt.AreaTol) {
 			bestArea = st.Area
 			copy(bestX, sc.newX)
 			copy(x, sc.newX)
 			noImprove = 0
-			if window < opt.Window {
+			if seeded {
+				// Endgame schedule: a seeded run starts near the optimum,
+				// so the window decays monotonically.  Re-inflating it on
+				// success (the cold rule below) just buys the next
+				// overshoot and a halve-back — a zigzag that stretches a
+				// refinement to cold-run iteration counts for sub-0.1%
+				// area gains.
+				window /= 2
+			} else if window < opt.Window {
 				window = math.Min(opt.Window, window*1.5)
 			}
 		} else {
@@ -331,9 +566,22 @@ func (s *Session) Resize(ctx context.Context, T float64, bud Budgets) (*Result, 
 			window /= 2
 			noImprove++
 			if noImprove >= opt.Patience || window < opt.MinWindow {
+				converged = true
 				break
 			}
 		}
+		// Seeded runs can also decay past the floor on an improving
+		// iteration (cold runs never shrink the window there).
+		if window < opt.MinWindow {
+			converged = true
+			break
+		}
+	}
+	if seeded && !converged && capIters < opt.MaxIters {
+		// Blowout: the seeded attempt burned 3× the session's usual
+		// iteration budget without settling — the seed was a bad start
+		// point despite the small target move.  Cold path takes over.
+		return nil, errSeedRejected
 	}
 
 	res.X = bestX

@@ -95,6 +95,20 @@ type System struct {
 	priced   bool
 	capBound int64
 	changed  []int32
+	// pending accumulates the arcs re-priced since the last flow solve
+	// that actually completed: SetCost applies immediately, so a
+	// canceled or failed solve leaves its cost edits in the network
+	// while the engine's rolled-back optimum still prices the OLD
+	// costs.  The next ResolveChanged must therefore list those arcs
+	// too, or it repairs against stale potentials and the optimality
+	// certificate fails.  pendingIn dedups arcs across retries.
+	pending   []int32
+	pendingIn []bool
+	// lastChanged records how many arcs the most recent Solve handed
+	// to the incremental re-flow — the observable locality of a
+	// re-solve (an externally-seeded warm start whose costs barely
+	// moved shows up as a small changed set here).
+	lastChanged int
 	// calibrated records that the cached network's engine was chosen
 	// by the Options.Calibrate startup probe (reset on rebuild).
 	calibrated bool
@@ -289,6 +303,15 @@ func (s *System) ensureFlow() *mcmf.Solver {
 		s.lastCost = make([]int64, len(s.cons))
 	}
 	s.lastCost = s.lastCost[:len(s.cons)]
+	s.pending = s.pending[:0]
+	numArcs := len(s.cons) + 2*len(s.pinned)
+	if cap(s.pendingIn) < numArcs {
+		s.pendingIn = make([]bool, numArcs)
+	}
+	s.pendingIn = s.pendingIn[:numArcs]
+	for i := range s.pendingIn {
+		s.pendingIn[i] = false
+	}
 	return f
 }
 
@@ -310,6 +333,13 @@ func (s *System) FlowEngineStats() mcmf.Stats {
 	}
 	return s.flow.EngineStats()
 }
+
+// LastChangedArcs reports how many arc costs the most recent Solve
+// actually re-priced into the flow network — the locality measure of
+// a warm re-solve.  A resize seeded from a nearby previous optimum
+// perturbs few constraint weights, so its first D-phase shows a small
+// changed set here where a cold-seeded resize re-prices broadly.
+func (s *System) LastChangedArcs() int { return s.lastChanged }
 
 // FlowWorkDone reports the cached network's cumulative armed flow
 // work (mcmf poll operations).  Long-lived callers running many
@@ -433,6 +463,23 @@ func (s *System) SolveCtx(ctx context.Context, opt Options) (*Solution, error) {
 	}
 	s.changed = changed // retain grown capacity
 	s.priced = true
+	// Merge this call's diffs into the arcs still pending from solves
+	// that never completed (canceled, budget-exhausted or failed): the
+	// network already holds all of those costs, the engine's optimum
+	// prices none of them.
+	for _, a := range changed {
+		if !s.pendingIn[a] {
+			s.pendingIn[a] = true
+			s.pending = append(s.pending, a)
+		}
+	}
+	s.lastChanged = len(s.pending)
+	clearPending := func() {
+		for _, a := range s.pending {
+			s.pendingIn[a] = false
+		}
+		s.pending = s.pending[:0]
+	}
 
 	// Incremental re-flow with the exact changed-arc set; the first
 	// solve on a fresh network (or after a failed one) falls back to a
@@ -445,9 +492,10 @@ func (s *System) SolveCtx(ctx context.Context, opt Options) (*Solution, error) {
 			return nil, mapFlowErr(err)
 		}
 		s.calibrated = true
-	} else if _, err := f.ResolveChanged(changed); err != nil {
+	} else if _, err := f.ResolveChanged(s.pending); err != nil {
 		return nil, mapFlowErr(err)
 	}
+	clearPending()
 	sol, err := s.recover(f, opt, ground)
 	if err == nil {
 		return sol, nil

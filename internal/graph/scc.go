@@ -83,13 +83,30 @@ func (g *Digraph) SCC() (comp []int, n int) {
 // earlier groups, following edge direction).
 func (g *Digraph) CondensationOrder() [][]int {
 	comp, n := g.SCC()
-	groups := make([][]int, n)
-	for v := 0; v < g.N(); v++ {
-		groups[comp[v]] = append(groups[comp[v]], v)
+	// Bucket-fill the groups out of one backing array.  Appending into
+	// n per-component slices would allocate once per component — on a
+	// DAG that is one allocation per vertex, and this runs on every
+	// problem build.
+	starts := make([]int, n+1)
+	for _, c := range comp {
+		starts[c+1]++
 	}
-	// Tarjan emits components in reverse topological order; reverse them.
-	for i, j := 0, len(groups)-1; i < j; i, j = i+1, j-1 {
-		groups[i], groups[j] = groups[j], groups[i]
+	for i := 0; i < n; i++ {
+		starts[i+1] += starts[i]
+	}
+	backing := make([]int, g.N())
+	fill := make([]int, n)
+	copy(fill, starts[:n])
+	for v := 0; v < g.N(); v++ {
+		c := comp[v]
+		backing[fill[c]] = v
+		fill[c]++
+	}
+	// Tarjan emits components in reverse topological order; emit the
+	// groups reversed (full slice expressions keep them independent).
+	groups := make([][]int, n)
+	for i := 0; i < n; i++ {
+		groups[n-1-i] = backing[starts[i]:starts[i+1]:starts[i+1]]
 	}
 	return groups
 }

@@ -1,0 +1,180 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"minflo/internal/fault"
+)
+
+// waitStats polls /stats until cond holds (the serve path has no
+// synchronous hooks to latch onto; the counters are the observable).
+func waitStats(t *testing.T, c *Client, what string, cond func(*StatsResponse) bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if st, err := c.Stats(context.Background()); err == nil && cond(st) {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// TestServeTrustRegionSeedField: with the trust region enabled, the
+// per-query seed provenance reaches the wire — cold anchor answers
+// "tilos", a small refinement answers "warm" — and the stats counters
+// record the seeded total.
+func TestServeTrustRegionSeedField(t *testing.T) {
+	_, _, c := newTestServer(t, Config{TrustRegion: 0.05})
+	sub := submitCircuit(t, c, "tr", "adder16")
+
+	q0, err := c.Query(context.Background(), "tr", &QueryRequest{TargetPS: 0.6 * sub.MinDelayPS})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q0.Seed != "tilos" {
+		t.Fatalf("anchor Seed = %q, want tilos", q0.Seed)
+	}
+	q1, err := c.Query(context.Background(), "tr", &QueryRequest{TargetPS: 0.601 * sub.MinDelayPS})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q1.Seed != "warm" {
+		t.Fatalf("refinement Seed = %q, want warm", q1.Seed)
+	}
+	if q1.CPPS > 0.601*sub.MinDelayPS*(1+1e-9) {
+		t.Fatalf("seeded answer CP %g violates target", q1.CPPS)
+	}
+	st, err := c.Stats(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Seeded != 1 {
+		t.Fatalf("stats seeded_total = %d, want 1", st.Seeded)
+	}
+	// A jump far beyond δ goes cold again, without a fallback (the
+	// policy never armed).
+	q2, err := c.Query(context.Background(), "tr", &QueryRequest{TargetPS: 0.75 * sub.MinDelayPS})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q2.Seed != "tilos" || q2.SeedFallback {
+		t.Fatalf("jump query Seed = %q fallback = %v, want cold/no-fallback", q2.Seed, q2.SeedFallback)
+	}
+}
+
+// TestServeCoalescing: identical queries arriving while their twin is
+// still queued are answered by one solve — the singleflight path.  A
+// blocked solve holds the worker so the burst deterministically lands
+// behind one queued job.
+func TestServeCoalescing(t *testing.T) {
+	_, hs, c := newTestServer(t, Config{MaxInFlight: 1})
+	sub, err := c.Submit(context.Background(), &SubmitRequest{ID: "a", Circuit: "adder16", FlowEngine: "fault"})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Park the worker inside a first, distinct query.
+	release := make(chan struct{})
+	fault.SetPlan(fault.Plan{Mode: fault.Cancel, Op: 1, OnCancel: func() { <-release }})
+	defer fault.Reset()
+	var blocker sync.WaitGroup
+	blocker.Add(1)
+	go func() {
+		defer blocker.Done()
+		_, _ = c.Query(context.Background(), "a", &QueryRequest{TargetPS: 0.55 * sub.MinDelayPS})
+	}()
+
+	// Wait until the blocker is executing (busy worker, empty queue).
+	waitStats(t, c, "blocker to start executing", func(st *StatsResponse) bool { return st.InFlight >= 1 })
+
+	// Three byte-identical queries: the first enqueues, the other two
+	// must attach to it instead of consuming queue slots.
+	const n = 3
+	body := fmt.Sprintf(`{"target_ps": %g}`, 0.6*sub.MinDelayPS)
+	var wg sync.WaitGroup
+	var coalesced, solved atomic.Int64
+	seqs := make([]int, n)
+	areas := make([]float64, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, err := http.Post(hs.URL+"/v1/sessions/a/query", "application/json", strings.NewReader(body))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				t.Errorf("status %d", resp.StatusCode)
+				return
+			}
+			var qr QueryResponse
+			if err := json.NewDecoder(resp.Body).Decode(&qr); err != nil {
+				t.Error(err)
+				return
+			}
+			seqs[i] = qr.Seq
+			areas[i] = qr.Area
+			if qr.Coalesced {
+				coalesced.Add(1)
+			} else {
+				solved.Add(1)
+			}
+		}(i)
+	}
+	// All four queries admitted (1 blocker + 1 queued + 2 attached) —
+	// only then release, so the attach window is deterministic.
+	waitStats(t, c, "burst admission", func(st *StatsResponse) bool { return st.Queries >= 4 })
+	close(release)
+	wg.Wait()
+	blocker.Wait()
+
+	if solved.Load() != 1 || coalesced.Load() != n-1 {
+		t.Fatalf("solved=%d coalesced=%d, want 1/%d", solved.Load(), coalesced.Load(), n-1)
+	}
+	for i := 1; i < n; i++ {
+		if seqs[i] != seqs[0] || areas[i] != areas[0] {
+			t.Fatalf("coalesced replies diverged: seq %v area %v", seqs, areas)
+		}
+	}
+	st, err := c.Stats(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Coalesced != n-1 {
+		t.Fatalf("stats coalesced_total = %d, want %d", st.Coalesced, n-1)
+	}
+}
+
+// TestServeParallelismClamp: the submit body's parallelism request is
+// granted up to the daemon cap and reported back.
+func TestServeParallelismClamp(t *testing.T) {
+	_, _, c := newTestServer(t, Config{Parallelism: 2})
+	for _, tc := range []struct {
+		req, want int
+	}{
+		{0, 2}, // default: the server's budget
+		{1, 1}, // below cap: honored
+		{8, 2}, // above cap: clamped
+	} {
+		sub, err := c.Submit(context.Background(), &SubmitRequest{
+			ID: "p", Circuit: "c17", Parallelism: tc.req,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sub.Parallelism != tc.want {
+			t.Fatalf("requested parallelism %d: granted %d, want %d", tc.req, sub.Parallelism, tc.want)
+		}
+	}
+}

@@ -69,3 +69,42 @@ func BenchmarkServeWarmQuery(b *testing.B) {
 		benchPost(b, h, "/v1/sessions/warm/query", targets[i%2])
 	}
 }
+
+// BenchmarkServeWarmSeededQuery measures the trust-region path: small
+// refinement queries (±0.3% target moves) answered from the previous
+// converged sizing instead of a TILOS re-seed.  The CI gate on this
+// benchmark is the tentpole's perf contract.
+func BenchmarkServeWarmSeededQuery(b *testing.B) {
+	srv, err := New(Config{TrustRegion: 0.05})
+	if err != nil {
+		b.Fatal(err)
+	}
+	h := srv.Handler()
+	rec := benchPost(b, h, "/v1/sessions", `{"id":"seed","circuit":"adder16"}`)
+	var sub SubmitResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &sub); err != nil {
+		b.Fatal(err)
+	}
+	targets := [2]string{
+		fmt.Sprintf(`{"target_ps": %g}`, 0.600*sub.MinDelayPS),
+		fmt.Sprintf(`{"target_ps": %g}`, 0.604*sub.MinDelayPS),
+	}
+	// The anchor solve plus one of each target: every timed iteration
+	// is inside the trust region of its predecessor.
+	benchPost(b, h, "/v1/sessions/seed/query", targets[0])
+	benchPost(b, h, "/v1/sessions/seed/query", targets[1])
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rec := benchPost(b, h, "/v1/sessions/seed/query", targets[i%2])
+		if i == 0 {
+			var q QueryResponse
+			if err := json.Unmarshal(rec.Body.Bytes(), &q); err != nil {
+				b.Fatal(err)
+			}
+			if q.Seed != "warm" {
+				b.Fatalf("benchmark not exercising the seeded path: seed=%q", q.Seed)
+			}
+		}
+	}
+}

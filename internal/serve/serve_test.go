@@ -206,9 +206,11 @@ func TestServeOverload(t *testing.T) {
 	var wg sync.WaitGroup
 	for i := 0; i < burst; i++ {
 		wg.Add(1)
-		go func() {
+		go func(i int) {
 			defer wg.Done()
-			body := fmt.Sprintf(`{"target_ps": %g}`, 0.5*sub.MinDelayPS)
+			// Distinct targets per request: identical bodies would ride
+			// the singleflight path instead of pressuring admission.
+			body := fmt.Sprintf(`{"target_ps": %g}`, (0.5+float64(i)*1e-6)*sub.MinDelayPS)
 			resp, err := http.Post(hs.URL+"/v1/sessions/a/query", "application/json", strings.NewReader(body))
 			if err != nil {
 				t.Error(err)
@@ -230,7 +232,7 @@ func TestServeOverload(t *testing.T) {
 			default:
 				t.Errorf("unexpected status %d", resp.StatusCode)
 			}
-		}()
+		}(i)
 	}
 
 	// Exactly burst-2 rejections: the blocked solve guarantees neither

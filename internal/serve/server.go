@@ -30,22 +30,46 @@
 //     context at the drain deadline so stragglers come back fast with
 //     partial answers.
 //
+// Performance machinery on top of that:
+//
+//   - Trust-region warm seeding (Config.TrustRegion, minflod
+//     -trust-region, default 0.05): a query whose target moved at most
+//     δ relative to the session's previous clean answer starts from
+//     that converged sizing instead of a TILOS re-seed; the response's
+//     "seed" field reports which path answered ("warm"/"tilos") and
+//     SeedFallback flags an attempted seed that fell back.  Zero keeps
+//     the PR-7 cold-seed behavior.
+//   - Singleflight coalescing: identical concurrent queries (same
+//     canonicalized body) against one session are solved once; the
+//     followers receive the same answer marked "coalesced": true and
+//     bypass the pending cap.
+//   - Per-session parallelism: a submit may request an intra-solve
+//     worker budget; the grant is clamped to the daemon-wide cap and
+//     echoed in the submit response.
+//
 // Determinism contract: within one session generation (between cold
 // builds), answers are a deterministic function of the query sequence
 // — a serial twin replaying the same sequence answers bit-identically.
-// See core.Session's package documentation for why warm answers drift
-// (boundedly) from one-shot cold answers.
+// Trust-region seeding keeps that contract (the seeding decision and
+// the seed itself are functions of the query history, never wall
+// time) but renegotiates the cross-session one: a seeded answer may
+// drift boundedly from what a fresh session would return for the same
+// single query.  See core.Session's package documentation for the
+// drift bound.
 package serve
 
 import (
+	"bytes"
 	"container/list"
 	"context"
 	"crypto/rand"
 	"encoding/hex"
 	"encoding/json"
 	"fmt"
+	"math"
 	"net/http"
 	"runtime"
+	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -91,6 +115,13 @@ type Config struct {
 	// engine failures surface and exercise the quarantine path (fault
 	// drills; default false).
 	NoEngineFallback bool
+	// TrustRegion enables trust-region warm seeding on every session
+	// (core.Options.TrustRegion): a query whose target moved at most
+	// this relative amount from the session's previous clean answer is
+	// solved from that answer instead of a TILOS restart.  0 (the
+	// default) keeps the per-query cold-seed contract; the daemon
+	// enables it with -trust-region.
+	TrustRegion float64
 }
 
 func (c Config) withDefaults() Config {
@@ -145,11 +176,14 @@ type Server struct {
 	draining bool
 	nextID   uint64
 
-	queries     atomic.Int64
-	rejected    atomic.Int64
-	evictions   atomic.Int64
-	quarantines atomic.Int64
-	rebuilds    atomic.Int64
+	queries       atomic.Int64
+	rejected      atomic.Int64
+	evictions     atomic.Int64
+	quarantines   atomic.Int64
+	rebuilds      atomic.Int64
+	seeded        atomic.Int64
+	seedFallbacks atomic.Int64
+	coalesced     atomic.Int64
 }
 
 // New builds a Server.
@@ -219,10 +253,32 @@ func (srv *Server) Handler() http.Handler {
 	return mux
 }
 
+// bufPool recycles the JSON encode/decode buffers across requests —
+// the serving layer's share of the per-request allocation budget
+// (BenchmarkServeSubmit gates it).
+var bufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
 func writeJSON(w http.ResponseWriter, status int, body any) {
+	buf := bufPool.Get().(*bytes.Buffer)
+	buf.Reset()
+	_ = json.NewEncoder(buf).Encode(body)
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	_ = json.NewEncoder(w).Encode(body)
+	_, _ = w.Write(buf.Bytes())
+	bufPool.Put(buf)
+}
+
+// readJSON slurps the request body through a pooled buffer and
+// unmarshals it (a streaming Decoder would allocate its read buffer
+// per request).
+func readJSON(r *http.Request, dst any) error {
+	buf := bufPool.Get().(*bytes.Buffer)
+	buf.Reset()
+	defer bufPool.Put(buf)
+	if _, err := buf.ReadFrom(r.Body); err != nil {
+		return err
+	}
+	return json.Unmarshal(buf.Bytes(), dst)
 }
 
 func (srv *Server) writeError(w http.ResponseWriter, status int, code, msg string) {
@@ -237,7 +293,7 @@ func (srv *Server) writeError(w http.ResponseWriter, status int, code, msg strin
 // burst of submits cannot stampede the CPU past admission control.
 func (srv *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	var req SubmitRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+	if err := readJSON(r, &req); err != nil {
 		srv.writeError(w, http.StatusBadRequest, CodeBadRequest, "bad JSON: "+err.Error())
 		return
 	}
@@ -273,12 +329,13 @@ func (srv *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	req.ID = id
 	s := &session{
-		id:    id,
-		srv:   srv,
-		src:   req,
-		queue: make(chan *job, srv.cfg.QueueDepth),
-		quit:  make(chan struct{}),
-		done:  make(chan struct{}),
+		id:       id,
+		srv:      srv,
+		src:      req,
+		queue:    make(chan *job, srv.cfg.QueueDepth),
+		inflight: make(map[string]*job),
+		quit:     make(chan struct{}),
+		done:     make(chan struct{}),
 	}
 	s.elem = srv.lru.PushFront(s)
 	srv.sessions[id] = s
@@ -289,14 +346,17 @@ func (srv *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	srv.mu.Unlock()
 
 	go s.run()
-	srv.await(w, r, j)
+	srv.await(w, r, j.resp)
 }
 
-// handleQuery admits a query into the session's queue.
+// handleQuery admits a query into the session's queue.  An identical
+// query already queued (same canonical body) is not enqueued again:
+// the request attaches to the in-flight job (singleflight) and shares
+// its answer, consuming no queue slot and running no solve of its own.
 func (srv *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	var req QueryRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+	if err := readJSON(r, &req); err != nil {
 		srv.writeError(w, http.StatusBadRequest, CodeBadRequest, "bad JSON: "+err.Error())
 		return
 	}
@@ -305,7 +365,8 @@ func (srv *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	j := &job{kind: jobQuery, req: req, ctx: r.Context(), resp: make(chan jobReply, 1)}
+	key := canonicalQuery(&req)
+	j := &job{kind: jobQuery, req: req, key: key, ctx: r.Context(), resp: make(chan jobReply, 1)}
 
 	srv.mu.Lock()
 	if srv.draining {
@@ -320,6 +381,19 @@ func (srv *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		srv.writeError(w, http.StatusNotFound, CodeNotFound, "no such session (evicted or never created — re-submit)")
 		return
 	}
+	if prev, ok := s.inflight[key]; ok && !prev.started {
+		// Coalesce: ride the queued twin.  Attach is only legal while
+		// the job has not started (the worker freezes the follower list
+		// under srv.mu when it picks the job up).
+		ch := make(chan jobReply, 1)
+		prev.followers = append(prev.followers, ch)
+		srv.lru.MoveToFront(s.elem)
+		srv.mu.Unlock()
+		srv.queries.Add(1)
+		srv.coalesced.Add(1)
+		srv.await(w, r, ch)
+		return
+	}
 	if srv.pending >= srv.cfg.MaxPending {
 		srv.mu.Unlock()
 		srv.rejected.Add(1)
@@ -331,6 +405,7 @@ func (srv *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		srv.pending++
 		s.queued++
 		s.queries++
+		s.inflight[key] = j
 		srv.lru.MoveToFront(s.elem)
 		srv.mu.Unlock()
 	default:
@@ -340,16 +415,32 @@ func (srv *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	srv.queries.Add(1)
-	srv.await(w, r, j)
+	srv.await(w, r, j.resp)
+}
+
+// canonicalQuery maps a query body to its coalescing key: bit-exact
+// target and budgets, want_sizes, and the area-weight edits sorted by
+// gate (stably — a duplicate gate keeps its last-wins order).
+func canonicalQuery(q *QueryRequest) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "t=%x;b=%d;f=%d;s=%t", math.Float64bits(q.TargetPS), q.BudgetMS, q.FlowWorkBudget, q.WantSizes)
+	if len(q.AreaWeights) > 0 {
+		aw := append([]AreaWeight(nil), q.AreaWeights...)
+		sort.SliceStable(aw, func(i, j int) bool { return aw[i].Gate < aw[j].Gate })
+		for _, a := range aw {
+			fmt.Fprintf(&b, ";%d=%x", a.Gate, math.Float64bits(a.Weight))
+		}
+	}
+	return b.String()
 }
 
 // await relays the worker's reply.  The reply channel is buffered, so
 // a worker never blocks on a gone client; if the client disconnects
 // first, the merged context inside the solve aborts it promptly and
 // the buffered reply is dropped.
-func (srv *Server) await(w http.ResponseWriter, r *http.Request, j *job) {
+func (srv *Server) await(w http.ResponseWriter, r *http.Request, resp <-chan jobReply) {
 	select {
-	case rep := <-j.resp:
+	case rep := <-resp:
 		if rep.status == http.StatusTooManyRequests || rep.status == http.StatusServiceUnavailable {
 			w.Header().Set("Retry-After", fmt.Sprintf("%d", int(srv.cfg.RetryAfter.Seconds()+0.999)))
 		}
@@ -418,17 +509,20 @@ func (srv *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 func (srv *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	srv.mu.Lock()
 	st := &StatsResponse{
-		Sessions:    len(srv.sessions),
-		MemBytes:    srv.memBytes,
-		MemHigh:     srv.cfg.MemHighBytes,
-		InFlight:    len(srv.runSem),
-		Pending:     int64(srv.pending),
-		Queries:     srv.queries.Load(),
-		Rejected:    srv.rejected.Load(),
-		Evictions:   srv.evictions.Load(),
-		Quarantines: srv.quarantines.Load(),
-		Rebuilds:    srv.rebuilds.Load(),
-		Draining:    srv.draining,
+		Sessions:      len(srv.sessions),
+		MemBytes:      srv.memBytes,
+		MemHigh:       srv.cfg.MemHighBytes,
+		InFlight:      len(srv.runSem),
+		Pending:       int64(srv.pending),
+		Queries:       srv.queries.Load(),
+		Rejected:      srv.rejected.Load(),
+		Evictions:     srv.evictions.Load(),
+		Quarantines:   srv.quarantines.Load(),
+		Rebuilds:      srv.rebuilds.Load(),
+		Seeded:        srv.seeded.Load(),
+		SeedFallbacks: srv.seedFallbacks.Load(),
+		Coalesced:     srv.coalesced.Load(),
+		Draining:      srv.draining,
 	}
 	srv.mu.Unlock()
 	writeJSON(w, http.StatusOK, st)

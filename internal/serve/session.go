@@ -28,6 +28,13 @@ type job struct {
 	req  QueryRequest
 	ctx  context.Context // request context (client disconnect)
 	resp chan jobReply
+
+	// Singleflight state, guarded by srv.mu until started is set (the
+	// worker freezes the follower list when it picks the job up; after
+	// that no attach is legal and the worker reads without the lock).
+	key       string // canonical query body ("" for build jobs)
+	started   bool
+	followers []chan jobReply // coalesced identical requests
 }
 
 type jobReply struct {
@@ -48,12 +55,18 @@ type session struct {
 	quit  chan struct{} // closed on delete/evict/replace
 	done  chan struct{} // closed when the worker exits
 
+	// inflight indexes queued (not yet started) query jobs by their
+	// canonical body, guarded by srv.mu — the singleflight map an
+	// identical concurrent query coalesces through.
+	inflight map[string]*job
+
 	// Worker-owned (no locking needed).
 	core     *core.Session
 	numGates int
 	dmin     float64
 	gen      int
 	seq      int
+	par      int // granted intra-solve worker budget
 
 	// Shared with the server, guarded by srv.mu.
 	elem        *list.Element // LRU position
@@ -83,10 +96,18 @@ func (s *session) buildCore() error {
 	if engine == "" {
 		engine = s.srv.cfg.Engine
 	}
+	// Per-session worker budget: the requested parallelism clamped to
+	// the daemon cap (-j), so one heavy session cannot monopolize the
+	// machine's workers.
+	s.par = s.src.Parallelism
+	if s.par <= 0 || s.par > s.srv.cfg.Parallelism {
+		s.par = s.srv.cfg.Parallelism
+	}
 	cs, err := core.NewSession(p, core.Options{
 		FlowEngine:       engine,
-		Parallelism:      s.srv.cfg.Parallelism,
+		Parallelism:      s.par,
 		NoEngineFallback: s.srv.cfg.NoEngineFallback,
+		TrustRegion:      s.srv.cfg.TrustRegion,
 	})
 	if err != nil {
 		return err
@@ -136,17 +157,35 @@ func (s *session) shutdown() {
 	}
 }
 
-// drainQueue answers every queued job with a terminal error.
+// drainQueue answers every queued job (and its coalesced followers)
+// with a terminal error.
 func (s *session) drainQueue(status int, code, msg string) {
 	for {
 		select {
 		case j := <-s.queue:
-			j.resp <- jobReply{status, &ErrorBody{Code: code, Message: msg}}
+			s.claim(j)
+			rep := jobReply{status, &ErrorBody{Code: code, Message: msg}}
+			j.resp <- rep
+			for _, ch := range j.followers {
+				ch <- rep
+			}
 			s.srv.jobDone(s, false)
 		default:
 			return
 		}
 	}
+}
+
+// claim marks a dequeued job started under srv.mu, freezing its
+// follower list (no further coalesced attach) and dropping it from the
+// singleflight index.
+func (s *session) claim(j *job) {
+	s.srv.mu.Lock()
+	j.started = true
+	if j.key != "" && s.inflight[j.key] == j {
+		delete(s.inflight, j.key)
+	}
+	s.srv.mu.Unlock()
 }
 
 // serve runs one job under the global in-flight cap and the panic
@@ -157,10 +196,26 @@ func (s *session) serve(j *job) {
 	s.srv.mu.Lock()
 	s.busy = true
 	s.queued--
+	j.started = true
+	if j.key != "" && s.inflight[j.key] == j {
+		delete(s.inflight, j.key)
+	}
 	s.srv.mu.Unlock()
 
 	rep := s.handle(j)
 	j.resp <- rep
+	// Fan the answer out to coalesced identical requests (list frozen
+	// when started was set above).  Each follower gets its own struct
+	// so the Coalesced mark never mutates the primary's body.
+	for _, ch := range j.followers {
+		if qr, ok := rep.body.(*QueryResponse); ok {
+			cp := *qr
+			cp.Coalesced = true
+			ch <- jobReply{rep.status, &cp}
+		} else {
+			ch <- rep
+		}
+	}
 
 	<-s.srv.runSem
 	s.srv.jobDone(s, true)
@@ -194,11 +249,12 @@ func (s *session) handleBuild() jobReply {
 	}
 	s.srv.accountMem(s)
 	return jobReply{http.StatusOK, &SubmitResponse{
-		ID:         s.id,
-		Generation: s.gen,
-		NumGates:   s.numGates,
-		MemBytes:   s.core.MemoryBytes(),
-		MinDelayPS: s.dmin,
+		ID:          s.id,
+		Generation:  s.gen,
+		NumGates:    s.numGates,
+		MemBytes:    s.core.MemoryBytes(),
+		MinDelayPS:  s.dmin,
+		Parallelism: s.par,
 	}}
 }
 
@@ -246,6 +302,14 @@ func (s *session) handleQuery(j *job) jobReply {
 		resp.CPPS = res.CP
 		resp.Iterations = res.Iterations
 		resp.Partial = res.Partial
+		resp.Seed = res.Seed
+		resp.SeedFallback = res.SeedFallback
+		if res.Seed == core.SeedWarm {
+			s.srv.seeded.Add(1)
+		}
+		if res.SeedFallback {
+			s.srv.seedFallbacks.Add(1)
+		}
 		if req.WantSizes {
 			resp.Sizes = res.X
 		}

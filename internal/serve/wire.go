@@ -59,6 +59,12 @@ type SubmitRequest struct {
 	// FlowEngine pins the D-phase backend for this session ("" uses
 	// the server default; "auto" calibrates per problem).
 	FlowEngine string `json:"flow_engine,omitempty"`
+	// Parallelism requests an intra-solve worker budget for this
+	// session.  0 uses the server default; anything above the daemon's
+	// cap (-j) is clamped to it, so one heavy session cannot
+	// monopolize the shared worker pool.  The response reports the
+	// granted value.
+	Parallelism int `json:"parallelism,omitempty"`
 }
 
 // SubmitResponse describes the created session.
@@ -74,6 +80,9 @@ type SubmitResponse struct {
 	// MinDelayPS is Dmin, the critical path with every gate at minimum
 	// size — targets below this are infeasible.
 	MinDelayPS float64 `json:"min_delay_ps"`
+	// Parallelism is the granted intra-solve worker budget (the
+	// requested value clamped to the daemon cap).
+	Parallelism int `json:"parallelism"`
 }
 
 // AreaWeight is a what-if cost override applied before the query runs
@@ -115,8 +124,20 @@ type QueryResponse struct {
 	Sizes      []float64 `json:"sizes,omitempty"`
 	// Warm reports whether the answer came from warm solver state
 	// (false on the first query of a generation).
-	Warm  bool       `json:"warm"`
-	Error *ErrorBody `json:"error,omitempty"`
+	Warm bool `json:"warm"`
+	// Seed is the solve's start-point provenance: "tilos" for the cold
+	// path, "warm" for a trust-region-seeded resize answered from the
+	// session's previous converged sizing (see the -trust-region flag
+	// and core.Options.TrustRegion).
+	Seed string `json:"seed,omitempty"`
+	// SeedFallback marks a cold answer whose trust-region seed was
+	// attempted and abandoned (repair failure or iteration blowout).
+	SeedFallback bool `json:"seed_fallback,omitempty"`
+	// Coalesced marks a reply served by another in-flight identical
+	// query against the same session (the singleflight path): this
+	// request consumed no queue slot and ran no solve of its own.
+	Coalesced bool       `json:"coalesced,omitempty"`
+	Error     *ErrorBody `json:"error,omitempty"`
 }
 
 // SessionInfo is the GET /v1/sessions/{id} body.
@@ -143,5 +164,11 @@ type StatsResponse struct {
 	Evictions   int64 `json:"evictions_total"`
 	Quarantines int64 `json:"quarantines_total"`
 	Rebuilds    int64 `json:"rebuilds_total"`
-	Draining    bool  `json:"draining"`
+	// Seeded / SeedFallbacks count trust-region warm-seeded answers
+	// and abandoned seed attempts across all sessions; Coalesced
+	// counts replies served by another identical in-flight query.
+	Seeded        int64 `json:"seeded_total"`
+	SeedFallbacks int64 `json:"seed_fallbacks_total"`
+	Coalesced     int64 `json:"coalesced_total"`
+	Draining      bool  `json:"draining"`
 }

@@ -20,6 +20,7 @@ type Arrivals struct {
 	at     []float64
 	finish []float64 // at + d
 	pos    []int     // topological position per vertex
+	order  []int     // topological order (Reseed's full forward pass)
 
 	// Flattened CSR adjacency (avoids edge-struct copies on the hot
 	// path and per-vertex slice growth at construction): the fanins of
@@ -78,10 +79,27 @@ func NewArrivals(g *graph.Digraph, d []float64) (*Arrivals, error) {
 	for i, v := range order {
 		a.pos[v] = i
 	}
+	a.order = order
 	for _, v := range order {
 		a.recomputeAT(v)
 	}
 	return a, nil
+}
+
+// Reseed replaces every vertex delay with d and recomputes the full
+// forward pass in place — the bulk form of SetDelays for callers that
+// jump the engine to an externally-seeded sizing (a warm session
+// restarting from a previous optimum) without rebuilding the engine.
+// The resulting arrival state is bit-identical to NewArrivals(g, d).
+func (a *Arrivals) Reseed(d []float64) error {
+	if len(d) != a.g.N() {
+		return fmt.Errorf("sta: Reseed delay vector length %d != %d vertices", len(d), a.g.N())
+	}
+	copy(a.d, d)
+	for _, v := range a.order {
+		a.recomputeAT(v)
+	}
+	return nil
 }
 
 // AT returns the arrival time at v's input.

@@ -39,11 +39,46 @@ type Result struct {
 // Size runs TILOS on problem p toward critical-path target t, starting
 // from sizes x0 (pass nil for minimum sizes).
 func Size(p *dag.Problem, t float64, x0 []float64, opt Options) (*Result, error) {
+	opt, x, err := prepare(p, x0, opt)
+	if err != nil {
+		return nil, err
+	}
+	arr, err := sta.NewArrivals(p.G, p.Delays(x))
+	if err != nil {
+		return nil, err
+	}
+	return run(p, t, x, opt, arr)
+}
+
+// SizeWith is Size running on a caller-owned arrivals engine over p.G
+// instead of building one: arr is bulk-reseeded to x0's delays (via
+// dbuf, a scratch of length p.G.N(); nil allocates one) and left at
+// the result's delays.  This is the warm-repair path of core.Session —
+// a trust-region-seeded resize whose previous optimum misses the new
+// target repairs it with a handful of TILOS moves from the prior
+// sizes, skipping both the minimum-size restart and the arrival-engine
+// rebuild.  The result is bit-identical to Size(p, t, x0, opt).
+func SizeWith(p *dag.Problem, t float64, x0 []float64, opt Options, arr *sta.Arrivals, dbuf []float64) (*Result, error) {
+	opt, x, err := prepare(p, x0, opt)
+	if err != nil {
+		return nil, err
+	}
+	if len(dbuf) != p.G.N() {
+		dbuf = make([]float64, p.G.N())
+	}
+	if err := arr.Reseed(p.DelaysInto(dbuf, x)); err != nil {
+		return nil, err
+	}
+	return run(p, t, x, opt, arr)
+}
+
+// prepare validates options and copies the start point.
+func prepare(p *dag.Problem, x0 []float64, opt Options) (Options, []float64, error) {
 	if opt.Bump == 0 {
 		opt.Bump = 1.1
 	}
 	if opt.Bump <= 1 {
-		return nil, fmt.Errorf("tilos: bump factor %g must exceed 1", opt.Bump)
+		return opt, nil, fmt.Errorf("tilos: bump factor %g must exceed 1", opt.Bump)
 	}
 	if opt.MaxMoves == 0 {
 		opt.MaxMoves = 200 * p.NumSizable
@@ -54,18 +89,18 @@ func Size(p *dag.Problem, t float64, x0 []float64, opt Options) (*Result, error)
 	} else {
 		x = append([]float64(nil), x0...)
 	}
+	return opt, x, nil
+}
 
+// run is the shared greedy loop: arr must already hold the arrival
+// state of sizes x.
+func run(p *dag.Problem, t float64, x []float64, opt Options, arr *sta.Arrivals) (*Result, error) {
 	// The CSR transpose gives, per vertex v, the vertices whose delay
 	// mentions x_v (the coefficient coupling, NOT graph adjacency: at
 	// transistor level pull-up and pull-down roots load each other
 	// through the output node without sharing an edge) — no per-call
 	// affected-list construction needed.
 	csr := p.CSR()
-
-	arr, err := sta.NewArrivals(p.G, p.Delays(x))
-	if err != nil {
-		return nil, err
-	}
 	changed := make([]int, 0, 8)
 	newDelays := make([]float64, 0, 8)
 	var path []int // reused across moves

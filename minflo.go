@@ -24,9 +24,15 @@
 // keeps solver sessions warm between requests, with admission control
 // (429 + Retry-After), per-request deadline and flow-work budgets,
 // byte-accounted LRU eviction, panic quarantine and graceful drain.
-// internal/serve documents the endpoints, error codes and the
-// replay-determinism contract; a retrying client lives in the same
-// package, and examples/service is a runnable walkthrough.
+// Small target refinements are answered from the session's previous
+// converged sizing via a trust-region policy (-trust-region, default
+// 5%), several times faster than a cold solve; the response's "seed"
+// field says which path answered, and identical concurrent queries
+// coalesce onto one solve ("coalesced": true).  internal/serve
+// documents the endpoints, error codes and the replay-determinism
+// contract ("deterministic given session history"); a retrying client
+// lives in the same package, and examples/service is a runnable
+// walkthrough.
 package minflo
 
 import (
