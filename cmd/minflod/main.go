@@ -1,22 +1,35 @@
 // Command minflod serves warm sizing sessions over HTTP/JSON: submit
 // a netlist once, then stream queries — new delay targets, what-if
 // cost changes, re-sizes — answered from warm solver state by
-// incremental re-flow instead of cold solves.
+// incremental re-flow instead of cold solves.  Netlist edits (ECOs)
+// stream through the same session: extra loads, cell swaps, and
+// rewires patch the resident state in place instead of resubmitting.
 //
 // Usage:
 //
 //	minflod -addr :7317
 //	minflod -addr :7317 -engine ssp -mem-high 512MiB -max-pending 64
+//	minflod -addr :7317 -edit-cone-budget 0.5
 //
 // Endpoints:
 //
 //	POST   /v1/sessions            submit a netlist → session id
 //	POST   /v1/sessions/{id}/query sizing query against warm state
+//	POST   /v1/sessions/{id}/edit  apply a netlist edit batch (atomic)
 //	GET    /v1/sessions/{id}       session metadata
 //	DELETE /v1/sessions/{id}       evict a session
 //	GET    /healthz                liveness (200 while the process runs)
 //	GET    /readyz                 readiness (503 while draining)
 //	GET    /stats                  admission/memory/failure counters
+//
+// An edit batch is all-or-nothing: the whole batch validates before
+// anything applies, and a rejected batch (400) leaves the session
+// bit-identical to never having received it.  Value edits ("retype",
+// "load") patch delay rows in place and repair arrivals over the
+// edit's timing cone; "rewire" rebuilds the session's solver state.
+// An edit whose cone exceeds the -edit-cone-budget fraction of the
+// circuit drops the trust-region seed (the next query runs cold) and
+// is counted in /stats as edit_fallbacks_total.
 //
 // Overload answers 429 with Retry-After; shutdown (SIGINT/SIGTERM)
 // drains in-flight work, returning best-so-far partial answers at the
@@ -56,15 +69,16 @@ func main() {
 		memLow      = flag.String("mem-low", "", "eviction target (default 3/4 of -mem-high)")
 		drain       = flag.Duration("drain", 5*time.Second, "shutdown drain deadline; in-flight queries still running at the deadline return best-so-far partial answers")
 		trustRegion = flag.Float64("trust-region", 0.05, "warm-seed queries whose target moved at most this relative amount from the session's previous answer (0 disables; answers become deterministic given session history, see internal/core)")
+		editCone    = flag.Float64("edit-cone-budget", 0, "drop a session's warm seed when a netlist edit's timing cone exceeds this fraction of the circuit (0 = default 0.25, negative disables the check)")
 	)
 	flag.Parse()
-	if err := run(*addr, *engine, *jobs, *maxInflight, *maxPending, *queueDepth, *memHigh, *memLow, *drain, *trustRegion); err != nil {
+	if err := run(*addr, *engine, *jobs, *maxInflight, *maxPending, *queueDepth, *memHigh, *memLow, *drain, *trustRegion, *editCone); err != nil {
 		fmt.Fprintln(os.Stderr, "minflod:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, engine string, jobs, maxInflight, maxPending, queueDepth int, memHigh, memLow string, drain time.Duration, trustRegion float64) error {
+func run(addr, engine string, jobs, maxInflight, maxPending, queueDepth int, memHigh, memLow string, drain time.Duration, trustRegion, editCone float64) error {
 	high, err := parseBytes(memHigh)
 	if err != nil {
 		return fmt.Errorf("-mem-high: %w", err)
@@ -76,15 +90,16 @@ func run(addr, engine string, jobs, maxInflight, maxPending, queueDepth int, mem
 		}
 	}
 	srv, err := serve.New(serve.Config{
-		Engine:       engine,
-		Parallelism:  jobs,
-		MaxInFlight:  maxInflight,
-		MaxPending:   maxPending,
-		QueueDepth:   queueDepth,
-		MemHighBytes: high,
-		MemLowBytes:  low,
-		DrainTimeout: drain,
-		TrustRegion:  trustRegion,
+		Engine:         engine,
+		Parallelism:    jobs,
+		MaxInFlight:    maxInflight,
+		MaxPending:     maxPending,
+		QueueDepth:     queueDepth,
+		MemHighBytes:   high,
+		MemLowBytes:    low,
+		DrainTimeout:   drain,
+		TrustRegion:    trustRegion,
+		EditConeBudget: editCone,
 	})
 	if err != nil {
 		return err

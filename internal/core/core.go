@@ -171,6 +171,16 @@ type Options struct {
 	// default) keeps the per-query cold contract.  One-shot SizeCtx
 	// runs have no history, so the field only matters for Sessions.
 	TrustRegion float64
+	// EditConeBudget bounds how much of the circuit an ECO edit batch
+	// (Session.ApplyEdits) may invalidate while keeping the warm start:
+	// when the forward timing cone of the edited vertices exceeds this
+	// fraction of the sizable vertices, the session drops its
+	// trust-region seed and rebuilds the D-phase scratch cold — a cone
+	// that wide invalidates most of the resident state anyway, and the
+	// stale seed would mispredict across it.  Default 0.25; negative
+	// disables the fallback (edits never drop the seed).  Only consulted
+	// on sessions with an editable netlist (NewEcoSession).
+	EditConeBudget float64
 	// Tilos configures the initial-guess run.
 	Tilos tilos.Options
 	// SkipTilos starts from minimum sizes when the target is already met
@@ -273,6 +283,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.AreaTol == 0 {
 		o.AreaTol = 1e-4
+	}
+	if o.EditConeBudget == 0 {
+		o.EditConeBudget = 0.25
 	}
 	return o
 }

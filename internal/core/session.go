@@ -110,6 +110,12 @@ type Session struct {
 
 	seeded        int // Resizes answered from the trust-region seed
 	seedFallbacks int // trust-region attempts that fell back to TILOS
+
+	// ECO state (NewEcoSession only): the editable netlist wrapper and
+	// the edit counters (eco.go).
+	eco           *dag.Eco
+	editCount     int
+	editFallbacks int
 }
 
 // NewSession builds the warm state for problem p: augmented DAG,
@@ -178,6 +184,46 @@ func (s *Session) SetAreaWeight(i int, w float64) error {
 	return nil
 }
 
+// SetAreaWeights applies a batch of area-weight edits atomically: the
+// whole batch is validated first (the SetAreaWeight range and
+// finite-positive checks) and applied only when every entry passes, so
+// a rejected batch leaves the session bit-identical to never having
+// received it — no weights written, no trust-region perturbation
+// recorded.  Duplicate gates collapse to the last entry (last-wins,
+// matching the server's canonical-query semantics), and the
+// perturbation ledger sees only the surviving per-gate values —
+// intermediate duplicates never widen the trust region.
+func (s *Session) SetAreaWeights(gates []int, weights []float64) error {
+	if len(gates) != len(weights) {
+		return fmt.Errorf("core: SetAreaWeights: %d gates but %d weights", len(gates), len(weights))
+	}
+	for k := range gates {
+		i, w := gates[k], weights[k]
+		if i < 0 || i >= s.p.NumSizable {
+			return fmt.Errorf("core: SetAreaWeight(%d) out of range [0,%d)", i, s.p.NumSizable)
+		}
+		if !(w > 0) || math.IsInf(w, 0) {
+			return fmt.Errorf("core: SetAreaWeight(%d, %g): weight must be finite and positive", i, w)
+		}
+	}
+	for k := range gates {
+		last := true
+		for j := k + 1; j < len(gates); j++ {
+			if gates[j] == gates[k] {
+				last = false
+				break
+			}
+		}
+		if !last {
+			continue // a later entry wins for this gate
+		}
+		if err := s.SetAreaWeight(gates[k], weights[k]); err != nil {
+			return err // unreachable: validated above
+		}
+	}
+	return nil
+}
+
 // TrustRegionSeeded reports how many Resize calls were answered from
 // the trust-region warm seed (the previous converged sizing) instead
 // of a TILOS restart.
@@ -238,6 +284,16 @@ func (s *Session) MemoryBytes() int64 {
 	// plus the target/EWMA bookkeeping (preallocated at build time, so
 	// the estimate is identical before and after the first query).
 	b += int64(len(s.seedX))*word + 8*word
+	if s.eco != nil {
+		// Editable-netlist state: the retained circuit (name header,
+		// input refs, size per gate) and the extra-load vector.
+		var pins int64
+		for gi := range s.eco.C.Gates {
+			pins += int64(len(s.eco.C.Gates[gi].Ins))
+		}
+		b += int64(len(s.eco.C.Gates))*6*word + pins*2*word
+		b += int64(len(s.eco.Extra)) * word
+	}
 	return b
 }
 

@@ -1,0 +1,373 @@
+// ECO netlist edits (engineering change orders): patch the resident
+// sizing problem in place instead of rebuilding it from the netlist.
+//
+// The contract that makes in-place patching safe is *state-patch
+// exactness*: after Apply, every delay coefficient row equals
+// delay.Model.GateCoeff at the final circuit state bit-for-bit — the
+// same inner computation GateLevel runs — so a session that applied a
+// batch of edits holds exactly the state a fresh build plus replay of
+// those edits would hold.  Value edits (retype, load) preserve the
+// coupling sparsity pattern (every circuit coefficient is strictly
+// positive) and patch delay.CSR rows and their transpose entries in
+// place; structural edits (rewire) change the DAG itself and rebuild
+// the Problem, re-applying the extra-load state on top.
+package dag
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"minflo/internal/cell"
+	"minflo/internal/circuit"
+	"minflo/internal/delay"
+)
+
+// EditOp selects the kind of one netlist edit.
+type EditOp uint8
+
+const (
+	// EditRetype swaps a gate's library cell — a drive-strength or
+	// function swap of equal arity.  Value-only: the DAG is unchanged;
+	// the gate's own row, the rows of its fanin gates (their coupling
+	// to its input cap), and its area weight are recomputed.  Any
+	// sticky what-if area weight on the gate is reset to the new cell's
+	// unit area.
+	EditRetype EditOp = iota
+	// EditLoad sets the extra fixed capacitive load on a gate's output,
+	// in fF.  The value is absolute state, not a delta — re-sending 0
+	// restores the pristine load — so replaying an edit log is
+	// idempotent.  Value-only: touches just the gate's Const term.
+	EditLoad
+	// EditRewire reconnects one input pin of a gate to a new driver
+	// signal.  Structural: the DAG changes, so the Problem is rebuilt
+	// (the batch stays atomic — a rewire that creates a cycle or leaves
+	// the old driver driving nothing is rejected with no state change).
+	EditRewire
+)
+
+// Edit is one netlist edit delta.  Gate indexes the edited gate for
+// all ops; the remaining fields are per-op (see EditOp).
+type Edit struct {
+	Op   EditOp
+	Gate int
+	// Cell is the new library cell (EditRetype); its input count must
+	// match the gate's current arity.
+	Cell cell.Kind
+	// LoadFF is the new extra fixed output load in fF (EditLoad).
+	LoadFF float64
+	// Pin and Driver identify the rewired input (EditRewire): pin index
+	// into the gate's inputs, and the new driver signal.
+	Pin    int
+	Driver circuit.Ref
+}
+
+// EditDelta reports what an Apply changed.
+type EditDelta struct {
+	// Structural marks a batch that changed the DAG (a rewire): the
+	// Problem — graph, topo order, coupling CSR — was rebuilt, and P
+	// points at a new value.  Value-only batches patch in place.
+	Structural bool
+	// ChangedRows lists the sizable vertices whose delay coefficients
+	// changed (sorted ascending, unique).
+	ChangedRows []int
+	// Seeds is ChangedRows plus the rewired gates themselves — their
+	// own coefficients may be unchanged but their arrival times move,
+	// so they root the downstream invalidation cone.
+	Seeds []int
+	// MaxWRel is the largest relative area-weight change of the batch
+	// (|new−old|/old over every weight the batch touched — including
+	// sticky what-if weights reset by a structural rebuild).  Sessions
+	// fold it into the trust-region perturbation ledger.
+	MaxWRel float64
+}
+
+// Eco binds a Problem to its source netlist and delay model so edit
+// deltas can patch the resident state.  The circuit is owned by the
+// Eco once constructed — callers must not mutate it directly.
+type Eco struct {
+	C *circuit.Circuit
+	M *delay.Model
+	// P is the resident problem.  Structural edits replace it; value
+	// edits mutate it in place.  Callers holding the old pointer across
+	// an Apply must re-read it.
+	P *Problem
+	// Extra[g] is the extra fixed output load of gate g in fF — the
+	// EditLoad state, all zeros for a pristine netlist.
+	Extra []float64
+}
+
+// NewEco builds the sizing problem for c and wraps it for editing.
+func NewEco(c *circuit.Circuit, m *delay.Model) (*Eco, error) {
+	p, err := GateLevel(c, m)
+	if err != nil {
+		return nil, err
+	}
+	return &Eco{C: c, M: m, P: p, Extra: make([]float64, c.NumGates())}, nil
+}
+
+// undoEntry records one netlist mutation for batch rollback.
+type undoEntry struct {
+	op   EditOp
+	gate int
+	kind cell.Kind   // EditRetype: previous cell
+	load float64     // EditLoad: previous extra load
+	pin  int         // EditRewire
+	ref  circuit.Ref // EditRewire: previous driver
+}
+
+// Apply applies an edit batch atomically: the whole batch is validated
+// first and nothing is mutated on error — including structural errors
+// like a rewire that creates a combinational cycle, which are detected
+// after tentative application and rolled back.  On success the
+// resident Problem reflects the edited netlist (see the package doc
+// for the state-patch exactness contract) and the returned EditDelta
+// describes the damage.
+func (e *Eco) Apply(edits []Edit) (*EditDelta, error) {
+	if len(edits) == 0 {
+		return nil, fmt.Errorf("dag: empty edit batch")
+	}
+	structural := false
+	for k := range edits {
+		if err := e.validate(&edits[k]); err != nil {
+			return nil, fmt.Errorf("dag: edit %d: %w", k, err)
+		}
+		if edits[k].Op == EditRewire {
+			structural = true
+		}
+	}
+
+	// Apply to the netlist, recording undo entries and the vertices
+	// each edit semantically touches.
+	undo := make([]undoEntry, 0, len(edits))
+	rows := map[int]struct{}{}  // sizable rows whose coefficients change
+	seeds := map[int]struct{}{} // rows ∪ rewired gates (cone roots)
+	for k := range edits {
+		ed := &edits[k]
+		g := &e.C.Gates[ed.Gate]
+		switch ed.Op {
+		case EditRetype:
+			undo = append(undo, undoEntry{op: EditRetype, gate: ed.Gate, kind: g.Kind})
+			g.Kind = ed.Cell
+			// The gate's own row (drive, parasitic, loads scale with the
+			// cell) and every fanin gate's coupling to its input cap.
+			rows[ed.Gate] = struct{}{}
+			for _, in := range g.Ins {
+				if in.Kind == circuit.RefGate {
+					rows[in.Index] = struct{}{}
+				}
+			}
+		case EditLoad:
+			undo = append(undo, undoEntry{op: EditLoad, gate: ed.Gate, load: e.Extra[ed.Gate]})
+			e.Extra[ed.Gate] = ed.LoadFF
+			rows[ed.Gate] = struct{}{}
+		case EditRewire:
+			old := g.Ins[ed.Pin]
+			undo = append(undo, undoEntry{op: EditRewire, gate: ed.Gate, pin: ed.Pin, ref: old})
+			g.Ins[ed.Pin] = ed.Driver
+			// Both drivers' fanout sets change (wire load, coupling to
+			// this gate); the rewired gate's own delay row is unchanged
+			// but its arrivals move.
+			if old.Kind == circuit.RefGate {
+				rows[old.Index] = struct{}{}
+			}
+			if ed.Driver.Kind == circuit.RefGate {
+				rows[ed.Driver.Index] = struct{}{}
+			}
+			seeds[ed.Gate] = struct{}{}
+		}
+	}
+	rollback := func() {
+		for k := len(undo) - 1; k >= 0; k-- {
+			u := &undo[k]
+			switch u.op {
+			case EditRetype:
+				e.C.Gates[u.gate].Kind = u.kind
+			case EditLoad:
+				e.Extra[u.gate] = u.load
+			case EditRewire:
+				e.C.Gates[u.gate].Ins[u.pin] = u.ref
+			}
+		}
+	}
+
+	delta := &EditDelta{Structural: structural}
+	changed := make([]int, 0, len(rows))
+	for v := range rows {
+		changed = append(changed, v)
+	}
+	sort.Ints(changed)
+	delta.ChangedRows = changed
+	for v := range rows {
+		seeds[v] = struct{}{}
+	}
+	delta.Seeds = make([]int, 0, len(seeds))
+	for v := range seeds {
+		delta.Seeds = append(delta.Seeds, v)
+	}
+	sort.Ints(delta.Seeds)
+
+	if structural {
+		if err := e.rebuild(delta); err != nil {
+			rollback()
+			return nil, err
+		}
+		return delta, nil
+	}
+
+	// Value-only batch: recompute every touched row at the final
+	// netlist state, then commit — computing all rows before writing
+	// any keeps the batch atomic if a recomputation fails (it cannot
+	// with a valid cell library, but the rollback is cheap insurance).
+	fanPtr, fanIdx, poCount := e.C.FanoutsCSR()
+	fresh := make([]delay.Coeffs, len(changed))
+	for k, gi := range changed {
+		fo := fanIdx[fanPtr[gi]:fanPtr[gi+1]]
+		kc, err := e.M.GateCoeff(e.C, gi, fo, poCount[gi], e.Extra[gi])
+		if err != nil {
+			rollback()
+			return nil, fmt.Errorf("dag: edit recompute: %w", err)
+		}
+		fresh[k] = kc
+	}
+	// Value edits never change the sparsity pattern (coefficients are
+	// strictly positive, fanout sets untouched); if one somehow did,
+	// fall back to the full rebuild rather than corrupt the CSR.
+	for k, gi := range changed {
+		if !sameShape(e.P.Coeffs[gi].Terms, fresh[k].Terms) {
+			if err := e.rebuild(delta); err != nil {
+				rollback()
+				return nil, err
+			}
+			delta.Structural = true
+			return delta, nil
+		}
+	}
+	for k, gi := range changed {
+		dst := &e.P.Coeffs[gi]
+		dst.Self = fresh[k].Self
+		dst.Const = fresh[k].Const
+		for t := range fresh[k].Terms {
+			dst.Terms[t].A = fresh[k].Terms[t].A
+		}
+		if !e.P.csr.PatchRow(gi, dst) {
+			// Unreachable given sameShape above; rebuild defensively.
+			e.P.csr = delay.NewCSR(e.P.Coeffs)
+		}
+		if w := cell.Get(e.C.Gates[gi].Kind).UnitArea; w != e.P.AreaW[gi] {
+			delta.noteWRel(e.P.AreaW[gi], w)
+			e.P.AreaW[gi] = w
+		}
+	}
+	return delta, nil
+}
+
+// rebuild replaces the resident Problem with a fresh build of the
+// edited netlist and re-applies the extra-load state.  Sticky what-if
+// area weights do not survive — GateLevel resets AreaW to the cells'
+// unit areas — so the per-weight relative change is folded into
+// delta.MaxWRel for the trust-region ledger, and the reset itself is
+// part of the deterministic replay contract (a twin replaying the same
+// history resets at the same point).
+func (e *Eco) rebuild(delta *EditDelta) error {
+	oldW := e.P.AreaW
+	p, err := GateLevel(e.C, e.M)
+	if err != nil {
+		return err
+	}
+	fanPtr, fanIdx, poCount := e.C.FanoutsCSR()
+	for gi, x := range e.Extra {
+		if x == 0 {
+			continue
+		}
+		fo := fanIdx[fanPtr[gi]:fanPtr[gi+1]]
+		kc, err := e.M.GateCoeff(e.C, gi, fo, poCount[gi], x)
+		if err != nil {
+			return fmt.Errorf("dag: extra-load replay: %w", err)
+		}
+		dst := &p.Coeffs[gi]
+		dst.Self = kc.Self
+		dst.Const = kc.Const
+		for t := range kc.Terms {
+			dst.Terms[t].A = kc.Terms[t].A
+		}
+		if !p.csr.PatchRow(gi, dst) {
+			p.csr = delay.NewCSR(p.Coeffs)
+		}
+	}
+	if len(oldW) == len(p.AreaW) {
+		for i := range oldW {
+			delta.noteWRel(oldW[i], p.AreaW[i])
+		}
+	}
+	e.P = p
+	return nil
+}
+
+func (d *EditDelta) noteWRel(old, new float64) {
+	if old == new || old <= 0 {
+		return
+	}
+	if rel := math.Abs(new-old) / old; rel > d.MaxWRel {
+		d.MaxWRel = rel
+	}
+}
+
+func sameShape(a, b []delay.Term) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for t := range a {
+		if a[t].J != b[t].J || (a[t].A == 0) != (b[t].A == 0) {
+			return false
+		}
+	}
+	return true
+}
+
+// validate checks one edit statically (no mutation).  Structural
+// soundness of rewires — acyclicity, the old driver still driving
+// something — is re-checked by the rebuild and rolled back on failure.
+func (e *Eco) validate(ed *Edit) error {
+	if ed.Gate < 0 || ed.Gate >= e.C.NumGates() {
+		return fmt.Errorf("gate %d out of range [0,%d)", ed.Gate, e.C.NumGates())
+	}
+	switch ed.Op {
+	case EditRetype:
+		if int(ed.Cell) < 0 || int(ed.Cell) >= cell.NumKinds {
+			return fmt.Errorf("unknown cell kind %d", ed.Cell)
+		}
+		g := &e.C.Gates[ed.Gate]
+		if want := cell.Get(ed.Cell).NumInputs; want != len(g.Ins) {
+			return fmt.Errorf("retype %q: cell %s wants %d inputs, gate has %d",
+				g.Name, ed.Cell, want, len(g.Ins))
+		}
+	case EditLoad:
+		if math.IsNaN(ed.LoadFF) || math.IsInf(ed.LoadFF, 0) || ed.LoadFF < 0 {
+			return fmt.Errorf("load %g fF: must be finite and non-negative", ed.LoadFF)
+		}
+	case EditRewire:
+		g := &e.C.Gates[ed.Gate]
+		if ed.Pin < 0 || ed.Pin >= len(g.Ins) {
+			return fmt.Errorf("rewire %q: pin %d out of range [0,%d)", g.Name, ed.Pin, len(g.Ins))
+		}
+		switch ed.Driver.Kind {
+		case circuit.RefPI:
+			if ed.Driver.Index < 0 || ed.Driver.Index >= e.C.NumPIs() {
+				return fmt.Errorf("rewire %q: dangling PI driver %d", g.Name, ed.Driver.Index)
+			}
+		case circuit.RefGate:
+			if ed.Driver.Index < 0 || ed.Driver.Index >= e.C.NumGates() {
+				return fmt.Errorf("rewire %q: dangling gate driver %d", g.Name, ed.Driver.Index)
+			}
+			if ed.Driver.Index == ed.Gate {
+				return fmt.Errorf("rewire %q: self-loop", g.Name)
+			}
+		default:
+			return fmt.Errorf("rewire %q: bad driver kind %d", g.Name, ed.Driver.Kind)
+		}
+	default:
+		return fmt.Errorf("unknown edit op %d", ed.Op)
+	}
+	return nil
+}

@@ -1,0 +1,304 @@
+package dag
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"minflo/internal/cell"
+	"minflo/internal/circuit"
+	"minflo/internal/delay"
+	"minflo/internal/gen"
+)
+
+// ecoSnapshot captures everything an Apply may mutate, for atomicity
+// checks on rejected batches.
+type ecoSnapshot struct {
+	c     *circuit.Circuit
+	extra []float64
+	self  []float64
+	konst []float64
+	terms [][]delay.Term
+	areaW []float64
+	p     *Problem
+}
+
+func snapshotEco(e *Eco) *ecoSnapshot {
+	s := &ecoSnapshot{
+		c:     e.C.Clone(),
+		extra: append([]float64(nil), e.Extra...),
+		areaW: append([]float64(nil), e.P.AreaW...),
+		p:     e.P,
+	}
+	for _, k := range e.P.Coeffs {
+		s.self = append(s.self, k.Self)
+		s.konst = append(s.konst, k.Const)
+		s.terms = append(s.terms, append([]delay.Term(nil), k.Terms...))
+	}
+	return s
+}
+
+func (s *ecoSnapshot) check(t *testing.T, e *Eco) {
+	t.Helper()
+	if e.P != s.p {
+		t.Fatal("rejected batch replaced the Problem")
+	}
+	for gi, g := range e.C.Gates {
+		w := s.c.Gates[gi]
+		if g.Kind != w.Kind {
+			t.Fatalf("gate %d kind changed on rejected batch", gi)
+		}
+		for pin := range g.Ins {
+			if g.Ins[pin] != w.Ins[pin] {
+				t.Fatalf("gate %d pin %d changed on rejected batch", gi, pin)
+			}
+		}
+	}
+	for gi := range e.Extra {
+		if e.Extra[gi] != s.extra[gi] {
+			t.Fatalf("extra load %d changed on rejected batch", gi)
+		}
+	}
+	for gi, k := range e.P.Coeffs {
+		if k.Self != s.self[gi] || k.Const != s.konst[gi] {
+			t.Fatalf("coeff row %d changed on rejected batch", gi)
+		}
+		for tt := range k.Terms {
+			if k.Terms[tt] != s.terms[gi][tt] {
+				t.Fatalf("coeff row %d term %d changed on rejected batch", gi, tt)
+			}
+		}
+		if e.P.AreaW[gi] != s.areaW[gi] {
+			t.Fatalf("area weight %d changed on rejected batch", gi)
+		}
+	}
+}
+
+// checkExactness asserts the state-patch contract: every resident
+// coefficient row is bit-identical to Model.GateCoeff at the final
+// circuit state, and the resident CSR evaluates bit-identically to a
+// CSR freshly built from those rows.
+func checkExactness(t *testing.T, e *Eco, rng *rand.Rand) {
+	t.Helper()
+	if err := e.P.Validate(); err != nil {
+		t.Fatalf("post-edit problem invalid: %v", err)
+	}
+	fanPtr, fanIdx, poCount := e.C.FanoutsCSR()
+	fresh := make([]delay.Coeffs, e.C.NumGates())
+	for gi := 0; gi < e.C.NumGates(); gi++ {
+		fo := fanIdx[fanPtr[gi]:fanPtr[gi+1]]
+		kc, err := e.M.GateCoeff(e.C, gi, fo, poCount[gi], e.Extra[gi])
+		if err != nil {
+			t.Fatalf("GateCoeff(%d): %v", gi, err)
+		}
+		fresh[gi] = kc
+		got := &e.P.Coeffs[gi]
+		if got.Self != kc.Self || got.Const != kc.Const {
+			t.Fatalf("row %d: resident (self=%.17g const=%.17g) != fresh (%.17g, %.17g)",
+				gi, got.Self, got.Const, kc.Self, kc.Const)
+		}
+		if len(got.Terms) != len(kc.Terms) {
+			t.Fatalf("row %d: term count %d != %d", gi, len(got.Terms), len(kc.Terms))
+		}
+		for tt := range kc.Terms {
+			if got.Terms[tt] != kc.Terms[tt] {
+				t.Fatalf("row %d term %d: %+v != %+v", gi, tt, got.Terms[tt], kc.Terms[tt])
+			}
+		}
+		if want := cell.Get(e.C.Gates[gi].Kind).UnitArea; e.P.AreaW[gi] != want {
+			t.Fatalf("row %d: area weight %g != unit area %g", gi, e.P.AreaW[gi], want)
+		}
+	}
+	// The in-place-patched CSR (values and transpose) must evaluate
+	// bit-identically to one rebuilt from scratch.
+	twin := delay.NewCSR(fresh)
+	x := make([]float64, e.C.NumGates())
+	for i := range x {
+		x[i] = 1 + 3*rng.Float64()
+	}
+	for v := 0; v < e.P.NumSizable; v++ {
+		if a, b := e.P.CSR().Delay(v, x[v], x), twin.Delay(v, x[v], x); a != b {
+			t.Fatalf("CSR row %d: patched delay %.17g != fresh %.17g", v, a, b)
+		}
+	}
+}
+
+// randomBatch builds 1–4 random edits against the current netlist.
+// Rewires pick lower-indexed drivers (gen circuits are built in topo
+// order, so acyclicity holds); batches may still be validly rejected
+// when a rewire leaves the old driver dangling.
+func randomBatch(e *Eco, rng *rand.Rand) []Edit {
+	n := 1 + rng.Intn(4)
+	batch := make([]Edit, 0, n)
+	for len(batch) < n {
+		gi := rng.Intn(e.C.NumGates())
+		g := &e.C.Gates[gi]
+		switch rng.Intn(3) {
+		case 0: // retype to a random same-arity cell
+			var opts []cell.Kind
+			for k := 0; k < cell.NumKinds; k++ {
+				if cell.Get(cell.Kind(k)).NumInputs == len(g.Ins) {
+					opts = append(opts, cell.Kind(k))
+				}
+			}
+			if len(opts) == 0 {
+				continue
+			}
+			batch = append(batch, Edit{Op: EditRetype, Gate: gi, Cell: opts[rng.Intn(len(opts))]})
+		case 1: // set/clear extra load
+			load := 0.0
+			if rng.Intn(4) != 0 {
+				load = 20 * rng.Float64()
+			}
+			batch = append(batch, Edit{Op: EditLoad, Gate: gi, LoadFF: load})
+		default: // rewire one pin to a PI or a lower-indexed gate
+			pin := rng.Intn(len(g.Ins))
+			var d circuit.Ref
+			if gi == 0 || rng.Intn(2) == 0 {
+				d = circuit.PIRef(rng.Intn(e.C.NumPIs()))
+			} else {
+				d = circuit.GateRef(rng.Intn(gi))
+			}
+			batch = append(batch, Edit{Op: EditRewire, Gate: gi, Pin: pin, Driver: d})
+		}
+	}
+	return batch
+}
+
+// TestEcoStateConformance is the ISSUE's state-patch conformance
+// harness: 110 random netlists, each absorbing a sequence of random
+// edit batches; after every accepted batch the resident state must be
+// bit-identical to a fresh build of the final netlist, and every
+// rejected batch must leave the state untouched.
+func TestEcoStateConformance(t *testing.T) {
+	m := model()
+	accepted, rejected := 0, 0
+	for inst := 0; inst < 110; inst++ {
+		rng := rand.New(rand.NewSource(int64(7000 + inst)))
+		c := gen.RandomLogic(4+rng.Intn(6), 12+rng.Intn(30), int64(inst))
+		e, err := NewEco(c, m)
+		if err != nil {
+			t.Fatalf("inst %d: %v", inst, err)
+		}
+		for round := 0; round < 4; round++ {
+			batch := randomBatch(e, rng)
+			snap := snapshotEco(e)
+			if _, err := e.Apply(batch); err != nil {
+				snap.check(t, e)
+				rejected++
+				continue
+			}
+			accepted++
+			checkExactness(t, e, rng)
+		}
+	}
+	if accepted == 0 {
+		t.Fatal("harness applied no batches")
+	}
+	t.Logf("conformance: %d batches accepted, %d rejected (state verified unchanged)", accepted, rejected)
+}
+
+// TestEcoValuePatchInPlace asserts value-only batches patch the
+// resident Problem without replacing it (the warm-state contract).
+func TestEcoValuePatchInPlace(t *testing.T) {
+	e, err := NewEco(gen.C17(), model())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p0 := e.P
+	delta, err := e.Apply([]Edit{
+		{Op: EditLoad, Gate: 2, LoadFF: 5},
+		{Op: EditRetype, Gate: 3, Cell: cell.Nor2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if delta.Structural {
+		t.Fatal("value batch marked structural")
+	}
+	if e.P != p0 {
+		t.Fatal("value batch replaced the Problem")
+	}
+	if len(delta.ChangedRows) == 0 {
+		t.Fatal("no changed rows")
+	}
+	// Replaying load 0 restores the pristine coefficients bit-for-bit
+	// (absolute state, not a delta).
+	if _, err := e.Apply([]Edit{
+		{Op: EditLoad, Gate: 2, LoadFF: 0},
+		{Op: EditRetype, Gate: 3, Cell: cell.Nand2},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	f, err := NewEco(gen.C17().Clone(), model())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for gi := range e.P.Coeffs {
+		a, b := e.P.Coeffs[gi], f.P.Coeffs[gi]
+		if a.Self != b.Self || a.Const != b.Const {
+			t.Fatalf("row %d not restored bit-identically", gi)
+		}
+	}
+}
+
+// TestEcoRewireCycleRejected asserts a cycle-creating rewire is
+// rejected atomically after tentative application.
+func TestEcoRewireCycleRejected(t *testing.T) {
+	c := circuit.New("cyc")
+	a := c.AddPI("a")
+	g0 := c.AddGate("g0", cell.Nand2, a, a)
+	g1 := c.AddGate("g1", cell.Nand2, g0, a)
+	g2 := c.AddGate("g2", cell.Nand2, g1, a)
+	c.MarkPO(g2)
+	c.MarkPO(g0)
+	e, err := NewEco(c, model())
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := snapshotEco(e)
+	// g0 <- g2 closes g0→g1→g2→g0.
+	_, err = e.Apply([]Edit{{Op: EditRewire, Gate: 0, Pin: 0, Driver: circuit.GateRef(2)}})
+	if err == nil {
+		t.Fatal("cycle-creating rewire accepted")
+	}
+	snap.check(t, e)
+}
+
+// TestEcoValidation covers the static rejections.
+func TestEcoValidation(t *testing.T) {
+	e, err := NewEco(gen.C17(), model())
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := [][]Edit{
+		nil, // empty batch
+		{{Op: EditRetype, Gate: -1, Cell: cell.Inv}},
+		{{Op: EditRetype, Gate: 0, Cell: cell.Kind(999)}},
+		{{Op: EditRetype, Gate: 0, Cell: cell.Inv}}, // arity mismatch (NAND2 gate)
+		{{Op: EditLoad, Gate: 0, LoadFF: -1}},
+		{{Op: EditLoad, Gate: 0, LoadFF: math.NaN()}},
+		{{Op: EditRewire, Gate: 0, Pin: 9, Driver: circuit.PIRef(0)}},
+		{{Op: EditRewire, Gate: 0, Pin: 0, Driver: circuit.PIRef(99)}},
+		{{Op: EditRewire, Gate: 0, Pin: 0, Driver: circuit.GateRef(0)}}, // self-loop
+		{{Op: EditOp(42), Gate: 0}},
+	}
+	for i, batch := range bad {
+		snap := snapshotEco(e)
+		if _, err := e.Apply(batch); err == nil {
+			t.Fatalf("bad batch %d accepted", i)
+		}
+		snap.check(t, e)
+	}
+	// A batch whose *last* edit is invalid must not half-apply the
+	// earlier valid ones.
+	snap := snapshotEco(e)
+	if _, err := e.Apply([]Edit{
+		{Op: EditLoad, Gate: 1, LoadFF: 7},
+		{Op: EditRetype, Gate: 2, Cell: cell.Nor2},
+		{Op: EditLoad, Gate: 0, LoadFF: -3},
+	}); err == nil {
+		t.Fatal("batch with trailing invalid edit accepted")
+	}
+	snap.check(t, e)
+}

@@ -244,6 +244,54 @@ func NewCSR(coeffs []Coeffs) *CSR {
 	return c
 }
 
+// PatchRow overwrites the stored values of row i — Self, Const and the
+// coupling coefficients — from k, keeping the sparsity pattern.  The
+// transpose and the block/level partitions index the nonzero structure,
+// so the patch is only legal when k has the same term count, the same
+// column order, and the same zero/nonzero pattern as the stored row;
+// PatchRow reports false with the CSR untouched otherwise, and the
+// caller rebuilds via NewCSR.  Value-only ECO edits (retype, load)
+// always preserve the pattern — every circuit coupling coefficient is
+// strictly positive — so in practice false means a structural edit.
+func (c *CSR) PatchRow(i int, k *Coeffs) bool {
+	lo, hi := c.rowPtr[i], c.rowPtr[i+1]
+	if len(k.Terms) != int(hi-lo) {
+		return false
+	}
+	for t, idx := 0, lo; idx < hi; t, idx = t+1, idx+1 {
+		tm := k.Terms[t]
+		if int32(tm.J) != c.col[idx] || (tm.A == 0) != (c.val[idx] == 0) {
+			return false
+		}
+	}
+	c.Self[i] = k.Self
+	c.Const[i] = k.Const
+	for t, idx := 0, lo; idx < hi; t, idx = t+1, idx+1 {
+		tm := k.Terms[t]
+		c.val[idx] = tm.A
+		if tm.J != i && tm.A != 0 {
+			c.setTranspose(int32(i), int32(tm.J), tm.A)
+		}
+	}
+	return true
+}
+
+// setTranspose writes value a at transpose entry (row i, column j),
+// located by binary search over the column's ascending row list.  The
+// entry exists whenever the pattern checks of PatchRow passed.
+func (c *CSR) setTranspose(i, j int32, a float64) {
+	lo, hi := c.tPtr[j], c.tPtr[j+1]
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if c.tRow[mid] < i {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	c.tVal[lo] = a
+}
+
 // N returns the number of vertices (matrix dimension).
 func (c *CSR) N() int { return c.n }
 

@@ -102,6 +102,83 @@ type coeffScratch struct {
 
 var coeffPool = sync.Pool{New: func() any { return new(coeffScratch) }}
 
+// sized returns the scratch arrays at length n with every stamp
+// guaranteed stale (a fresh or regrown scratch is forced to -1; a
+// reused one relies on the mult-rezeroing invariant above).
+func (sc *coeffScratch) sized(n int) (mult, stamp []int32) {
+	if cap(sc.mult) < n {
+		sc.mult = make([]int32, n)
+		sc.stamp = make([]int32, n)
+	}
+	mult, stamp = sc.mult[:n], sc.stamp[:n]
+	if len(stamp) > 0 && stamp[0] == 0 {
+		// A fresh (or smaller-capacity) scratch: force all stamps stale.
+		for i := range stamp {
+			stamp[i] = -1
+		}
+	}
+	return mult, stamp
+}
+
+// gateCoeffInto computes gate gi's coefficients — the one shared inner
+// computation of GateCoeffs and GateCoeff, so the ECO edit path's
+// recomputed rows are bit-identical to a fresh build's.  fo is gi's
+// fanout pin list (gate indices, one entry per driven pin), po the
+// number of primary outputs it drives, and extraFF additional fixed
+// load on its output in fF (the ECO load-edit state; adding a float
+// zero is a bitwise no-op, so pristine builds pass 0).  Coupling terms
+// are appended to arena; the returned Coeffs aliases its tail.
+func (m *Model) gateCoeffInto(c *circuit.Circuit, gi int, fo []int32, po int32, extraFF float64, mult, stamp []int32, arena []Term) (Coeffs, []Term) {
+	cc := cell.Get(c.Gates[gi].Kind)
+	r := m.Tech.RUnit * cc.Drive
+	k := Coeffs{
+		Self:  r * m.Tech.CDiff * cc.Parasitic,
+		Const: r * (m.Tech.CWire*float64(len(fo)+int(po)) + m.POLoad*float64(po) + extraFF),
+	}
+	// Couplings: one term per fanout gate, weighted by how many of its
+	// pins this gate drives.
+	for _, h := range fo {
+		if stamp[h] != int32(gi) {
+			stamp[h] = int32(gi)
+			mult[h] = 0
+		}
+		mult[h]++
+	}
+	base := len(arena)
+	for _, h := range fo {
+		if mult[h] == 0 {
+			continue // already emitted
+		}
+		hc := cell.Get(c.Gates[h].Kind)
+		arena = append(arena, Term{J: int(h), A: r * m.Tech.CGate * hc.InputCap * float64(mult[h])})
+		mult[h] = 0
+	}
+	k.Terms = arena[base:len(arena):len(arena)]
+	return k, arena
+}
+
+// GateCoeff recomputes the coefficients of the single gate gi at the
+// circuit's current state: fo is its fanout pin list (the
+// FanoutsCSR slice for gi), po its driven primary-output count, and
+// extraFF the extra fixed output load in fF (0 for a pristine
+// netlist).  The result is bit-identical to entry gi of GateCoeffs at
+// the same netlist state — both run gateCoeffInto — which is what lets
+// the ECO edit path patch rows in place instead of rebuilding.  The
+// returned Terms are freshly allocated (never shared with an arena).
+func (m *Model) GateCoeff(c *circuit.Circuit, gi int, fo []int32, po int32, extraFF float64) (Coeffs, error) {
+	if err := m.Tech.Validate(); err != nil {
+		return Coeffs{}, err
+	}
+	sc := coeffPool.Get().(*coeffScratch)
+	mult, stamp := sc.sized(c.NumGates())
+	k, _ := m.gateCoeffInto(c, gi, fo, po, extraFF, mult, stamp, nil)
+	coeffPool.Put(sc)
+	if err := k.Validate(); err != nil {
+		return Coeffs{}, fmt.Errorf("gate %q: %w", c.Gates[gi].Name, err)
+	}
+	return k, nil
+}
+
 // GateCoeffs derives the equivalent-inverter Elmore coefficients for
 // every gate (gate sizing: one sizing variable per gate; paper §3 runs
 // all experiments in this mode).
@@ -121,48 +198,14 @@ func (m *Model) GateCoeffs(c *circuit.Circuit) ([]Coeffs, error) {
 	out := make([]Coeffs, n)
 	arena := make([]Term, 0, len(fanIdx)) // distinct terms ≤ driven pins
 	sc := coeffPool.Get().(*coeffScratch)
-	if cap(sc.mult) < n {
-		sc.mult = make([]int32, n)
-		sc.stamp = make([]int32, n)
-	}
-	mult, stamp := sc.mult[:n], sc.stamp[:n]
-	if len(stamp) > 0 && stamp[0] == 0 {
-		// A fresh (or smaller-capacity) scratch: force all stamps stale.
-		for i := range stamp {
-			stamp[i] = -1
-		}
-	}
+	mult, stamp := sc.sized(n)
 	for gi := range c.Gates {
-		g := &c.Gates[gi]
-		cc := cell.Get(g.Kind)
-		r := m.Tech.RUnit * cc.Drive
 		fo := fanIdx[fanPtr[gi]:fanPtr[gi+1]]
-		k := Coeffs{
-			Self:  r * m.Tech.CDiff * cc.Parasitic,
-			Const: r * (m.Tech.CWire*float64(len(fo)+int(poCount[gi])) + m.POLoad*float64(poCount[gi])),
-		}
-		// Couplings: one term per fanout gate, weighted by how many of
-		// its pins this gate drives.
-		for _, h := range fo {
-			if stamp[h] != int32(gi) {
-				stamp[h] = int32(gi)
-				mult[h] = 0
-			}
-			mult[h]++
-		}
-		base := len(arena)
-		for _, h := range fo {
-			if mult[h] == 0 {
-				continue // already emitted
-			}
-			hc := cell.Get(c.Gates[h].Kind)
-			arena = append(arena, Term{J: int(h), A: r * m.Tech.CGate * hc.InputCap * float64(mult[h])})
-			mult[h] = 0
-		}
-		k.Terms = arena[base:len(arena):len(arena)]
+		var k Coeffs
+		k, arena = m.gateCoeffInto(c, gi, fo, poCount[gi], 0, mult, stamp, arena)
 		if err := k.Validate(); err != nil {
 			coeffPool.Put(sc)
-			return nil, fmt.Errorf("gate %q: %w", g.Name, err)
+			return nil, fmt.Errorf("gate %q: %w", c.Gates[gi].Name, err)
 		}
 		out[gi] = k
 	}

@@ -87,6 +87,18 @@ func (c *Client) Query(ctx context.Context, id string, req *QueryRequest) (*Quer
 	return &resp, nil
 }
 
+// Edit applies a netlist edit batch to the session atomically: a
+// non-nil error means the whole batch was rejected and the session is
+// bit-identical to never having received it.
+func (c *Client) Edit(ctx context.Context, id string, req *EditRequest) (*EditResponse, error) {
+	var resp EditResponse
+	path := "/v1/sessions/" + id + "/edit"
+	if err := c.call(ctx, http.MethodPost, path, req, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
 // Info fetches session metadata.
 func (c *Client) Info(ctx context.Context, id string) (*SessionInfo, error) {
 	var resp SessionInfo
@@ -169,11 +181,7 @@ func (c *Client) once(ctx context.Context, method, path string, body []byte, out
 	}
 	defer resp.Body.Close()
 
-	if h := resp.Header.Get("Retry-After"); h != "" {
-		if secs, perr := strconv.Atoi(h); perr == nil && secs >= 0 {
-			retryAfter = time.Duration(secs) * time.Second
-		}
-	}
+	retryAfter = parseRetryAfter(resp.Header.Get("Retry-After"))
 	if resp.StatusCode >= 400 {
 		var eb ErrorBody
 		_ = json.NewDecoder(resp.Body).Decode(&eb)
@@ -186,6 +194,29 @@ func (c *Client) once(ctx context.Context, method, path string, body []byte, out
 		}
 	}
 	return resp.StatusCode, retryAfter, nil
+}
+
+// parseRetryAfter understands both RFC 9110 forms of the header:
+// delay-seconds ("3") and an HTTP-date ("Fri, 08 Aug 2026 09:00:00
+// GMT").  Unparseable or past values yield 0 (fall back to backoff);
+// minflod itself sends delay-seconds, but proxies in front of it
+// commonly rewrite the header to a date.
+func parseRetryAfter(h string) time.Duration {
+	if h == "" {
+		return 0
+	}
+	if secs, err := strconv.Atoi(h); err == nil {
+		if secs < 0 {
+			return 0
+		}
+		return time.Duration(secs) * time.Second
+	}
+	if t, err := http.ParseTime(h); err == nil {
+		if d := time.Until(t); d > 0 {
+			return d
+		}
+	}
+	return 0
 }
 
 func retriableStatus(status int) bool {

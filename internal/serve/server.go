@@ -76,7 +76,6 @@ import (
 	"time"
 
 	"minflo"
-	"minflo/internal/dag"
 	"minflo/internal/delay"
 	"minflo/internal/tech"
 )
@@ -122,6 +121,14 @@ type Config struct {
 	// default) keeps the per-query cold-seed contract; the daemon
 	// enables it with -trust-region.
 	TrustRegion float64
+	// EditConeBudget bounds how much of a circuit an edit batch (POST
+	// /v1/sessions/{id}/edit) may invalidate while keeping the warm
+	// seed: when the edit's forward timing cone exceeds this fraction
+	// of the gates, the session drops its trust-region seed and
+	// rebuilds the solver scratch cold (counted in
+	// edit_fallbacks_total).  0 uses the core default (0.25); negative
+	// disables the fallback.
+	EditConeBudget float64
 }
 
 func (c Config) withDefaults() Config {
@@ -184,6 +191,8 @@ type Server struct {
 	seeded        atomic.Int64
 	seedFallbacks atomic.Int64
 	coalesced     atomic.Int64
+	edits         atomic.Int64
+	editFallbacks atomic.Int64
 }
 
 // New builds a Server.
@@ -214,30 +223,25 @@ func validEngine(name string) bool {
 	return false
 }
 
-// buildProblem turns a submit request into a sizing problem.  Called
-// on every cold build, including quarantine rebuilds — parsing afresh
-// guarantees a rebuilt generation starts from pristine state.
-func (srv *Server) buildProblem(src SubmitRequest) (*dag.Problem, error) {
-	var ckt *minflo.Circuit
-	var err error
+// buildCircuit parses a submit request's netlist.  Called on every
+// cold build, including quarantine rebuilds — parsing afresh
+// guarantees a rebuilt generation starts from pristine state (the
+// worker then replays the session's edit log on top, see buildCore).
+func (srv *Server) buildCircuit(src SubmitRequest) (*minflo.Circuit, error) {
 	switch {
 	case src.Circuit != "" && src.Bench != "":
 		return nil, fmt.Errorf("serve: set exactly one of circuit and bench")
 	case src.Circuit != "":
-		ckt, err = minflo.CircuitByName(src.Circuit)
+		return minflo.CircuitByName(src.Circuit)
 	case src.Bench != "":
 		name := src.Name
 		if name == "" {
 			name = "inline"
 		}
-		ckt, err = minflo.ParseBench(strings.NewReader(src.Bench), name)
+		return minflo.ParseBench(strings.NewReader(src.Bench), name)
 	default:
 		return nil, fmt.Errorf("serve: set exactly one of circuit and bench")
 	}
-	if err != nil {
-		return nil, err
-	}
-	return dag.GateLevel(ckt, srv.model)
 }
 
 // Handler returns the daemon's HTTP routes.
@@ -245,6 +249,7 @@ func (srv *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/sessions", srv.handleSubmit)
 	mux.HandleFunc("POST /v1/sessions/{id}/query", srv.handleQuery)
+	mux.HandleFunc("POST /v1/sessions/{id}/edit", srv.handleEdit)
 	mux.HandleFunc("GET /v1/sessions/{id}", srv.handleInfo)
 	mux.HandleFunc("DELETE /v1/sessions/{id}", srv.handleDelete)
 	mux.HandleFunc("GET /healthz", srv.handleHealthz)
@@ -365,8 +370,8 @@ func (srv *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	key := canonicalQuery(&req)
-	j := &job{kind: jobQuery, req: req, key: key, ctx: r.Context(), resp: make(chan jobReply, 1)}
+	base := canonicalQuery(&req)
+	j := &job{kind: jobQuery, req: req, ctx: r.Context(), resp: make(chan jobReply, 1)}
 
 	srv.mu.Lock()
 	if srv.draining {
@@ -381,6 +386,11 @@ func (srv *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		srv.writeError(w, http.StatusNotFound, CodeNotFound, "no such session (evicted or never created — re-submit)")
 		return
 	}
+	// The coalescing key is scoped to the session's edit epoch: a query
+	// admitted after an edit must not ride a twin queued before it —
+	// they answer against different netlists.
+	key := fmt.Sprintf("e%d;%s", s.epoch, base)
+	j.key = key
 	if prev, ok := s.inflight[key]; ok && !prev.started {
 		// Coalesce: ride the queued twin.  Attach is only legal while
 		// the job has not started (the worker freezes the follower list
@@ -419,19 +429,89 @@ func (srv *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 }
 
 // canonicalQuery maps a query body to its coalescing key: bit-exact
-// target and budgets, want_sizes, and the area-weight edits sorted by
-// gate (stably — a duplicate gate keeps its last-wins order).
+// target and budgets, want_sizes, and the area-weight edits with
+// duplicate gates collapsed to their last occurrence (last-wins — the
+// semantics the session applies) and then sorted by gate, so two
+// requests that set the same final weights get the same key no matter
+// how their duplicate entries were ordered.
 func canonicalQuery(q *QueryRequest) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "t=%x;b=%d;f=%d;s=%t", math.Float64bits(q.TargetPS), q.BudgetMS, q.FlowWorkBudget, q.WantSizes)
 	if len(q.AreaWeights) > 0 {
-		aw := append([]AreaWeight(nil), q.AreaWeights...)
-		sort.SliceStable(aw, func(i, j int) bool { return aw[i].Gate < aw[j].Gate })
+		aw := make([]AreaWeight, 0, len(q.AreaWeights))
+		for i := len(q.AreaWeights) - 1; i >= 0; i-- {
+			a := q.AreaWeights[i]
+			dup := false
+			for _, kept := range aw {
+				if kept.Gate == a.Gate {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				aw = append(aw, a)
+			}
+		}
+		sort.Slice(aw, func(i, j int) bool { return aw[i].Gate < aw[j].Gate })
 		for _, a := range aw {
 			fmt.Fprintf(&b, ";%d=%x", a.Gate, math.Float64bits(a.Weight))
 		}
 	}
 	return b.String()
+}
+
+// handleEdit admits a netlist edit batch into the session's queue.
+// Edits never coalesce (each one mutates state) and they bump the
+// session's edit epoch at admission time, so queries admitted after
+// the edit cannot share an answer with identical queries queued before
+// it.
+func (srv *Server) handleEdit(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	var req EditRequest
+	if err := readJSON(r, &req); err != nil {
+		srv.writeError(w, http.StatusBadRequest, CodeBadRequest, "bad JSON: "+err.Error())
+		return
+	}
+	if len(req.Edits) == 0 {
+		srv.writeError(w, http.StatusBadRequest, CodeBadRequest, "empty edit batch")
+		return
+	}
+
+	j := &job{kind: jobEdit, edit: req, ctx: r.Context(), resp: make(chan jobReply, 1)}
+
+	srv.mu.Lock()
+	if srv.draining {
+		srv.mu.Unlock()
+		srv.rejected.Add(1)
+		srv.writeError(w, http.StatusServiceUnavailable, CodeDraining, "server is draining")
+		return
+	}
+	s, ok := srv.sessions[id]
+	if !ok {
+		srv.mu.Unlock()
+		srv.writeError(w, http.StatusNotFound, CodeNotFound, "no such session (evicted or never created — re-submit)")
+		return
+	}
+	if srv.pending >= srv.cfg.MaxPending {
+		srv.mu.Unlock()
+		srv.rejected.Add(1)
+		srv.writeError(w, http.StatusTooManyRequests, CodeOverloaded, "global pending cap reached")
+		return
+	}
+	select {
+	case s.queue <- j:
+		srv.pending++
+		s.queued++
+		s.epoch++
+		srv.lru.MoveToFront(s.elem)
+		srv.mu.Unlock()
+	default:
+		srv.mu.Unlock()
+		srv.rejected.Add(1)
+		srv.writeError(w, http.StatusTooManyRequests, CodeOverloaded, "session queue full")
+		return
+	}
+	srv.await(w, r, j.resp)
 }
 
 // await relays the worker's reply.  The reply channel is buffered, so
@@ -467,6 +547,7 @@ func (srv *Server) handleInfo(w http.ResponseWriter, r *http.Request) {
 		NumGates:    s.numGates,
 		MemBytes:    s.memBytes,
 		Queries:     s.queries,
+		Edits:       s.editsDone,
 		Queued:      s.queued,
 		Quarantined: s.quarantined,
 	}
@@ -522,6 +603,8 @@ func (srv *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Seeded:        srv.seeded.Load(),
 		SeedFallbacks: srv.seedFallbacks.Load(),
 		Coalesced:     srv.coalesced.Load(),
+		Edits:         srv.edits.Load(),
+		EditFallbacks: srv.editFallbacks.Load(),
 		Draining:      srv.draining,
 	}
 	srv.mu.Unlock()

@@ -8,7 +8,9 @@ import (
 	"net/http"
 	"time"
 
+	"minflo/internal/cell"
 	"minflo/internal/core"
+	"minflo/internal/dag"
 	"minflo/internal/sta"
 )
 
@@ -18,6 +20,7 @@ type jobKind int
 const (
 	jobBuild jobKind = iota // cold-build the solver state (submit path)
 	jobQuery                // answer a sizing query from warm state
+	jobEdit                 // apply a netlist edit batch to warm state
 )
 
 // job is one unit of admitted work.  The handler goroutine that
@@ -26,6 +29,7 @@ const (
 type job struct {
 	kind jobKind
 	req  QueryRequest
+	edit EditRequest     // jobEdit payload
 	ctx  context.Context // request context (client disconnect)
 	resp chan jobReply
 
@@ -67,12 +71,23 @@ type session struct {
 	gen      int
 	seq      int
 	par      int // granted intra-solve worker budget
+	// eco is the session's editable netlist wrapper (owned by the
+	// core.Session); editLog records every accepted edit batch so a
+	// quarantine rebuild replays the session's netlist history — the
+	// "deterministic given session history" contract covers edits.
+	eco     *dag.Eco
+	editLog [][]dag.Edit
 
 	// Shared with the server, guarded by srv.mu.
-	elem        *list.Element // LRU position
-	memBytes    int64
-	queries     int64
-	queued      int
+	elem      *list.Element // LRU position
+	memBytes  int64
+	queries   int64
+	editsDone int64
+	queued    int
+	// epoch counts admitted edit batches; it scopes the query
+	// coalescing keys so a query admitted after an edit never rides a
+	// twin queued before it (see Server.handleEdit).
+	epoch       int
 	busy        bool
 	deleted     bool
 	quarantined bool
@@ -84,10 +99,15 @@ type session struct {
 // afresh so a rebuilt generation starts from pristine state (sticky
 // what-if weights are per-generation and cleared here).
 func (s *session) buildCore() error {
-	p, err := s.srv.buildProblem(s.src)
+	ckt, err := s.srv.buildCircuit(s.src)
 	if err != nil {
 		return err
 	}
+	eco, err := dag.NewEco(ckt, s.srv.model)
+	if err != nil {
+		return err
+	}
+	p := eco.P
 	tm, err := sta.Analyze(p.G, p.Delays(p.InitialSizes()))
 	if err != nil {
 		return err
@@ -103,16 +123,30 @@ func (s *session) buildCore() error {
 	if s.par <= 0 || s.par > s.srv.cfg.Parallelism {
 		s.par = s.srv.cfg.Parallelism
 	}
-	cs, err := core.NewSession(p, core.Options{
+	cs, err := core.NewEcoSession(eco, core.Options{
 		FlowEngine:       engine,
 		Parallelism:      s.par,
 		NoEngineFallback: s.srv.cfg.NoEngineFallback,
 		TrustRegion:      s.srv.cfg.TrustRegion,
+		EditConeBudget:   s.srv.cfg.EditConeBudget,
 	})
 	if err != nil {
 		return err
 	}
+	// A quarantine rebuild parses the source afresh, then replays the
+	// session's accepted edit batches in order: the rebuilt generation's
+	// netlist state is the deterministic product of the session history,
+	// not the pristine submit.  Replay failures are impossible for
+	// batches that validated once against the same history — treat one
+	// as a build failure (fail loud, not with silently dropped edits).
+	for i, batch := range s.editLog {
+		if _, rerr := cs.ApplyEdits(batch); rerr != nil {
+			cs.Close()
+			return fmt.Errorf("edit-log replay (batch %d): %w", i, rerr)
+		}
+	}
 	s.core = cs
+	s.eco = eco
 	s.numGates = p.NumSizable
 	s.dmin = tm.CP
 	s.seq = 0
@@ -238,6 +272,8 @@ func (s *session) handle(j *job) (rep jobReply) {
 	switch j.kind {
 	case jobBuild:
 		return s.handleBuild()
+	case jobEdit:
+		return s.handleEdit(j)
 	default:
 		return s.handleQuery(j)
 	}
@@ -274,8 +310,17 @@ func (s *session) handleQuery(j *job) jobReply {
 	}
 
 	req := &j.req
-	for _, aw := range req.AreaWeights {
-		if err := s.core.SetAreaWeight(aw.Gate, aw.Weight); err != nil {
+	if len(req.AreaWeights) > 0 {
+		// Atomic batch: the whole weight list is validated before any
+		// entry is applied, so a rejected query leaves the session
+		// bit-identical to never having received it (a half-applied
+		// sticky batch would silently skew every later answer).
+		gates := make([]int, len(req.AreaWeights))
+		ws := make([]float64, len(req.AreaWeights))
+		for i, aw := range req.AreaWeights {
+			gates[i], ws[i] = aw.Gate, aw.Weight
+		}
+		if err := s.core.SetAreaWeights(gates, ws); err != nil {
 			return jobReply{http.StatusBadRequest, &ErrorBody{Code: CodeBadRequest, Message: err.Error()}}
 		}
 	}
@@ -335,6 +380,90 @@ func (s *session) handleQuery(j *job) jobReply {
 	// No partial to soften it: a bare error envelope (the only body
 	// shape clients see on non-2xx statuses).
 	return jobReply{status, &ErrorBody{Code: code, Message: err.Error()}}
+}
+
+// handleEdit applies one admitted edit batch to the warm state.  The
+// quarantine-rebuild prologue mirrors handleQuery's: a quarantined (or
+// never-built) session rebuilds cold — replaying the prior edit log —
+// before the new batch lands on top.
+func (s *session) handleEdit(j *job) jobReply {
+	if s.core == nil || s.getQuarantined() {
+		s.shutdown()
+		if err := s.buildCore(); err != nil {
+			return jobReply{http.StatusInternalServerError, &ErrorBody{
+				Code: CodeInternal, Message: "rebuild failed: " + err.Error(),
+			}}
+		}
+		s.gen++
+		s.setQuarantined(false)
+		s.srv.rebuilds.Add(1)
+	}
+
+	edits, err := s.translateEdits(&j.edit)
+	if err != nil {
+		return jobReply{http.StatusBadRequest, &ErrorBody{Code: CodeBadRequest, Message: err.Error()}}
+	}
+	rep, err := s.core.ApplyEdits(edits)
+	if err != nil {
+		// Rejected batches are atomic: the session is bit-identical to
+		// never having received this request, so nothing to log.
+		return jobReply{http.StatusBadRequest, &ErrorBody{Code: CodeBadRequest, Message: err.Error()}}
+	}
+	// The accepted batch joins the session history; a later quarantine
+	// rebuild replays it (without re-counting it in the server stats).
+	s.editLog = append(s.editLog, edits)
+	s.srv.edits.Add(1)
+	if rep.Fallback {
+		s.srv.editFallbacks.Add(1)
+	}
+	s.srv.mu.Lock()
+	s.editsDone++
+	s.srv.mu.Unlock()
+	s.srv.accountMem(s)
+	return jobReply{http.StatusOK, &EditResponse{
+		ID:          s.id,
+		Generation:  s.gen,
+		Structural:  rep.Structural,
+		Rebuilt:     rep.Rebuilt,
+		Fallback:    rep.Fallback,
+		SeedKept:    rep.SeedKept,
+		ConeGates:   rep.ConeGates,
+		ConeFrac:    rep.ConeFrac,
+		ChangedRows: rep.ChangedRows,
+		CPPS:        rep.CP,
+		MemBytes:    s.core.MemoryBytes(),
+	}}
+}
+
+// translateEdits maps the wire batch onto typed dag edits.  Name
+// resolution — cell names, driver signals — happens here against the
+// session's current netlist; index, arity, and cycle validation is
+// core.ApplyEdits's job (and is atomic there).
+func (s *session) translateEdits(req *EditRequest) ([]dag.Edit, error) {
+	out := make([]dag.Edit, len(req.Edits))
+	for i, e := range req.Edits {
+		d := dag.Edit{Gate: e.Gate}
+		switch e.Op {
+		case "retype":
+			k, ok := cell.ByName(e.Cell)
+			if !ok {
+				return nil, fmt.Errorf("edit %d: unknown cell %q", i, e.Cell)
+			}
+			d.Op, d.Cell = dag.EditRetype, k
+		case "load":
+			d.Op, d.LoadFF = dag.EditLoad, e.LoadFF
+		case "rewire":
+			ref, ok := s.eco.C.Lookup(e.Driver)
+			if !ok {
+				return nil, fmt.Errorf("edit %d: unknown driver signal %q", i, e.Driver)
+			}
+			d.Op, d.Pin, d.Driver = dag.EditRewire, e.Pin, ref
+		default:
+			return nil, fmt.Errorf("edit %d: unknown op %q (want retype, load, or rewire)", i, e.Op)
+		}
+		out[i] = d
+	}
+	return out, nil
 }
 
 func (s *session) setQuarantined(v bool) {

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"minflo/internal/core"
+	"minflo/internal/dag"
 	"minflo/internal/fault"
 )
 
@@ -58,11 +59,15 @@ func TestServeSoak(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	p, err := probe.buildProblem(SubmitRequest{Circuit: "adder16"})
+	ckt, err := probe.buildCircuit(SubmitRequest{Circuit: "adder16"})
 	if err != nil {
 		t.Fatal(err)
 	}
-	cs, err := core.NewSession(p, core.Options{FlowEngine: "ssp", Parallelism: 1})
+	eco, err := dag.NewEco(ckt, probe.model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs, err := core.NewEcoSession(eco, core.Options{FlowEngine: "ssp", Parallelism: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -312,11 +317,15 @@ func TestServeSoak(t *testing.T) {
 		if !ok {
 			t.Fatalf("no circuit recorded for %q", id)
 		}
-		tp, err := srv.buildProblem(SubmitRequest{Circuit: cname.(string)})
+		tc, err := srv.buildCircuit(SubmitRequest{Circuit: cname.(string)})
 		if err != nil {
 			t.Fatal(err)
 		}
-		twin, err := core.NewSession(tp, core.Options{FlowEngine: "ssp", Parallelism: 1, NoEngineFallback: true})
+		teco, err := dag.NewEco(tc, srv.model)
+		if err != nil {
+			t.Fatal(err)
+		}
+		twin, err := core.NewEcoSession(teco, core.Options{FlowEngine: "ssp", Parallelism: 1, NoEngineFallback: true})
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -140,6 +140,62 @@ type QueryResponse struct {
 	Error     *ErrorBody `json:"error,omitempty"`
 }
 
+// EditOp is one typed netlist edit of an edit batch.
+type EditOp struct {
+	// Op selects the edit: "retype" (cell/drive-strength swap of equal
+	// arity), "load" (set the extra fixed output load), or "rewire"
+	// (reconnect one input pin to a new driver signal).
+	Op string `json:"op"`
+	// Gate indexes the edited gate (the sizing-vertex index reported by
+	// sizes/weights APIs).
+	Gate int `json:"gate"`
+	// Cell names the new library cell for "retype" (e.g. "NAND2",
+	// "INV"); it must have the gate's current input count.
+	Cell string `json:"cell,omitempty"`
+	// LoadFF is the new extra fixed output load in fF for "load".  It
+	// is absolute state, not a delta — resend 0 to restore the pristine
+	// load.
+	LoadFF float64 `json:"load_ff,omitempty"`
+	// Pin and Driver identify the rewired input for "rewire": the pin
+	// index and the new driver signal's name (a PI or gate output).
+	Pin    int    `json:"pin,omitempty"`
+	Driver string `json:"driver,omitempty"`
+}
+
+// EditRequest applies a batch of netlist edits to a warm session
+// atomically: the whole batch is validated first, and a rejected batch
+// (400) leaves the session bit-identical to never having received it.
+type EditRequest struct {
+	Edits []EditOp `json:"edits"`
+}
+
+// EditResponse reports what an accepted edit batch invalidated.
+type EditResponse struct {
+	ID         string `json:"id"`
+	Generation int    `json:"generation"`
+	// Structural marks a batch containing a rewire (the timing DAG
+	// changed); Rebuilt marks batches that rebuilt the D-phase solver
+	// state (every structural batch, plus cone-budget fallbacks).
+	Structural bool `json:"structural"`
+	Rebuilt    bool `json:"rebuilt"`
+	// Fallback marks a batch whose timing cone exceeded the
+	// -edit-cone-budget fraction: the warm seed was dropped and the
+	// next query runs the cold path.  SeedKept is the complement view —
+	// whether the trust-region seed survived the batch.
+	Fallback bool `json:"fallback,omitempty"`
+	SeedKept bool `json:"seed_kept"`
+	// ConeGates / ConeFrac measure the forward timing cone of the edit
+	// (the gates whose arrivals can move); ChangedRows counts the delay
+	// rows recomputed.
+	ConeGates   int     `json:"cone_gates"`
+	ConeFrac    float64 `json:"cone_frac"`
+	ChangedRows int     `json:"changed_rows"`
+	// CPPS is the post-edit critical path at the session's current
+	// sizes (previous converged answer, or minimum sizes).
+	CPPS     float64 `json:"cp_ps"`
+	MemBytes int64   `json:"mem_bytes"`
+}
+
 // SessionInfo is the GET /v1/sessions/{id} body.
 type SessionInfo struct {
 	ID          string `json:"id"`
@@ -147,6 +203,7 @@ type SessionInfo struct {
 	NumGates    int    `json:"num_gates"`
 	MemBytes    int64  `json:"mem_bytes"`
 	Queries     int64  `json:"queries"`
+	Edits       int64  `json:"edits"`
 	Queued      int    `json:"queued"`
 	Quarantined bool   `json:"quarantined"`
 	FlowEngine  string `json:"flow_engine,omitempty"`
@@ -170,5 +227,9 @@ type StatsResponse struct {
 	Seeded        int64 `json:"seeded_total"`
 	SeedFallbacks int64 `json:"seed_fallbacks_total"`
 	Coalesced     int64 `json:"coalesced_total"`
+	// Edits counts accepted edit batches; EditFallbacks those whose
+	// timing cone exceeded the budget and dropped the warm seed.
+	Edits         int64 `json:"edits_total"`
+	EditFallbacks int64 `json:"edit_fallbacks_total"`
 	Draining      bool  `json:"draining"`
 }

@@ -28,11 +28,18 @@
 // converged sizing via a trust-region policy (-trust-region, default
 // 5%), several times faster than a cold solve; the response's "seed"
 // field says which path answered, and identical concurrent queries
-// coalesce onto one solve ("coalesced": true).  internal/serve
-// documents the endpoints, error codes and the replay-determinism
-// contract ("deterministic given session history"); a retrying client
-// lives in the same package, and examples/service is a runnable
-// walkthrough.
+// coalesce onto one solve ("coalesced": true).  Netlist edits (ECOs —
+// extra loads, cell swaps, fanout rewires) stream through the same
+// session via POST /v1/sessions/{id}/edit: value edits patch the
+// resident coupling rows in place and repair arrivals over the edit's
+// timing cone, rewires rebuild the solver state, and every batch is
+// atomic — a rejected batch (or a query rejected for bad what-if
+// weights) leaves the session bit-identical to never having received
+// it.  internal/serve documents the endpoints, error codes and the
+// replay-determinism contract ("deterministic given session history",
+// edit batches included); a retrying client lives in the same
+// package, and examples/service and examples/eco are runnable
+// walkthroughs.
 package minflo
 
 import (
