@@ -9,7 +9,7 @@
 //
 //	minflod -addr :7317
 //	minflod -addr :7317 -engine ssp -mem-high 512MiB -max-pending 64
-//	minflod -addr :7317 -edit-cone-budget 0.5
+//	minflod -addr :7317 -edit-cone-budget 0.5 -edit-cone-resize
 //
 // Endpoints:
 //
@@ -26,10 +26,21 @@
 // anything applies, and a rejected batch (400) leaves the session
 // bit-identical to never having received it.  Value edits ("retype",
 // "load") patch delay rows in place and repair arrivals over the
-// edit's timing cone; "rewire" rebuilds the session's solver state.
-// An edit whose cone exceeds the -edit-cone-budget fraction of the
-// circuit drops the trust-region seed (the next query runs cold) and
-// is counted in /stats as edit_fallbacks_total.
+// edit's timing cone; "rewire", "add", and "remove" change the graph
+// and rebuild the session's solver state ("add" inserts a named gate
+// whose inputs may reference other adds in the same batch, "remove"
+// deletes a dead gate and shifts higher indices down).  An edit whose
+// cone exceeds the -edit-cone-budget fraction of the circuit drops
+// the trust-region seed (the next query runs cold) and is counted in
+// /stats as edit_fallbacks_total.
+//
+// With -edit-cone-resize, the first query after a value-only edit
+// batch (inside the trust region) is answered from a cone-scoped
+// subproblem against frozen boundary arrivals instead of the full
+// netlist — edit→re-size latency scales with the cone.  The merged
+// answer is re-timed on the whole graph; a reconciliation miss falls
+// back to the full warm path (cone_resizes_total /
+// cone_fallbacks_total in /stats).
 //
 // Overload answers 429 with Retry-After; shutdown (SIGINT/SIGTERM)
 // drains in-flight work, returning best-so-far partial answers at the
@@ -70,15 +81,16 @@ func main() {
 		drain       = flag.Duration("drain", 5*time.Second, "shutdown drain deadline; in-flight queries still running at the deadline return best-so-far partial answers")
 		trustRegion = flag.Float64("trust-region", 0.05, "warm-seed queries whose target moved at most this relative amount from the session's previous answer (0 disables; answers become deterministic given session history, see internal/core)")
 		editCone    = flag.Float64("edit-cone-budget", 0, "drop a session's warm seed when a netlist edit's timing cone exceeds this fraction of the circuit (0 = default 0.25, negative disables the check)")
+		coneResize  = flag.Bool("edit-cone-resize", false, "answer the first in-trust-region query after a value-only edit batch from a cone-scoped subproblem against frozen boundary arrivals (requires -trust-region > 0)")
 	)
 	flag.Parse()
-	if err := run(*addr, *engine, *jobs, *maxInflight, *maxPending, *queueDepth, *memHigh, *memLow, *drain, *trustRegion, *editCone); err != nil {
+	if err := run(*addr, *engine, *jobs, *maxInflight, *maxPending, *queueDepth, *memHigh, *memLow, *drain, *trustRegion, *editCone, *coneResize); err != nil {
 		fmt.Fprintln(os.Stderr, "minflod:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, engine string, jobs, maxInflight, maxPending, queueDepth int, memHigh, memLow string, drain time.Duration, trustRegion, editCone float64) error {
+func run(addr, engine string, jobs, maxInflight, maxPending, queueDepth int, memHigh, memLow string, drain time.Duration, trustRegion, editCone float64, coneResize bool) error {
 	high, err := parseBytes(memHigh)
 	if err != nil {
 		return fmt.Errorf("-mem-high: %w", err)
@@ -100,6 +112,7 @@ func run(addr, engine string, jobs, maxInflight, maxPending, queueDepth int, mem
 		DrainTimeout:   drain,
 		TrustRegion:    trustRegion,
 		EditConeBudget: editCone,
+		EditConeResize: coneResize,
 	})
 	if err != nil {
 		return err

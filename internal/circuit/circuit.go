@@ -93,6 +93,50 @@ func (c *Circuit) AddGate(name string, kind cell.Kind, ins ...Ref) Ref {
 // MarkPO declares a signal as a primary output.
 func (c *Circuit) MarkPO(r Ref) { c.POs = append(c.POs, r) }
 
+// RemoveGate deletes gate g.  It fails if the gate's output is still
+// read — by another gate or a primary output — since splicing a live
+// driver would leave dangling refs.  Gate indices above g shift down
+// by one; callers holding external index-based references own the
+// remap.
+func (c *Circuit) RemoveGate(g int) error {
+	if g < 0 || g >= len(c.Gates) {
+		return fmt.Errorf("circuit: RemoveGate index %d out of range [0,%d)", g, len(c.Gates))
+	}
+	for gi := range c.Gates {
+		for _, in := range c.Gates[gi].Ins {
+			if in.Kind == RefGate && in.Index == g {
+				return fmt.Errorf("circuit: gate %q still drives gate %q", c.Gates[g].Name, c.Gates[gi].Name)
+			}
+		}
+	}
+	for _, po := range c.POs {
+		if po.Kind == RefGate && po.Index == g {
+			return fmt.Errorf("circuit: gate %q still drives a primary output", c.Gates[g].Name)
+		}
+	}
+	delete(c.byName, c.Gates[g].Name)
+	c.Gates = append(c.Gates[:g], c.Gates[g+1:]...)
+	for gi := range c.Gates {
+		ins := c.Gates[gi].Ins
+		for k := range ins {
+			if ins[k].Kind == RefGate && ins[k].Index > g {
+				ins[k].Index--
+			}
+		}
+	}
+	for k := range c.POs {
+		if c.POs[k].Kind == RefGate && c.POs[k].Index > g {
+			c.POs[k].Index--
+		}
+	}
+	for name, r := range c.byName {
+		if r.Kind == RefGate && r.Index > g {
+			c.byName[name] = Ref{RefGate, r.Index - 1}
+		}
+	}
+	return nil
+}
+
 // Lookup resolves a signal name.
 func (c *Circuit) Lookup(name string) (Ref, bool) {
 	r, ok := c.byName[name]

@@ -181,6 +181,21 @@ type Options struct {
 	// disables the fallback (edits never drop the seed).  Only consulted
 	// on sessions with an editable netlist (NewEcoSession).
 	EditConeBudget float64
+	// EditConeResize, when set on a session with an editable netlist,
+	// answers the Resize after a value-only edit batch from a
+	// cone-scoped subproblem instead of the full circuit: the edit's
+	// forward cone (closed under the coupling transpose) is extracted
+	// against frozen boundary arrivals (dag.ExtractCone), solved with
+	// the full D/W loop warm-seeded from the resident sizing, and
+	// merged back.  A deterministic reconciliation re-times the full
+	// graph at the merged sizes; a missed target widens the cone once
+	// and then falls back to the full warm re-size.  Requires
+	// TrustRegion > 0 (the cone solve is a refinement of the resident
+	// answer; without a seed there is nothing to freeze against).
+	// Result.Seed reports SeedCone when the cone answered.  All
+	// decisions are pure functions of session history, preserving the
+	// replay-determinism contract.
+	EditConeResize bool
 	// Tilos configures the initial-guess run.
 	Tilos tilos.Options
 	// SkipTilos starts from minimum sizes when the target is already met
@@ -237,6 +252,9 @@ const (
 	// SeedWarm marks a run started from the session's previous
 	// converged sizing under the trust-region policy.
 	SeedWarm = "warm"
+	// SeedCone marks a Resize answered by a cone-scoped subproblem
+	// solve against frozen boundary arrivals (Options.EditConeResize).
+	SeedCone = "cone"
 )
 
 // Result is the final sizing.
@@ -266,6 +284,13 @@ type Result struct {
 	// region seed and abandoned it (repair failure or EWMA iteration
 	// blowout).
 	SeedFallback bool
+	// ConeGates counts the sizable vertices of the cone subproblem
+	// when Seed == SeedCone (0 otherwise).
+	ConeGates int
+	// ConeFallback marks a run that attempted a cone-scoped re-size
+	// and fell back to a full-circuit path (cone too wide, extraction
+	// failure, or reconciliation missing the target after widening).
+	ConeFallback bool
 }
 
 func (o Options) withDefaults() Options {

@@ -65,6 +65,10 @@ type EditReport struct {
 	Fallback bool
 	// SeedKept reports whether the trust-region seed survived.
 	SeedKept bool
+	// GateSetChanged marks a batch containing gate adds/removes: gate
+	// indices remapped, resident sizes and the warm seed are void, and
+	// the cone covers everything (ConeFrac is 1).
+	GateSetChanged bool
 	// ConeGates counts the sizable vertices inside the forward timing
 	// cone of the edit (the vertices whose arrivals may move);
 	// ConeFrac is that count over all sizable vertices.
@@ -72,6 +76,11 @@ type EditReport struct {
 	ConeFrac  float64
 	// ChangedRows counts the delay-coefficient rows the batch touched.
 	ChangedRows int
+	// ConeResizePending reports that the batch armed a cone-local
+	// re-size (Options.EditConeResize): the next in-trust-region Resize
+	// will be answered from the cone subproblem around the accumulated
+	// edit seeds.
+	ConeResizePending bool
 	// CP is the post-edit critical path at the session's current sizes
 	// (the previous converged sizing, or minimum sizes before any).
 	CP float64
@@ -111,20 +120,35 @@ func (s *Session) ApplyEdits(edits []dag.Edit) (*EditReport, error) {
 	s.editCount++
 	s.p = s.eco.P // identical pointer unless the batch was structural
 
+	if delta.GateSetChanged {
+		// Adds/removes remap gate indices: the captured sizes and the
+		// warm seed are meaningless in the new index space.  Restart
+		// the resident state from minimum sizes and invalidate the
+		// seed regardless of any cone budget.
+		x = s.p.InitialSizes()
+		s.seedX = make([]float64, s.p.NumSizable)
+		s.seedValid = false
+	}
+
 	// Forward timing cone of the edited vertices: the arrivals (and
-	// hence the re-sizing pressure) outside it cannot move.
-	reach := s.p.G.Reachable(delta.Seeds)
-	cone := 0
-	for v := 0; v < s.p.NumSizable; v++ {
-		if reach[v] {
-			cone++
+	// hence the re-sizing pressure) outside it cannot move.  A gate-set
+	// change has no per-row delta — the damage is honestly global.
+	cone := s.p.NumSizable
+	if !delta.GateSetChanged {
+		reach := s.p.G.Reachable(delta.Seeds)
+		cone = 0
+		for v := 0; v < s.p.NumSizable; v++ {
+			if reach[v] {
+				cone++
+			}
 		}
 	}
 	rep := &EditReport{
-		Structural:  delta.Structural,
-		ConeGates:   cone,
-		ConeFrac:    float64(cone) / float64(maxInt(1, s.p.NumSizable)),
-		ChangedRows: len(delta.ChangedRows),
+		Structural:     delta.Structural,
+		GateSetChanged: delta.GateSetChanged,
+		ConeGates:      cone,
+		ConeFrac:       float64(cone) / float64(maxInt(1, s.p.NumSizable)),
+		ChangedRows:    len(delta.ChangedRows),
 	}
 	rep.Fallback = s.opt.EditConeBudget > 0 && rep.ConeFrac > s.opt.EditConeBudget
 
@@ -174,9 +198,42 @@ func (s *Session) ApplyEdits(edits []dag.Edit) (*EditReport, error) {
 			s.seedWPerturb = rel
 		}
 	}
+	// Arm (or disarm) the cone-local re-size.  Only a value-only batch
+	// that kept the seed leaves the frozen-boundary premise intact:
+	// structural rebuilds and fallbacks moved timing globally, and a
+	// gate-set change voided the index space.  Seeds accumulate across
+	// batches (sorted union) so several small edits before one query
+	// still resolve to a single cone.
+	if s.opt.EditConeResize && !delta.Structural && !rep.Fallback && s.seedValid {
+		s.pendingCone = mergeSortedInts(s.pendingCone, delta.Seeds)
+		rep.ConeResizePending = true
+	} else {
+		s.pendingCone = nil
+	}
 	rep.SeedKept = s.seedValid
 	rep.CP = s.sc.arr.CP()
 	return rep, nil
+}
+
+// mergeSortedInts returns the sorted union of two ascending slices.
+func mergeSortedInts(a, b []int) []int {
+	out := make([]int, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) || j < len(b) {
+		switch {
+		case j >= len(b) || (i < len(a) && a[i] < b[j]):
+			out = append(out, a[i])
+			i++
+		case i >= len(a) || b[j] < a[i]:
+			out = append(out, b[j])
+			j++
+		default: // equal
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	return out
 }
 
 func maxInt(a, b int) int {

@@ -116,6 +116,18 @@ type Session struct {
 	eco           *dag.Eco
 	editCount     int
 	editFallbacks int
+
+	// Cone-local re-size state (Options.EditConeResize): pendingCone
+	// holds the union of edit seeds armed by value-only ApplyEdits
+	// batches since the last Resize — the next Resize inside the trust
+	// region answers from a cone-scoped subproblem around them
+	// (cone.go).  Weight edits, structural batches and fallbacks clear
+	// it: they move timing or costs outside the cone, voiding the
+	// frozen-boundary premise.
+	pendingCone   []int
+	coneResizes   int // Resizes answered by a cone subproblem
+	coneWidenings int // reconciliation retries with a widened cone
+	coneFallbacks int // cone attempts that fell back to a full path
 }
 
 // NewSession builds the warm state for problem p: augmented DAG,
@@ -181,6 +193,12 @@ func (s *Session) SetAreaWeight(i int, w float64) error {
 	if rel := math.Abs(w-old) / old; rel > s.seedWPerturb {
 		s.seedWPerturb = rel
 	}
+	// A cost change re-prices gates the pending cone froze out, so a
+	// cone-scoped solve could no longer match the full problem's
+	// optimum: disarm it (an honest negative recorded in
+	// EXPERIMENTS.md — interleaving what-if weights with edits forfeits
+	// the cone win).
+	s.pendingCone = nil
 	return nil
 }
 
@@ -223,6 +241,19 @@ func (s *Session) SetAreaWeights(gates []int, weights []float64) error {
 	}
 	return nil
 }
+
+// ConeResizes reports how many Resize calls were answered by a
+// cone-scoped subproblem solve (Options.EditConeResize).
+func (s *Session) ConeResizes() int { return s.coneResizes }
+
+// ConeWidenings reports how many cone attempts needed the widened
+// reconciliation retry before answering or falling back.
+func (s *Session) ConeWidenings() int { return s.coneWidenings }
+
+// ConeFallbacks reports how many armed cone attempts fell back to a
+// full-circuit path (cone too wide, extraction failure, or
+// reconciliation missing the target after widening).
+func (s *Session) ConeFallbacks() int { return s.coneFallbacks }
 
 // TrustRegionSeeded reports how many Resize calls were answered from
 // the trust-region warm seed (the previous converged sizing) instead
@@ -294,6 +325,7 @@ func (s *Session) MemoryBytes() int64 {
 		b += int64(len(s.eco.C.Gates))*6*word + pins*2*word
 		b += int64(len(s.eco.Extra)) * word
 	}
+	b += int64(cap(s.pendingCone)) * word // armed cone seeds
 	return b
 }
 
@@ -378,13 +410,31 @@ func (s *Session) Resize(ctx context.Context, T float64, bud Budgets) (*Result, 
 	// the target moved at most δ relative and no weight edit since
 	// exceeded δ.  Every input here is session history — never wall
 	// time — so a twin replaying the sequence makes the same choice.
+	// An armed cone (value-only edits since the last answer,
+	// Options.EditConeResize) is consumed here whatever happens: it
+	// describes exactly the edits between the previous answer and this
+	// query, so it cannot carry over to a later one.
+	coneSeeds := s.pendingCone
+	s.pendingCone = nil
 	fellBack := false
+	coneFellBack := false
 	if opt.TrustRegion > 0 && s.seedValid && s.seedT > 0 &&
 		math.Abs(T-s.seedT) <= opt.TrustRegion*s.seedT &&
 		s.seedWPerturb <= opt.TrustRegion {
+		if opt.EditConeResize && len(coneSeeds) > 0 {
+			res, err := s.resizeCone(coneSeeds, T, checkAbort)
+			if !errors.Is(err, errSeedRejected) {
+				s.coneResizes++
+				return s.recordCone(T, res, err)
+			}
+			coneFellBack = true // coneFallbacks counted at the decision site
+		}
 		res, err := s.resizeSeeded(T, checkAbort)
 		if !errors.Is(err, errSeedRejected) {
 			s.seeded++
+			if res != nil {
+				res.ConeFallback = coneFellBack
+			}
 			return s.recordSeed(T, res, err)
 		}
 		s.seedFallbacks++
@@ -393,8 +443,25 @@ func (s *Session) Resize(ctx context.Context, T float64, bud Budgets) (*Result, 
 	res, err := s.resizeCold(T, checkAbort)
 	if res != nil {
 		res.SeedFallback = fellBack
+		res.ConeFallback = coneFellBack
 	}
 	return s.recordSeed(T, res, err)
+}
+
+// recordCone finishes a cone-answered Resize: the merged full sizing
+// becomes the next trust-region seed, but the cone's iteration count
+// deliberately stays out of the EWMA — a handful of cone-sized
+// iterations would shrink the blowout gate the next full-circuit
+// seeded run is judged against.
+func (s *Session) recordCone(T float64, res *Result, err error) (*Result, error) {
+	if err != nil || res == nil {
+		return res, err
+	}
+	copy(s.seedX, res.X)
+	s.seedT = T
+	s.seedValid = true
+	s.seedWPerturb = 0
+	return res, err
 }
 
 // recordSeed finishes a Resize: a clean answer becomes the next

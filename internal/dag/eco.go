@@ -44,6 +44,20 @@ const (
 	// (the batch stays atomic — a rewire that creates a cycle or leaves
 	// the old driver driving nothing is rejected with no state change).
 	EditRewire
+	// EditAdd instantiates a new gate (Name, Cell, Ins; PO marks its
+	// output as a primary output).  Structural, and it changes the gate
+	// set: later edits in the same batch may reference the new gate —
+	// by the index NumGates-at-that-point or via a rewire Driver — and
+	// the whole batch is applied to a clone, committed only if the
+	// edited netlist rebuilds cleanly (an added gate must end the batch
+	// driving a gate or a PO).  The gate starts at minimum size with
+	// zero extra load.
+	EditAdd
+	// EditRemove deletes gate Gate.  The gate's output must be dead by
+	// the time this edit applies (no gate reads it, no PO) — remove
+	// consumers first, in the same batch.  Gate indices above it shift
+	// down by one; later edits in the batch see the shifted indices.
+	EditRemove
 )
 
 // Edit is one netlist edit delta.  Gate indexes the edited gate for
@@ -60,14 +74,25 @@ type Edit struct {
 	// into the gate's inputs, and the new driver signal.
 	Pin    int
 	Driver circuit.Ref
+	// Name and Ins define an added gate (EditAdd); PO marks its output
+	// as a primary output.  Gate is ignored for adds.
+	Name string
+	Ins  []circuit.Ref
+	PO   bool
 }
 
 // EditDelta reports what an Apply changed.
 type EditDelta struct {
-	// Structural marks a batch that changed the DAG (a rewire): the
-	// Problem — graph, topo order, coupling CSR — was rebuilt, and P
-	// points at a new value.  Value-only batches patch in place.
+	// Structural marks a batch that changed the DAG (a rewire, add or
+	// remove): the Problem — graph, topo order, coupling CSR — was
+	// rebuilt, and P points at a new value.  Value-only batches patch
+	// in place.
 	Structural bool
+	// GateSetChanged marks a batch containing adds or removes.  Even a
+	// count-neutral remove+add batch remaps gate indices, so resident
+	// size vectors and warm seeds are meaningless afterwards; ChangedRows
+	// and Seeds are nil for such batches (the damage is global).
+	GateSetChanged bool
 	// ChangedRows lists the sizable vertices whose delay coefficients
 	// changed (sorted ascending, unique).
 	ChangedRows []int
@@ -106,6 +131,23 @@ func NewEco(c *circuit.Circuit, m *delay.Model) (*Eco, error) {
 	return &Eco{C: c, M: m, P: p, Extra: make([]float64, c.NumGates())}, nil
 }
 
+// NewEcoWithExtra rebuilds an Eco from a previously edited netlist and
+// its extra-load state — the serve layer's snapshot-compaction path.
+// By state-patch exactness the result is bit-identical to a fresh
+// NewEco plus replay of the edit history that produced c and extra, so
+// a compacted history (snapshot + suffix) replays to the same state as
+// the full one.  The circuit is owned by the Eco once constructed.
+func NewEcoWithExtra(c *circuit.Circuit, m *delay.Model, extra []float64) (*Eco, error) {
+	if len(extra) != c.NumGates() {
+		return nil, fmt.Errorf("dag: extra-load length %d != %d gates", len(extra), c.NumGates())
+	}
+	p, err := buildWithExtra(c, m, extra)
+	if err != nil {
+		return nil, err
+	}
+	return &Eco{C: c, M: m, P: p, Extra: append([]float64(nil), extra...)}, nil
+}
+
 // undoEntry records one netlist mutation for batch rollback.
 type undoEntry struct {
 	op   EditOp
@@ -127,9 +169,18 @@ func (e *Eco) Apply(edits []Edit) (*EditDelta, error) {
 	if len(edits) == 0 {
 		return nil, fmt.Errorf("dag: empty edit batch")
 	}
+	// Gate-set batches (adds/removes) change indices mid-batch, so
+	// upfront validation against the current netlist is meaningless —
+	// they take the clone-and-commit path with per-edit validation
+	// against the evolving clone.
+	for k := range edits {
+		if edits[k].Op == EditAdd || edits[k].Op == EditRemove {
+			return e.applyGateSet(edits)
+		}
+	}
 	structural := false
 	for k := range edits {
-		if err := e.validate(&edits[k]); err != nil {
+		if err := validateEdit(e.C, &edits[k]); err != nil {
 			return nil, fmt.Errorf("dag: edit %d: %w", k, err)
 		}
 		if edits[k].Op == EditRewire {
@@ -262,28 +313,71 @@ func (e *Eco) Apply(edits []Edit) (*EditDelta, error) {
 	return delta, nil
 }
 
-// rebuild replaces the resident Problem with a fresh build of the
-// edited netlist and re-applies the extra-load state.  Sticky what-if
-// area weights do not survive — GateLevel resets AreaW to the cells'
-// unit areas — so the per-weight relative change is folded into
-// delta.MaxWRel for the trust-region ledger, and the reset itself is
-// part of the deterministic replay contract (a twin replaying the same
-// history resets at the same point).
-func (e *Eco) rebuild(delta *EditDelta) error {
-	oldW := e.P.AreaW
-	p, err := GateLevel(e.C, e.M)
-	if err != nil {
-		return err
+// applyGateSet applies a batch containing gate adds/removes.  The whole
+// batch is applied sequentially to a clone of the netlist — each edit
+// validated against the evolving clone, so an add-then-wire-then-remove
+// sequence sees exactly the indices it created — and the resident state
+// is swapped only after the edited netlist rebuilds cleanly.  Atomicity
+// needs no rollback: failure leaves the clone to the collector.
+func (e *Eco) applyGateSet(edits []Edit) (*EditDelta, error) {
+	c := e.C.Clone()
+	extra := append([]float64(nil), e.Extra...)
+	for k := range edits {
+		ed := &edits[k]
+		if err := validateEdit(c, ed); err != nil {
+			return nil, fmt.Errorf("dag: edit %d: %w", k, err)
+		}
+		switch ed.Op {
+		case EditRetype:
+			c.Gates[ed.Gate].Kind = ed.Cell
+		case EditLoad:
+			extra[ed.Gate] = ed.LoadFF
+		case EditRewire:
+			c.Gates[ed.Gate].Ins[ed.Pin] = ed.Driver
+		case EditAdd:
+			r := c.AddGate(ed.Name, ed.Cell, ed.Ins...)
+			if ed.PO {
+				c.MarkPO(r)
+			}
+			extra = append(extra, 0)
+		case EditRemove:
+			if err := c.RemoveGate(ed.Gate); err != nil {
+				return nil, fmt.Errorf("dag: edit %d: %w", k, err)
+			}
+			extra = append(extra[:ed.Gate], extra[ed.Gate+1:]...)
+		}
 	}
-	fanPtr, fanIdx, poCount := e.C.FanoutsCSR()
-	for gi, x := range e.Extra {
+	p, err := buildWithExtra(c, e.M, extra)
+	if err != nil {
+		return nil, err
+	}
+	e.C = c
+	e.Extra = extra
+	e.P = p
+	// Sticky what-if weights are reset by the rebuild, but with the
+	// gate set remapped there is no per-index old/new weight pairing to
+	// fold into MaxWRel — GateSetChanged itself forces seed invalidation
+	// downstream, which subsumes any perturbation accounting.
+	return &EditDelta{Structural: true, GateSetChanged: true}, nil
+}
+
+// buildWithExtra builds the sizing problem for c and re-applies the
+// extra-load state on top — the shared core of rebuild, NewEcoWithExtra
+// and the gate-set commit path.
+func buildWithExtra(c *circuit.Circuit, m *delay.Model, extra []float64) (*Problem, error) {
+	p, err := GateLevel(c, m)
+	if err != nil {
+		return nil, err
+	}
+	fanPtr, fanIdx, poCount := c.FanoutsCSR()
+	for gi, x := range extra {
 		if x == 0 {
 			continue
 		}
 		fo := fanIdx[fanPtr[gi]:fanPtr[gi+1]]
-		kc, err := e.M.GateCoeff(e.C, gi, fo, poCount[gi], x)
+		kc, err := m.GateCoeff(c, gi, fo, poCount[gi], x)
 		if err != nil {
-			return fmt.Errorf("dag: extra-load replay: %w", err)
+			return nil, fmt.Errorf("dag: extra-load replay: %w", err)
 		}
 		dst := &p.Coeffs[gi]
 		dst.Self = kc.Self
@@ -294,6 +388,22 @@ func (e *Eco) rebuild(delta *EditDelta) error {
 		if !p.csr.PatchRow(gi, dst) {
 			p.csr = delay.NewCSR(p.Coeffs)
 		}
+	}
+	return p, nil
+}
+
+// rebuild replaces the resident Problem with a fresh build of the
+// edited netlist and re-applies the extra-load state.  Sticky what-if
+// area weights do not survive — GateLevel resets AreaW to the cells'
+// unit areas — so the per-weight relative change is folded into
+// delta.MaxWRel for the trust-region ledger, and the reset itself is
+// part of the deterministic replay contract (a twin replaying the same
+// history resets at the same point).
+func (e *Eco) rebuild(delta *EditDelta) error {
+	oldW := e.P.AreaW
+	p, err := buildWithExtra(e.C, e.M, e.Extra)
+	if err != nil {
+		return err
 	}
 	if len(oldW) == len(p.AreaW) {
 		for i := range oldW {
@@ -325,19 +435,21 @@ func sameShape(a, b []delay.Term) bool {
 	return true
 }
 
-// validate checks one edit statically (no mutation).  Structural
-// soundness of rewires — acyclicity, the old driver still driving
-// something — is re-checked by the rebuild and rolled back on failure.
-func (e *Eco) validate(ed *Edit) error {
-	if ed.Gate < 0 || ed.Gate >= e.C.NumGates() {
-		return fmt.Errorf("gate %d out of range [0,%d)", ed.Gate, e.C.NumGates())
+// validateEdit checks one edit against netlist c without mutating it.
+// Structural soundness of rewires — acyclicity, the old driver still
+// driving something — is re-checked by the rebuild and rolled back on
+// failure.  Gate-set batches call this per edit against the evolving
+// clone, so index checks see the gate set as of that point.
+func validateEdit(c *circuit.Circuit, ed *Edit) error {
+	if ed.Op != EditAdd && (ed.Gate < 0 || ed.Gate >= c.NumGates()) {
+		return fmt.Errorf("gate %d out of range [0,%d)", ed.Gate, c.NumGates())
 	}
 	switch ed.Op {
 	case EditRetype:
 		if int(ed.Cell) < 0 || int(ed.Cell) >= cell.NumKinds {
 			return fmt.Errorf("unknown cell kind %d", ed.Cell)
 		}
-		g := &e.C.Gates[ed.Gate]
+		g := &c.Gates[ed.Gate]
 		if want := cell.Get(ed.Cell).NumInputs; want != len(g.Ins) {
 			return fmt.Errorf("retype %q: cell %s wants %d inputs, gate has %d",
 				g.Name, ed.Cell, want, len(g.Ins))
@@ -347,27 +459,57 @@ func (e *Eco) validate(ed *Edit) error {
 			return fmt.Errorf("load %g fF: must be finite and non-negative", ed.LoadFF)
 		}
 	case EditRewire:
-		g := &e.C.Gates[ed.Gate]
+		g := &c.Gates[ed.Gate]
 		if ed.Pin < 0 || ed.Pin >= len(g.Ins) {
 			return fmt.Errorf("rewire %q: pin %d out of range [0,%d)", g.Name, ed.Pin, len(g.Ins))
 		}
-		switch ed.Driver.Kind {
-		case circuit.RefPI:
-			if ed.Driver.Index < 0 || ed.Driver.Index >= e.C.NumPIs() {
-				return fmt.Errorf("rewire %q: dangling PI driver %d", g.Name, ed.Driver.Index)
-			}
-		case circuit.RefGate:
-			if ed.Driver.Index < 0 || ed.Driver.Index >= e.C.NumGates() {
-				return fmt.Errorf("rewire %q: dangling gate driver %d", g.Name, ed.Driver.Index)
-			}
-			if ed.Driver.Index == ed.Gate {
-				return fmt.Errorf("rewire %q: self-loop", g.Name)
-			}
-		default:
-			return fmt.Errorf("rewire %q: bad driver kind %d", g.Name, ed.Driver.Kind)
+		if err := validateDriver(c, ed.Driver); err != nil {
+			return fmt.Errorf("rewire %q: %w", g.Name, err)
 		}
+		if ed.Driver.Kind == circuit.RefGate && ed.Driver.Index == ed.Gate {
+			return fmt.Errorf("rewire %q: self-loop", g.Name)
+		}
+	case EditAdd:
+		if ed.Name == "" {
+			return fmt.Errorf("add: empty gate name")
+		}
+		if _, dup := c.Lookup(ed.Name); dup {
+			return fmt.Errorf("add %q: duplicate signal name", ed.Name)
+		}
+		if int(ed.Cell) < 0 || int(ed.Cell) >= cell.NumKinds {
+			return fmt.Errorf("add %q: unknown cell kind %d", ed.Name, ed.Cell)
+		}
+		if want := cell.Get(ed.Cell).NumInputs; want != len(ed.Ins) {
+			return fmt.Errorf("add %q: cell %s wants %d inputs, got %d",
+				ed.Name, ed.Cell, want, len(ed.Ins))
+		}
+		for pin, in := range ed.Ins {
+			if err := validateDriver(c, in); err != nil {
+				return fmt.Errorf("add %q pin %d: %w", ed.Name, pin, err)
+			}
+		}
+	case EditRemove:
+		// Liveness (no remaining readers) is checked by RemoveGate at
+		// application time, against the batch-evolved netlist.
 	default:
 		return fmt.Errorf("unknown edit op %d", ed.Op)
+	}
+	return nil
+}
+
+// validateDriver checks that r resolves to an existing signal of c.
+func validateDriver(c *circuit.Circuit, r circuit.Ref) error {
+	switch r.Kind {
+	case circuit.RefPI:
+		if r.Index < 0 || r.Index >= c.NumPIs() {
+			return fmt.Errorf("dangling PI driver %d", r.Index)
+		}
+	case circuit.RefGate:
+		if r.Index < 0 || r.Index >= c.NumGates() {
+			return fmt.Errorf("dangling gate driver %d", r.Index)
+		}
+	default:
+		return fmt.Errorf("bad driver kind %d", r.Kind)
 	}
 	return nil
 }

@@ -302,3 +302,118 @@ func TestEcoValidation(t *testing.T) {
 	}
 	snap.check(t, e)
 }
+
+// TestEcoGateSetAdd covers EditAdd: an accepted add is bit-identical to
+// a fresh build of the grown netlist (checkExactness) and to the
+// snapshot-compaction path (NewEcoWithExtra on the evolved state), and
+// in-batch references to the new gate resolve.
+func TestEcoGateSetAdd(t *testing.T) {
+	m := model()
+	e, err := NewEco(gen.C17(), m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(41))
+	n0 := e.C.NumGates()
+	// One batch: add an inverter on gate 0's output and immediately
+	// rewire an existing consumer pin onto it (the added gate's future
+	// index is the pre-add gate count).
+	delta, err := e.Apply([]Edit{
+		{Op: EditAdd, Name: "eco_inv", Cell: cell.Inv, Ins: []circuit.Ref{circuit.GateRef(0)}},
+		{Op: EditRewire, Gate: 2, Pin: 0, Driver: circuit.GateRef(n0)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !delta.Structural || !delta.GateSetChanged {
+		t.Fatalf("add batch delta %+v: want structural + gate-set change", delta)
+	}
+	if e.C.NumGates() != n0+1 || e.P.NumSizable != n0+1 || len(e.Extra) != n0+1 {
+		t.Fatalf("gate count after add: C=%d P=%d extra=%d, want %d", e.C.NumGates(), e.P.NumSizable, len(e.Extra), n0+1)
+	}
+	checkExactness(t, e, rng)
+	// Snapshot-compaction contract: rebuilding from the evolved netlist
+	// and extra-load state reproduces the resident rows bit-for-bit.
+	twin, err := NewEcoWithExtra(e.C.Clone(), m, e.Extra)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for gi := range e.P.Coeffs {
+		a, b := e.P.Coeffs[gi], twin.P.Coeffs[gi]
+		if a.Self != b.Self || a.Const != b.Const || len(a.Terms) != len(b.Terms) {
+			t.Fatalf("row %d: resident != NewEcoWithExtra twin", gi)
+		}
+		for tt := range a.Terms {
+			if a.Terms[tt] != b.Terms[tt] {
+				t.Fatalf("row %d term %d: resident != twin", gi, tt)
+			}
+		}
+	}
+}
+
+// TestEcoGateSetRemove covers EditRemove: removal demands a dead gate
+// (consumers must be detached first, in the same batch), later edits
+// see the shifted index space, and the result matches a fresh build.
+func TestEcoGateSetRemove(t *testing.T) {
+	mk := func() *Eco {
+		c := circuit.New("rm")
+		a := c.AddPI("a")
+		b := c.AddPI("b")
+		g0 := c.AddGate("g0", cell.Nand2, a, b)
+		g1 := c.AddGate("g1", cell.Nand2, g0, b)
+		_ = g1
+		c.MarkPO(circuit.GateRef(1))
+		e, err := NewEco(c, model())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return e
+	}
+	rng := rand.New(rand.NewSource(42))
+
+	// Detach the only reader, then remove; the trailing load edit uses
+	// the post-shift index (old g1 is gate 0 after the removal).
+	e := mk()
+	delta, err := e.Apply([]Edit{
+		{Op: EditRewire, Gate: 1, Pin: 0, Driver: circuit.PIRef(0)},
+		{Op: EditRemove, Gate: 0},
+		{Op: EditLoad, Gate: 0, LoadFF: 4},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !delta.GateSetChanged || e.C.NumGates() != 1 {
+		t.Fatalf("remove batch: delta %+v, %d gates", delta, e.C.NumGates())
+	}
+	if e.C.Gates[0].Name != "g1" || e.Extra[0] != 4 {
+		t.Fatalf("post-shift state: gate %q extra %g", e.C.Gates[0].Name, e.Extra[0])
+	}
+	checkExactness(t, e, rng)
+
+	// Liveness: removing a gate something still reads, or a PO gate,
+	// rejects the whole batch atomically.
+	for _, batch := range [][]Edit{
+		{{Op: EditRemove, Gate: 0}}, // g0 still read by g1
+		{{Op: EditRewire, Gate: 1, Pin: 0, Driver: circuit.PIRef(0)}, {Op: EditRemove, Gate: 1}}, // g1 is a PO
+		{{Op: EditRemove, Gate: 7}}, // out of range
+	} {
+		e := mk()
+		snap := snapshotEco(e)
+		if _, err := e.Apply(batch); err == nil {
+			t.Fatalf("batch %v accepted", batch)
+		}
+		snap.check(t, e)
+	}
+
+	// A batch that passes per-edit validation but breaks the netlist at
+	// rebuild (the add leaves the new gate driving nothing) also rolls
+	// back whole.
+	e = mk()
+	snap := snapshotEco(e)
+	if _, err := e.Apply([]Edit{
+		{Op: EditAdd, Name: "dangling", Cell: cell.Inv, Ins: []circuit.Ref{circuit.PIRef(0)}},
+	}); err == nil {
+		t.Fatal("dangling add accepted")
+	}
+	snap.check(t, e)
+}

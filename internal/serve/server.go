@@ -129,6 +129,15 @@ type Config struct {
 	// edit_fallbacks_total).  0 uses the core default (0.25); negative
 	// disables the fallback.
 	EditConeBudget float64
+	// EditConeResize enables cone-local re-sizing on every session
+	// (core.Options.EditConeResize, minflod -edit-cone-resize): a query
+	// inside the trust region that follows a value-only edit batch is
+	// answered from a cone-scoped subproblem against frozen boundary
+	// arrivals instead of the full netlist; reconciliation re-times the
+	// whole graph and falls back to the full warm path when the frozen
+	// boundary lied (cone_fallbacks_total).  Requires TrustRegion > 0 to
+	// have any effect.
+	EditConeResize bool
 }
 
 func (c Config) withDefaults() Config {
@@ -193,6 +202,8 @@ type Server struct {
 	coalesced     atomic.Int64
 	edits         atomic.Int64
 	editFallbacks atomic.Int64
+	coneResizes   atomic.Int64
+	coneFallbacks atomic.Int64
 }
 
 // New builds a Server.
@@ -605,6 +616,8 @@ func (srv *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Coalesced:     srv.coalesced.Load(),
 		Edits:         srv.edits.Load(),
 		EditFallbacks: srv.editFallbacks.Load(),
+		ConeResizes:   srv.coneResizes.Load(),
+		ConeFallbacks: srv.coneFallbacks.Load(),
 		Draining:      srv.draining,
 	}
 	srv.mu.Unlock()
@@ -644,7 +657,7 @@ func (srv *Server) accountMem(s *session) {
 	if s.core != nil {
 		est = s.core.MemoryBytes()
 	}
-	est += int64(len(s.src.Bench)) + 4096 // retained source + fixed overhead
+	est += s.stateBytes() // retained source, replay history, snapshot
 	srv.mu.Lock()
 	if !s.deleted {
 		srv.memBytes += est - s.memBytes

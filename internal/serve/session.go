@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"minflo/internal/cell"
+	"minflo/internal/circuit"
 	"minflo/internal/core"
 	"minflo/internal/dag"
 	"minflo/internal/sta"
@@ -72,11 +73,22 @@ type session struct {
 	seq      int
 	par      int // granted intra-solve worker budget
 	// eco is the session's editable netlist wrapper (owned by the
-	// core.Session); editLog records every accepted edit batch so a
-	// quarantine rebuild replays the session's netlist history — the
-	// "deterministic given session history" contract covers edits.
+	// core.Session); history records every accepted state-mutating
+	// batch — netlist edits AND sticky what-if weight batches, in
+	// arrival order — so a quarantine rebuild replays the session's
+	// full served history (the "deterministic given session history"
+	// contract covers both; replaying only the edits, as this layer
+	// once did, made a post-panic session silently diverge from a
+	// never-quarantined twin whenever weights had been set).  snap,
+	// when non-nil, is the netlist state an accepted structural batch
+	// produced: the history prefix up to it is compacted away and
+	// rebuilds start from the snapshot instead of the pristine source
+	// (a structural rebuild resets sticky weights, so nothing before
+	// the snapshot needs replay — see dag.NewEcoWithExtra's exactness
+	// contract).
 	eco     *dag.Eco
-	editLog [][]dag.Edit
+	history []historyEntry
+	snap    *netSnapshot
 
 	// Shared with the server, guarded by srv.mu.
 	elem      *list.Element // LRU position
@@ -93,19 +105,47 @@ type session struct {
 	quarantined bool
 }
 
+// historyEntry is one accepted state-mutating request of the session's
+// replayable history: a sticky what-if weight batch (gates/ws) or a
+// netlist edit batch (edits).  Exactly one side is set.
+type historyEntry struct {
+	gates []int
+	ws    []float64
+	edits []dag.Edit
+}
+
+// netSnapshot captures the netlist state after an accepted structural
+// batch: the edited circuit and its extra-load ledger.  Rebuilds start
+// here instead of re-parsing the pristine source and replaying the
+// whole history (the circuit is cloned on use — the snapshot itself is
+// never handed to an Eco, which would own and mutate it).
+type netSnapshot struct {
+	c     *circuit.Circuit
+	extra []float64
+}
+
 // buildCore constructs the problem and warm solver state from the
-// retained submit request.  Called by the worker on the build job and
-// again on every quarantine rebuild — each build parses the netlist
-// afresh so a rebuilt generation starts from pristine state (sticky
-// what-if weights are per-generation and cleared here).
+// retained submit request (or the compacted snapshot).  Called by the
+// worker on the build job and again on every quarantine rebuild — each
+// build starts from pristine state and replays the session's accepted
+// weight and edit batches in order, so the rebuilt generation's state
+// is the deterministic product of the session history.
 func (s *session) buildCore() error {
-	ckt, err := s.srv.buildCircuit(s.src)
-	if err != nil {
-		return err
-	}
-	eco, err := dag.NewEco(ckt, s.srv.model)
-	if err != nil {
-		return err
+	var eco *dag.Eco
+	if s.snap != nil {
+		var err error
+		eco, err = dag.NewEcoWithExtra(s.snap.c.Clone(), s.srv.model, s.snap.extra)
+		if err != nil {
+			return err
+		}
+	} else {
+		ckt, err := s.srv.buildCircuit(s.src)
+		if err != nil {
+			return err
+		}
+		if eco, err = dag.NewEco(ckt, s.srv.model); err != nil {
+			return err
+		}
 	}
 	p := eco.P
 	tm, err := sta.Analyze(p.G, p.Delays(p.InitialSizes()))
@@ -129,28 +169,57 @@ func (s *session) buildCore() error {
 		NoEngineFallback: s.srv.cfg.NoEngineFallback,
 		TrustRegion:      s.srv.cfg.TrustRegion,
 		EditConeBudget:   s.srv.cfg.EditConeBudget,
+		EditConeResize:   s.srv.cfg.EditConeResize,
 	})
 	if err != nil {
 		return err
 	}
-	// A quarantine rebuild parses the source afresh, then replays the
-	// session's accepted edit batches in order: the rebuilt generation's
-	// netlist state is the deterministic product of the session history,
-	// not the pristine submit.  Replay failures are impossible for
+	// Replay the session's accepted history — weight batches and edit
+	// batches, in arrival order.  Replay failures are impossible for
 	// batches that validated once against the same history — treat one
-	// as a build failure (fail loud, not with silently dropped edits).
-	for i, batch := range s.editLog {
-		if _, rerr := cs.ApplyEdits(batch); rerr != nil {
+	// as a build failure (fail loud, not with silently dropped state).
+	for i, h := range s.history {
+		var rerr error
+		if h.edits != nil {
+			_, rerr = cs.ApplyEdits(h.edits)
+		} else {
+			rerr = cs.SetAreaWeights(h.gates, h.ws)
+		}
+		if rerr != nil {
 			cs.Close()
-			return fmt.Errorf("edit-log replay (batch %d): %w", i, rerr)
+			return fmt.Errorf("history replay (batch %d): %w", i, rerr)
 		}
 	}
 	s.core = cs
 	s.eco = eco
-	s.numGates = p.NumSizable
+	s.numGates = cs.NumSizable()
 	s.dmin = tm.CP
 	s.seq = 0
 	return nil
+}
+
+// stateBytes estimates the serve-layer session state that
+// core.MemoryBytes cannot see: the replayable history ledger, the
+// compaction snapshot, and the retained submit source.  Without it the
+// history grows unbounded and invisibly to the LRU watermarks.
+func (s *session) stateBytes() int64 {
+	const (
+		editBytes  = 96 // dag.Edit struct
+		entryBytes = 96 // historyEntry + slice headers + growth slack
+		gateBytes  = 96 // circuit.Gate + name + pins, amortized
+	)
+	b := int64(len(s.src.Bench)+len(s.src.Circuit)+len(s.src.ID)) + 4096
+	for _, h := range s.history {
+		b += entryBytes + int64(len(h.gates))*8 + int64(len(h.ws))*8
+		b += int64(len(h.edits)) * editBytes
+		for _, e := range h.edits {
+			b += int64(len(e.Name)) + int64(len(e.Ins))*16
+		}
+	}
+	if s.snap != nil {
+		b += int64(s.snap.c.NumGates())*gateBytes + int64(len(s.snap.extra))*8
+	}
+	return b
 }
 
 // run is the worker loop.  It exits when the session is deleted,
@@ -323,6 +392,12 @@ func (s *session) handleQuery(j *job) jobReply {
 		if err := s.core.SetAreaWeights(gates, ws); err != nil {
 			return jobReply{http.StatusBadRequest, &ErrorBody{Code: CodeBadRequest, Message: err.Error()}}
 		}
+		// Accepted sticky weights join the replayable history — a
+		// quarantine rebuild must re-apply them after the edit replay
+		// or the rebuilt generation diverges from a never-quarantined
+		// twin.  Recorded even if the solve below fails: stickiness is
+		// not conditional on the query's outcome.
+		s.history = append(s.history, historyEntry{gates: gates, ws: ws})
 	}
 
 	// Cancellation funnel: the solve stops on whichever fires first —
@@ -335,13 +410,21 @@ func (s *session) handleQuery(j *job) jobReply {
 
 	warm := s.seq > 0
 	s.seq++
+	coneN, coneF := s.core.ConeResizes(), s.core.ConeFallbacks()
 	res, err := s.core.Resize(ctx, req.TargetPS, core.Budgets{
 		Budget:         time.Duration(req.BudgetMS) * time.Millisecond,
 		FlowWorkBudget: req.FlowWorkBudget,
 	})
 	s.srv.accountMem(s)
+	if d := s.core.ConeResizes() - coneN; d > 0 {
+		s.srv.coneResizes.Add(int64(d))
+	}
+	coneFellBack := s.core.ConeFallbacks() > coneF
+	if coneFellBack {
+		s.srv.coneFallbacks.Add(int64(s.core.ConeFallbacks() - coneF))
+	}
 
-	resp := &QueryResponse{ID: s.id, Generation: s.gen, Seq: s.seq, Warm: warm}
+	resp := &QueryResponse{ID: s.id, Generation: s.gen, Seq: s.seq, Warm: warm, ConeFallback: coneFellBack}
 	if res != nil {
 		resp.Area = res.Area
 		resp.CPPS = res.CP
@@ -349,6 +432,7 @@ func (s *session) handleQuery(j *job) jobReply {
 		resp.Partial = res.Partial
 		resp.Seed = res.Seed
 		resp.SeedFallback = res.SeedFallback
+		resp.ConeGates = res.ConeGates
 		if res.Seed == core.SeedWarm {
 			s.srv.seeded.Add(1)
 		}
@@ -411,7 +495,22 @@ func (s *session) handleEdit(j *job) jobReply {
 	}
 	// The accepted batch joins the session history; a later quarantine
 	// rebuild replays it (without re-counting it in the server stats).
-	s.editLog = append(s.editLog, edits)
+	// A structural batch compacts instead: the rebuild it just ran
+	// resets sticky weights and dag guarantees the rebuilt netlist is
+	// bit-reproducible from (circuit, extra-load) alone, so the whole
+	// prefix — this batch included — collapses into one snapshot.
+	if rep.Structural {
+		s.snap = &netSnapshot{
+			c:     s.eco.C.Clone(),
+			extra: append([]float64(nil), s.eco.Extra...),
+		}
+		s.history = s.history[:0]
+	} else {
+		s.history = append(s.history, historyEntry{edits: edits})
+	}
+	if rep.GateSetChanged {
+		s.numGates = s.core.NumSizable()
+	}
 	s.srv.edits.Add(1)
 	if rep.Fallback {
 		s.srv.editFallbacks.Add(1)
@@ -421,25 +520,62 @@ func (s *session) handleEdit(j *job) jobReply {
 	s.srv.mu.Unlock()
 	s.srv.accountMem(s)
 	return jobReply{http.StatusOK, &EditResponse{
-		ID:          s.id,
-		Generation:  s.gen,
-		Structural:  rep.Structural,
-		Rebuilt:     rep.Rebuilt,
-		Fallback:    rep.Fallback,
-		SeedKept:    rep.SeedKept,
-		ConeGates:   rep.ConeGates,
-		ConeFrac:    rep.ConeFrac,
-		ChangedRows: rep.ChangedRows,
-		CPPS:        rep.CP,
-		MemBytes:    s.core.MemoryBytes(),
+		ID:                s.id,
+		Generation:        s.gen,
+		Structural:        rep.Structural,
+		Rebuilt:           rep.Rebuilt,
+		Fallback:          rep.Fallback,
+		SeedKept:          rep.SeedKept,
+		GateSetChanged:    rep.GateSetChanged,
+		NumGates:          s.core.NumSizable(),
+		ConeGates:         rep.ConeGates,
+		ConeFrac:          rep.ConeFrac,
+		ChangedRows:       rep.ChangedRows,
+		ConeResizePending: rep.ConeResizePending,
+		CPPS:              rep.CP,
+		MemBytes:          s.core.MemoryBytes(),
 	}}
 }
 
 // translateEdits maps the wire batch onto typed dag edits.  Name
 // resolution — cell names, driver signals — happens here against the
-// session's current netlist; index, arity, and cycle validation is
-// core.ApplyEdits's job (and is atomic there).
+// session's current netlist; index, arity, cycle and liveness
+// validation is core.ApplyEdits's job (and is atomic there).
+//
+// Gate-set batches need the resolution to track the batch: an "add" is
+// referenceable by name before the gate exists in the resident
+// netlist, and a "remove" shifts every higher gate index down by one
+// for the rest of the batch — so driver names resolve against a
+// simulated index space, not the pre-batch one.
 func (s *session) translateEdits(req *EditRequest) ([]dag.Edit, error) {
+	// gateAt maps current gate names to their index as of this point in
+	// the batch; built lazily, only batches containing adds or removes
+	// pay for it.
+	var gateAt map[string]int
+	simulated := func() {
+		if gateAt != nil {
+			return
+		}
+		gateAt = make(map[string]int, s.eco.C.NumGates())
+		for gi := range s.eco.C.Gates {
+			gateAt[s.eco.C.Gates[gi].Name] = gi
+		}
+	}
+	numGates := s.eco.C.NumGates()
+	lookup := func(name string) (circuit.Ref, bool) {
+		if gateAt != nil {
+			if gi, ok := gateAt[name]; ok {
+				return circuit.GateRef(gi), true
+			}
+			// Not a live gate: only a PI resolution is still valid (a
+			// pre-batch gate ref would carry a stale index).
+			if ref, ok := s.eco.C.Lookup(name); ok && ref.Kind == circuit.RefPI {
+				return ref, true
+			}
+			return circuit.Ref{}, false
+		}
+		return s.eco.C.Lookup(name)
+	}
 	out := make([]dag.Edit, len(req.Edits))
 	for i, e := range req.Edits {
 		d := dag.Edit{Gate: e.Gate}
@@ -453,13 +589,45 @@ func (s *session) translateEdits(req *EditRequest) ([]dag.Edit, error) {
 		case "load":
 			d.Op, d.LoadFF = dag.EditLoad, e.LoadFF
 		case "rewire":
-			ref, ok := s.eco.C.Lookup(e.Driver)
+			ref, ok := lookup(e.Driver)
 			if !ok {
 				return nil, fmt.Errorf("edit %d: unknown driver signal %q", i, e.Driver)
 			}
 			d.Op, d.Pin, d.Driver = dag.EditRewire, e.Pin, ref
+		case "add":
+			simulated()
+			k, ok := cell.ByName(e.Cell)
+			if !ok {
+				return nil, fmt.Errorf("edit %d: unknown cell %q", i, e.Cell)
+			}
+			ins := make([]circuit.Ref, len(e.Inputs))
+			for pin, nm := range e.Inputs {
+				ref, ok := lookup(nm)
+				if !ok {
+					return nil, fmt.Errorf("edit %d: add %q pin %d: unknown driver signal %q", i, e.Name, pin, nm)
+				}
+				ins[pin] = ref
+			}
+			d.Op, d.Cell, d.Name, d.Ins, d.PO = dag.EditAdd, k, e.Name, ins, e.PO
+			gateAt[e.Name] = numGates
+			numGates++
+		case "remove":
+			simulated()
+			if e.Gate < 0 || e.Gate >= numGates {
+				return nil, fmt.Errorf("edit %d: remove gate %d out of range [0,%d)", i, e.Gate, numGates)
+			}
+			d.Op = dag.EditRemove
+			for nm, gi := range gateAt {
+				switch {
+				case gi == e.Gate:
+					delete(gateAt, nm)
+				case gi > e.Gate:
+					gateAt[nm] = gi - 1
+				}
+			}
+			numGates--
 		default:
-			return nil, fmt.Errorf("edit %d: unknown op %q (want retype, load, or rewire)", i, e.Op)
+			return nil, fmt.Errorf("edit %d: unknown op %q (want retype, load, rewire, add, or remove)", i, e.Op)
 		}
 		out[i] = d
 	}

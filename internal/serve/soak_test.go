@@ -16,14 +16,18 @@ import (
 	"minflo/internal/fault"
 )
 
-// soakEntry is one completed clean query, recorded for twin replay.
+// soakEntry is one accepted state-advancing request, recorded for twin
+// replay: a clean query (possibly carrying a sticky area-weight batch)
+// or a value-only edit batch (edits non-nil; the other fields unused).
 type soakEntry struct {
-	seq    int
-	target float64
-	area   float64
-	cp     float64
-	iters  int
-	sizes  []float64
+	seq     int
+	target  float64
+	weights []AreaWeight
+	area    float64
+	cp      float64
+	iters   int
+	sizes   []float64
+	edits   []EditOp
 }
 
 // soakLog accumulates, per (session id, submit epoch), the contiguous
@@ -115,6 +119,7 @@ func TestServeSoak(t *testing.T) {
 				epoch     int
 				recording bool
 				dmin      float64
+				gates     int
 			}
 			sessions := make([]*sessState, perClient)
 			submit := func(s *sessState) bool {
@@ -126,6 +131,7 @@ func TestServeSoak(t *testing.T) {
 				s.epoch++
 				s.recording = true
 				s.dmin = sub.MinDelayPS
+				s.gates = sub.NumGates
 				circuitOf.Store(s.id, s.circuit)
 				return true
 			}
@@ -171,9 +177,38 @@ func TestServeSoak(t *testing.T) {
 						t.Errorf("client %d: 1-op budget completed cleanly", ci)
 					}
 					s.recording = false
+				case roll < 0.36:
+					// Value-only netlist edit: session history the twin
+					// must replay in order, interleaved with the queries.
+					ops := []EditOp{{Op: "load", Gate: rng.Intn(s.gates), LoadFF: 2 * rng.Float64()}}
+					er, err := c.Edit(ctx, s.id, &EditRequest{Edits: ops})
+					if err != nil {
+						var apiErr *APIError
+						if errors.As(err, &apiErr) && apiErr.Body.Code == CodeNotFound {
+							if !submit(s) {
+								return
+							}
+							continue
+						}
+						t.Errorf("client %d edit %s: %v", ci, s.id, err)
+						continue
+					}
+					if s.recording && er.Generation == 0 {
+						log.add(fmt.Sprintf("%s@%d", s.id, s.epoch), soakEntry{edits: ops})
+					} else if er.Generation != 0 {
+						s.recording = false
+					}
 				default:
 					spec := specs[rng.Intn(len(specs))]
-					q, err := c.Query(ctx, s.id, &QueryRequest{TargetPS: spec * s.dmin, WantSizes: true})
+					// A third of the queries carry sticky area-weight
+					// batches — state a quarantine rebuild must replay.
+					var aws []AreaWeight
+					if rng.Float64() < 0.35 {
+						for k := 1 + rng.Intn(2); k > 0; k-- {
+							aws = append(aws, AreaWeight{Gate: rng.Intn(s.gates), Weight: 0.5 + 2.5*rng.Float64()})
+						}
+					}
+					q, err := c.Query(ctx, s.id, &QueryRequest{TargetPS: spec * s.dmin, WantSizes: true, AreaWeights: aws})
 					if err != nil {
 						var apiErr *APIError
 						if errors.As(err, &apiErr) && apiErr.Body.Code == CodeNotFound {
@@ -181,6 +216,13 @@ func TestServeSoak(t *testing.T) {
 							if !submit(s) {
 								return
 							}
+							continue
+						}
+						if errors.As(err, &apiErr) && apiErr.Body.Code == CodeInfeasible {
+							// Accumulated load edits pushed this target out
+							// of reach; the failed attempt still applied
+							// the sticky weights, so stop recording.
+							s.recording = false
 							continue
 						}
 						t.Errorf("client %d query %s: %v", ci, s.id, err)
@@ -195,7 +237,7 @@ func TestServeSoak(t *testing.T) {
 					}
 					if s.recording && q.Generation == 0 {
 						log.add(fmt.Sprintf("%s@%d", s.id, s.epoch), soakEntry{
-							seq: q.Seq, target: spec * s.dmin,
+							seq: q.Seq, target: spec * s.dmin, weights: aws,
 							area: q.Area, cp: q.CPPS, iters: q.Iterations, sizes: q.Sizes,
 						})
 					} else if q.Generation != 0 {
@@ -329,9 +371,31 @@ func TestServeSoak(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		for i, e := range entries {
-			if e.seq != i+1 {
-				t.Fatalf("%s: recorded seqs not a contiguous prefix: %d at %d", key, e.seq, i)
+		qseq := 0
+		for _, e := range entries {
+			if e.edits != nil {
+				batch := make([]dag.Edit, len(e.edits))
+				for k, op := range e.edits {
+					batch[k] = dag.Edit{Op: dag.EditLoad, Gate: op.Gate, LoadFF: op.LoadFF}
+				}
+				if _, err := twin.ApplyEdits(batch); err != nil {
+					t.Fatalf("%s twin edit replay: %v", key, err)
+				}
+				continue
+			}
+			qseq++
+			if e.seq != qseq {
+				t.Fatalf("%s: recorded seqs not a contiguous prefix: %d at %d", key, e.seq, qseq)
+			}
+			if len(e.weights) > 0 {
+				gates := make([]int, len(e.weights))
+				ws := make([]float64, len(e.weights))
+				for k, aw := range e.weights {
+					gates[k], ws[k] = aw.Gate, aw.Weight
+				}
+				if err := twin.SetAreaWeights(gates, ws); err != nil {
+					t.Fatalf("%s twin weight replay: %v", key, err)
+				}
 			}
 			res, err := twin.Resize(context.Background(), e.target, core.Budgets{})
 			if err != nil {

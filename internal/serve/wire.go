@@ -136,21 +136,29 @@ type QueryResponse struct {
 	// Coalesced marks a reply served by another in-flight identical
 	// query against the same session (the singleflight path): this
 	// request consumed no queue slot and ran no solve of its own.
-	Coalesced bool       `json:"coalesced,omitempty"`
-	Error     *ErrorBody `json:"error,omitempty"`
+	Coalesced bool `json:"coalesced,omitempty"`
+	// ConeGates reports, for a cone-answered query (seed "cone"), how
+	// many sizable gates the cone subproblem covered; ConeFallback marks
+	// a query that attempted the cone path but fell back to the full
+	// warm re-size (boundary reconciliation failed twice, or the cone
+	// grew past half the circuit).  See the -edit-cone-resize flag.
+	ConeGates    int        `json:"cone_gates,omitempty"`
+	ConeFallback bool       `json:"cone_fallback,omitempty"`
+	Error        *ErrorBody `json:"error,omitempty"`
 }
 
 // EditOp is one typed netlist edit of an edit batch.
 type EditOp struct {
 	// Op selects the edit: "retype" (cell/drive-strength swap of equal
-	// arity), "load" (set the extra fixed output load), or "rewire"
-	// (reconnect one input pin to a new driver signal).
+	// arity), "load" (set the extra fixed output load), "rewire"
+	// (reconnect one input pin to a new driver signal), "add"
+	// (instantiate a new gate), or "remove" (delete a dead gate).
 	Op string `json:"op"`
 	// Gate indexes the edited gate (the sizing-vertex index reported by
-	// sizes/weights APIs).
+	// sizes/weights APIs).  Ignored for "add".
 	Gate int `json:"gate"`
-	// Cell names the new library cell for "retype" (e.g. "NAND2",
-	// "INV"); it must have the gate's current input count.
+	// Cell names the library cell for "retype" and "add" (e.g. "NAND2",
+	// "INV"); for "retype" it must have the gate's current input count.
 	Cell string `json:"cell,omitempty"`
 	// LoadFF is the new extra fixed output load in fF for "load".  It
 	// is absolute state, not a delta — resend 0 to restore the pristine
@@ -160,6 +168,16 @@ type EditOp struct {
 	// index and the new driver signal's name (a PI or gate output).
 	Pin    int    `json:"pin,omitempty"`
 	Driver string `json:"driver,omitempty"`
+	// Name, Inputs and PO define an added gate for "add": its (unique)
+	// output signal name, the driver signal names feeding its pins, and
+	// whether the output is a primary output.  Later edits in the same
+	// batch may reference the new gate by Name or by its index (the
+	// gate count at that point in the batch).  "remove" demands a dead
+	// gate — detach its readers first, in the same batch; gate indices
+	// above it shift down by one for the rest of the batch.
+	Name   string   `json:"name,omitempty"`
+	Inputs []string `json:"inputs,omitempty"`
+	PO     bool     `json:"po,omitempty"`
 }
 
 // EditRequest applies a batch of netlist edits to a warm session
@@ -184,12 +202,21 @@ type EditResponse struct {
 	// whether the trust-region seed survived the batch.
 	Fallback bool `json:"fallback,omitempty"`
 	SeedKept bool `json:"seed_kept"`
+	// GateSetChanged marks a batch containing adds or removes: gate
+	// indices were remapped, resident sizes and the warm seed are void,
+	// and NumGates reports the new gate count.
+	GateSetChanged bool `json:"gate_set_changed,omitempty"`
+	NumGates       int  `json:"num_gates"`
 	// ConeGates / ConeFrac measure the forward timing cone of the edit
 	// (the gates whose arrivals can move); ChangedRows counts the delay
 	// rows recomputed.
 	ConeGates   int     `json:"cone_gates"`
 	ConeFrac    float64 `json:"cone_frac"`
 	ChangedRows int     `json:"changed_rows"`
+	// ConeResizePending reports that the batch armed a cone-local
+	// re-size (the -edit-cone-resize flag): the next in-trust-region
+	// query will be answered from the cone subproblem around the edit.
+	ConeResizePending bool `json:"cone_resize_pending,omitempty"`
 	// CPPS is the post-edit critical path at the session's current
 	// sizes (previous converged answer, or minimum sizes).
 	CPPS     float64 `json:"cp_ps"`
@@ -231,5 +258,10 @@ type StatsResponse struct {
 	// timing cone exceeded the budget and dropped the warm seed.
 	Edits         int64 `json:"edits_total"`
 	EditFallbacks int64 `json:"edit_fallbacks_total"`
+	// ConeResizes counts queries answered from a cone-scoped subproblem
+	// (-edit-cone-resize); ConeFallbacks those that attempted the cone
+	// path and fell back to the full warm re-size.
+	ConeResizes   int64 `json:"cone_resizes_total"`
+	ConeFallbacks int64 `json:"cone_fallbacks_total"`
 	Draining      bool  `json:"draining"`
 }

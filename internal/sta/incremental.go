@@ -111,6 +111,13 @@ func (a *Arrivals) ATSlice() []float64 { return a.at }
 // Delay returns the current delay of v.
 func (a *Arrivals) Delay(v int) float64 { return a.d[v] }
 
+// Finish returns the finish time AT(v)+delay(v) — the arrival a fanout
+// of v sees.  Cone extraction freezes these as boundary arrivals.
+func (a *Arrivals) Finish(v int) float64 { return a.finish[v] }
+
+// FinishSlice exposes the finish array (read-only for callers).
+func (a *Arrivals) FinishSlice() []float64 { return a.finish }
+
 // DelaySlice exposes the delay array (read-only for callers).
 func (a *Arrivals) DelaySlice() []float64 { return a.d }
 
